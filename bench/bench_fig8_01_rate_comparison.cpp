@@ -1,0 +1,137 @@
+// Fig 8-1 (all three panels) + the Chapter 1 gains table.
+//
+// Rate vs SNR, fraction of capacity per SNR band, and gap to capacity
+// for: spinal codes (n=256 and n=1024, k=4, B=256, d=1), Raptor over
+// QAM-256 (n=9500), Strider and Strider+ (n=50490), and the best
+// envelope of the 802.11n-style LDPC family (n=648).
+
+#include <map>
+
+#include "common.h"
+#include "ldpc/wifi_envelope.h"
+#include "raptor/raptor_session.h"
+#include "sim/spinal_session.h"
+#include "strider/strider_session.h"
+
+using namespace spinal;
+
+namespace {
+
+struct Series {
+  std::map<double, double> rate;  // snr -> goodput
+};
+
+double band_fraction(const Series& s, double lo, double hi) {
+  double sum = 0;
+  int count = 0;
+  for (const auto& [snr, rate] : s.rate) {
+    if (snr < lo || snr > hi) continue;
+    sum += benchutil::capacity_fraction(rate, snr);
+    ++count;
+  }
+  return count ? sum / count : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("rate comparison: spinal vs raptor/strider/LDPC",
+                    "Fig 8-1 and the Chapter 1 gains table");
+
+  const auto snrs = benchutil::snr_grid(-5, 35, 4.0, 1.0);
+  Series spinal256, spinal1024, raptor, strider, strider_plus, ldpc;
+
+  // ---- spinal, n = 256 and 1024 ----
+  for (int n : {256, 1024}) {
+    CodeParams p;
+    p.n = n;
+    p.max_passes = 48;
+    sim::SweepOptions opt;
+    opt.trials = benchutil::trials(n == 256 ? 3 : 2);
+    opt.attempt_growth = 1.04;  // cap attempt cost at low SNR
+    for (double snr : snrs) {
+      const auto m = sim::measure_rate(
+          [&] { return std::make_unique<sim::SpinalSession>(p); }, snr, opt);
+      (n == 256 ? spinal256 : spinal1024).rate[snr] = m.rate;
+    }
+  }
+
+  // ---- Raptor / QAM-256, n = 9500 ----
+  {
+    raptor::RaptorSessionConfig cfg;  // 9500 bits, QAM-256
+    sim::SweepOptions opt;
+    opt.trials = benchutil::trials(1);
+    opt.attempt_growth = 1.05;
+    for (double snr : snrs) {
+      const auto m = sim::measure_rate(
+          [&] { return std::make_unique<raptor::RaptorSession>(cfg); }, snr, opt);
+      raptor.rate[snr] = m.rate;
+    }
+  }
+
+  // ---- Strider and Strider+, n = 50490 ----
+  for (bool punctured : {false, true}) {
+    strider::StriderSessionConfig cfg;
+    cfg.punctured = punctured;
+    sim::SweepOptions opt;
+    opt.trials = benchutil::trials(1);
+    for (double snr : snrs) {
+      const auto m = sim::measure_rate(
+          [&] { return std::make_unique<strider::StriderSession>(cfg); }, snr, opt);
+      (punctured ? strider_plus : strider).rate[snr] = m.rate;
+    }
+  }
+
+  // ---- LDPC best envelope ----
+  {
+    const ldpc::WifiLdpcFamily family(40);
+    const int t = benchutil::trials(8);
+    for (double snr : snrs) ldpc.rate[snr] = family.envelope_rate(snr, t, 0xF1601 + (int)snr);
+  }
+
+  // ---- Panel 1/3: rate and gap-to-capacity vs SNR ----
+  std::printf(
+      "snr_db,shannon,spinal_n256,spinal_n1024,raptor_qam256,strider,strider_plus,"
+      "ldpc_envelope,gap_spinal256_db,gap_raptor_db,gap_strider_plus_db,gap_ldpc_db\n");
+  for (double snr : snrs) {
+    const double cap = util::awgn_capacity(util::db_to_lin(snr));
+    std::printf("%.0f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f\n", snr,
+                cap, spinal256.rate[snr], spinal1024.rate[snr], raptor.rate[snr],
+                strider.rate[snr], strider_plus.rate[snr], ldpc.rate[snr],
+                util::gap_to_capacity_db(spinal256.rate[snr], snr),
+                util::gap_to_capacity_db(raptor.rate[snr], snr),
+                util::gap_to_capacity_db(strider_plus.rate[snr], snr),
+                util::gap_to_capacity_db(ldpc.rate[snr], snr));
+  }
+
+  // ---- Panel 2: fraction of capacity per band (middle chart) ----
+  std::printf("\n# fraction of capacity achieved per SNR band (Fig 8-1 middle)\n");
+  std::printf("band,spinal,raptor,strider,strider_plus,ldpc\n");
+  struct Band {
+    const char* name;
+    double lo, hi;
+  };
+  for (const Band& b : {Band{"<10dB", -5, 10}, Band{"10-20dB", 10, 20},
+                        Band{">20dB", 20, 35}}) {
+    std::printf("%s,%.3f,%.3f,%.3f,%.3f,%.3f\n", b.name,
+                band_fraction(spinal256, b.lo, b.hi), band_fraction(raptor, b.lo, b.hi),
+                band_fraction(strider, b.lo, b.hi),
+                band_fraction(strider_plus, b.lo, b.hi), band_fraction(ldpc, b.lo, b.hi));
+  }
+
+  // ---- Chapter 1 table: spinal's rate gain over each baseline ----
+  std::printf("\n# spinal rate gain over baselines (Chapter 1 table; paper: "
+              "raptor 21/12/20%%, strider 40/25/32%% for high/med/low)\n");
+  std::printf("band,vs_raptor_pct,vs_strider_pct,vs_strider_plus_pct,vs_ldpc_pct\n");
+  for (const Band& b : {Band{">20dB", 20, 35}, Band{"10-20dB", 10, 20},
+                        Band{"<10dB", -5, 10}}) {
+    const double sp = band_fraction(spinal256, b.lo, b.hi);
+    auto gain = [&](const Series& base) {
+      const double f = band_fraction(base, b.lo, b.hi);
+      return f > 0 ? 100.0 * (sp / f - 1.0) : 0.0;
+    };
+    std::printf("%s,%.0f,%.0f,%.0f,%.0f\n", b.name, gain(raptor), gain(strider),
+                gain(strider_plus), gain(ldpc));
+  }
+  return 0;
+}

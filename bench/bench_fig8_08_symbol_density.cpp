@@ -1,0 +1,38 @@
+// Fig 8-8: output symbol density c (bits per constellation dimension).
+// Small c caps the achievable rate even when the SNR would support
+// more; c=6 suffices for the whole -5..35 dB range.
+
+#include "common.h"
+#include "sim/spinal_session.h"
+
+using namespace spinal;
+
+int main() {
+  benchutil::banner("rate vs SNR for c = 1..6", "Fig 8-8");
+
+  const auto snrs = benchutil::snr_grid(-5, 35, 5.0, 1.0);
+
+  std::printf("snr_db,shannon");
+  for (int c = 1; c <= 6; ++c) std::printf(",c%d", c);
+  std::printf("\n");
+
+  for (double snr : snrs) {
+    std::printf("%.0f,%.3f", snr, util::awgn_capacity(util::db_to_lin(snr)));
+    for (int c = 1; c <= 6; ++c) {
+      CodeParams p;
+      p.n = 256;
+      p.c = c;
+      p.max_passes = 48;
+      sim::SweepOptions opt;
+      opt.trials = benchutil::trials(2);
+      opt.attempt_growth = 1.04;
+      const auto m = sim::measure_rate(
+          [&] { return std::make_unique<sim::SpinalSession>(p); }, snr, opt);
+      std::printf(",%.3f", m.rate);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# expectation: each c saturates near its 2c bits/symbol "
+              "ceiling; c=6 tracks capacity across the range (§8.4)\n");
+  return 0;
+}

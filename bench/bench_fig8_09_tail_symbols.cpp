@@ -1,0 +1,38 @@
+// Fig 8-9: number of tail symbols (extra symbols from the last spine
+// value each pass, §4.4). One is a big win, two is best, more wastes
+// channel time.
+
+#include "common.h"
+#include "sim/spinal_session.h"
+
+using namespace spinal;
+
+int main() {
+  benchutil::banner("gap to capacity vs tail symbol count", "Fig 8-9");
+
+  const auto snrs = benchutil::snr_grid(-5, 35, 5.0, 1.0);
+
+  std::printf("snr_db");
+  for (int tail = 1; tail <= 5; ++tail) std::printf(",gap_tail%d_db", tail);
+  std::printf("\n");
+
+  for (double snr : snrs) {
+    std::printf("%.0f", snr);
+    for (int tail = 1; tail <= 5; ++tail) {
+      CodeParams p;
+      p.n = 256;
+      p.tail_symbols = tail;
+      p.max_passes = 48;
+      sim::SweepOptions opt;
+      opt.trials = benchutil::trials(2);
+      opt.attempt_growth = 1.04;
+      const auto m = sim::measure_rate(
+          [&] { return std::make_unique<sim::SpinalSession>(p); }, snr, opt);
+      std::printf(",%.2f", m.gap_db);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# expectation: 2 tail symbols best; >2 shows negative "
+              "returns (§8.4, Fig 8-9)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig 8-10: puncturing schedules. Finer puncturing = more frequent
+// decode opportunities = less wasted channel time, especially at high
+// SNR. Curves: no puncturing, 2-way, 4-way, 8-way (n=1024, k=4, B=256).
+
+#include "common.h"
+#include "sim/spinal_session.h"
+
+using namespace spinal;
+
+int main() {
+  benchutil::banner("gap to capacity vs puncturing schedule", "Fig 8-10");
+
+  const auto snrs = benchutil::snr_grid(-5, 35, 5.0, 1.0);
+  const int ways_list[] = {8, 4, 2, 1};
+
+  std::printf("snr_db");
+  for (int ways : ways_list)
+    std::printf(",%s", ways == 1 ? "gap_none_db" : (ways == 2 ? "gap_2way_db"
+                                   : ways == 4 ? "gap_4way_db" : "gap_8way_db"));
+  std::printf("\n");
+
+  for (double snr : snrs) {
+    std::printf("%.0f", snr);
+    for (int ways : ways_list) {
+      CodeParams p;
+      p.n = 1024;
+      p.puncture_ways = ways;
+      p.max_passes = 48;
+      sim::SweepOptions opt;
+      opt.trials = benchutil::trials(1);
+      opt.attempt_growth = 1.05;
+      const auto m = sim::measure_rate(
+          [&] { return std::make_unique<sim::SpinalSession>(p); }, snr, opt);
+      std::printf(",%.2f", m.gap_db);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# expectation: 8-way > 4-way > 2-way > none, with the gains "
+              "concentrated at high SNR (§8.4, Fig 8-10)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Microbenchmarks for the codec cost model of §4.5: encoder symbol
+// rate, and one full bubble-decoder attempt for several beam widths
+// (the decode attempt dominates receiver cost; ops/bit ~ B 2^k L / k).
+
+#include <benchmark/benchmark.h>
+
+#include "channel/awgn.h"
+#include "spinal/decoder.h"
+#include "spinal/encoder.h"
+#include "util/prng.h"
+
+using namespace spinal;
+
+namespace {
+
+void BM_EncodeSymbols(benchmark::State& state) {
+  CodeParams p;
+  p.n = 256;
+  util::Xoshiro256 prng(1);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  int i = 0;
+  const int S = p.spine_length();
+  for (auto _ : state) {
+    auto s = enc.symbol({i % S, i / S});
+    benchmark::DoNotOptimize(s);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeSymbols);
+
+void BM_DecodeAttempt(benchmark::State& state) {
+  CodeParams p;
+  p.n = 256;
+  p.B = static_cast<int>(state.range(0));
+  util::Xoshiro256 prng(2);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(10.0, 3);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  // Report per-message-bit cost, the §4.5 accounting unit.
+  state.SetItemsProcessed(state.iterations() * p.n);
+}
+BENCHMARK(BM_DecodeAttempt)->Arg(16)->Arg(64)->Arg(256)->ArgName("B");
+
+void BM_SpineBuild(benchmark::State& state) {
+  CodeParams p;
+  p.n = 1024;
+  util::Xoshiro256 prng(4);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const hash::SpineHash h(p.hash_kind, p.salt);
+  for (auto _ : state) {
+    auto s = compute_spine(p, h, msg);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+}
+BENCHMARK(BM_SpineBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

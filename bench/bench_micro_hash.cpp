@@ -1,0 +1,41 @@
+// Microbenchmarks for the hash functions of §7.1: Salsa20 vs lookup3 vs
+// one-at-a-time (the paper chose one-at-a-time after finding no coding
+// performance difference), plus the hash-derived RNG.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/spine_hash.h"
+
+using namespace spinal;
+
+namespace {
+
+void BM_SpineHash(benchmark::State& state) {
+  const hash::SpineHash h(static_cast<hash::Kind>(state.range(0)), 42);
+  std::uint32_t s = 1;
+  for (auto _ : state) {
+    s = h(s, 0xA);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpineHash)
+    ->Arg(0)  // one-at-a-time
+    ->Arg(1)  // lookup3
+    ->Arg(2)  // salsa20
+    ->ArgName("kind");
+
+void BM_HashRng(benchmark::State& state) {
+  const hash::SpineHash h(hash::Kind::kOneAtATime, 42);
+  std::uint32_t i = 0, v = 0;
+  for (auto _ : state) {
+    v ^= h.rng(0xDEADBEEF, i++);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashRng);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Adaptive link demo: a file transfer over a channel whose SNR drifts
+// over time (the scenario of Chapter 1). A single spinal-coded link —
+// with the §6 framing layer: datagrams split into CRC-protected code
+// blocks, per-block ACK bitmaps — silently tracks the channel with no
+// bit-rate adaptation logic at all.
+//
+// Run: ./build/examples/adaptive_link
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "sim/channel_sim.h"
+#include "sim/engine.h"
+#include "sim/spinal_session.h"
+#include "spinal/framing.h"
+#include "util/math.h"
+#include "util/prng.h"
+
+using namespace spinal;
+
+namespace {
+
+/// Slowly drifting SNR trace: a walk between 3 and 25 dB.
+double snr_at(int frame) {
+  return 14.0 + 11.0 * std::sin(frame * 0.35) * std::cos(frame * 0.11);
+}
+
+}  // namespace
+
+int main() {
+  CodeParams params;
+  params.n = 1024;  // paper's link-layer code block size (§6)
+  params.max_passes = 48;
+
+  util::Xoshiro256 prng(7);
+
+  // A 1500-byte datagram per frame, like an Ethernet MTU.
+  const int kFrames = 24;
+  long total_symbols = 0, total_bits = 0;
+  int lost_frames = 0;
+
+  std::printf("frame,snr_db,blocks,symbols,rate_bps,capacity_bps,utilisation\n");
+  for (int frame = 0; frame < kFrames; ++frame) {
+    const double snr = snr_at(frame);
+
+    // Link layer (§6): datagram -> code blocks with CRC-16.
+    std::vector<std::uint8_t> datagram(1500);
+    for (auto& b : datagram) b = static_cast<std::uint8_t>(prng.next_u64());
+    const auto blocks = split_into_blocks(datagram, params.n);
+
+    AckBitmap ack;
+    ack.decoded.assign(blocks.size(), false);
+
+    long frame_symbols = 0;
+    bool frame_ok = true;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      // Pad the final block up to n bits (the padding is part of the
+      // CRC-protected payload contract between the ends).
+      util::BitVec block = blocks[b];
+      while (block.size() < static_cast<std::size_t>(params.n)) block.append_bits(1, 0);
+
+      sim::SpinalSession session(params);
+      sim::ChannelSim channel(sim::ChannelKind::kAwgn, snr, 1,
+                              0xF00D + frame * 131 + static_cast<int>(b));
+      const sim::RunResult r = run_message(session, channel, block);
+      frame_symbols += r.symbols;
+      ack.decoded[b] = r.success;
+      frame_ok &= r.success;
+    }
+
+    total_symbols += frame_symbols;
+    if (frame_ok) {
+      total_bits += static_cast<long>(datagram.size()) * 8;
+    } else {
+      ++lost_frames;
+    }
+
+    const double rate = static_cast<double>(datagram.size()) * 8 / frame_symbols;
+    const double cap = util::awgn_capacity(util::db_to_lin(snr));
+    std::printf("%d,%.1f,%zu,%ld,%.2f,%.2f,%.0f%%%s\n", frame, snr, blocks.size(),
+                frame_symbols, rate, cap, 100.0 * rate / cap,
+                frame_ok ? "" : "  [frame lost]");
+  }
+
+  std::printf("\ntransferred %ld bits in %ld symbols (%.2f bits/symbol), "
+              "%d/%d frames lost\n",
+              total_bits, total_symbols,
+              static_cast<double>(total_bits) / total_symbols, lost_frames, kFrames);
+  std::printf("no rate adaptation logic anywhere: the rateless code found "
+              "each frame's rate by itself\n");
+  return 0;
+}

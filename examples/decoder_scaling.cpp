@@ -1,0 +1,72 @@
+// Decoder-scaling demo (§7's deployment story): the SAME transmission
+// can be decoded at different rates by receivers with different compute
+// budgets. A base station with a wide beam (B=256) extracts a higher
+// rate than a battery-powered handset (B=8) — the transmitter neither
+// knows nor cares.
+//
+// Run: ./build/examples/decoder_scaling [snr_db]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "channel/awgn.h"
+#include "spinal/decoder.h"
+#include "spinal/encoder.h"
+#include "util/math.h"
+#include "util/prng.h"
+
+using namespace spinal;
+
+int main(int argc, char** argv) {
+  const double snr_db = argc > 1 ? std::atof(argv[1]) : 15.0;
+
+  CodeParams tx_params;
+  tx_params.n = 256;
+  tx_params.max_passes = 48;
+
+  util::Xoshiro256 prng(2024);
+  const util::BitVec message = prng.random_bits(tx_params.n);
+  const SpinalEncoder encoder(tx_params, message);
+  const PuncturingSchedule schedule(tx_params);
+
+  // One shared over-the-air transmission, recorded for all receivers.
+  channel::AwgnChannel channel(snr_db, 0xA172);
+  std::vector<std::pair<SymbolId, std::complex<float>>> air;
+  for (int sp = 0; sp < tx_params.max_passes * schedule.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : schedule.subpass(sp))
+      air.push_back({id, channel.transmit(encoder.symbol(id))});
+
+  std::printf("one transmission at %.1f dB (capacity %.2f b/s); receivers "
+              "differ only in beam width B:\n\n",
+              snr_db, util::awgn_capacity(util::db_to_lin(snr_db)));
+  std::printf("receiver,B,symbols_needed,rate_bits_per_symbol\n");
+
+  for (const auto& [name, B] : std::vector<std::pair<const char*, int>>{
+           {"sensor", 2}, {"handset", 8}, {"laptop", 64}, {"base_station", 256}}) {
+    CodeParams rx_params = tx_params;
+    rx_params.B = B;
+    SpinalDecoder decoder(rx_params);
+
+    long used = 0;
+    double rate = 0;
+    for (std::size_t i = 0; i < air.size(); ++i) {
+      decoder.add_symbol(air[i].first, air[i].second);
+      ++used;
+      // Attempt at subpass boundaries (every ~8-10 symbols).
+      if (used % 10 != 0) continue;
+      if (decoder.decode().message == message) {
+        rate = static_cast<double>(rx_params.n) / used;
+        break;
+      }
+    }
+    if (rate > 0)
+      std::printf("%s,%d,%ld,%.2f\n", name, B, used, rate);
+    else
+      std::printf("%s,%d,gave up,0.00\n", name, B);
+  }
+
+  std::printf("\nbigger beams decode the same symbols sooner: computation "
+              "buys throughput with no transmitter involvement (§7)\n");
+  return 0;
+}

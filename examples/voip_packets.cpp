@@ -1,0 +1,61 @@
+// Small-packet (VoIP/gaming) demo — the Fig 8-3 scenario. Short
+// messages are where rateless spinal codes shine: a 160-byte voice
+// frame decodes in one shot near capacity while fixed-rate schemes
+// must provision for the worst case.
+//
+// Run: ./build/examples/voip_packets [snr_db]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/channel_sim.h"
+#include "sim/engine.h"
+#include "sim/spinal_session.h"
+#include "util/math.h"
+#include "util/stats.h"
+#include "util/prng.h"
+
+using namespace spinal;
+
+int main(int argc, char** argv) {
+  const double snr_db = argc > 1 ? std::atof(argv[1]) : 12.0;
+
+  // A 20 ms G.711-style voice frame: 160 bytes = 1280 bits.
+  CodeParams params;
+  params.n = 1280;
+  params.max_passes = 48;
+
+  const int kPackets = 25;
+  util::Xoshiro256 prng(0x701CE);
+
+  util::SampleSet symbols_needed;
+  long total_symbols = 0;
+  int delivered = 0;
+
+  for (int pkt = 0; pkt < kPackets; ++pkt) {
+    sim::SpinalSession session(params);
+    sim::ChannelSim channel(sim::ChannelKind::kAwgn, snr_db, 1, 0xCA11 + pkt);
+    const util::BitVec payload = prng.random_bits(params.n);
+    const sim::RunResult r = run_message(session, channel, payload);
+    total_symbols += r.symbols;
+    if (r.success) {
+      ++delivered;
+      symbols_needed.add(static_cast<double>(r.symbols));
+    }
+  }
+
+  const double cap = util::awgn_capacity(util::db_to_lin(snr_db));
+  const double rate = delivered * static_cast<double>(params.n) / total_symbols;
+
+  std::printf("voip demo: %d x %d-bit packets at %.1f dB\n", kPackets, params.n,
+              snr_db);
+  std::printf("delivered      : %d/%d\n", delivered, kPackets);
+  std::printf("goodput        : %.2f bits/symbol (capacity %.2f, %.0f%%)\n", rate,
+              cap, 100 * rate / cap);
+  std::printf("symbols/packet : median %.0f, p90 %.0f (spread = per-packet "
+              "channel luck the rateless code exploits)\n",
+              symbols_needed.quantile(0.5), symbols_needed.quantile(0.9));
+  std::printf("at 20 MHz that is ~%.2f ms of air time per packet\n",
+              symbols_needed.quantile(0.5) / 20e6 * 1e3);
+  return 0;
+}

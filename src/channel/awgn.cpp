@@ -1,0 +1,26 @@
+#include "channel/awgn.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace spinal::channel {
+
+AwgnChannel::AwgnChannel(double snr_db, std::uint64_t seed, double signal_power)
+    : snr_db_(snr_db),
+      snr_lin_(util::db_to_lin(snr_db)),
+      sigma2_(signal_power / snr_lin_),
+      sigma_per_dim_(std::sqrt(sigma2_ / 2.0)),
+      rng_(seed) {}
+
+void AwgnChannel::apply(std::span<std::complex<float>> x) noexcept {
+  for (auto& v : x) v = transmit(v);
+}
+
+std::complex<float> AwgnChannel::transmit(std::complex<float> x) noexcept {
+  const float ni = static_cast<float>(sigma_per_dim_ * rng_.next_gaussian());
+  const float nq = static_cast<float>(sigma_per_dim_ * rng_.next_gaussian());
+  return {x.real() + ni, x.imag() + nq};
+}
+
+}  // namespace spinal::channel

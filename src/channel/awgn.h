@@ -1,0 +1,43 @@
+#pragma once
+// Complex additive white Gaussian noise channel.
+//
+// Convention used throughout the repo: transmit symbols have average
+// power P (default 1), the channel adds circularly-symmetric complex
+// Gaussian noise of total variance sigma^2 = P / SNR (sigma^2/2 per
+// real dimension), so SNR = P / sigma^2 exactly as in §8.1.
+
+#include <complex>
+#include <cstdint>
+#include <span>
+
+#include "util/prng.h"
+
+namespace spinal::channel {
+
+class AwgnChannel {
+ public:
+  /// @param snr_db        signal-to-noise ratio in dB
+  /// @param seed          deterministic noise seed
+  /// @param signal_power  average transmit power P (default 1)
+  AwgnChannel(double snr_db, std::uint64_t seed, double signal_power = 1.0);
+
+  double snr_db() const noexcept { return snr_db_; }
+  double snr_linear() const noexcept { return snr_lin_; }
+  /// Total complex noise variance sigma^2.
+  double noise_variance() const noexcept { return sigma2_; }
+
+  /// Adds noise to @p x in place.
+  void apply(std::span<std::complex<float>> x) noexcept;
+
+  /// Convenience: one noisy symbol.
+  std::complex<float> transmit(std::complex<float> x) noexcept;
+
+ private:
+  double snr_db_;
+  double snr_lin_;
+  double sigma2_;
+  double sigma_per_dim_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace spinal::channel

@@ -1,0 +1,20 @@
+#include "channel/bsc.h"
+
+#include <stdexcept>
+
+namespace spinal::channel {
+
+BscChannel::BscChannel(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0 || p > 0.5)
+    throw std::invalid_argument("BscChannel: crossover must be in [0, 0.5]");
+}
+
+void BscChannel::apply(std::span<std::uint8_t> bits) noexcept {
+  for (auto& b : bits) b = transmit(b);
+}
+
+std::uint8_t BscChannel::transmit(std::uint8_t bit) noexcept {
+  return (rng_.next_double() < p_) ? static_cast<std::uint8_t>(bit ^ 1u) : bit;
+}
+
+}  // namespace spinal::channel

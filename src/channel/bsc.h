@@ -1,0 +1,31 @@
+#pragma once
+// Binary symmetric channel: each bit is flipped independently with
+// crossover probability p (the paper's BSC model, §1/§4.1).
+
+#include <cstdint>
+#include <span>
+
+#include "util/prng.h"
+
+namespace spinal::channel {
+
+class BscChannel {
+ public:
+  /// @param p     crossover probability in [0, 0.5]
+  /// @param seed  deterministic flip seed
+  BscChannel(double p, std::uint64_t seed);
+
+  double crossover() const noexcept { return p_; }
+
+  /// Flips each bit of @p bits (0/1 bytes) in place with probability p.
+  void apply(std::span<std::uint8_t> bits) noexcept;
+
+  /// One bit through the channel.
+  std::uint8_t transmit(std::uint8_t bit) noexcept;
+
+ private:
+  double p_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace spinal::channel

@@ -1,0 +1,38 @@
+#include "channel/rayleigh.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace spinal::channel {
+
+RayleighChannel::RayleighChannel(double snr_db, int coherence, std::uint64_t seed,
+                                 double signal_power)
+    : snr_db_(snr_db),
+      sigma2_(signal_power / util::db_to_lin(snr_db)),
+      sigma_per_dim_(std::sqrt(sigma2_ / 2.0)),
+      tau_(coherence),
+      rng_(seed) {
+  if (coherence < 1) throw std::invalid_argument("RayleighChannel: coherence must be >= 1");
+}
+
+void RayleighChannel::apply(std::span<std::complex<float>> x,
+                            std::vector<std::complex<float>>& csi_out) {
+  for (auto& v : x) {
+    if (symbol_count_ % tau_ == 0) {
+      // h = (g1 + j g2)/sqrt(2): uniform phase, Rayleigh magnitude,
+      // E|h|^2 = 1.
+      h_ = {static_cast<float>(rng_.next_gaussian() / std::sqrt(2.0)),
+            static_cast<float>(rng_.next_gaussian() / std::sqrt(2.0))};
+    }
+    ++symbol_count_;
+    csi_out.push_back(h_);
+    const std::complex<float> faded = h_ * v;
+    const float ni = static_cast<float>(sigma_per_dim_ * rng_.next_gaussian());
+    const float nq = static_cast<float>(sigma_per_dim_ * rng_.next_gaussian());
+    v = {faded.real() + ni, faded.imag() + nq};
+  }
+}
+
+}  // namespace spinal::channel

@@ -1,0 +1,46 @@
+#pragma once
+// Rayleigh block-fading channel of §8.3: y = h x + n where n is complex
+// Gaussian noise of power sigma^2 and h is a complex coefficient with
+// uniform phase and Rayleigh magnitude (E|h|^2 = 1), redrawn every tau
+// symbols (the coherence time).
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace spinal::channel {
+
+class RayleighChannel {
+ public:
+  /// @param snr_db        average SNR (E|h|^2 P / sigma^2) in dB
+  /// @param coherence     tau, symbols between fading redraws (>=1)
+  /// @param seed          deterministic seed
+  /// @param signal_power  average transmit power P (default 1)
+  RayleighChannel(double snr_db, int coherence, std::uint64_t seed,
+                  double signal_power = 1.0);
+
+  double snr_db() const noexcept { return snr_db_; }
+  double noise_variance() const noexcept { return sigma2_; }
+  int coherence() const noexcept { return tau_; }
+
+  /// Fades+noises @p x in place and appends the per-symbol fading
+  /// coefficients to @p csi_out (exact CSI for Fig 8-4's "decoders given
+  /// exact fading channel parameters"). The fading process is continuous
+  /// across calls: symbol index keeps counting.
+  void apply(std::span<std::complex<float>> x,
+             std::vector<std::complex<float>>& csi_out);
+
+ private:
+  double snr_db_;
+  double sigma2_;
+  double sigma_per_dim_;
+  int tau_;
+  util::Xoshiro256 rng_;
+  std::int64_t symbol_count_ = 0;
+  std::complex<float> h_{1.0f, 0.0f};
+};
+
+}  // namespace spinal::channel

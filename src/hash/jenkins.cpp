@@ -1,0 +1,71 @@
+#include "hash/jenkins.h"
+
+#include <bit>
+
+namespace spinal::hash {
+
+std::uint32_t one_at_a_time(const std::uint8_t* key, std::size_t len,
+                            std::uint32_t seed) noexcept {
+  std::uint32_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h += key[i];
+    h += h << 10;
+    h ^= h >> 6;
+  }
+  h += h << 3;
+  h ^= h >> 11;
+  h += h << 15;
+  return h;
+}
+
+namespace {
+
+inline void mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) noexcept {
+  a -= c; a ^= std::rotl(c, 4);  c += b;
+  b -= a; b ^= std::rotl(a, 6);  a += c;
+  c -= b; c ^= std::rotl(b, 8);  b += a;
+  a -= c; a ^= std::rotl(c, 16); c += b;
+  b -= a; b ^= std::rotl(a, 19); a += c;
+  c -= b; c ^= std::rotl(b, 4);  b += a;
+}
+
+inline void final_mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) noexcept {
+  c ^= b; c -= std::rotl(b, 14);
+  a ^= c; a -= std::rotl(c, 11);
+  b ^= a; b -= std::rotl(a, 25);
+  c ^= b; c -= std::rotl(b, 16);
+  a ^= c; a -= std::rotl(c, 4);
+  b ^= a; b -= std::rotl(a, 14);
+  c ^= b; c -= std::rotl(b, 24);
+}
+
+}  // namespace
+
+std::uint32_t lookup3_hashword(const std::uint32_t* k, std::size_t length,
+                               std::uint32_t initval) noexcept {
+  std::uint32_t a, b, c;
+  a = b = c = 0xdeadbeef + (static_cast<std::uint32_t>(length) << 2) + initval;
+
+  while (length > 3) {
+    a += k[0];
+    b += k[1];
+    c += k[2];
+    mix(a, b, c);
+    length -= 3;
+    k += 3;
+  }
+
+  switch (length) {
+    case 3: c += k[2]; [[fallthrough]];
+    case 2: b += k[1]; [[fallthrough]];
+    case 1:
+      a += k[0];
+      final_mix(a, b, c);
+      break;
+    case 0:
+      break;
+  }
+  return c;
+}
+
+}  // namespace spinal::hash

@@ -1,0 +1,43 @@
+#pragma once
+// Bob Jenkins' hash functions used by the paper (§7.1): the
+// "one-at-a-time" hash (the default h in the authors' implementation
+// and experiments: 6 XORs, 15 shifts, 10 additions per application) and
+// lookup3's hashword() for word-aligned keys.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spinal::hash {
+
+/// One-at-a-time over raw bytes, starting from @p seed.
+std::uint32_t one_at_a_time(const std::uint8_t* key, std::size_t len,
+                            std::uint32_t seed) noexcept;
+
+/// One-at-a-time specialised for the spinal spine update: mixes a 32-bit
+/// word (state-or-data) into a running 32-bit hash. Equivalent to
+/// feeding the four little-endian bytes of @p word into the byte version.
+inline std::uint32_t one_at_a_time_word(std::uint32_t seed, std::uint32_t word) noexcept {
+  std::uint32_t h = seed;
+  for (int i = 0; i < 4; ++i) {
+    h += (word >> (8 * i)) & 0xFF;
+    h += h << 10;
+    h ^= h >> 6;
+  }
+  h += h << 3;
+  h ^= h >> 11;
+  h += h << 15;
+  return h;
+}
+
+/// lookup3 hashword() over an array of uint32 keys.
+std::uint32_t lookup3_hashword(const std::uint32_t* k, std::size_t length,
+                               std::uint32_t initval) noexcept;
+
+/// lookup3 specialised for a (state, data) pair.
+inline std::uint32_t lookup3_pair(std::uint32_t state, std::uint32_t data,
+                                  std::uint32_t initval) noexcept {
+  const std::uint32_t k[2] = {state, data};
+  return lookup3_hashword(k, 2, initval);
+}
+
+}  // namespace spinal::hash

@@ -1,0 +1,50 @@
+#include "hash/salsa20.h"
+
+#include <bit>
+
+namespace spinal::hash {
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) noexcept {
+  b ^= std::rotl(a + d, 7);
+  c ^= std::rotl(b + a, 9);
+  d ^= std::rotl(c + b, 13);
+  a ^= std::rotl(d + c, 18);
+}
+
+}  // namespace
+
+void salsa20_core(const std::uint32_t in[16], std::uint32_t out[16]) noexcept {
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = in[i];
+
+  for (int round = 0; round < 20; round += 2) {
+    // Column round.
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[5], x[9], x[13], x[1]);
+    quarter_round(x[10], x[14], x[2], x[6]);
+    quarter_round(x[15], x[3], x[7], x[11]);
+    // Row round.
+    quarter_round(x[0], x[1], x[2], x[3]);
+    quarter_round(x[5], x[6], x[7], x[4]);
+    quarter_round(x[10], x[11], x[8], x[9]);
+    quarter_round(x[15], x[12], x[13], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) out[i] = x[i] + in[i];
+}
+
+std::uint32_t salsa20_pair(std::uint32_t state, std::uint32_t data,
+                           std::uint32_t salt) noexcept {
+  // "expand 32-byte k" sigma constants in the diagonal, as in Salsa20.
+  const std::uint32_t in[16] = {
+      0x61707865, state, data,  salt,
+      0x3320646e, state ^ 0x9E3779B9, data ^ 0x7F4A7C15, salt ^ 0x85EBCA6B,
+      0x79622d32, 0,     0,     0,
+      0x6b206574, state + data, data + salt, salt + state};
+  std::uint32_t out[16];
+  salsa20_core(in, out);
+  return out[0] ^ out[8];
+}
+
+}  // namespace spinal::hash

@@ -1,0 +1,21 @@
+#pragma once
+// Salsa20 core (D. Bernstein), the cryptographic-strength hash the
+// authors evaluated before settling on one-at-a-time (§7.1). We expose
+// the 20-round core permutation plus a compression-style wrapper with
+// the (state, data, salt) signature the spine construction needs.
+
+#include <cstdint>
+
+namespace spinal::hash {
+
+/// Runs the Salsa20/20 core on @p in, writing 16 output words to @p out.
+/// out = core_permutation(in) + in, per the specification.
+void salsa20_core(const std::uint32_t in[16], std::uint32_t out[16]) noexcept;
+
+/// Hashes a (state, data) pair into 32 bits through the Salsa20 core.
+/// The input block packs the sigma constants with state/data/salt so
+/// distinct inputs produce unrelated blocks.
+std::uint32_t salsa20_pair(std::uint32_t state, std::uint32_t data,
+                           std::uint32_t salt) noexcept;
+
+}  // namespace spinal::hash

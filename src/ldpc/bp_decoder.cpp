@@ -1,0 +1,104 @@
+#include "ldpc/bp_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spinal::ldpc {
+namespace {
+
+// Message clamp keeps tanh/atanh numerically sane.
+constexpr float kClamp = 20.0f;
+
+inline float clamp_llr(float x) noexcept { return std::clamp(x, -kClamp, kClamp); }
+
+}  // namespace
+
+BpDecoder::BpDecoder(const ParityMatrix& H, int iterations)
+    : H_(H), iterations_(iterations) {
+  if (iterations < 1) throw std::invalid_argument("BpDecoder: iterations must be >= 1");
+  check_offset_.reserve(H.checks() + 1);
+  check_offset_.push_back(0);
+  for (int c = 0; c < H.checks(); ++c) {
+    for (int v : H.vars_of_check(c)) edge_var_.push_back(v);
+    check_offset_.push_back(static_cast<int>(edge_var_.size()));
+  }
+  var_edges_.resize(H.variables());
+  for (int c = 0; c < H.checks(); ++c)
+    for (int e = check_offset_[c]; e < check_offset_[c + 1]; ++e)
+      var_edges_[edge_var_[e]].push_back(e);
+}
+
+BpResult BpDecoder::decode(std::span<const float> channel_llrs) const {
+  if (channel_llrs.size() != static_cast<std::size_t>(H_.variables()))
+    throw std::invalid_argument("BpDecoder::decode: wrong LLR length");
+
+  const int n_edges = static_cast<int>(edge_var_.size());
+  std::vector<float> check_msg(n_edges, 0.0f);  // check -> variable
+  std::vector<float> var_msg(n_edges);          // variable -> check
+  std::vector<float> posterior(H_.variables());
+
+  // Initialise variable->check with channel LLRs.
+  for (int e = 0; e < n_edges; ++e) var_msg[e] = clamp_llr(channel_llrs[edge_var_[e]]);
+
+  BpResult result;
+  result.codeword = util::BitVec(H_.variables());
+  result.checks_satisfied = false;
+  result.iterations_used = 0;
+
+  std::vector<std::uint8_t> hard(H_.variables(), 0);
+
+  for (int it = 0; it < iterations_; ++it) {
+    result.iterations_used = it + 1;
+
+    // Check node update (tanh rule), per check.
+    for (int c = 0; c < H_.checks(); ++c) {
+      const int begin = check_offset_[c], end = check_offset_[c + 1];
+      // Product of tanh(m/2) with exclusion via sign/magnitude split.
+      float prod = 1.0f;
+      int zero_count = 0;
+      int zero_edge = -1;
+      for (int e = begin; e < end; ++e) {
+        const float t = std::tanh(0.5f * var_msg[e]);
+        if (std::fabs(t) < 1e-12f) {
+          ++zero_count;
+          zero_edge = e;
+        } else {
+          prod *= t;
+        }
+      }
+      for (int e = begin; e < end; ++e) {
+        float t_excl;
+        if (zero_count == 0) {
+          const float t = std::tanh(0.5f * var_msg[e]);
+          t_excl = prod / t;
+        } else if (zero_count == 1) {
+          t_excl = (e == zero_edge) ? prod : 0.0f;
+        } else {
+          t_excl = 0.0f;
+        }
+        t_excl = std::clamp(t_excl, -0.999999f, 0.999999f);
+        check_msg[e] = clamp_llr(2.0f * std::atanh(t_excl));
+      }
+    }
+
+    // Variable node update + posterior.
+    for (int v = 0; v < H_.variables(); ++v) {
+      float sum = clamp_llr(channel_llrs[v]);
+      for (int e : var_edges_[v]) sum += check_msg[e];
+      posterior[v] = sum;
+      hard[v] = sum < 0 ? 1 : 0;
+      for (int e : var_edges_[v]) var_msg[e] = clamp_llr(sum - check_msg[e]);
+    }
+
+    if (H_.satisfied(hard)) {
+      result.checks_satisfied = true;
+      break;
+    }
+  }
+
+  for (int v = 0; v < H_.variables(); ++v) result.codeword.set(v, hard[v]);
+  return result;
+}
+
+}  // namespace spinal::ldpc

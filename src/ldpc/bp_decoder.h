@@ -1,0 +1,37 @@
+#pragma once
+// Sum-product belief-propagation decoder for LDPC codes (the paper's
+// LDPC baseline uses "a belief propagation decoder that uses forty full
+// iterations with a floating point representation", §8).
+
+#include <span>
+#include <vector>
+
+#include "ldpc/matrix.h"
+#include "util/bitvec.h"
+
+namespace spinal::ldpc {
+
+struct BpResult {
+  util::BitVec codeword;   ///< hard decision after the final iteration
+  bool checks_satisfied;   ///< H c^T == 0 (early exit when reached)
+  int iterations_used;
+};
+
+class BpDecoder {
+ public:
+  /// @param iterations  full BP iterations (default 40 as in §8)
+  explicit BpDecoder(const ParityMatrix& H, int iterations = 40);
+
+  /// Decodes from per-variable channel LLRs (log P(0)/P(1)).
+  BpResult decode(std::span<const float> channel_llrs) const;
+
+ private:
+  const ParityMatrix& H_;
+  int iterations_;
+  // Flattened edge storage for cache-friendly message passing.
+  std::vector<int> edge_var_;          // variable of each edge, check-major
+  std::vector<int> check_offset_;      // per-check slice into edge arrays
+  std::vector<std::vector<int>> var_edges_;  // edges touching each variable
+};
+
+}  // namespace spinal::ldpc

@@ -1,0 +1,82 @@
+#include "ldpc/encoder.h"
+
+#include <stdexcept>
+
+namespace spinal::ldpc {
+
+LdpcEncoder::LdpcEncoder(const ParityMatrix& H) : n_(H.variables()) {
+  const int m = H.checks();
+  const int words = (n_ + 63) / 64;
+
+  // Dense bit-packed copy of H.
+  std::vector<std::vector<std::uint64_t>> rows(m, std::vector<std::uint64_t>(words, 0));
+  for (int c = 0; c < m; ++c)
+    for (int v : H.vars_of_check(c)) rows[c][v / 64] ^= (std::uint64_t{1} << (v % 64));
+
+  // Gauss-Jordan elimination to reduced row-echelon form. We prefer
+  // pivots in the HIGH columns so information bits land in the low
+  // (leading) positions, matching the systematic convention.
+  std::vector<char> is_pivot(n_, 0);
+  int rank = 0;
+  for (int col = n_ - 1; col >= 0 && rank < m; --col) {
+    int pivot_row = -1;
+    for (int r = rank; r < m; ++r) {
+      if ((rows[r][col / 64] >> (col % 64)) & 1u) {
+        pivot_row = r;
+        break;
+      }
+    }
+    if (pivot_row < 0) continue;
+    std::swap(rows[rank], rows[pivot_row]);
+    for (int r = 0; r < m; ++r) {
+      if (r == rank) continue;
+      if ((rows[r][col / 64] >> (col % 64)) & 1u)
+        for (int w = 0; w < words; ++w) rows[r][w] ^= rows[rank][w];
+    }
+    pivot_cols_.push_back(col);
+    is_pivot[col] = 1;
+    ++rank;
+  }
+  rows.resize(rank);
+  reduced_ = std::move(rows);
+
+  info_cols_.reserve(n_ - rank);
+  for (int v = 0; v < n_; ++v)
+    if (!is_pivot[v]) info_cols_.push_back(v);
+}
+
+util::BitVec LdpcEncoder::encode(const util::BitVec& info) const {
+  if (info.size() != static_cast<std::size_t>(info_bits()))
+    throw std::invalid_argument("LdpcEncoder::encode: wrong info length");
+
+  util::BitVec cw(n_);
+  for (std::size_t i = 0; i < info_cols_.size(); ++i) cw.set(info_cols_[i], info.get(i));
+
+  // Each reduced row has exactly one pivot column; its value is the XOR
+  // of the row's non-pivot (information) entries.
+  for (std::size_t r = 0; r < reduced_.size(); ++r) {
+    const int pcol = pivot_cols_[r];
+    int acc = 0;
+    const auto& row = reduced_[r];
+    for (int w = 0; w < static_cast<int>(row.size()); ++w) {
+      std::uint64_t bits = row[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const int v = w * 64 + b;
+        if (v != pcol && cw.get(v)) acc ^= 1;
+      }
+    }
+    cw.set(pcol, acc);
+  }
+  return cw;
+}
+
+util::BitVec LdpcEncoder::extract_info(const util::BitVec& codeword) const {
+  util::BitVec info(info_cols_.size());
+  for (std::size_t i = 0; i < info_cols_.size(); ++i)
+    info.set(i, codeword.get(info_cols_[i]));
+  return info;
+}
+
+}  // namespace spinal::ldpc

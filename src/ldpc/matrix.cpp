@@ -1,0 +1,36 @@
+#include "ldpc/matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spinal::ldpc {
+
+ParityMatrix::ParityMatrix(int checks, int variables) {
+  if (checks < 1 || variables < 1)
+    throw std::invalid_argument("ParityMatrix: dimensions must be positive");
+  check_to_var_.resize(checks);
+  var_to_check_.resize(variables);
+}
+
+void ParityMatrix::add_edge(int check, int var) {
+  check_to_var_.at(check).push_back(var);
+  var_to_check_.at(var).push_back(check);
+  ++edges_;
+}
+
+bool ParityMatrix::has_edge(int check, int var) const noexcept {
+  const auto& row = check_to_var_[check];
+  return std::find(row.begin(), row.end(), var) != row.end();
+}
+
+bool ParityMatrix::satisfied(const std::vector<std::uint8_t>& codeword) const noexcept {
+  if (codeword.size() != static_cast<std::size_t>(variables())) return false;
+  for (const auto& row : check_to_var_) {
+    int parity = 0;
+    for (int v : row) parity ^= codeword[v] & 1;
+    if (parity) return false;
+  }
+  return true;
+}
+
+}  // namespace spinal::ldpc

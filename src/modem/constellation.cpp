@@ -1,0 +1,53 @@
+#include "modem/constellation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace spinal::modem {
+
+SpinalConstellation::SpinalConstellation(MapKind kind, int c, double power, double beta)
+    : kind_(kind), c_(c), power_(power) {
+  if (c < 1 || c > 16) throw std::invalid_argument("SpinalConstellation: c must be in [1,16]");
+  if (power <= 0) throw std::invalid_argument("SpinalConstellation: power must be positive");
+  if (kind == MapKind::kTruncatedGaussian && beta <= 0)
+    throw std::invalid_argument("SpinalConstellation: beta must be positive");
+
+  const std::size_t m = std::size_t{1} << c;
+  mask_ = static_cast<std::uint32_t>(m - 1);
+  table_.resize(m);
+
+  const double per_dim = power / 2.0;  // P* = P/2 per I/Q dimension
+  if (kind == MapKind::kUniform) {
+    // (u - 1/2) * sqrt(6P) has per-dimension power (1/12)*6P = P/2.
+    // (The c-bit quantisation reduces it by the vanishing factor
+    // 1 - 2^-2c; we keep the paper's formula as written.)
+    const double scale = std::sqrt(6.0 * power);
+    for (std::size_t b = 0; b < m; ++b) {
+      const double u = (static_cast<double>(b) + 0.5) / static_cast<double>(m);
+      table_[b] = static_cast<float>((u - 0.5) * scale);
+    }
+  } else {
+    const double gamma = util::phi(-beta);
+    for (std::size_t b = 0; b < m; ++b) {
+      const double u = (static_cast<double>(b) + 0.5) / static_cast<double>(m);
+      table_[b] = static_cast<float>(util::phi_inverse(gamma + (1.0 - 2.0 * gamma) * u));
+    }
+    // Truncation shrinks the variance below 1; rescale so both maps sit
+    // at the same average power (Fig 3-2: "Same average power").
+    double e2 = 0.0;
+    for (float v : table_) e2 += static_cast<double>(v) * v;
+    e2 /= static_cast<double>(m);
+    const double scale = std::sqrt(per_dim / e2);
+    for (float& v : table_) v = static_cast<float>(v * scale);
+  }
+}
+
+float SpinalConstellation::max_amplitude() const noexcept {
+  float peak = 0.0f;
+  for (float v : table_) peak = std::max(peak, std::abs(v));
+  return peak;
+}
+
+}  // namespace spinal::modem

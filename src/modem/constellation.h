@@ -1,0 +1,62 @@
+#pragma once
+// Spinal constellation mapping functions (§3.3, Fig 3-2).
+//
+// A c-bit RNG output b is mapped to one I (or Q) coordinate:
+//   uniform:  b -> (u - 1/2) * sqrt(6P),            u = (b + 1/2) / 2^c
+//   gaussian: b -> Phi^-1(gamma + (1-2gamma)u) * sqrt(P/2), gamma = Phi(-beta)
+// Both are normalised to the same average power (the paper's Fig 3-2
+// shows the two maps at equal average power). One complex symbol uses
+// two independent c-bit inputs, one per dimension, for a total average
+// power P.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace spinal::modem {
+
+/// Which §3.3 mapping shapes the constellation.
+enum class MapKind {
+  kUniform,            ///< uniform grid over [-sqrt(6P)/2, +sqrt(6P)/2]
+  kTruncatedGaussian,  ///< Gaussian shaped, truncated at ±beta std-devs
+};
+
+/// Precomputed c-bit-to-coordinate table for one dimension, plus the
+/// two-draw complex-symbol helper the spinal encoder/decoder use.
+class SpinalConstellation {
+ public:
+  /// @param kind      mapping shape
+  /// @param c         bits per dimension, 1 <= c <= 16
+  /// @param power     average power P of a complex symbol (default 1)
+  /// @param beta      Gaussian truncation width (only kTruncatedGaussian)
+  /// Throws std::invalid_argument on out-of-range parameters.
+  SpinalConstellation(MapKind kind, int c, double power = 1.0, double beta = 2.0);
+
+  MapKind kind() const noexcept { return kind_; }
+  int c() const noexcept { return c_; }
+  double power() const noexcept { return power_; }
+
+  /// Coordinate for the c-bit value @p b (low c bits used).
+  float level(std::uint32_t b) const noexcept { return table_[b & mask_]; }
+
+  /// Complex symbol from a >=2c-bit random word: I from the low c bits,
+  /// Q from the next c bits (two independent RNG draws per §3.3).
+  std::complex<float> symbol(std::uint32_t word) const noexcept {
+    return {table_[word & mask_], table_[(word >> c_) & mask_]};
+  }
+
+  /// Largest |coordinate| in the table (sets the peak power).
+  float max_amplitude() const noexcept;
+
+  /// Full per-dimension table (2^c entries), for tests and PAPR studies.
+  const std::vector<float>& table() const noexcept { return table_; }
+
+ private:
+  MapKind kind_;
+  int c_;
+  double power_;
+  std::uint32_t mask_;
+  std::vector<float> table_;
+};
+
+}  // namespace spinal::modem

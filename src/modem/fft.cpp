@@ -1,0 +1,50 @@
+#include "modem/fft.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace spinal::modem {
+namespace {
+
+void fft_core(std::vector<std::complex<double>>& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  const unsigned log2n = static_cast<unsigned>(std::countr_zero(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t j = 0;
+    for (unsigned b = 0; b < log2n; ++b)
+      if (i & (std::size_t{1} << b)) j |= std::size_t{1} << (log2n - 1 - b);
+    if (j > i) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const auto u = x[i + j];
+        const auto v = x[i + j + len / 2] * w;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& x) { fft_core(x, false); }
+void ifft(std::vector<std::complex<double>>& x) { fft_core(x, true); }
+
+}  // namespace spinal::modem

@@ -1,0 +1,17 @@
+#pragma once
+// Iterative radix-2 FFT used by the OFDM PHY (Table 8.1's PAPR study).
+
+#include <complex>
+#include <vector>
+
+namespace spinal::modem {
+
+/// In-place forward DFT of a power-of-two-length vector
+/// (X_k = sum_n x_n e^{-j 2 pi k n / N}). Throws std::invalid_argument
+/// if the size is not a power of two.
+void fft(std::vector<std::complex<double>>& x);
+
+/// In-place inverse DFT including the 1/N normalisation.
+void ifft(std::vector<std::complex<double>>& x);
+
+}  // namespace spinal::modem

@@ -1,0 +1,84 @@
+#include "modem/ofdm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "modem/fft.h"
+
+namespace spinal::modem {
+namespace {
+
+// 802.11a/g pilot polarity sequence (first 16 entries of the 127-long
+// scrambler-derived sequence; it repeats for our purposes).
+constexpr int kPilotPolarity[16] = {1, 1, 1, 1,  -1, -1, -1, 1,
+                                    -1, -1, -1, -1, 1, 1, -1, 1};
+
+}  // namespace
+
+const std::vector<int>& Ofdm80211::data_carrier_indices() {
+  static const std::vector<int> indices = [] {
+    std::vector<int> v;
+    for (int i = -26; i <= 26; ++i) {
+      if (i == 0 || i == 7 || i == -7 || i == 21 || i == -21) continue;
+      v.push_back(i);
+    }
+    return v;
+  }();
+  return indices;
+}
+
+Ofdm80211::Ofdm80211(int oversample) : oversample_(oversample) {
+  if (oversample < 1 || (oversample & (oversample - 1)) != 0)
+    throw std::invalid_argument("Ofdm80211: oversample must be a power of two");
+}
+
+std::vector<std::complex<double>> Ofdm80211::modulate(
+    std::span<const std::complex<float>> data48, int symbol_index) const {
+  if (data48.size() != kDataCarriers)
+    throw std::invalid_argument("Ofdm80211::modulate: need exactly 48 data symbols");
+
+  const int nfft = kFftSize * oversample_;
+  std::vector<std::complex<double>> freq(nfft, {0.0, 0.0});
+
+  auto bin = [nfft](int carrier) {
+    return carrier >= 0 ? carrier : nfft + carrier;  // zero-padded centre
+  };
+
+  const auto& idx = data_carrier_indices();
+  for (int i = 0; i < kDataCarriers; ++i)
+    freq[bin(idx[i])] = std::complex<double>(data48[i].real(), data48[i].imag());
+
+  const double p = kPilotPolarity[symbol_index & 15];
+  freq[bin(7)] = {p, 0.0};
+  freq[bin(21)] = {p, 0.0};
+  freq[bin(-7)] = {p, 0.0};
+  freq[bin(-21)] = {-p, 0.0};
+
+  ifft(freq);
+  // Undo the 1/N of the oversampled IFFT relative to the nominal 64-pt
+  // transform so average power is independent of the oversample factor.
+  const double gain = static_cast<double>(oversample_) * std::sqrt(64.0);
+  for (auto& v : freq) v *= gain;
+
+  // Cyclic prefix: last kCpLen*oversample samples, then the body.
+  const int cp = kCpLen * oversample_;
+  std::vector<std::complex<double>> out;
+  out.reserve(nfft + cp);
+  out.insert(out.end(), freq.end() - cp, freq.end());
+  out.insert(out.end(), freq.begin(), freq.end());
+  return out;
+}
+
+double Ofdm80211::papr_db(std::span<const std::complex<double>> y) noexcept {
+  if (y.empty()) return 0.0;
+  double peak = 0.0, sum = 0.0;
+  for (const auto& v : y) {
+    const double p = std::norm(v);
+    peak = std::max(peak, p);
+    sum += p;
+  }
+  const double mean = sum / static_cast<double>(y.size());
+  return mean > 0 ? 10.0 * std::log10(peak / mean) : 0.0;
+}
+
+}  // namespace spinal::modem

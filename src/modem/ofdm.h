@@ -1,0 +1,42 @@
+#pragma once
+// Minimal 802.11a/g-style OFDM modulator, sufficient for Table 8.1's
+// peak-to-average-power-ratio experiment: 64 subcarriers of which 48
+// carry data and 4 carry BPSK pilots (±7, ±21), 16-sample cyclic
+// prefix, optional oversampling for accurate peak capture.
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spinal::modem {
+
+class Ofdm80211 {
+ public:
+  static constexpr int kFftSize = 64;
+  static constexpr int kCpLen = 16;
+  static constexpr int kDataCarriers = 48;
+
+  /// @param oversample time-domain oversampling factor (power of two);
+  /// 4 gives sub-dB-accurate PAPR peaks.
+  explicit Ofdm80211(int oversample = 4);
+
+  int oversample() const noexcept { return oversample_; }
+
+  /// Modulates 48 data-carrier symbols into one time-domain OFDM symbol
+  /// (with cyclic prefix). @p symbol_index selects the 802.11 pilot
+  /// polarity sequence position.
+  std::vector<std::complex<double>> modulate(
+      std::span<const std::complex<float>> data48, int symbol_index = 0) const;
+
+  /// PAPR of a waveform in dB: 10 log10(max|y|^2 / mean|y|^2).
+  static double papr_db(std::span<const std::complex<double>> y) noexcept;
+
+  /// The 48 data subcarrier indices in [-26, 26] order used by modulate.
+  static const std::vector<int>& data_carrier_indices();
+
+ private:
+  int oversample_;
+};
+
+}  // namespace spinal::modem

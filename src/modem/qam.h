@@ -1,0 +1,64 @@
+#pragma once
+// Gray-coded square QAM modulation and soft demodulation for the
+// baseline codes (§8: LDPC runs over the 802.11 BPSK/QPSK/16/64-QAM
+// sets; Raptor over QAM-64 and dense QAM-256).
+//
+// Square QAM-2^(2m) is separable: m Gray bits select the I level and m
+// the Q level, so demapping runs per axis in Theta(2^m) — the
+// Theta(2^(alpha/2)) cost for QAM-2^alpha the paper quotes for its
+// "careful demapping scheme that preserves soft information".
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace spinal::modem {
+
+/// Gray-coded modulator/demodulator for BPSK and square QAM.
+class QamModem {
+ public:
+  /// @param bits_per_symbol 1 (BPSK), 2 (QPSK), 4 (QAM-16), 6 (QAM-64),
+  ///        8 (QAM-256), ... any even value above 1; unit average power.
+  explicit QamModem(int bits_per_symbol);
+
+  int bits_per_symbol() const noexcept { return bps_; }
+
+  /// Maps the next bits_per_symbol() bits of @p bits at @p pos to one
+  /// symbol. Bits past bits.size() are treated as zero padding.
+  std::complex<float> map(const util::BitVec& bits, std::size_t pos) const noexcept;
+
+  /// Modulates a whole bit vector (zero-padded to a symbol boundary).
+  std::vector<std::complex<float>> modulate(const util::BitVec& bits) const;
+
+  /// Computes exact per-bit LLRs log(P(b=0)/P(b=1)) for one received
+  /// symbol under complex AWGN with noise variance @p noise_var
+  /// (total, both dimensions), appending bits_per_symbol() values to
+  /// @p llrs_out. Separable per-axis log-sum-exp over the 2^(bps/2)
+  /// levels (BPSK uses the single real axis).
+  void demap_soft(std::complex<float> y, double noise_var,
+                  std::vector<float>& llrs_out) const;
+
+  /// Per-axis amplitude levels (for tests / PAPR studies).
+  const std::vector<float>& levels() const noexcept { return levels_; }
+
+ private:
+  int bps_;          // bits per complex symbol
+  int m_;            // bits per axis (bps/2, or 1 for BPSK)
+  bool bpsk_;        // true => one real dimension only
+  std::vector<float> levels_;          // level for each m-bit Gray index
+  std::vector<std::uint32_t> gray_;    // gray code of each natural index
+
+  float axis_level(std::uint32_t bits) const noexcept;
+  void demap_axis(float y, double sigma2_axis, std::vector<float>& llrs_out) const;
+};
+
+/// Binary-reflected Gray code of @p x.
+inline std::uint32_t binary_to_gray(std::uint32_t x) noexcept { return x ^ (x >> 1); }
+
+/// Inverse of binary_to_gray.
+std::uint32_t gray_to_binary(std::uint32_t g) noexcept;
+
+}  // namespace spinal::modem

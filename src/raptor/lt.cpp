@@ -1,0 +1,63 @@
+#include "raptor/lt.h"
+
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace spinal::raptor {
+
+namespace {
+// RFC 5053 degree distribution: f[] are cumulative thresholds out of
+// 2^20; d[] the corresponding degrees.
+constexpr std::uint32_t kF[] = {10241, 491582, 712794, 831695, 948446, 1032189, 1048576};
+constexpr int kD[] = {1, 2, 3, 4, 10, 11, 40};
+constexpr int kBuckets = 7;
+}  // namespace
+
+int LtDegreeDistribution::sample(std::uint32_t v) noexcept {
+  v &= (1u << 20) - 1;
+  for (int i = 0; i < kBuckets; ++i)
+    if (v < kF[i]) return kD[i];
+  return kD[kBuckets - 1];
+}
+
+double LtDegreeDistribution::mean() {
+  double mean = 0.0;
+  std::uint32_t prev = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    mean += static_cast<double>(kF[i] - prev) / (1u << 20) * kD[i];
+    prev = kF[i];
+  }
+  return mean;
+}
+
+LtGenerator::LtGenerator(int num_intermediate, std::uint64_t seed)
+    : m_(num_intermediate), seed_(seed) {
+  if (num_intermediate < 1)
+    throw std::invalid_argument("LtGenerator: need at least one intermediate symbol");
+}
+
+std::vector<int> LtGenerator::neighbors(std::uint32_t index) const {
+  // Deterministic per-symbol PRNG stream.
+  util::Xoshiro256 rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  int degree = LtDegreeDistribution::sample(static_cast<std::uint32_t>(rng.next_u64()));
+  if (degree > m_) degree = m_;
+
+  std::vector<int> out;
+  out.reserve(degree);
+  while (static_cast<int>(out.size()) < degree) {
+    const int cand = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m_)));
+    bool dup = false;
+    for (int v : out) dup |= (v == cand);
+    if (!dup) out.push_back(cand);
+  }
+  return out;
+}
+
+int LtGenerator::output_bit(std::uint32_t index, const util::BitVec& intermediate) const {
+  int acc = 0;
+  for (int v : neighbors(index)) acc ^= intermediate.get(v) ? 1 : 0;
+  return acc;
+}
+
+}  // namespace spinal::raptor

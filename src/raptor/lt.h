@@ -1,0 +1,46 @@
+#pragma once
+// LT (Luby Transform) inner code for the Raptor baseline (§8: "an inner
+// LT code generated using the degree distribution in the Raptor RFC
+// [23]"). Output symbols are randomly addressable: descriptor i is a
+// deterministic function of (seed, i), so sender and receiver agree on
+// every output symbol's neighbourhood without communication.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace spinal::raptor {
+
+/// RFC 5053 §5.4.4.2 degree distribution: degrees {1,2,3,4,10,11,40}
+/// with the standard cumulative thresholds out of 2^20.
+class LtDegreeDistribution {
+ public:
+  /// Samples a degree from a 20-bit uniform value v in [0, 2^20).
+  static int sample(std::uint32_t v) noexcept;
+
+  /// Expected degree (for tests / cost accounting).
+  static double mean();
+};
+
+class LtGenerator {
+ public:
+  /// @param num_intermediate  size of the intermediate block the LT code
+  ///        draws from (Raptor: precoded info + parity bits)
+  LtGenerator(int num_intermediate, std::uint64_t seed);
+
+  int num_intermediate() const noexcept { return m_; }
+
+  /// Neighbour set of output symbol @p index (distinct intermediate
+  /// positions; degree per RFC 5053, capped at num_intermediate).
+  std::vector<int> neighbors(std::uint32_t index) const;
+
+  /// Output bit @p index for a given intermediate block.
+  int output_bit(std::uint32_t index, const util::BitVec& intermediate) const;
+
+ private:
+  int m_;
+  std::uint64_t seed_;
+};
+
+}  // namespace spinal::raptor

@@ -1,0 +1,54 @@
+#include "raptor/precode.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace spinal::raptor {
+
+RaptorPrecode::RaptorPrecode(int info_bits, double rate, int left_degree,
+                             std::uint64_t seed)
+    : k_(info_bits) {
+  if (info_bits < 1) throw std::invalid_argument("RaptorPrecode: info_bits must be >= 1");
+  if (rate <= 0.0 || rate >= 1.0)
+    throw std::invalid_argument("RaptorPrecode: rate must be in (0,1)");
+  if (left_degree < 1) throw std::invalid_argument("RaptorPrecode: left_degree must be >= 1");
+
+  r_ = static_cast<int>(std::ceil(info_bits / rate)) - info_bits;
+  if (r_ < 1) r_ = 1;
+  if (left_degree > r_) left_degree = r_;
+
+  checks_.resize(r_);
+  util::Xoshiro256 rng(seed ^ (static_cast<std::uint64_t>(info_bits) << 20));
+  for (int i = 0; i < k_; ++i) {
+    // left_degree distinct checks for info bit i.
+    int chosen[8];
+    int count = 0;
+    while (count < left_degree) {
+      const int c = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(r_)));
+      bool dup = false;
+      for (int j = 0; j < count; ++j) dup |= (chosen[j] == c);
+      if (!dup) chosen[count++] = c;
+    }
+    for (int j = 0; j < count; ++j) checks_[chosen[j]].push_back(i);
+  }
+  // Close each check with its parity bit.
+  for (int j = 0; j < r_; ++j) checks_[j].push_back(k_ + j);
+}
+
+util::BitVec RaptorPrecode::expand(const util::BitVec& info) const {
+  if (info.size() != static_cast<std::size_t>(k_))
+    throw std::invalid_argument("RaptorPrecode::expand: wrong info length");
+  util::BitVec out(k_ + r_);
+  for (int i = 0; i < k_; ++i) out.set(i, info.get(i));
+  for (int j = 0; j < r_; ++j) {
+    int acc = 0;
+    for (int v : checks_[j])
+      if (v < k_ && info.get(v)) acc ^= 1;
+    out.set(k_ + j, acc);
+  }
+  return out;
+}
+
+}  // namespace spinal::raptor

@@ -1,0 +1,44 @@
+#pragma once
+// Raptor outer precode (§8: "an outer LDPC code as suggested by
+// Shokrollahi with ... outer code rate 0.95 with a regular left degree
+// of 4 and a binomial right degree").
+//
+// Systematic LDGM structure: the intermediate block is [info | parity];
+// each info bit participates in exactly 4 parity checks chosen
+// uniformly (so check fan-in is binomial), and parity bit j is the XOR
+// of the info bits in check j. The decoder uses the same checks as
+// zero-constraint factor nodes.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace spinal::raptor {
+
+class RaptorPrecode {
+ public:
+  /// @param info_bits    message size k
+  /// @param rate         outer code rate (intermediate = k / rate)
+  /// @param left_degree  checks per info bit
+  RaptorPrecode(int info_bits, double rate = 0.95, int left_degree = 4,
+                std::uint64_t seed = 0xA07EAull);
+
+  int info_bits() const noexcept { return k_; }
+  int parity_bits() const noexcept { return r_; }
+  int intermediate_bits() const noexcept { return k_ + r_; }
+
+  /// [info | parity] intermediate block for @p info.
+  util::BitVec expand(const util::BitVec& info) const;
+
+  /// Check j's members as intermediate indices (info members plus the
+  /// parity index k + j). XOR over each check of a valid block is 0.
+  const std::vector<std::vector<int>>& checks() const noexcept { return checks_; }
+
+ private:
+  int k_;
+  int r_;
+  std::vector<std::vector<int>> checks_;
+};
+
+}  // namespace spinal::raptor

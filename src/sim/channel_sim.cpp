@@ -1,0 +1,42 @@
+#include "sim/channel_sim.h"
+
+namespace spinal::sim {
+
+ChannelSim::ChannelSim(ChannelKind kind, double snr_db, int coherence,
+                       std::uint64_t seed)
+    : kind_(kind), snr_db_(snr_db) {
+  if (kind == ChannelKind::kAwgn) {
+    awgn_ = std::make_unique<channel::AwgnChannel>(snr_db, seed);
+  } else {
+    rayleigh_ = std::make_unique<channel::RayleighChannel>(snr_db, coherence, seed);
+  }
+}
+
+double ChannelSim::noise_variance() const noexcept {
+  return awgn_ ? awgn_->noise_variance() : rayleigh_->noise_variance();
+}
+
+void ChannelSim::transmit(std::span<std::complex<float>> x,
+                          std::vector<std::complex<float>>& csi_out) {
+  switch (kind_) {
+    case ChannelKind::kAwgn:
+      awgn_->apply(x);
+      break;
+    case ChannelKind::kRayleighCsi:
+      rayleigh_->apply(x, csi_out);
+      break;
+    case ChannelKind::kRayleighNoCsi: {
+      scratch_csi_.clear();
+      rayleigh_->apply(x, scratch_csi_);
+      // Hand back only the phase: the decoder stays carrier-coherent
+      // but must treat the amplitude as if the channel were AWGN.
+      for (const auto& h : scratch_csi_) {
+        const float mag = std::abs(h);
+        csi_out.push_back(mag > 1e-9f ? h / mag : std::complex<float>{1.0f, 0.0f});
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace spinal::sim

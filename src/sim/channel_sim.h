@@ -1,0 +1,52 @@
+#pragma once
+// Channel front-end for the execution engine: wraps the AWGN and
+// Rayleigh models behind one transmit() call and controls whether the
+// receiver is given channel-state information (Fig 8-4 vs Fig 8-5).
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "channel/awgn.h"
+#include "channel/rayleigh.h"
+
+namespace spinal::sim {
+
+enum class ChannelKind {
+  kAwgn,         ///< y = x + n
+  kRayleighCsi,  ///< y = h x + n, exact h handed to the decoder
+  /// y = h x + n; the decoder gets only a unit-magnitude phase
+  /// reference h/|h| (carrier sync is standard receiver functionality)
+  /// but no amplitude/quality estimate — Fig 8-5's "no detailed or
+  /// accurate fading information" robustness regime.
+  kRayleighNoCsi,
+};
+
+class ChannelSim {
+ public:
+  /// @param coherence fading coherence time tau in symbols (ignored for AWGN)
+  ChannelSim(ChannelKind kind, double snr_db, int coherence, std::uint64_t seed);
+
+  ChannelKind kind() const noexcept { return kind_; }
+  double snr_db() const noexcept { return snr_db_; }
+
+  /// Total complex noise variance sigma^2 (both models).
+  double noise_variance() const noexcept;
+
+  /// Applies the channel to @p x in place. For kRayleighCsi the
+  /// per-symbol coefficients are appended to @p csi_out; otherwise
+  /// @p csi_out is left untouched (empty CSI = treat as AWGN).
+  void transmit(std::span<std::complex<float>> x,
+                std::vector<std::complex<float>>& csi_out);
+
+ private:
+  ChannelKind kind_;
+  double snr_db_;
+  std::unique_ptr<channel::AwgnChannel> awgn_;
+  std::unique_ptr<channel::RayleighChannel> rayleigh_;
+  std::vector<std::complex<float>> scratch_csi_;
+};
+
+}  // namespace spinal::sim

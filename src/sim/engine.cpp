@@ -1,0 +1,37 @@
+#include "sim/engine.h"
+
+namespace spinal::sim {
+
+RunResult run_message(RatelessSession& session, ChannelSim& channel,
+                      const util::BitVec& message, const EngineOptions& opt) {
+  session.start(message);
+  session.set_noise_hint(channel.noise_variance());
+  RunResult r;
+  int nonempty = 0;
+  int next_attempt = opt.attempt_every;
+
+  const int limit = session.max_chunks();
+  for (int chunk = 0; chunk < limit; ++chunk) {
+    std::vector<std::complex<float>> x = session.next_chunk();
+    ++r.chunks;
+    if (x.empty()) continue;
+
+    std::vector<std::complex<float>> csi;
+    channel.transmit(x, csi);
+    session.receive_chunk(x, csi);
+    r.symbols += static_cast<long>(x.size());
+    ++nonempty;
+
+    if (nonempty < next_attempt) continue;
+    next_attempt = std::max(nonempty + opt.attempt_every,
+                            static_cast<int>(nonempty * opt.attempt_growth));
+    ++r.attempts;
+    if (auto decoded = session.try_decode(); decoded && *decoded == message) {
+      r.success = true;
+      return r;
+    }
+  }
+  return r;
+}
+
+}  // namespace spinal::sim

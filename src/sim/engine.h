@@ -1,0 +1,40 @@
+#pragma once
+// The rateless execution engine (§8.1): regulates the streaming of
+// symbols from the encoder through the channel to the decoder, meters
+// channel usage, and reports when (and with how many symbols) each
+// message decodes.
+
+#include <cstdint>
+
+#include "sim/channel_sim.h"
+#include "sim/session.h"
+
+namespace spinal::sim {
+
+struct RunResult {
+  bool success = false;   ///< decoded correctly before the give-up bound
+  long symbols = 0;       ///< symbols transmitted until success (or give-up)
+  int chunks = 0;         ///< chunks transmitted
+  int attempts = 0;       ///< decode attempts performed
+};
+
+struct EngineOptions {
+  /// Attempt a decode after every this-many non-empty chunks.
+  int attempt_every = 1;
+  /// Geometric back-off: after each attempt the next one waits until the
+  /// chunk count has grown by this factor (1.0 = attempt every
+  /// attempt_every chunks). Caps decode-attempt cost at low SNR at a
+  /// small rate penalty (a failed attempt wastes only compute; a late
+  /// attempt wastes channel symbols).
+  double attempt_growth = 1.0;
+};
+
+/// Streams one message through the session/channel until it decodes or
+/// the session's give-up bound is hit. The engine validates candidate
+/// messages against the transmitted message, standing in for the
+/// link-layer CRC of §6 (a 16-bit CRC's 2^-16 false-accept rate is
+/// negligible at the trial counts used here).
+RunResult run_message(RatelessSession& session, ChannelSim& channel,
+                      const util::BitVec& message, const EngineOptions& opt = {});
+
+}  // namespace spinal::sim

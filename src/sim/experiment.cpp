@@ -1,0 +1,88 @@
+#include "sim/experiment.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "channel/awgn.h"
+#include "spinal/decoder.h"
+#include "spinal/encoder.h"
+#include "util/math.h"
+#include "util/prng.h"
+
+namespace spinal::sim {
+
+RateMeasurement measure_rate(const SessionFactory& make_session, double snr_db,
+                             const SweepOptions& opt) {
+  RateMeasurement m;
+  m.snr_db = snr_db;
+
+  long total_symbols = 0;
+  long decoded_bits = 0;
+  int successes = 0;
+  double success_symbols = 0;
+
+  for (int t = 0; t < opt.trials; ++t) {
+    const std::uint64_t seed = opt.seed + 0x1000003 * static_cast<std::uint64_t>(t);
+    auto session = make_session();
+    util::Xoshiro256 prng(seed ^ 0xC0FFEE);
+    const util::BitVec message = prng.random_bits(session->message_bits());
+
+    ChannelSim channel(opt.channel, snr_db, opt.coherence, seed);
+    EngineOptions eopt;
+    eopt.attempt_every = opt.attempt_every;
+    eopt.attempt_growth = opt.attempt_growth;
+    const RunResult r = run_message(*session, channel, message, eopt);
+
+    total_symbols += r.symbols;
+    if (r.success) {
+      ++successes;
+      decoded_bits += session->message_bits();
+      success_symbols += static_cast<double>(r.symbols);
+      m.symbols_to_decode.add(static_cast<double>(r.symbols));
+    }
+  }
+
+  m.rate = total_symbols > 0 ? static_cast<double>(decoded_bits) / total_symbols : 0.0;
+  m.gap_db = util::gap_to_capacity_db(m.rate, snr_db);
+  m.success_rate = static_cast<double>(successes) / opt.trials;
+  m.avg_symbols = successes > 0 ? success_symbols / successes : 0.0;
+  return m;
+}
+
+double fixed_rate_throughput(const CodeParams& params, int symbols, double snr_db,
+                             int trials, std::uint64_t seed) {
+  const PuncturingSchedule schedule(params);
+  const std::vector<SymbolId> ids = schedule.prefix(symbols);
+  int successes = 0;
+
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t s = seed + 0x9E3779B9 * static_cast<std::uint64_t>(t);
+    util::Xoshiro256 prng(s ^ 0xFACade);
+    const util::BitVec message = prng.random_bits(params.n);
+
+    SpinalEncoder encoder(params, message);
+    SpinalDecoder decoder(params);
+    channel::AwgnChannel channel(snr_db, s);
+
+    for (const SymbolId& id : ids)
+      decoder.add_symbol(id, channel.transmit(encoder.symbol(id)));
+
+    if (decoder.decode().message == message) ++successes;
+  }
+  return (static_cast<double>(params.n) / symbols) *
+         (static_cast<double>(successes) / trials);
+}
+
+int scaled_trials(int base) {
+  int trials = base;
+  if (const char* env = std::getenv("SPINAL_BENCH_TRIALS")) {
+    const int v = std::atoi(env);
+    if (v > 0) trials = v;
+  }
+  if (const char* full = std::getenv("SPINAL_BENCH_FULL")) {
+    if (std::string(full) == "1") trials *= 8;
+  }
+  return trials;
+}
+
+}  // namespace spinal::sim

@@ -1,0 +1,53 @@
+#pragma once
+// The common rateless-session interface every code implements so that a
+// single execution engine can stream symbols from encoder through the
+// channel to the decoder and collect identical statistics for all codes
+// (§8.1: "All codes run through the same engine", with "no sharing of
+// information between the transmitter and receiver components").
+
+#include <complex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace spinal::sim {
+
+class RatelessSession {
+ public:
+  virtual ~RatelessSession() = default;
+
+  /// Message length in bits this session encodes per run.
+  virtual int message_bits() const = 0;
+
+  /// Begins transmission of @p message (message_bits() bits).
+  virtual void start(const util::BitVec& message) = 0;
+
+  /// Produces the next chunk of modulated symbols in transmission order.
+  /// Chunk boundaries are the decode-attempt opportunities. An empty
+  /// chunk means "this scheduling slot carries nothing" (possible with
+  /// short spines and deep puncturing) — the engine skips it.
+  virtual std::vector<std::complex<float>> next_chunk() = 0;
+
+  /// Delivers the channel output for the chunk produced by the last
+  /// next_chunk() call. @p csi is either empty (decoder must treat the
+  /// channel as AWGN) or per-symbol fading coefficients.
+  virtual void receive_chunk(std::span<const std::complex<float>> y,
+                             std::span<const std::complex<float>> csi) = 0;
+
+  /// Runs one decode attempt; returns a candidate message if the decoder
+  /// produced one (the engine validates it against the transmitted
+  /// message, playing the role of the link-layer CRC).
+  virtual std::optional<util::BitVec> try_decode() = 0;
+
+  /// Upper bound on chunks before the sender gives up on the message.
+  virtual int max_chunks() const = 0;
+
+  /// Receiver-side channel knowledge: the engine announces the noise
+  /// variance once per run (real receivers estimate this from preambles;
+  /// soft demappers need it, the spinal decoder does not).
+  virtual void set_noise_hint(double /*noise_variance*/) {}
+};
+
+}  // namespace spinal::sim

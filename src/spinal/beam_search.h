@@ -1,0 +1,190 @@
+#pragma once
+// The bubble decoder's tree search core (§4.3, Fig 4-1).
+//
+// Beam entries are subtrees: a root at depth t plus all descendants out
+// to depth t+d-1 (the "partial trees of depth d-1" of Fig 4-1a). One
+// step expands every leaf by one level (B·2^(kd) new nodes, §4.5),
+// regroups the expanded nodes into the 2^k child subtrees of each root
+// (Fig 4-1b/c), and keeps the B best-scoring subtrees (Fig 4-1d).
+// With d=1 this is exactly the classical M-algorithm; with d = n/k and
+// B >= 2^k it degenerates to exact ML over the full tree.
+//
+// The Env policy supplies the code structure and branch metric:
+//   std::uint32_t child(std::uint32_t state, std::uint32_t chunk) const;
+//   float node_cost(int spine_idx, std::uint32_t state) const;
+// node_cost must return 0 for spine values with no received symbols, so
+// puncturing needs no special handling here (§5).
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "spinal/params.h"
+
+namespace spinal::detail {
+
+struct SearchResult {
+  std::vector<std::uint32_t> chunks;  ///< decoded chunk values, index 0 .. n/k-1
+  double best_cost = 0.0;             ///< path cost of the returned leaf
+};
+
+template <class Env>
+class BeamSearch {
+ public:
+  /// Runs one full decode attempt over the received data captured in
+  /// @p env. The tree is rebuilt from scratch every attempt (§7.1
+  /// explains why caching between attempts does not pay off).
+  SearchResult run(const Env& env, const CodeParams& p) const {
+    const int S = p.spine_length();
+    const int d = std::min(p.d, S);
+    const int k = p.k;
+    const int B = p.B;
+
+    // ---- Initial build: single root s0, leaves out to depth d-1 ----
+    // (path chunks 0 .. d-2; all full k bits since d-2 <= S-2).
+    std::vector<std::uint32_t> leaf_state{p.s0};
+    std::vector<float> leaf_cost{0.0f};
+    std::vector<std::uint32_t> leaf_path{0};
+    for (int lvl = 0; lvl <= d - 2; ++lvl) {
+      const int fanout = 1 << p.chunk_bits(lvl);
+      std::vector<std::uint32_t> ns;
+      std::vector<float> nc;
+      std::vector<std::uint32_t> np;
+      ns.reserve(leaf_state.size() * fanout);
+      nc.reserve(leaf_state.size() * fanout);
+      np.reserve(leaf_state.size() * fanout);
+      for (std::size_t i = 0; i < leaf_state.size(); ++i) {
+        for (int v = 0; v < fanout; ++v) {
+          const std::uint32_t st = env.child(leaf_state[i], static_cast<std::uint32_t>(v));
+          ns.push_back(st);
+          nc.push_back(leaf_cost[i] + env.node_cost(lvl, st));
+          np.push_back(leaf_path[i] | (static_cast<std::uint32_t>(v) << (k * lvl)));
+        }
+      }
+      leaf_state.swap(ns);
+      leaf_cost.swap(nc);
+      leaf_path.swap(np);
+    }
+
+    // Backtracking arena: one node per selected subtree per step.
+    struct ArenaNode {
+      std::int32_t parent;
+      std::uint32_t chunk;
+    };
+    std::vector<ArenaNode> arena;
+    arena.push_back({-1, 0});  // virtual node for the depth-0 root
+
+    std::vector<std::int32_t> entry_arena{0};  // arena node of each beam entry
+    int leaves_per_entry = static_cast<int>(leaf_state.size());
+
+    const std::uint32_t group_mask = (k < 32) ? ((1u << k) - 1u) : ~0u;
+
+    // ---- Main loop: steps t = 0 .. S-d, expansion chunk e = t+d-1 ----
+    std::vector<std::uint32_t> cand_state, cand_path;
+    std::vector<float> cand_cost;
+    std::vector<float> cand_min;
+    std::vector<int> order;
+
+    for (int t = 0; t <= S - d; ++t) {
+      const int e = t + d - 1;                    // chunk evaluated this step
+      const int fanout = 1 << p.chunk_bits(e);    // children per expanded leaf
+      const int group_count = 1 << p.chunk_bits(t);  // candidate subtrees per entry
+      const int entries = static_cast<int>(entry_arena.size());
+      const int new_leaves_per_cand = leaves_per_entry * fanout / group_count;
+      const int cand_total = entries * group_count;
+
+      cand_state.assign(static_cast<std::size_t>(cand_total) * new_leaves_per_cand, 0);
+      cand_cost.assign(static_cast<std::size_t>(cand_total) * new_leaves_per_cand, 0.0f);
+      cand_path.assign(static_cast<std::size_t>(cand_total) * new_leaves_per_cand, 0);
+      cand_min.assign(cand_total, std::numeric_limits<float>::infinity());
+      std::vector<int> fill(cand_total, 0);
+
+      for (int en = 0; en < entries; ++en) {
+        const std::size_t base = static_cast<std::size_t>(en) * leaves_per_entry;
+        for (int lf = 0; lf < leaves_per_entry; ++lf) {
+          const std::uint32_t st = leaf_state[base + lf];
+          const float pc = leaf_cost[base + lf];
+          const std::uint32_t path = leaf_path[base + lf];
+          for (int v = 0; v < fanout; ++v) {
+            const std::uint32_t child_state = env.child(st, static_cast<std::uint32_t>(v));
+            const float cost = pc + env.node_cost(e, child_state);
+            // Extended path = path chunks (t..t+d-2) then v at slot d-1;
+            // the slot-0 chunk picks the candidate subtree.
+            const std::uint32_t ext =
+                path | (static_cast<std::uint32_t>(v) << (k * (d - 1)));
+            const std::uint32_t g = ext & group_mask;
+            const int cand = en * group_count + static_cast<int>(g);
+            const std::size_t slot =
+                static_cast<std::size_t>(cand) * new_leaves_per_cand + fill[cand]++;
+            cand_state[slot] = child_state;
+            cand_cost[slot] = cost;
+            cand_path[slot] = ext >> k;  // drop slot 0: chunks t+1..t+d-1
+            if (cost < cand_min[cand]) cand_min[cand] = cost;
+          }
+        }
+      }
+
+      // ---- Select the B best subtrees (ties broken by index) ----
+      order.resize(cand_total);
+      std::iota(order.begin(), order.end(), 0);
+      const int keep = std::min(B, cand_total);
+      auto better = [&](int a, int b) {
+        return cand_min[a] != cand_min[b] ? cand_min[a] < cand_min[b] : a < b;
+      };
+      if (keep < cand_total)
+        std::nth_element(order.begin(), order.begin() + keep, order.end(), better);
+
+      std::vector<std::int32_t> new_entry_arena(keep);
+      std::vector<std::uint32_t> new_state(static_cast<std::size_t>(keep) * new_leaves_per_cand);
+      std::vector<float> new_cost(static_cast<std::size_t>(keep) * new_leaves_per_cand);
+      std::vector<std::uint32_t> new_path(static_cast<std::size_t>(keep) * new_leaves_per_cand);
+      for (int j = 0; j < keep; ++j) {
+        const int cand = order[j];
+        const int en = cand / group_count;
+        const std::uint32_t g = static_cast<std::uint32_t>(cand % group_count);
+        arena.push_back({entry_arena[en], g});
+        new_entry_arena[j] = static_cast<std::int32_t>(arena.size() - 1);
+        const std::size_t src = static_cast<std::size_t>(cand) * new_leaves_per_cand;
+        const std::size_t dst = static_cast<std::size_t>(j) * new_leaves_per_cand;
+        for (int l = 0; l < new_leaves_per_cand; ++l) {
+          new_state[dst + l] = cand_state[src + l];
+          new_cost[dst + l] = cand_cost[src + l];
+          new_path[dst + l] = cand_path[src + l];
+        }
+      }
+      entry_arena.swap(new_entry_arena);
+      leaf_state.swap(new_state);
+      leaf_cost.swap(new_cost);
+      leaf_path.swap(new_path);
+      leaves_per_entry = new_leaves_per_cand;
+    }
+
+    // ---- Global best leaf, then backtrack (§4.4: tail symbols make the
+    // lowest-cost candidate the right one to validate) ----
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < leaf_cost.size(); ++i)
+      if (leaf_cost[i] < leaf_cost[best]) best = i;
+
+    SearchResult result;
+    result.best_cost = leaf_cost[best];
+    result.chunks.assign(S, 0);
+
+    // Leaf path covers chunks S-d+1 .. S-1 (slots 0 .. d-2).
+    const int entry_of_best = static_cast<int>(best) / std::max(leaves_per_entry, 1);
+    for (int j = 0; j <= d - 2; ++j)
+      result.chunks[S - d + 1 + j] = (leaf_path[best] >> (k * j)) & group_mask;
+
+    // Arena covers chunks S-d .. 0, innermost last.
+    std::int32_t node = entry_arena[entry_of_best];
+    int chunk_idx = S - d;
+    while (node >= 0 && arena[node].parent >= 0) {
+      result.chunks[chunk_idx--] = arena[node].chunk;
+      node = arena[node].parent;
+    }
+    return result;
+  }
+};
+
+}  // namespace spinal::detail

@@ -1,0 +1,35 @@
+#include "spinal/cost_model.h"
+
+#include <cmath>
+
+namespace spinal {
+
+double DecodeCost::branch_evals_per_bit() const noexcept {
+  if (steps <= 0 || bits_per_step <= 0) return 0.0;
+  const double nodes_per_step = static_cast<double>(nodes_explored) / steps;
+  return nodes_per_step / bits_per_step;
+}
+
+DecodeCost decode_attempt_cost(const CodeParams& params, int passes_received) {
+  params.validate();
+  const int S = params.spine_length();
+  const int d = std::min(params.d, S);
+  const long nodes_per_step = static_cast<long>(params.B) << (params.k * d);
+
+  DecodeCost c;
+  c.steps = S - d + 1;
+  c.bits_per_step = params.k;
+  c.nodes_explored = c.steps * nodes_per_step;
+  c.hash_evals = c.nodes_explored;
+  c.rng_evals = c.nodes_explored * std::max(1, passes_received);
+  c.comparisons = c.steps * (static_cast<long>(params.B) << params.k);
+  // Per leaf: 32-bit state + 32-bit cost + k(d-1)-bit path.
+  const long leaves = static_cast<long>(params.B) << (params.k * (d - 1));
+  c.beam_storage_bits = leaves * (32 + 32 + params.k * (d - 1));
+  const int log2b =
+      params.B > 1 ? static_cast<int>(std::ceil(std::log2(params.B))) : 1;
+  c.backtrack_bits = static_cast<long>(S) * params.B * (params.k + log2b);
+  return c;
+}
+
+}  // namespace spinal

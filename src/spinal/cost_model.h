@@ -1,0 +1,29 @@
+#pragma once
+// The decoder cost model of §4.5, as code: per-decode-attempt counts of
+// hash/RNG evaluations, selection comparisons and storage, so designers
+// can budget hardware the way §7/§8.4 do (B chosen "subject to a
+// compute budget"; the Fig 8-6 x-axis is branch evaluations per bit).
+
+#include "spinal/params.h"
+
+namespace spinal {
+
+struct DecodeCost {
+  long steps;             ///< beam advances: n/k - d + 1
+  int bits_per_step;      ///< message bits committed per step (= k)
+  long nodes_explored;    ///< B 2^(kd) per step, summed
+  long hash_evals;        ///< one spine-hash per explored node
+  long rng_evals;         ///< L per explored node (L = passes received)
+  long comparisons;       ///< selection work: ~B 2^k per step
+  long beam_storage_bits; ///< leaves: B 2^(k(d-1)) x (state+cost+path)
+  long backtrack_bits;    ///< arena: (n/k) B (k + log2 B)
+
+  /// §4.5's headline number: branch evaluations per message bit,
+  /// ~ B 2^k / k per pass (the Fig 8-6 budget axis for L = 1).
+  double branch_evals_per_bit() const noexcept;
+};
+
+/// Cost of one decode attempt with @p passes_received passes buffered.
+DecodeCost decode_attempt_cost(const CodeParams& params, int passes_received);
+
+}  // namespace spinal

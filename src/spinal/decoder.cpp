@@ -1,0 +1,142 @@
+#include "spinal/decoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spinal/beam_search.h"
+
+namespace spinal {
+namespace {
+
+/// Converts decoded chunk values back into an n-bit message.
+util::BitVec chunks_to_message(const CodeParams& p,
+                               const std::vector<std::uint32_t>& chunks) {
+  util::BitVec msg(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.spine_length(); ++i)
+    msg.set_bits(static_cast<std::size_t>(i) * p.k,
+                 static_cast<unsigned>(p.chunk_bits(i)), chunks[i]);
+  return msg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- AWGN
+
+struct AwgnEnv {
+  const SpinalDecoder& dec;
+  bool use_csi;
+  // Fixed-point model (Appendix B): quantise coordinates to a grid of
+  // 2^-frac_bits before the subtract-square-accumulate, as an FPGA
+  // datapath would. scale == 0 disables (full float).
+  float fx_scale;
+
+  std::uint32_t child(std::uint32_t state, std::uint32_t chunk) const noexcept {
+    return dec.hash_(state, chunk);
+  }
+
+  float quantise(float v) const noexcept {
+    return std::nearbyintf(v * fx_scale) / fx_scale;
+  }
+
+  float node_cost(int spine_idx, std::uint32_t state) const noexcept {
+    float acc = 0.0f;
+    for (const auto& r : dec.rx_[spine_idx]) {
+      const std::uint32_t w = dec.hash_.rng(state, static_cast<std::uint32_t>(r.ordinal));
+      const std::complex<float> x = dec.constellation_.symbol(w);
+      std::complex<float> ref = use_csi ? r.h * x : x;
+      std::complex<float> y = r.y;
+      if (fx_scale > 0.0f) {
+        ref = {quantise(ref.real()), quantise(ref.imag())};
+        y = {quantise(y.real()), quantise(y.imag())};
+      }
+      acc += std::norm(y - ref);
+    }
+    return acc;
+  }
+};
+
+SpinalDecoder::SpinalDecoder(const CodeParams& params)
+    : params_(params),
+      hash_(params.hash_kind, params.salt),
+      constellation_(params.map, params.c, params.power, params.beta),
+      rx_(params.spine_length()) {
+  params_.validate();
+}
+
+void SpinalDecoder::add_symbol(SymbolId id, std::complex<float> y) {
+  add_symbol(id, y, {1.0f, 0.0f});
+}
+
+void SpinalDecoder::add_symbol(SymbolId id, std::complex<float> y,
+                               std::complex<float> csi) {
+  if (id.spine_index < 0 || id.spine_index >= static_cast<std::int32_t>(rx_.size()))
+    throw std::out_of_range("SpinalDecoder::add_symbol: spine index out of range");
+  rx_[id.spine_index].push_back({id.ordinal, y, csi});
+  if (csi != std::complex<float>{1.0f, 0.0f}) any_csi_ = true;
+  ++count_;
+}
+
+DecodeResult SpinalDecoder::decode() const {
+  const detail::BeamSearch<AwgnEnv> search;
+  const float fx_scale =
+      params_.fixed_point_frac_bits > 0
+          ? static_cast<float>(1 << params_.fixed_point_frac_bits)
+          : 0.0f;
+  const AwgnEnv env{*this, any_csi_, fx_scale};
+  const detail::SearchResult r = search.run(env, params_);
+  return {chunks_to_message(params_, r.chunks), r.best_cost};
+}
+
+void SpinalDecoder::reset() {
+  for (auto& v : rx_) v.clear();
+  count_ = 0;
+  any_csi_ = false;
+}
+
+// ----------------------------------------------------------------- BSC
+
+struct BscEnv {
+  const BscSpinalDecoder& dec;
+
+  std::uint32_t child(std::uint32_t state, std::uint32_t chunk) const noexcept {
+    return dec.hash_(state, chunk);
+  }
+
+  float node_cost(int spine_idx, std::uint32_t state) const noexcept {
+    float acc = 0.0f;
+    for (const auto& r : dec.rx_[spine_idx]) {
+      const std::uint8_t coded = static_cast<std::uint8_t>(
+          dec.hash_.rng(state, static_cast<std::uint32_t>(r.ordinal)) & 1u);
+      acc += static_cast<float>(coded != r.bit);
+    }
+    return acc;
+  }
+};
+
+BscSpinalDecoder::BscSpinalDecoder(const CodeParams& params)
+    : params_(params),
+      hash_(params.hash_kind, params.salt),
+      rx_(params.spine_length()) {
+  params_.validate();
+}
+
+void BscSpinalDecoder::add_bit(SymbolId id, std::uint8_t bit) {
+  if (id.spine_index < 0 || id.spine_index >= static_cast<std::int32_t>(rx_.size()))
+    throw std::out_of_range("BscSpinalDecoder::add_bit: spine index out of range");
+  rx_[id.spine_index].push_back({id.ordinal, static_cast<std::uint8_t>(bit & 1u)});
+  ++count_;
+}
+
+DecodeResult BscSpinalDecoder::decode() const {
+  const detail::BeamSearch<BscEnv> search;
+  const BscEnv env{*this};
+  const detail::SearchResult r = search.run(env, params_);
+  return {chunks_to_message(params_, r.chunks), r.best_cost};
+}
+
+void BscSpinalDecoder::reset() {
+  for (auto& v : rx_) v.clear();
+  count_ = 0;
+}
+
+}  // namespace spinal

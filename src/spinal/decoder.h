@@ -1,0 +1,100 @@
+#pragma once
+// Bubble decoders (§4): rateless receivers that store every received
+// symbol (keyed by SymbolId) and, on request, run the bubble tree
+// search against everything received so far. Decode attempts are
+// idempotent — per §7.1 the tree is rebuilt each attempt rather than
+// cached, because new symbols change pruning decisions.
+//
+// SpinalDecoder handles the AWGN channel (§4.1's l2 metric) and, when
+// symbols arrive with CSI, the coherent fading metric |y - h·x|^2
+// (§8.3). BscSpinalDecoder uses Hamming distance (§4.1).
+
+#include <complex>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/spine_hash.h"
+#include "modem/constellation.h"
+#include "spinal/params.h"
+#include "spinal/schedule.h"
+#include "util/bitvec.h"
+
+namespace spinal {
+
+/// Outcome of one decode attempt.
+struct DecodeResult {
+  util::BitVec message;  ///< most likely message (approximate ML)
+  double path_cost;      ///< its total path cost under the metric
+};
+
+class SpinalDecoder {
+ public:
+  /// Throws std::invalid_argument on invalid parameters.
+  explicit SpinalDecoder(const CodeParams& params);
+
+  const CodeParams& params() const noexcept { return params_; }
+
+  /// Stores one received symbol (AWGN: unit channel gain assumed).
+  void add_symbol(SymbolId id, std::complex<float> y);
+
+  /// Stores one received symbol with its fading coefficient (exact CSI,
+  /// Fig 8-4). Pass h=(1,0) to ignore fading (Fig 8-5's AWGN decoder).
+  void add_symbol(SymbolId id, std::complex<float> y, std::complex<float> csi);
+
+  std::size_t symbols_received() const noexcept { return count_; }
+
+  /// Runs the bubble search over everything received so far.
+  DecodeResult decode() const;
+
+  /// Drops all received symbols (new code block).
+  void reset();
+
+ private:
+  struct RxSymbol {
+    std::int32_t ordinal;
+    std::complex<float> y;
+    std::complex<float> h;
+  };
+
+  CodeParams params_;
+  hash::SpineHash hash_;
+  modem::SpinalConstellation constellation_;
+  std::vector<std::vector<RxSymbol>> rx_;  // per spine index
+  std::size_t count_ = 0;
+  bool any_csi_ = false;
+
+  friend struct AwgnEnv;
+};
+
+class BscSpinalDecoder {
+ public:
+  explicit BscSpinalDecoder(const CodeParams& params);
+
+  const CodeParams& params() const noexcept { return params_; }
+
+  /// Stores one received (possibly flipped) coded bit.
+  void add_bit(SymbolId id, std::uint8_t bit);
+
+  std::size_t bits_received() const noexcept { return count_; }
+
+  /// Runs the bubble search with the Hamming metric.
+  DecodeResult decode() const;
+
+  void reset();
+
+ private:
+  struct RxBit {
+    std::int32_t ordinal;
+    std::uint8_t bit;
+  };
+
+  CodeParams params_;
+  hash::SpineHash hash_;
+  std::vector<std::vector<RxBit>> rx_;
+  std::size_t count_ = 0;
+
+  friend struct BscEnv;
+};
+
+}  // namespace spinal

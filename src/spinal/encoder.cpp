@@ -1,0 +1,38 @@
+#include "spinal/encoder.h"
+
+namespace spinal {
+
+SpinalEncoder::SpinalEncoder(const CodeParams& params, const util::BitVec& message)
+    : params_(params),
+      h_(params.hash_kind, params.salt),
+      constellation_(params.map, params.c, params.power, params.beta),
+      schedule_(params),
+      spine_(compute_spine(params, h_, message)) {
+  params_.validate();
+}
+
+void SpinalEncoder::encode_subpass(int sp, std::vector<SymbolId>& ids_out,
+                                   std::vector<std::complex<float>>& out) const {
+  for (const SymbolId& id : schedule_.subpass(sp)) {
+    ids_out.push_back(id);
+    out.push_back(symbol(id));
+  }
+}
+
+BscSpinalEncoder::BscSpinalEncoder(const CodeParams& params, const util::BitVec& message)
+    : params_(params),
+      h_(params.hash_kind, params.salt),
+      schedule_(params),
+      spine_(compute_spine(params, h_, message)) {
+  params_.validate();
+}
+
+void BscSpinalEncoder::encode_subpass(int sp, std::vector<SymbolId>& ids_out,
+                                      std::vector<std::uint8_t>& out) const {
+  for (const SymbolId& id : schedule_.subpass(sp)) {
+    ids_out.push_back(id);
+    out.push_back(bit(id));
+  }
+}
+
+}  // namespace spinal

@@ -1,0 +1,80 @@
+#pragma once
+// Spinal encoders (§3).
+//
+// SpinalEncoder maps a message directly to I/Q symbols: spine values
+// seed the hash-derived RNG, whose c-bit outputs pass through the
+// constellation map (two draws per complex symbol). BscSpinalEncoder is
+// the c=1 bit-channel variant. Both are rateless: symbol(id) is defined
+// for every ordinal, and symbols are randomly addressable (§7.1), so
+// any transmission schedule — punctured or not — just asks for the
+// SymbolIds it wants.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "hash/spine_hash.h"
+#include "modem/constellation.h"
+#include "spinal/params.h"
+#include "spinal/schedule.h"
+#include "spinal/spine.h"
+#include "util/bitvec.h"
+
+namespace spinal {
+
+class SpinalEncoder {
+ public:
+  /// Builds the spine for @p message (must be params.n bits).
+  /// Throws std::invalid_argument on bad params or size mismatch.
+  SpinalEncoder(const CodeParams& params, const util::BitVec& message);
+
+  const CodeParams& params() const noexcept { return params_; }
+  const std::vector<std::uint32_t>& spine() const noexcept { return spine_; }
+
+  /// The symbol identified by @p id. I comes from the low c bits and Q
+  /// from the next c bits of RNG(s_{id.spine_index}, id.ordinal).
+  std::complex<float> symbol(SymbolId id) const noexcept {
+    const std::uint32_t w = h_.rng(spine_[id.spine_index], static_cast<std::uint32_t>(id.ordinal));
+    return constellation_.symbol(w);
+  }
+
+  /// Encodes a whole subpass of the shared schedule, appending to @p out
+  /// and recording which symbols were produced in @p ids_out.
+  void encode_subpass(int sp, std::vector<SymbolId>& ids_out,
+                      std::vector<std::complex<float>>& out) const;
+
+  const modem::SpinalConstellation& constellation() const noexcept { return constellation_; }
+
+ private:
+  CodeParams params_;
+  hash::SpineHash h_;
+  modem::SpinalConstellation constellation_;
+  PuncturingSchedule schedule_;
+  std::vector<std::uint32_t> spine_;
+};
+
+/// BSC variant (§3.3: "For the BSC, the constellation mapping is
+/// trivial: c = 1, and the sender transmits b").
+class BscSpinalEncoder {
+ public:
+  BscSpinalEncoder(const CodeParams& params, const util::BitVec& message);
+
+  const CodeParams& params() const noexcept { return params_; }
+
+  /// The coded bit identified by @p id.
+  std::uint8_t bit(SymbolId id) const noexcept {
+    return static_cast<std::uint8_t>(
+        h_.rng(spine_[id.spine_index], static_cast<std::uint32_t>(id.ordinal)) & 1u);
+  }
+
+  void encode_subpass(int sp, std::vector<SymbolId>& ids_out,
+                      std::vector<std::uint8_t>& out) const;
+
+ private:
+  CodeParams params_;
+  hash::SpineHash h_;
+  PuncturingSchedule schedule_;
+  std::vector<std::uint32_t> spine_;
+};
+
+}  // namespace spinal

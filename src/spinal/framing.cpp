@@ -1,0 +1,69 @@
+#include "spinal/framing.h"
+
+#include <stdexcept>
+
+namespace spinal {
+
+namespace {
+constexpr int kCrcBits = 16;
+constexpr int kSeqRepeat = 5;
+}  // namespace
+
+std::vector<util::BitVec> split_into_blocks(const std::vector<std::uint8_t>& datagram,
+                                            int block_bits) {
+  if (block_bits <= kCrcBits)
+    throw std::invalid_argument("split_into_blocks: block_bits must exceed 16");
+  const int payload_bits_per_block = block_bits - kCrcBits;
+
+  const std::size_t total_bits = datagram.size() * 8;
+  const util::BitVec all = util::BitVec::from_bytes(datagram, total_bits);
+
+  std::vector<util::BitVec> blocks;
+  std::size_t pos = 0;
+  while (pos < total_bits || (total_bits == 0 && blocks.empty())) {
+    const std::size_t take =
+        std::min<std::size_t>(payload_bits_per_block, total_bits - pos);
+    util::BitVec payload(take);
+    for (std::size_t i = 0; i < take; ++i) payload.set(i, all.get(pos + i));
+    blocks.push_back(util::crc16_append(payload));
+    pos += take;
+    if (total_bits == 0) break;
+  }
+  return blocks;
+}
+
+std::optional<std::vector<std::uint8_t>> reassemble_datagram(
+    const std::vector<util::BitVec>& blocks) {
+  util::BitVec all(0);
+  for (const auto& block : blocks) {
+    if (!util::crc16_check(block)) return std::nullopt;
+    const std::size_t payload = block.size() - kCrcBits;
+    for (std::size_t i = 0; i < payload; ++i)
+      all.append_bits(1, block.get(i) ? 1u : 0u);
+  }
+  if (all.size() % 8 != 0) return std::nullopt;
+  return all.to_bytes();
+}
+
+std::vector<std::uint8_t> encode_seqno(std::uint8_t seq) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 * kSeqRepeat);
+  for (int b = 0; b < 8; ++b) {
+    const std::uint8_t bit = (seq >> b) & 1u;
+    for (int r = 0; r < kSeqRepeat; ++r) out.push_back(bit);
+  }
+  return out;
+}
+
+std::optional<std::uint8_t> decode_seqno(const std::vector<std::uint8_t>& coded) {
+  if (coded.size() != 8 * kSeqRepeat) return std::nullopt;
+  std::uint8_t seq = 0;
+  for (int b = 0; b < 8; ++b) {
+    int votes = 0;
+    for (int r = 0; r < kSeqRepeat; ++r) votes += coded[b * kSeqRepeat + r] & 1u;
+    if (votes * 2 > kSeqRepeat) seq |= static_cast<std::uint8_t>(1u << b);
+  }
+  return seq;
+}
+
+}  // namespace spinal

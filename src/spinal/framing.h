@@ -1,0 +1,63 @@
+#pragma once
+// Link-layer framing for spinal codes (§6).
+//
+// A network-layer datagram is split into code blocks of at most n bits
+// (CRC included): each block carries a payload of up to n-16 bits plus
+// a 16-bit CRC so the receiver can validate decode attempts. The ACK
+// carries one bit per code block. Frame headers carry a short sequence
+// number protected by a highly redundant (bit-repetition) code so an
+// erased frame cannot de-synchronise the rateless symbol accounting.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bitvec.h"
+#include "util/crc.h"
+
+namespace spinal {
+
+/// Splits @p datagram into CRC-sealed code blocks of at most
+/// @p block_bits bits each (block_bits > 16 required; payload per block
+/// is block_bits - 16). The final block may be shorter.
+std::vector<util::BitVec> split_into_blocks(const std::vector<std::uint8_t>& datagram,
+                                            int block_bits);
+
+/// True when @p block passes its trailing CRC-16.
+inline bool block_valid(const util::BitVec& block) noexcept {
+  return util::crc16_check(block);
+}
+
+/// Reassembles the original datagram from decoded blocks (CRCs are
+/// stripped). Returns std::nullopt if any block fails its CRC or the
+/// total payload is not a whole number of bytes.
+std::optional<std::vector<std::uint8_t>> reassemble_datagram(
+    const std::vector<util::BitVec>& blocks);
+
+/// Per-frame ACK: one bit per code block (§6: "the ACK contains one bit
+/// per code block").
+struct AckBitmap {
+  std::vector<bool> decoded;
+
+  bool all_decoded() const noexcept {
+    for (bool b : decoded)
+      if (!b) return false;
+    return true;
+  }
+  int remaining() const noexcept {
+    int r = 0;
+    for (bool b : decoded)
+      if (!b) ++r;
+    return r;
+  }
+};
+
+/// Encodes a 8-bit frame sequence number with 5x bit repetition (the
+/// "short sequence number protected with a highly redundant code").
+std::vector<std::uint8_t> encode_seqno(std::uint8_t seq);
+
+/// Majority-decodes a (possibly corrupted) repetition-coded sequence
+/// number produced by encode_seqno. Returns std::nullopt on wrong size.
+std::optional<std::uint8_t> decode_seqno(const std::vector<std::uint8_t>& coded);
+
+}  // namespace spinal

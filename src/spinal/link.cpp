@@ -1,0 +1,120 @@
+#include "spinal/link.h"
+
+#include <stdexcept>
+
+namespace spinal {
+
+namespace {
+
+/// Splits a datagram into CRC-sealed blocks of exactly params.n bits
+/// (the final payload is zero-padded before its CRC so every block is
+/// full-size; a real header would carry the datagram length, which the
+/// demo passes out of band).
+std::vector<util::BitVec> make_full_blocks(const CodeParams& params,
+                                           const std::vector<std::uint8_t>& datagram) {
+  const int payload_bits = params.n - 16;
+  if (payload_bits <= 0)
+    throw std::invalid_argument("LinkSender: params.n must exceed the 16-bit CRC");
+
+  const std::size_t total = datagram.size() * 8;
+  const util::BitVec all = util::BitVec::from_bytes(datagram, total);
+
+  std::vector<util::BitVec> blocks;
+  std::size_t pos = 0;
+  do {
+    util::BitVec payload(static_cast<std::size_t>(payload_bits));
+    for (int i = 0; i < payload_bits && pos + i < total; ++i)
+      payload.set(i, all.get(pos + i));
+    pos += payload_bits;
+    blocks.push_back(util::crc16_append(payload));
+  } while (pos < total);
+  return blocks;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- sender
+
+LinkSender::LinkSender(const CodeParams& params,
+                       const std::vector<std::uint8_t>& datagram)
+    : params_(params), schedule_(params) {
+  for (const util::BitVec& block : make_full_blocks(params, datagram))
+    encoders_.emplace_back(params_, block);
+  next_subpass_.assign(encoders_.size(), 0);
+  ack_.decoded.assign(encoders_.size(), false);
+}
+
+std::vector<LinkSymbol> LinkSender::next_burst() {
+  std::vector<LinkSymbol> burst;
+  const int limit = params_.max_passes * schedule_.subpasses_per_pass();
+  for (int b = 0; b < block_count(); ++b) {
+    if (ack_.decoded[b]) continue;
+    if (next_subpass_[b] >= limit) {
+      gave_up_ = true;
+      continue;
+    }
+    for (const SymbolId& id : schedule_.subpass(next_subpass_[b]))
+      burst.push_back({b, id, encoders_[b].symbol(id)});
+    ++next_subpass_[b];
+  }
+  symbols_sent_ += static_cast<long>(burst.size());
+  return burst;
+}
+
+void LinkSender::handle_ack(const AckBitmap& ack) {
+  if (ack.decoded.size() != ack_.decoded.size())
+    throw std::invalid_argument("LinkSender::handle_ack: bitmap size mismatch");
+  for (std::size_t b = 0; b < ack.decoded.size(); ++b)
+    ack_.decoded[b] = ack_.decoded[b] || ack.decoded[b];
+}
+
+// ----------------------------------------------------------- receiver
+
+LinkReceiver::LinkReceiver(const CodeParams& params, int block_count)
+    : params_(params) {
+  decoders_.reserve(block_count);
+  for (int b = 0; b < block_count; ++b) decoders_.emplace_back(params_);
+  decoded_.assign(block_count, false);
+  blocks_.resize(block_count);
+  dirty_.assign(block_count, false);
+}
+
+void LinkReceiver::receive(const LinkSymbol& symbol, std::complex<float> csi) {
+  if (symbol.block < 0 || symbol.block >= static_cast<int>(decoders_.size()))
+    throw std::out_of_range("LinkReceiver::receive: bad block index");
+  if (decoded_[symbol.block]) return;  // already ACKed; stale symbol
+  decoders_[symbol.block].add_symbol(symbol.id, symbol.value, csi);
+  dirty_[symbol.block] = true;
+}
+
+AckBitmap LinkReceiver::make_ack() {
+  for (std::size_t b = 0; b < decoders_.size(); ++b) {
+    if (decoded_[b] || !dirty_[b]) continue;
+    dirty_[b] = false;
+    const DecodeResult r = decoders_[b].decode();
+    if (util::crc16_check(r.message)) {
+      decoded_[b] = true;
+      blocks_[b] = r.message;
+    }
+  }
+  AckBitmap ack;
+  ack.decoded.assign(decoded_.begin(), decoded_.end());
+  return ack;
+}
+
+std::optional<std::vector<std::uint8_t>> LinkReceiver::datagram() const {
+  for (bool d : decoded_)
+    if (!d) return std::nullopt;
+
+  util::BitVec all(0);
+  for (const util::BitVec& block : blocks_) {
+    const std::size_t payload = block.size() - 16;
+    for (std::size_t i = 0; i < payload; ++i)
+      all.append_bits(1, block.get(i) ? 1u : 0u);
+  }
+  // Zero-padding of the final payload survives here; the caller trims
+  // to the datagram length carried in the (out-of-band) header.
+  return all.to_bytes();
+}
+
+}  // namespace spinal

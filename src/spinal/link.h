@@ -1,0 +1,94 @@
+#pragma once
+// Link-layer session machinery (§6): everything between "the network
+// layer hands us a datagram" and "symbols on the air".
+//
+// The sender splits a datagram into CRC-sealed code blocks, encodes
+// each block independently, and transmits symbols round-robin across
+// the blocks that have not been ACKed yet. Because the radio is
+// half-duplex, the sender transmits a bounded burst and then pauses for
+// feedback; the receiver replies with the per-block ACK bitmap (§6).
+// The pause-point heuristic follows the paper's pointer to [16]: start
+// with an optimistic burst sized by the best prior rate, then back off
+// multiplicatively while blocks remain undecoded.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "spinal/decoder.h"
+#include "spinal/encoder.h"
+#include "spinal/framing.h"
+#include "spinal/params.h"
+#include "spinal/schedule.h"
+
+namespace spinal {
+
+/// One symbol on the air, tagged with the code block it belongs to.
+struct LinkSymbol {
+  std::int32_t block;
+  SymbolId id;
+  std::complex<float> value;
+};
+
+/// Sender half of a link-layer session.
+class LinkSender {
+ public:
+  /// @param params    per-block code parameters (params.n = block bits)
+  /// @param datagram  payload bytes
+  LinkSender(const CodeParams& params, const std::vector<std::uint8_t>& datagram);
+
+  int block_count() const noexcept { return static_cast<int>(encoders_.size()); }
+
+  /// True when every block has been ACKed.
+  bool done() const noexcept { return ack_.all_decoded(); }
+
+  /// Produces the next burst of symbols (round-robin over unACKed
+  /// blocks, one subpass per block per turn), then the sender pauses.
+  /// Burst size shrinks as fewer blocks remain.
+  std::vector<LinkSymbol> next_burst();
+
+  /// Applies receiver feedback.
+  void handle_ack(const AckBitmap& ack);
+
+  /// Total symbols transmitted so far.
+  long symbols_sent() const noexcept { return symbols_sent_; }
+
+  /// Gives up when a block exceeded params.max_passes (link reset).
+  bool gave_up() const noexcept { return gave_up_; }
+
+ private:
+  CodeParams params_;
+  std::vector<SpinalEncoder> encoders_;
+  std::vector<int> next_subpass_;
+  PuncturingSchedule schedule_;
+  AckBitmap ack_;
+  long symbols_sent_ = 0;
+  bool gave_up_ = false;
+};
+
+/// Receiver half: accumulates symbols per block, attempts decodes, and
+/// issues ACK bitmaps at pause points.
+class LinkReceiver {
+ public:
+  LinkReceiver(const CodeParams& params, int block_count);
+
+  /// Ingests one received symbol (optionally with fading CSI).
+  void receive(const LinkSymbol& symbol,
+               std::complex<float> csi = {1.0f, 0.0f});
+
+  /// Runs decode attempts on still-undecoded blocks and returns the
+  /// current ACK bitmap (§6: "the ACK contains one bit per code block").
+  AckBitmap make_ack();
+
+  /// Reassembles the datagram once every block's CRC passes.
+  std::optional<std::vector<std::uint8_t>> datagram() const;
+
+ private:
+  CodeParams params_;
+  std::vector<SpinalDecoder> decoders_;
+  std::vector<bool> decoded_;
+  std::vector<util::BitVec> blocks_;
+  std::vector<bool> dirty_;  // block got new symbols since last attempt
+};
+
+}  // namespace spinal

@@ -1,0 +1,32 @@
+#include "spinal/params.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace spinal {
+
+void CodeParams::validate() const {
+  auto fail = [](const std::string& msg) { throw std::invalid_argument("CodeParams: " + msg); };
+
+  if (n < 1) fail("n must be >= 1");
+  if (k < 1 || k > 8) fail("k must be in [1, 8]");
+  if (c < 1 || c > 15) fail("c must be in [1, 15]");
+  if (B < 1) fail("B must be >= 1");
+  if (d < 1) fail("d must be >= 1");
+  if (tail_symbols < 0) fail("tail_symbols must be >= 0");
+  if (puncture_ways != 1 && puncture_ways != 2 && puncture_ways != 4 && puncture_ways != 8)
+    fail("puncture_ways must be 1, 2, 4 or 8");
+  if (power <= 0) fail("power must be positive");
+  if (beta <= 0) fail("beta must be positive");
+  if (max_passes < 1) fail("max_passes must be >= 1");
+  if (fixed_point_frac_bits < 0 || fixed_point_frac_bits > 12)
+    fail("fixed_point_frac_bits must be in [0, 12]");
+
+  // Bound the decoder working set: B * 2^(k*d) nodes per step.
+  const int kd = k * d;
+  if (kd > 24) fail("k*d too large (limit 24)");
+  const double nodes = static_cast<double>(B) * static_cast<double>(1u << kd);
+  if (nodes > (1u << 26)) fail("B * 2^(k*d) exceeds the 2^26 working-set limit");
+}
+
+}  // namespace spinal

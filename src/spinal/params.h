@@ -1,0 +1,59 @@
+#pragma once
+// Code parameters for spinal encoding/decoding (§3, §4, §5, §7.1).
+//
+// The paper's recommended operating point — n<=1024, k=4, c=6, B=256,
+// d=1, two tail symbols, 8-way puncturing, one-at-a-time hash — is the
+// default configuration.
+
+#include <cstdint>
+
+#include "hash/spine_hash.h"
+#include "modem/constellation.h"
+
+namespace spinal {
+
+struct CodeParams {
+  int n = 256;   ///< message bits per code block
+  int k = 4;     ///< message bits hashed per spine step (rate cap: 8k with puncturing)
+  int c = 6;     ///< RNG bits per constellation dimension (§8.4: c=6)
+  int B = 256;   ///< bubble decoder beam width
+  int d = 1;     ///< bubble decoder subtree depth (d=1 == M-algorithm)
+
+  int tail_symbols = 2;   ///< extra symbols from the last spine value per pass (§4.4, Fig 8-9)
+  int puncture_ways = 8;  ///< subpasses per pass: 1 (none), 2, 4 or 8 (§5)
+
+  modem::MapKind map = modem::MapKind::kUniform;  ///< §3.3 constellation shape
+  double beta = 2.0;                              ///< Gaussian truncation width
+  double power = 1.0;                             ///< average symbol power P
+
+  hash::Kind hash_kind = hash::Kind::kOneAtATime;  ///< h (§7.1)
+  std::uint32_t salt = 0x9E3779B9u;  ///< hash-family index, shared by both ends
+  std::uint32_t s0 = 0;              ///< initial spine value (scrambler-like seed)
+
+  int max_passes = 48;  ///< sender gives up after this many passes
+
+  /// Hardware-model fixed-point datapath (Appendix B): when positive,
+  /// the decoder quantises received symbols, constellation points and
+  /// branch costs to this many fractional bits (e.g. 6 models a Q*.6
+  /// FPGA datapath). 0 = full floating point (default).
+  int fixed_point_frac_bits = 0;
+
+  /// Number of spine values n/k (rounded up; a short final chunk is
+  /// zero-padded and the decoder only explores its real bits).
+  int spine_length() const noexcept { return (n + k - 1) / k; }
+
+  /// Bits in chunk @p i (the final chunk may be short when k does not
+  /// divide n).
+  int chunk_bits(int i) const noexcept {
+    const int remaining = n - i * k;
+    return remaining >= k ? k : remaining;
+  }
+
+  /// Symbols in one complete pass (spine values + tail symbols).
+  int symbols_per_pass() const noexcept { return spine_length() + tail_symbols; }
+
+  /// Throws std::invalid_argument when any parameter is out of range.
+  void validate() const;
+};
+
+}  // namespace spinal

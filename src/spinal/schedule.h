@@ -1,0 +1,57 @@
+#pragma once
+// Transmission order for rateless symbol generation, with puncturing
+// (§3.3, §5, Fig 5-1).
+//
+// A *pass* sends one symbol per spine value plus tail symbols from the
+// last spine value (§4.4). With w-way puncturing a pass is divided into
+// w subpasses; subpass j of a pass sends only the spine values whose
+// index is congruent to perm_w[j] (mod w), where perm_w is the
+// bit-reversed ordering (e.g. 8-way: 0,4,2,6,1,5,3,7) so coverage
+// spreads evenly. Tail symbols ride in the final subpass of each pass.
+// Decode attempts may happen after any subpass, giving rates as fine as
+// one symbol apart and as high as 8k bits/symbol.
+
+#include <cstdint>
+#include <vector>
+
+#include "spinal/params.h"
+
+namespace spinal {
+
+/// Identifies one transmitted symbol: which spine value generated it and
+/// which of that spine value's outputs it is (the RNG index, §3.3).
+struct SymbolId {
+  std::int32_t spine_index;  ///< 0-based spine value index in [0, n/k)
+  std::int32_t ordinal;      ///< 0-based output index from that spine value
+
+  bool operator==(const SymbolId&) const = default;
+};
+
+/// Deterministic, unbounded transmission schedule; both ends derive it
+/// from the shared CodeParams.
+class PuncturingSchedule {
+ public:
+  explicit PuncturingSchedule(const CodeParams& params);
+
+  int subpasses_per_pass() const noexcept { return ways_; }
+  int symbols_per_pass() const noexcept { return spine_len_ + tail_; }
+
+  /// The symbols of global subpass @p sp (sp >= 0, unbounded: subpass
+  /// sp belongs to pass sp / ways). May be empty when the spine is
+  /// shorter than the stride.
+  std::vector<SymbolId> subpass(int sp) const;
+
+  /// Flattened prefix of the schedule: the first @p count symbols in
+  /// transmission order (for tests and the fixed-rate variant).
+  std::vector<SymbolId> prefix(int count) const;
+
+  /// Bit-reversed subpass ordering for @p ways (exposed for tests).
+  static std::vector<int> strided_order(int ways);
+
+ private:
+  int spine_len_;
+  int ways_;
+  int tail_;
+};
+
+}  // namespace spinal

@@ -1,0 +1,37 @@
+#include "spinal/theory.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace spinal::theory {
+
+double uniform_shaping_loss_real() {
+  return 0.5 * std::log2(M_PI * M_E / 6.0);
+}
+
+double theorem1_delta_real(int c, double snr_linear) {
+  return 3.0 * (1.0 + snr_linear) * std::pow(2.0, -c) + uniform_shaping_loss_real();
+}
+
+double theorem1_rate_bound(int c, double snr_db) {
+  const double snr = util::db_to_lin(snr_db);
+  const double bound = util::awgn_capacity(snr) - 2.0 * theorem1_delta_real(c, snr);
+  return bound > 0.0 ? bound : 0.0;
+}
+
+int theorem1_min_passes(int k, int c, double snr_db) {
+  const double per_pass = theorem1_rate_bound(c, snr_db);  // bits/symbol/pass budget
+  if (per_pass <= 0.0) return -1;
+  // L (C - 2 delta) > k  =>  L > k / (C - 2 delta).
+  return static_cast<int>(std::floor(k / per_pass)) + 1;
+}
+
+int recommended_c(double snr_db, double epsilon) {
+  const double snr = util::db_to_lin(snr_db);
+  int c = 1;
+  while (c < 24 && 3.0 * (1.0 + snr) * std::pow(2.0, -c) > epsilon) ++c;
+  return c;
+}
+
+}  // namespace spinal::theory

@@ -1,0 +1,36 @@
+#pragma once
+// Analytical results from §4.6 and Appendix A (Theorem 1): the rate a
+// polynomial bubble decoder provably achieves with the uniform
+// constellation, and the constant gap 1/2 log2(pi e / 6) it pays for
+// the uniform (rather than Gaussian) shaping.
+//
+// The theorem is stated for the real AWGN channel with capacity
+// (1/2) log2(1+SNR) per real symbol; our symbols are complex with one
+// c-bit draw per dimension, so the per-complex-symbol forms double both
+// the capacity and the penalty.
+
+namespace spinal::theory {
+
+/// Shaping loss of the uniform constellation: (1/2) log2(pi e / 6)
+/// bits per real dimension (~0.2546).
+double uniform_shaping_loss_real();
+
+/// Theorem 1's delta(c, SNR) per real symbol:
+/// 3 (1+SNR) 2^-c + (1/2) log2(pi e / 6).
+double theorem1_delta_real(int c, double snr_linear);
+
+/// Achievable rate bound per COMPLEX symbol: C(SNR) - 2 delta, floored
+/// at zero. This is what the measured spinal rate should approach from
+/// below as B grows.
+double theorem1_rate_bound(int c, double snr_db);
+
+/// Smallest pass count L satisfying L (C - delta) > k for the complex
+/// channel, i.e. the decodable-pass bound of Appendix A; returns -1
+/// when no finite L suffices (SNR below the delta floor).
+int theorem1_min_passes(int k, int c, double snr_db);
+
+/// c large enough that the 3(1+SNR)2^-c quantisation term stays below
+/// @p epsilon bits at @p snr_db — the Omega(log(1+SNR)) rule of §4.6.
+int recommended_c(double snr_db, double epsilon = 0.25);
+
+}  // namespace spinal::theory

@@ -1,0 +1,28 @@
+#pragma once
+// Max-log-MAP BCJR decoder for one 8-state RSC constituent (the
+// "several full runs of the BCJR algorithm" §4.5 attributes to turbo
+// decoders). Operates on LLRs with the repo-wide convention
+// LLR = log(P(bit=0)/P(bit=1)).
+
+#include <span>
+#include <vector>
+
+#include "turbo/rsc.h"
+
+namespace spinal::turbo {
+
+/// Soft inputs for one constituent decode over K trellis steps.
+struct BcjrInput {
+  std::span<const float> systematic;  ///< K channel LLRs for info bits
+  std::span<const float> parity1;     ///< K channel LLRs for parity 1
+  std::span<const float> parity2;     ///< K channel LLRs for parity 2
+  std::span<const float> apriori;     ///< K extrinsic LLRs from the peer
+  bool terminated = false;            ///< trellis driven to state 0 at the end
+};
+
+/// Runs max-log BCJR; writes K a-posteriori LLRs for the info bits into
+/// @p posterior (resized). Scaled-extrinsic max-log (factor 0.75) is
+/// applied by the caller.
+void bcjr_decode(const BcjrInput& in, std::vector<float>& posterior);
+
+}  // namespace spinal::turbo

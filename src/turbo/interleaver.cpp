@@ -1,0 +1,41 @@
+#include "turbo/interleaver.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace spinal::turbo {
+
+Interleaver::Interleaver(int size, std::uint64_t seed) {
+  if (size < 1) throw std::invalid_argument("Interleaver: size must be >= 1");
+  pi_.resize(size);
+  std::iota(pi_.begin(), pi_.end(), 0);
+  util::Xoshiro256 rng(seed ^ 0x1A7E61EA5ull);
+  for (int i = size - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(pi_[i], pi_[j]);
+  }
+  inv_.resize(size);
+  for (int i = 0; i < size; ++i) inv_[pi_[i]] = i;
+}
+
+util::BitVec Interleaver::apply(const util::BitVec& in) const {
+  util::BitVec out(in.size());
+  for (int j = 0; j < size(); ++j) out.set(j, in.get(pi_[j]));
+  return out;
+}
+
+std::vector<float> Interleaver::apply(const std::vector<float>& in) const {
+  std::vector<float> out(in.size());
+  for (int j = 0; j < size(); ++j) out[j] = in[pi_[j]];
+  return out;
+}
+
+std::vector<float> Interleaver::invert(const std::vector<float>& in) const {
+  std::vector<float> out(in.size());
+  for (int j = 0; j < size(); ++j) out[pi_[j]] = in[j];
+  return out;
+}
+
+}  // namespace spinal::turbo

@@ -1,0 +1,36 @@
+#pragma once
+// Deterministic pseudo-random interleaver for the turbo codec. Classic
+// parallel-concatenated turbo codes use a random permutation fixed at
+// design time; we derive it from a seeded Fisher-Yates shuffle so both
+// ends build the same table.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace spinal::turbo {
+
+class Interleaver {
+ public:
+  Interleaver(int size, std::uint64_t seed);
+
+  int size() const noexcept { return static_cast<int>(pi_.size()); }
+
+  /// Position in the interleaved sequence that reads input position i.
+  int map(int i) const noexcept { return pi_[i]; }
+  int inverse(int i) const noexcept { return inv_[i]; }
+
+  /// Returns bits permuted so that output[j] = input[pi(j)].
+  util::BitVec apply(const util::BitVec& in) const;
+
+  /// Permutes a float array (LLRs) the same way.
+  std::vector<float> apply(const std::vector<float>& in) const;
+  std::vector<float> invert(const std::vector<float>& in) const;
+
+ private:
+  std::vector<int> pi_;
+  std::vector<int> inv_;
+};
+
+}  // namespace spinal::turbo

@@ -1,0 +1,26 @@
+#include "turbo/rsc.h"
+
+namespace spinal::turbo {
+
+void Rsc::encode(const util::BitVec& info, util::BitVec& parity1,
+                 util::BitVec& parity2, bool terminate, util::BitVec* tail_info) {
+  int state = 0;
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    int p1 = 0, p2 = 0;
+    state = step(state, info.get(i) ? 1 : 0, p1, p2);
+    parity1.append_bits(1, static_cast<std::uint32_t>(p1));
+    parity2.append_bits(1, static_cast<std::uint32_t>(p2));
+  }
+  if (terminate) {
+    for (int t = 0; t < kMemory; ++t) {
+      const int u = termination_bit(state);
+      int p1 = 0, p2 = 0;
+      state = step(state, u, p1, p2);
+      parity1.append_bits(1, static_cast<std::uint32_t>(p1));
+      parity2.append_bits(1, static_cast<std::uint32_t>(p2));
+      if (tail_info) tail_info->append_bits(1, static_cast<std::uint32_t>(u));
+    }
+  }
+}
+
+}  // namespace spinal::turbo

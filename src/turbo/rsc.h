@@ -1,0 +1,45 @@
+#pragma once
+// Recursive systematic convolutional (RSC) constituent encoder for the
+// turbo substrate (Strider's rate-1/5 base code, §8: "a rate-1/5 base
+// turbo code"). Memory-3 (8-state) RSC with feedback polynomial 13
+// (octal) and two parity polynomials 15 and 17, so two RSCs plus the
+// systematic stream give rate 1/5.
+
+#include <cstdint>
+
+#include "util/bitvec.h"
+
+namespace spinal::turbo {
+
+/// 8-state RSC: feedback g0 = 1011b, parities g1 = 1101b, g2 = 1111b.
+class Rsc {
+ public:
+  static constexpr int kStates = 8;
+  static constexpr int kMemory = 3;
+
+  /// One trellis step from @p state with information bit @p u.
+  /// Returns the next state; writes the two parity bits.
+  static int step(int state, int u, int& parity1, int& parity2) noexcept {
+    const int r0 = state & 1, r1 = (state >> 1) & 1, r2 = (state >> 2) & 1;
+    const int fb = u ^ r1 ^ r2;           // feedback (g0 = 1·u + D^2 + D^3)
+    parity1 = fb ^ r0 ^ r2;               // g1 = 1 + D + D^3
+    parity2 = fb ^ r0 ^ r1 ^ r2;          // g2 = 1 + D + D^2 + D^3
+    return ((state << 1) | fb) & 7;
+  }
+
+  /// The information bit that drives @p state back towards zero (used
+  /// for trellis termination: with u = r1 ^ r2 the feedback is 0).
+  static int termination_bit(int state) noexcept {
+    const int r1 = (state >> 1) & 1, r2 = (state >> 2) & 1;
+    return r1 ^ r2;
+  }
+
+  /// Encodes @p info, appending parity bits to the two streams.
+  /// If @p terminate, three tail steps drive the encoder to state 0 and
+  /// the tail information bits are appended to @p tail_info.
+  static void encode(const util::BitVec& info, util::BitVec& parity1,
+                     util::BitVec& parity2, bool terminate,
+                     util::BitVec* tail_info);
+};
+
+}  // namespace spinal::turbo

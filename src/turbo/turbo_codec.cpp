@@ -1,0 +1,108 @@
+#include "turbo/turbo_codec.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace spinal::turbo {
+
+namespace {
+constexpr float kExtrinsicScale = 1.0f;  // exact log-MAP needs no damping
+}
+
+TurboCodec::TurboCodec(int info_bits, int iterations, std::uint64_t interleaver_seed)
+    : k_(info_bits), iterations_(iterations), interleaver_(info_bits, interleaver_seed) {
+  if (info_bits < 1) throw std::invalid_argument("TurboCodec: info_bits must be >= 1");
+  if (iterations < 1) throw std::invalid_argument("TurboCodec: iterations must be >= 1");
+}
+
+util::BitVec TurboCodec::encode(const util::BitVec& info) const {
+  if (info.size() != static_cast<std::size_t>(k_))
+    throw std::invalid_argument("TurboCodec::encode: wrong info length");
+
+  util::BitVec p1(0), p2(0), tail_info(0);
+  Rsc::encode(info, p1, p2, /*terminate=*/true, &tail_info);  // K+3 outputs
+
+  const util::BitVec interleaved = interleaver_.apply(info);
+  util::BitVec q1(0), q2(0);
+  Rsc::encode(interleaved, q1, q2, /*terminate=*/false, nullptr);  // K outputs
+
+  util::BitVec out(0);
+  for (int i = 0; i < k_; ++i) out.append_bits(1, info.get(i));
+  for (int i = 0; i < k_; ++i) out.append_bits(1, p1.get(i));
+  for (int i = 0; i < k_; ++i) out.append_bits(1, p2.get(i));
+  for (int i = 0; i < k_; ++i) out.append_bits(1, q1.get(i));
+  for (int i = 0; i < k_; ++i) out.append_bits(1, q2.get(i));
+  for (int i = 0; i < Rsc::kMemory; ++i) out.append_bits(1, tail_info.get(i));
+  for (int i = 0; i < Rsc::kMemory; ++i) out.append_bits(1, p1.get(k_ + i));
+  for (int i = 0; i < Rsc::kMemory; ++i) out.append_bits(1, p2.get(k_ + i));
+  return out;
+}
+
+util::BitVec TurboCodec::decode(std::span<const float> llrs) const {
+  if (llrs.size() != static_cast<std::size_t>(coded_bits()))
+    throw std::invalid_argument("TurboCodec::decode: wrong LLR length");
+
+  const int K = k_;
+  const int M = Rsc::kMemory;
+  const float* sys = llrs.data();
+  const float* p1 = sys + K;
+  const float* p2 = p1 + K;
+  const float* q1 = p2 + K;
+  const float* q2 = q1 + K;
+  const float* tail_sys = q2 + K;
+  const float* tail_p1 = tail_sys + M;
+  const float* tail_p2 = tail_p1 + M;
+
+  // Decoder 1 runs over K + M steps (terminated); tails carry no
+  // extrinsic exchange.
+  std::vector<float> sys1(K + M), par1a(K + M), par1b(K + M);
+  for (int i = 0; i < K; ++i) {
+    sys1[i] = sys[i];
+    par1a[i] = p1[i];
+    par1b[i] = p2[i];
+  }
+  for (int i = 0; i < M; ++i) {
+    sys1[K + i] = tail_sys[i];
+    par1a[K + i] = tail_p1[i];
+    par1b[K + i] = tail_p2[i];
+  }
+
+  // Decoder 2 sees interleaved systematics and its own parities.
+  std::vector<float> sys2(K), par2a(K), par2b(K);
+  for (int j = 0; j < K; ++j) {
+    sys2[j] = sys[interleaver_.map(j)];
+    par2a[j] = q1[j];
+    par2b[j] = q2[j];
+  }
+
+  std::vector<float> apriori1(K + M, 0.0f), apriori2(K, 0.0f);
+  std::vector<float> post1, post2;
+  std::vector<float> extrinsic1(K), extrinsic2(K);
+
+  for (int it = 0; it < iterations_; ++it) {
+    BcjrInput in1{std::span<const float>(sys1), std::span<const float>(par1a),
+                  std::span<const float>(par1b), std::span<const float>(apriori1),
+                  /*terminated=*/true};
+    bcjr_decode(in1, post1);
+    for (int i = 0; i < K; ++i)
+      extrinsic1[i] = kExtrinsicScale * (post1[i] - sys1[i] - apriori1[i]);
+    for (int j = 0; j < K; ++j) apriori2[j] = extrinsic1[interleaver_.map(j)];
+
+    BcjrInput in2{std::span<const float>(sys2), std::span<const float>(par2a),
+                  std::span<const float>(par2b), std::span<const float>(apriori2),
+                  /*terminated=*/false};
+    bcjr_decode(in2, post2);
+    for (int j = 0; j < K; ++j)
+      extrinsic2[j] = kExtrinsicScale * (post2[j] - sys2[j] - apriori2[j]);
+    for (int j = 0; j < K; ++j) apriori1[interleaver_.map(j)] = extrinsic2[j];
+  }
+
+  // Final decision: channel + extrinsic from both constituents
+  // (apriori1 holds decoder 2's deinterleaved extrinsic).
+  util::BitVec decided(K);
+  for (int i = 0; i < K; ++i)
+    decided.set(i, sys[i] + extrinsic1[i] + apriori1[i] < 0);
+  return decided;
+}
+
+}  // namespace spinal::turbo

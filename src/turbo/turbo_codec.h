@@ -1,0 +1,44 @@
+#pragma once
+// Rate-1/5 parallel-concatenated turbo codec: systematic stream plus
+// two parity streams from each of two 8-state RSC constituents (the
+// second fed through a pseudo-random interleaver). This is the base
+// code of our Strider implementation (§8: "a rate-1/5 base turbo code
+// with QPSK modulation").
+
+#include <cstdint>
+#include <span>
+
+#include "turbo/bcjr.h"
+#include "turbo/interleaver.h"
+#include "util/bitvec.h"
+
+namespace spinal::turbo {
+
+class TurboCodec {
+ public:
+  /// @param info_bits   information bits per block (K)
+  /// @param iterations  decoder iterations (each = two BCJR passes)
+  TurboCodec(int info_bits, int iterations = 8,
+             std::uint64_t interleaver_seed = 0xC0DE2012);
+
+  int info_bits() const noexcept { return k_; }
+  int iterations() const noexcept { return iterations_; }
+
+  /// Coded length: 5K (sys + 4 parity) + 9 termination bits for RSC1.
+  int coded_bits() const noexcept { return 5 * k_ + 3 * Rsc::kMemory; }
+
+  /// Encodes one block. Layout: sys[K] | p1[K] | p2[K] | q1[K] | q2[K] |
+  /// tail_sys[3] | tail_p1[3] | tail_p2[3].
+  util::BitVec encode(const util::BitVec& info) const;
+
+  /// Iterative max-log-MAP decode from per-coded-bit LLRs
+  /// (log P(0)/P(1), encode() layout). Returns the hard decision.
+  util::BitVec decode(std::span<const float> llrs) const;
+
+ private:
+  int k_;
+  int iterations_;
+  Interleaver interleaver_;
+};
+
+}  // namespace spinal::turbo

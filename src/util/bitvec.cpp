@@ -1,0 +1,71 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+namespace spinal::util {
+
+std::uint32_t BitVec::get_bits(std::size_t pos, unsigned len) const noexcept {
+  std::uint32_t out = 0;
+  for (unsigned j = 0; j < len; ++j) {
+    const std::size_t i = pos + j;
+    if (i < nbits_ && get(i)) out |= (1u << j);
+  }
+  return out;
+}
+
+void BitVec::set_bits(std::size_t pos, unsigned len, std::uint32_t v) noexcept {
+  for (unsigned j = 0; j < len; ++j) {
+    const std::size_t i = pos + j;
+    if (i < nbits_) set(i, (v >> j) & 1u);
+  }
+}
+
+void BitVec::append_bits(unsigned len, std::uint32_t v) {
+  const std::size_t pos = nbits_;
+  nbits_ += len;
+  words_.resize((nbits_ + 63) / 64, 0);
+  set_bits(pos, len, v);
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const noexcept {
+  const BitVec& small = nbits_ <= other.nbits_ ? *this : other;
+  const BitVec& big = nbits_ <= other.nbits_ ? other : *this;
+
+  std::size_t dist = 0;
+  // Whole words fully inside the shorter vector.
+  const std::size_t full_words = small.nbits_ / 64;
+  for (std::size_t w = 0; w < full_words; ++w)
+    dist += static_cast<std::size_t>(std::popcount(small.words_[w] ^ big.words_[w]));
+  // Partial boundary word: compare only the shorter vector's live bits.
+  const unsigned rem = static_cast<unsigned>(small.nbits_ % 64);
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+    dist += static_cast<std::size_t>(
+        std::popcount((small.words_[full_words] ^ big.words_[full_words]) & mask));
+  }
+  // Every set bit of the longer vector past the shorter one is a mismatch.
+  for (std::size_t i = small.nbits_; i < big.nbits_; ++i)
+    if (big.get(i)) ++dist;
+  return dist;
+}
+
+bool BitVec::operator==(const BitVec& other) const noexcept {
+  if (nbits_ != other.nbits_) return false;
+  return words_ == other.words_;
+}
+
+std::vector<std::uint8_t> BitVec::to_bytes() const {
+  std::vector<std::uint8_t> out((nbits_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < nbits_; ++i)
+    if (get(i)) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  return out;
+}
+
+BitVec BitVec::from_bytes(const std::vector<std::uint8_t>& bytes, std::size_t nbits) {
+  BitVec v(nbits);
+  for (std::size_t i = 0; i < nbits && i / 8 < bytes.size(); ++i)
+    v.set(i, (bytes[i / 8] >> (i % 8)) & 1u);
+  return v;
+}
+
+}  // namespace spinal::util

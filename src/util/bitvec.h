@@ -1,0 +1,76 @@
+#pragma once
+// Packed bit vector used for messages and coded bit streams.
+//
+// Bits are addressed MSB-first within the message: bit 0 is the first
+// message bit m_1 of the paper. Storage is little-endian 64-bit words;
+// the mapping is an implementation detail hidden behind get()/set().
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace spinal::util {
+
+/// A fixed-size vector of bits with word-packed storage.
+///
+/// Supports the access patterns the codec needs: single-bit access,
+/// k-bit group extraction (k <= 32), append-style construction, and
+/// Hamming distance for error accounting.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates a vector of @p nbits bits, all zero.
+  explicit BitVec(std::size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  /// Number of bits held.
+  std::size_t size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+
+  /// Reads bit @p i (0-based). Precondition: i < size().
+  bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Writes bit @p i. Precondition: i < size().
+  void set(std::size_t i, bool v) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  /// Extracts @p len bits starting at bit @p pos, len <= 32.
+  /// The bit at @p pos becomes the least-significant bit of the result,
+  /// so get_bits(pos, k) enumerates the k-bit message chunk m̄ with a
+  /// stable, documented order. Bits past size() read as zero.
+  std::uint32_t get_bits(std::size_t pos, unsigned len) const noexcept;
+
+  /// Stores the low @p len bits of @p v starting at bit @p pos (len <= 32).
+  void set_bits(std::size_t pos, unsigned len, std::uint32_t v) noexcept;
+
+  /// Grows the vector by @p len bits holding the low bits of @p v.
+  void append_bits(unsigned len, std::uint32_t v);
+
+  /// Number of positions at which *this and @p other differ.
+  /// Vectors of different sizes compare on the common prefix and count
+  /// the size difference as errors.
+  std::size_t hamming_distance(const BitVec& other) const noexcept;
+
+  bool operator==(const BitVec& other) const noexcept;
+  bool operator!=(const BitVec& other) const noexcept { return !(*this == other); }
+
+  /// Serializes into whole bytes (final partial byte zero-padded).
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// Builds a BitVec of @p nbits bits from packed bytes (bit i of the
+  /// vector is bit (i%8) of byte i/8, LSB-first).
+  static BitVec from_bytes(const std::vector<std::uint8_t>& bytes, std::size_t nbits);
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace spinal::util

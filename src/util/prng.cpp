@@ -1,0 +1,74 @@
+#include "util/prng.h"
+
+#include <bit>
+#include <cmath>
+
+namespace spinal::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  have_spare_ = false;
+}
+
+std::uint64_t Xoshiro256::next_u64() noexcept {
+  const std::uint64_t result = std::rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+  // Rejection-free Lemire multiply-shift; bias is negligible for the
+  // bounds used in simulation (all << 2^32), and determinism is what
+  // matters here.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(bound);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::next_gaussian() noexcept {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_ = r * std::sin(theta);
+  have_spare_ = true;
+  return r * std::cos(theta);
+}
+
+BitVec Xoshiro256::random_bits(std::size_t nbits) {
+  BitVec v(nbits);
+  std::size_t i = 0;
+  while (i < nbits) {
+    const unsigned len = static_cast<unsigned>(std::min<std::size_t>(32, nbits - i));
+    v.set_bits(i, len, static_cast<std::uint32_t>(next_u64()));
+    i += len;
+  }
+  return v;
+}
+
+}  // namespace spinal::util

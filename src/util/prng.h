@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic pseudo-random number generation for simulation.
+//
+// We implement xoshiro256++ rather than relying on <random> engines for
+// the channel/noise draws so that results are bit-identical across
+// standard libraries (std::normal_distribution is not portable).
+// This PRNG drives *simulation* randomness (noise, fading, payloads);
+// the code's own RNG is the hash-based construction of §3.2.
+
+#include <cstdint>
+
+#include "util/bitvec.h"
+
+namespace spinal::util {
+
+/// xoshiro256++ with splitmix64 seeding. Passes BigCrush; tiny state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next 64 uniform random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) for bound >= 1 (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Standard normal sample (Box-Muller; deterministic everywhere).
+  double next_gaussian() noexcept;
+
+  /// Fills a fresh random message of @p nbits bits.
+  BitVec random_bits(std::size_t nbits);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace spinal::util

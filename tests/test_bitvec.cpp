@@ -1,0 +1,115 @@
+#include "util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace spinal::util {
+namespace {
+
+TEST(BitVec, StartsZeroed) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetAndGetRoundTrip) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_FALSE(v.get(128));
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+}
+
+TEST(BitVec, GetBitsIsLsbFirst) {
+  BitVec v(16);
+  // Value 0b1011 at position 4: bit 4 = 1, bit 5 = 1, bit 6 = 0, bit 7 = 1.
+  v.set_bits(4, 4, 0b1011);
+  EXPECT_TRUE(v.get(4));
+  EXPECT_TRUE(v.get(5));
+  EXPECT_FALSE(v.get(6));
+  EXPECT_TRUE(v.get(7));
+  EXPECT_EQ(v.get_bits(4, 4), 0b1011u);
+}
+
+TEST(BitVec, GetBitsAcrossWordBoundary) {
+  BitVec v(128);
+  v.set_bits(60, 8, 0xA5);
+  EXPECT_EQ(v.get_bits(60, 8), 0xA5u);
+}
+
+TEST(BitVec, GetBitsPastEndReadsZero) {
+  BitVec v(8);
+  v.set_bits(0, 8, 0xFF);
+  EXPECT_EQ(v.get_bits(4, 8), 0x0Fu);  // top 4 bits read as 0
+}
+
+TEST(BitVec, AppendBitsGrows) {
+  BitVec v;
+  v.append_bits(4, 0xF);
+  v.append_bits(8, 0x00);
+  v.append_bits(4, 0xF);
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_EQ(v.get_bits(0, 4), 0xFu);
+  EXPECT_EQ(v.get_bits(4, 8), 0x0u);
+  EXPECT_EQ(v.get_bits(12, 4), 0xFu);
+}
+
+TEST(BitVec, HammingDistance) {
+  BitVec a(70), b(70);
+  EXPECT_EQ(a.hamming_distance(b), 0u);
+  a.set(0, true);
+  a.set(69, true);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  b.set(0, true);
+  EXPECT_EQ(a.hamming_distance(b), 1u);
+}
+
+TEST(BitVec, HammingDistanceDifferentSizes) {
+  BitVec a(8), b(12);
+  b.set(10, true);
+  // Common prefix matches; the extra 4 bits contribute only set bits.
+  EXPECT_EQ(a.hamming_distance(b), 1u);
+}
+
+TEST(BitVec, EqualityRequiresSameSize) {
+  BitVec a(8), b(9);
+  EXPECT_NE(a, b);
+  BitVec c(8);
+  EXPECT_EQ(a, c);
+  c.set(3, true);
+  EXPECT_NE(a, c);
+}
+
+TEST(BitVec, ByteRoundTrip) {
+  Xoshiro256 prng(7);
+  const BitVec v = prng.random_bits(77);
+  const auto bytes = v.to_bytes();
+  EXPECT_EQ(bytes.size(), 10u);
+  const BitVec back = BitVec::from_bytes(bytes, 77);
+  EXPECT_EQ(v, back);
+}
+
+TEST(BitVec, RandomSetGetProperty) {
+  Xoshiro256 prng(42);
+  BitVec v(512);
+  std::vector<bool> ref(512, false);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t i = prng.next_below(512);
+    const bool val = prng.next_u64() & 1;
+    v.set(i, val);
+    ref[i] = val;
+  }
+  for (std::size_t i = 0; i < 512; ++i) EXPECT_EQ(v.get(i), ref[i]) << i;
+}
+
+}  // namespace
+}  // namespace spinal::util

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "channel/awgn.h"
+#include "channel/bsc.h"
+#include "channel/rayleigh.h"
+#include "util/math.h"
+
+namespace spinal::channel {
+namespace {
+
+TEST(Awgn, NoiseVarianceMatchesSnr) {
+  for (double snr_db : {-5.0, 0.0, 10.0, 30.0}) {
+    AwgnChannel ch(snr_db, 1);
+    EXPECT_NEAR(ch.noise_variance(), 1.0 / util::db_to_lin(snr_db), 1e-12);
+  }
+}
+
+TEST(Awgn, EmpiricalNoisePowerMatchesNominal) {
+  AwgnChannel ch(10.0, 42);
+  const int n = 100000;
+  double p = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto y = ch.transmit({0.0f, 0.0f});
+    p += std::norm(y);
+  }
+  p /= n;
+  EXPECT_NEAR(p, ch.noise_variance(), 0.02 * ch.noise_variance());
+}
+
+TEST(Awgn, NoiseIsZeroMeanBothDims) {
+  AwgnChannel ch(0.0, 43);
+  double si = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto y = ch.transmit({0.0f, 0.0f});
+    si += y.real();
+    sq += y.imag();
+  }
+  EXPECT_NEAR(si / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 0.0, 0.02);
+}
+
+TEST(Awgn, DeterministicPerSeed) {
+  AwgnChannel a(5.0, 7), b(5.0, 7);
+  for (int i = 0; i < 10; ++i) {
+    const auto ya = a.transmit({1.0f, -1.0f});
+    const auto yb = b.transmit({1.0f, -1.0f});
+    EXPECT_EQ(ya, yb);
+  }
+}
+
+TEST(Awgn, SignalPassesThrough) {
+  AwgnChannel ch(40.0, 8);  // nearly noiseless
+  const auto y = ch.transmit({3.0f, -2.0f});
+  EXPECT_NEAR(y.real(), 3.0, 0.1);
+  EXPECT_NEAR(y.imag(), -2.0, 0.1);
+}
+
+TEST(Bsc, RejectsBadCrossover) {
+  EXPECT_THROW(BscChannel(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(BscChannel(0.6, 1), std::invalid_argument);
+}
+
+TEST(Bsc, FlipRateMatchesP) {
+  for (double p : {0.0, 0.05, 0.3}) {
+    BscChannel ch(p, 11);
+    const int n = 50000;
+    int flips = 0;
+    for (int i = 0; i < n; ++i) flips += (ch.transmit(0) != 0);
+    EXPECT_NEAR(static_cast<double>(flips) / n, p, 0.01) << p;
+  }
+}
+
+TEST(Bsc, OutputStaysBinary) {
+  BscChannel ch(0.5, 12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(ch.transmit(0), 1);
+    EXPECT_LE(ch.transmit(1), 1);
+  }
+}
+
+TEST(Rayleigh, RejectsBadCoherence) {
+  EXPECT_THROW(RayleighChannel(10.0, 0, 1), std::invalid_argument);
+}
+
+TEST(Rayleigh, FadingCoefficientsUnitAveragePower) {
+  RayleighChannel ch(100.0, 1, 13);  // effectively noiseless
+  std::vector<std::complex<float>> x(50000, {1.0f, 0.0f});
+  std::vector<std::complex<float>> csi;
+  ch.apply(x, csi);
+  double p = 0;
+  for (const auto& h : csi) p += std::norm(h);
+  p /= csi.size();
+  EXPECT_NEAR(p, 1.0, 0.03);
+}
+
+TEST(Rayleigh, CoherenceBlocksShareCoefficient) {
+  const int tau = 10;
+  RayleighChannel ch(100.0, tau, 14);
+  std::vector<std::complex<float>> x(100, {1.0f, 0.0f});
+  std::vector<std::complex<float>> csi;
+  ch.apply(x, csi);
+  for (int block = 0; block < 10; ++block)
+    for (int i = 1; i < tau; ++i)
+      EXPECT_EQ(csi[block * tau + i], csi[block * tau]) << block << "," << i;
+  // Adjacent blocks should (almost surely) differ.
+  EXPECT_NE(csi[0], csi[tau]);
+}
+
+TEST(Rayleigh, FadingContinuesAcrossCalls) {
+  const int tau = 7;
+  RayleighChannel ch(100.0, tau, 15);
+  std::vector<std::complex<float>> x1(4, {1.0f, 0.0f});
+  std::vector<std::complex<float>> csi;
+  ch.apply(x1, csi);
+  std::vector<std::complex<float>> x2(3, {1.0f, 0.0f});
+  ch.apply(x2, csi);  // symbols 4..6 complete the first coherence block
+  for (int i = 1; i < tau; ++i) EXPECT_EQ(csi[i], csi[0]);
+}
+
+TEST(Rayleigh, OutputIsFadedSignalAtHighSnr) {
+  RayleighChannel ch(60.0, 1, 16);
+  std::vector<std::complex<float>> x(1000, {1.0f, 0.0f});
+  std::vector<std::complex<float>> csi;
+  auto y = x;
+  ch.apply(y, csi);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(y[i].real(), csi[i].real(), 0.05);
+    EXPECT_NEAR(y[i].imag(), csi[i].imag(), 0.05);
+  }
+}
+
+TEST(Rayleigh, PhaseIsUniformish) {
+  RayleighChannel ch(10.0, 1, 17);
+  std::vector<std::complex<float>> x(20000, {1.0f, 0.0f});
+  std::vector<std::complex<float>> csi;
+  ch.apply(x, csi);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const auto& h : csi) {
+    const int q = (h.real() >= 0 ? 0 : 1) + (h.imag() >= 0 ? 0 : 2);
+    ++quadrant[q];
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_NEAR(quadrant[q], 5000, 400) << q;
+}
+
+}  // namespace
+}  // namespace spinal::channel

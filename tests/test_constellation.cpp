@@ -1,0 +1,110 @@
+#include "modem/constellation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spinal::modem {
+namespace {
+
+TEST(Constellation, RejectsBadParameters) {
+  EXPECT_THROW(SpinalConstellation(MapKind::kUniform, 0), std::invalid_argument);
+  EXPECT_THROW(SpinalConstellation(MapKind::kUniform, 17), std::invalid_argument);
+  EXPECT_THROW(SpinalConstellation(MapKind::kUniform, 6, -1.0), std::invalid_argument);
+  EXPECT_THROW(SpinalConstellation(MapKind::kTruncatedGaussian, 6, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Constellation, UniformMatchesPaperFormula) {
+  // b -> (u - 1/2) sqrt(6P), u = (b + 1/2)/2^c   (§3.3)
+  const int c = 6;
+  const double P = 1.0;
+  const SpinalConstellation map(MapKind::kUniform, c, P);
+  for (std::uint32_t b = 0; b < (1u << c); ++b) {
+    const double u = (b + 0.5) / 64.0;
+    EXPECT_NEAR(map.level(b), (u - 0.5) * std::sqrt(6.0 * P), 1e-6) << b;
+  }
+}
+
+TEST(Constellation, UniformIsMonotoneAndSymmetric) {
+  const SpinalConstellation map(MapKind::kUniform, 6);
+  for (std::uint32_t b = 1; b < 64; ++b) EXPECT_LT(map.level(b - 1), map.level(b));
+  for (std::uint32_t b = 0; b < 32; ++b)
+    EXPECT_NEAR(map.level(b), -map.level(63 - b), 1e-6);
+}
+
+class BothMaps : public ::testing::TestWithParam<MapKind> {};
+INSTANTIATE_TEST_SUITE_P(Maps, BothMaps,
+                         ::testing::Values(MapKind::kUniform,
+                                           MapKind::kTruncatedGaussian),
+                         [](const auto& info) {
+                           return info.param == MapKind::kUniform ? "uniform"
+                                                                  : "gaussian";
+                         });
+
+TEST_P(BothMaps, AveragePowerIsHalfPPerDimension) {
+  // Fig 3-2 caption: both maps run at the same average power.
+  for (double P : {0.5, 1.0, 4.0}) {
+    const SpinalConstellation map(GetParam(), 6, P);
+    double e2 = 0;
+    for (std::uint32_t b = 0; b < 64; ++b)
+      e2 += static_cast<double>(map.level(b)) * map.level(b);
+    e2 /= 64.0;
+    EXPECT_NEAR(e2, P / 2.0, 0.01 * P) << "P=" << P;
+  }
+}
+
+TEST_P(BothMaps, SymbolUsesTwoIndependentDraws) {
+  const SpinalConstellation map(GetParam(), 6);
+  const std::uint32_t word = 0x0000'0A15u;  // I bits = 0x15, Q bits = 0x0A... packed
+  const auto s = map.symbol(word);
+  EXPECT_FLOAT_EQ(s.real(), map.level(word & 63));
+  EXPECT_FLOAT_EQ(s.imag(), map.level((word >> 6) & 63));
+}
+
+TEST(Constellation, GaussianIsTruncatedAtBeta) {
+  const double beta = 2.0;
+  const double P = 1.0;
+  const SpinalConstellation map(MapKind::kTruncatedGaussian, 8, P, beta);
+  // After equal-power rescaling the support is slightly wider than
+  // beta*sqrt(P/2) (variance deficit compensation), but bounded by ~20%.
+  const double nominal = beta * std::sqrt(P / 2.0);
+  EXPECT_LE(map.max_amplitude(), nominal * 1.25);
+  EXPECT_GE(map.max_amplitude(), nominal * 0.9);
+}
+
+TEST(Constellation, GaussianDenserNearZero) {
+  const SpinalConstellation map(MapKind::kTruncatedGaussian, 6);
+  // Spacing between adjacent levels should grow towards the tails.
+  const double centre_gap = map.level(33) - map.level(32);
+  const double tail_gap = map.level(63) - map.level(62);
+  EXPECT_GT(tail_gap, 2.0 * centre_gap);
+}
+
+TEST(Constellation, GaussianPeakBelowUniformPeakTimesBeta) {
+  // With beta=2, Gaussian PAPR per dimension is about beta^2 / 3 of... just
+  // check both maps have finite, comparable peaks.
+  const SpinalConstellation u(MapKind::kUniform, 6);
+  const SpinalConstellation g(MapKind::kTruncatedGaussian, 6);
+  EXPECT_GT(u.max_amplitude(), 0.0f);
+  EXPECT_GT(g.max_amplitude(), 0.0f);
+  EXPECT_LT(g.max_amplitude() / u.max_amplitude(), 1.6);
+}
+
+TEST(Constellation, BscStyleC1HasTwoLevels) {
+  const SpinalConstellation map(MapKind::kUniform, 1);
+  EXPECT_EQ(map.table().size(), 2u);
+  EXPECT_NEAR(map.level(0), -map.level(1), 1e-6);
+}
+
+TEST(Constellation, HighCRefinesGrid) {
+  const SpinalConstellation c6(MapKind::kUniform, 6);
+  const SpinalConstellation c8(MapKind::kUniform, 8);
+  EXPECT_EQ(c6.table().size(), 64u);
+  EXPECT_EQ(c8.table().size(), 256u);
+  // Same span, finer steps.
+  EXPECT_NEAR(c6.max_amplitude(), c8.max_amplitude(), 0.05);
+}
+
+}  // namespace
+}  // namespace spinal::modem

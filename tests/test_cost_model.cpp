@@ -1,0 +1,102 @@
+#include "spinal/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace spinal {
+namespace {
+
+CodeParams paper_config() {
+  CodeParams p;  // n=256, k=4, B=256, d=1
+  return p;
+}
+
+TEST(CostModel, PaperConfigNumbers) {
+  // n=256, k=4, B=256, d=1: 64 steps, 256*16 = 4096 nodes per step.
+  const DecodeCost c = decode_attempt_cost(paper_config(), 1);
+  EXPECT_EQ(c.steps, 64);
+  EXPECT_EQ(c.nodes_explored, 64L * 4096);
+  EXPECT_EQ(c.hash_evals, c.nodes_explored);
+  EXPECT_EQ(c.rng_evals, c.nodes_explored);  // one pass
+  EXPECT_EQ(c.comparisons, 64L * 4096);
+}
+
+TEST(CostModel, RngScalesWithPasses) {
+  const DecodeCost c1 = decode_attempt_cost(paper_config(), 1);
+  const DecodeCost c5 = decode_attempt_cost(paper_config(), 5);
+  EXPECT_EQ(c5.rng_evals, 5 * c1.rng_evals);
+  EXPECT_EQ(c5.hash_evals, c1.hash_evals);  // tree shape unchanged
+}
+
+TEST(CostModel, BranchEvalsPerBitIsFig86Axis) {
+  // Fig 8-6's x-axis: B 2^k / k. For k=4, B=256: 1024.
+  const DecodeCost c = decode_attempt_cost(paper_config(), 1);
+  EXPECT_DOUBLE_EQ(c.branch_evals_per_bit(), 4096.0 / 4.0);
+}
+
+TEST(CostModel, EqualHashBudgetAcrossFig87Configs) {
+  // Fig 8-7's premise: (512,1), (64,2), (8,3), (1,4) with k=3 explore
+  // the same node count per step.
+  long prev = -1;
+  for (auto [B, d] : {std::pair{512, 1}, std::pair{64, 2}, std::pair{8, 3},
+                      std::pair{1, 4}}) {
+    CodeParams p;
+    p.n = 255;
+    p.k = 3;
+    p.B = B;
+    p.d = d;
+    const DecodeCost c = decode_attempt_cost(p, 1);
+    const long per_step = c.nodes_explored / c.steps;
+    if (prev >= 0) EXPECT_EQ(per_step, prev);
+    prev = per_step;
+  }
+}
+
+TEST(CostModel, PruningCostDropsWithDepth) {
+  // The point of d > 1 (§8.4): selection (comparisons) shrink by ~2^k
+  // per extra level at equal node budget.
+  CodeParams shallow, deep;
+  shallow.n = deep.n = 255;
+  shallow.k = deep.k = 3;
+  shallow.B = 512;
+  shallow.d = 1;
+  deep.B = 64;
+  deep.d = 2;
+  const DecodeCost cs = decode_attempt_cost(shallow, 1);
+  const DecodeCost cd = decode_attempt_cost(deep, 1);
+  EXPECT_GT(cs.comparisons, 7 * cd.comparisons);  // ~8x savings
+}
+
+TEST(CostModel, StorageGrowsWithBeamAndDepth) {
+  CodeParams small = paper_config(), big = paper_config();
+  big.B *= 4;
+  EXPECT_GT(decode_attempt_cost(big, 1).beam_storage_bits,
+            decode_attempt_cost(small, 1).beam_storage_bits);
+
+  CodeParams deep = paper_config();
+  deep.B = 16;
+  deep.d = 2;
+  CodeParams flat = paper_config();
+  flat.B = 16;
+  flat.d = 1;
+  EXPECT_GT(decode_attempt_cost(deep, 1).beam_storage_bits,
+            decode_attempt_cost(flat, 1).beam_storage_bits);
+}
+
+TEST(CostModel, LinearInN) {
+  // §4.5: constant B and d make the decoder linear in n.
+  CodeParams a = paper_config(), b = paper_config();
+  a.n = 256;
+  b.n = 1024;
+  const DecodeCost ca = decode_attempt_cost(a, 1);
+  const DecodeCost cb = decode_attempt_cost(b, 1);
+  EXPECT_NEAR(static_cast<double>(cb.hash_evals) / ca.hash_evals, 4.0, 0.1);
+}
+
+TEST(CostModel, RejectsInvalidParams) {
+  CodeParams p = paper_config();
+  p.k = 0;
+  EXPECT_THROW(decode_attempt_cost(p, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spinal

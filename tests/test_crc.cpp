@@ -1,0 +1,76 @@
+#include "util/crc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace spinal::util {
+namespace {
+
+TEST(Crc16, KnownVector123456789) {
+  // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_bytes(data, sizeof(data)), 0x29B1);
+}
+
+TEST(Crc16, EmptyInputIsInitValue) {
+  const BitVec empty(0);
+  EXPECT_EQ(crc16(empty), 0xFFFF);
+}
+
+TEST(Crc16, AppendThenCheckPasses) {
+  Xoshiro256 prng(3);
+  for (int len : {1, 8, 17, 100, 1008}) {
+    const BitVec payload = prng.random_bits(len);
+    const BitVec block = crc16_append(payload);
+    EXPECT_EQ(block.size(), payload.size() + 16);
+    EXPECT_TRUE(crc16_check(block)) << "len=" << len;
+  }
+}
+
+TEST(Crc16, SingleBitFlipAlwaysDetected) {
+  Xoshiro256 prng(4);
+  const BitVec payload = prng.random_bits(120);
+  const BitVec block = crc16_append(payload);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    BitVec corrupted = block;
+    corrupted.set(i, !corrupted.get(i));
+    EXPECT_FALSE(crc16_check(corrupted)) << "flip at " << i;
+  }
+}
+
+TEST(Crc16, BurstErrorsUpTo16BitsDetected) {
+  // CRC-16 detects all burst errors of length <= 16.
+  Xoshiro256 prng(5);
+  const BitVec payload = prng.random_bits(200);
+  const BitVec block = crc16_append(payload);
+  for (int burst = 2; burst <= 16; ++burst) {
+    for (int start : {0, 50, 100, static_cast<int>(block.size()) - burst}) {
+      BitVec corrupted = block;
+      for (int j = 0; j < burst; ++j)
+        corrupted.set(start + j, !corrupted.get(start + j));
+      EXPECT_FALSE(crc16_check(corrupted)) << "burst " << burst << " at " << start;
+    }
+  }
+}
+
+TEST(Crc16, TooShortBlockFailsCheck) {
+  EXPECT_FALSE(crc16_check(BitVec(0)));
+  EXPECT_FALSE(crc16_check(BitVec(16)));
+}
+
+TEST(Crc16, DistinctPayloadsDistinctCrcsMostly) {
+  // Sanity: CRC spreads values (not a strict guarantee, but 64 random
+  // 64-bit payloads colliding would indicate a broken implementation).
+  Xoshiro256 prng(6);
+  std::vector<std::uint16_t> crcs;
+  for (int i = 0; i < 64; ++i) crcs.push_back(crc16(prng.random_bits(64)));
+  int collisions = 0;
+  for (std::size_t a = 0; a < crcs.size(); ++a)
+    for (std::size_t b = a + 1; b < crcs.size(); ++b)
+      if (crcs[a] == crcs[b]) ++collisions;
+  EXPECT_LE(collisions, 2);
+}
+
+}  // namespace
+}  // namespace spinal::util

@@ -1,0 +1,157 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/spinal_session.h"
+#include "util/math.h"
+#include "util/prng.h"
+
+namespace spinal::sim {
+namespace {
+
+CodeParams fast_params() {
+  CodeParams p;
+  p.n = 64;
+  p.k = 4;
+  p.B = 64;
+  p.max_passes = 24;
+  return p;
+}
+
+TEST(Engine, DecodesAtHighSnrWithFewSymbols) {
+  const CodeParams p = fast_params();
+  SpinalSession session(p);
+  ChannelSim channel(ChannelKind::kAwgn, 25.0, 1, 42);
+  util::Xoshiro256 prng(1);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const RunResult r = run_message(session, channel, msg);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.symbols, 0);
+  // 25 dB -> capacity ~8.3 b/s; even a loose decoder should use far
+  // fewer symbols than 2 full passes (36 symbols).
+  EXPECT_LE(r.symbols, 2 * p.symbols_per_pass());
+}
+
+TEST(Engine, UsesMoreSymbolsAtLowerSnr) {
+  const CodeParams p = fast_params();
+  util::Xoshiro256 prng(2);
+  const util::BitVec msg = prng.random_bits(p.n);
+
+  SpinalSession s_high(p), s_low(p);
+  ChannelSim ch_high(ChannelKind::kAwgn, 25.0, 1, 7);
+  ChannelSim ch_low(ChannelKind::kAwgn, 3.0, 1, 7);
+  const RunResult high = run_message(s_high, ch_high, msg);
+  const RunResult low = run_message(s_low, ch_low, msg);
+  ASSERT_TRUE(high.success);
+  ASSERT_TRUE(low.success);
+  EXPECT_GT(low.symbols, high.symbols);
+}
+
+TEST(Engine, GivesUpAtHopelessSnr) {
+  CodeParams p = fast_params();
+  p.max_passes = 4;  // cap channel use
+  SpinalSession session(p);
+  ChannelSim channel(ChannelKind::kAwgn, -15.0, 1, 8);
+  util::Xoshiro256 prng(3);
+  const RunResult r = run_message(session, channel, prng.random_bits(p.n));
+  EXPECT_FALSE(r.success);
+  EXPECT_LE(r.chunks, session.max_chunks());
+}
+
+TEST(Engine, AttemptEveryReducesAttempts) {
+  const CodeParams p = fast_params();
+  util::Xoshiro256 prng(4);
+  const util::BitVec msg = prng.random_bits(p.n);
+
+  SpinalSession s1(p), s4(p);
+  ChannelSim ch1(ChannelKind::kAwgn, 10.0, 1, 9);
+  ChannelSim ch4(ChannelKind::kAwgn, 10.0, 1, 9);
+  EngineOptions o1, o4;
+  o1.attempt_every = 1;
+  o4.attempt_every = 4;
+  const RunResult r1 = run_message(s1, ch1, msg, o1);
+  const RunResult r4 = run_message(s4, ch4, msg, o4);
+  EXPECT_TRUE(r1.success);
+  EXPECT_TRUE(r4.success);
+  EXPECT_LE(r4.attempts, r1.attempts);
+  EXPECT_GE(r4.symbols, r1.symbols);  // coarser attempts can't use fewer symbols
+}
+
+TEST(Engine, SymbolGranularChunksDecodeToo) {
+  const CodeParams p = fast_params();
+  SpinalSession session(p, /*symbols_per_chunk=*/1);
+  ChannelSim channel(ChannelKind::kAwgn, 20.0, 1, 10);
+  util::Xoshiro256 prng(5);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const RunResult r = run_message(session, channel, msg);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Engine, RayleighWithCsiDecodes) {
+  const CodeParams p = fast_params();
+  SpinalSession session(p);
+  ChannelSim channel(ChannelKind::kRayleighCsi, 20.0, 10, 11);
+  util::Xoshiro256 prng(6);
+  const RunResult r = run_message(session, channel, prng.random_bits(p.n));
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Engine, RayleighWithoutCsiStillDecodes) {
+  // Fig 8-5: the AWGN decoder is resilient to missing fading info (at a
+  // rate penalty).
+  const CodeParams p = fast_params();
+  SpinalSession session(p);
+  ChannelSim channel(ChannelKind::kRayleighNoCsi, 22.0, 100, 12);
+  util::Xoshiro256 prng(7);
+  const RunResult r = run_message(session, channel, prng.random_bits(p.n));
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Experiment, MeasuredRateBelowCapacityAboveHalf) {
+  const CodeParams p = fast_params();
+  SweepOptions opt;
+  opt.trials = 6;
+  const auto m = measure_rate([&] { return std::make_unique<SpinalSession>(p); },
+                              15.0, opt);
+  const double cap = util::awgn_capacity(util::db_to_lin(15.0));
+  EXPECT_EQ(m.success_rate, 1.0);
+  EXPECT_LT(m.rate, cap);
+  EXPECT_GT(m.rate, 0.5 * cap);
+  EXPECT_LT(m.gap_db, 0.0);
+}
+
+TEST(Experiment, RateIncreasesWithSnr) {
+  const CodeParams p = fast_params();
+  SweepOptions opt;
+  opt.trials = 4;
+  double prev = 0.0;
+  for (double snr : {0.0, 10.0, 20.0}) {
+    const auto m = measure_rate([&] { return std::make_unique<SpinalSession>(p); },
+                                snr, opt);
+    EXPECT_GT(m.rate, prev) << snr;
+    prev = m.rate;
+  }
+}
+
+TEST(Experiment, FixedRateThroughputBoundedByRate) {
+  CodeParams p = fast_params();
+  p.tail_symbols = 2;
+  const int symbols = 2 * p.symbols_per_pass();
+  const double tput = fixed_rate_throughput(p, symbols, 12.0, 8, 3);
+  EXPECT_GE(tput, 0.0);
+  EXPECT_LE(tput, static_cast<double>(p.n) / symbols + 1e-9);
+  // At 12 dB (capacity ~4.07) a rate-1.78 code should succeed always.
+  EXPECT_NEAR(tput, static_cast<double>(p.n) / symbols, 0.2);
+}
+
+TEST(Experiment, ScaledTrialsDefaultsToBase) {
+  // Environment-independent check: without env overrides the base is
+  // returned (the test runner does not set SPINAL_BENCH_*).
+  if (!std::getenv("SPINAL_BENCH_TRIALS") && !std::getenv("SPINAL_BENCH_FULL")) {
+    EXPECT_EQ(scaled_trials(5), 5);
+  }
+}
+
+}  // namespace
+}  // namespace spinal::sim

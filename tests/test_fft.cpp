@@ -1,0 +1,89 @@
+#include "modem/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/prng.h"
+
+namespace spinal::modem {
+namespace {
+
+using CVec = std::vector<std::complex<double>>;
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  CVec x(3);
+  EXPECT_THROW(fft(x), std::invalid_argument);
+  CVec empty;
+  EXPECT_THROW(fft(empty), std::invalid_argument);
+}
+
+TEST(Fft, DcInputGivesImpulse) {
+  CVec x(8, {1.0, 0.0});
+  fft(x);
+  EXPECT_NEAR(x[0].real(), 8.0, 1e-12);
+  for (int k = 1; k < 8; ++k) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-12) << k;
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const int n = 64, tone = 5;
+  CVec x(n);
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * tone * i / n;
+    x[i] = {std::cos(a), std::sin(a)};
+  }
+  fft(x);
+  EXPECT_NEAR(std::abs(x[tone]), n, 1e-9);
+  for (int k = 0; k < n; ++k) {
+    if (k != tone) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9) << k;
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  util::Xoshiro256 prng(21);
+  for (int n : {2, 16, 64, 256}) {
+    CVec x(n);
+    for (auto& v : x) v = {prng.next_gaussian(), prng.next_gaussian()};
+    CVec orig = x;
+    fft(x);
+    ifft(x);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-9);
+      EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  util::Xoshiro256 prng(22);
+  const int n = 128;
+  CVec x(n);
+  for (auto& v : x) v = {prng.next_gaussian(), prng.next_gaussian()};
+  double time_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  fft(x);
+  double freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-6 * time_energy);
+}
+
+TEST(Fft, Linearity) {
+  util::Xoshiro256 prng(23);
+  const int n = 32;
+  CVec a(n), b(n), sum(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = {prng.next_gaussian(), prng.next_gaussian()};
+    b[i] = {prng.next_gaussian(), prng.next_gaussian()};
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(sum[i].real(), (a[i] + 2.0 * b[i]).real(), 1e-9);
+    EXPECT_NEAR(sum[i].imag(), (a[i] + 2.0 * b[i]).imag(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace spinal::modem

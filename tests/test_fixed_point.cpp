@@ -1,0 +1,112 @@
+// Fixed-point datapath model (Appendix B: the FPGA uses fixed-point
+// arithmetic; Fig B-2 notes "differences include effects of fixed-point
+// precision"). Quantising the metric inputs must not break decoding at
+// reasonable precisions and must degrade gracefully at brutal ones.
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "spinal/decoder.h"
+#include "spinal/encoder.h"
+#include "util/prng.h"
+
+namespace spinal {
+namespace {
+
+void feed(const CodeParams& p, const SpinalEncoder& enc, SpinalDecoder& dec,
+          double snr_db, int passes, std::uint64_t seed) {
+  channel::AwgnChannel ch(snr_db, seed);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < passes * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+}
+
+TEST(FixedPoint, RejectsOutOfRangePrecision) {
+  CodeParams p;
+  p.fixed_point_frac_bits = 13;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.fixed_point_frac_bits = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(FixedPoint, SixFracBitsDecodesLikeFloat) {
+  // Q*.6 (the hardware ballpark) should match floating point at the
+  // paper's operating SNRs.
+  CodeParams p;
+  p.n = 192;
+  p.c = 7;
+  p.B = 64;
+  util::Xoshiro256 prng(1);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+
+  for (double snr : {5.0, 12.0}) {
+    CodeParams pf = p;
+    pf.fixed_point_frac_bits = 6;
+    SpinalDecoder dec_float(p), dec_fixed(pf);
+    feed(p, enc, dec_float, snr, 3, 0xF1);
+    feed(pf, enc, dec_fixed, snr, 3, 0xF1);
+    EXPECT_EQ(dec_float.decode().message, msg) << snr;
+    EXPECT_EQ(dec_fixed.decode().message, msg) << snr;
+  }
+}
+
+TEST(FixedPoint, OneFracBitStillDecodesAtLowRate) {
+  // Even absurdly coarse quantisation works if enough symbols arrive —
+  // the hash chain, not metric precision, carries the information.
+  CodeParams p;
+  p.n = 64;
+  p.B = 64;
+  p.fixed_point_frac_bits = 1;
+  util::Xoshiro256 prng(2);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+  SpinalDecoder dec(p);
+  feed(p, enc, dec, 15.0, 6, 0xF2);
+  EXPECT_EQ(dec.decode().message, msg);
+}
+
+TEST(FixedPoint, QuantisationChangesCosts) {
+  // The quantised metric must differ numerically from the float one
+  // (otherwise the knob is a no-op).
+  CodeParams p;
+  p.n = 64;
+  util::Xoshiro256 prng(3);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+
+  CodeParams pf = p;
+  pf.fixed_point_frac_bits = 3;
+  SpinalDecoder dec_float(p), dec_fixed(pf);
+  feed(p, enc, dec_float, 6.0, 2, 0xF3);
+  feed(pf, enc, dec_fixed, 6.0, 2, 0xF3);
+  const double cost_float = dec_float.decode().path_cost;
+  const double cost_fixed = dec_fixed.decode().path_cost;
+  EXPECT_NE(cost_float, cost_fixed);
+  // But the costs are in the same ballpark (same channel realisation).
+  EXPECT_NEAR(cost_fixed, cost_float, 0.5 * cost_float + 1.0);
+}
+
+TEST(FixedPoint, WorksWithFadingCsi) {
+  CodeParams p;
+  p.n = 64;
+  p.B = 128;
+  p.fixed_point_frac_bits = 6;
+  util::Xoshiro256 prng(4);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+  SpinalDecoder dec(p);
+
+  channel::AwgnChannel noise(20.0, 5);
+  const PuncturingSchedule sched(p);
+  // Synthetic fading: fixed rotation+attenuation, known to the decoder.
+  const std::complex<float> h{0.6f, 0.5f};
+  for (int sp = 0; sp < 3 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, noise.transmit(h * enc.symbol(id)), h);
+  EXPECT_EQ(dec.decode().message, msg);
+}
+
+}  // namespace
+}  // namespace spinal

@@ -1,0 +1,113 @@
+#include "spinal/framing.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace spinal {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 prng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.next_u64());
+  return out;
+}
+
+TEST(Framing, RejectsTinyBlocks) {
+  EXPECT_THROW(split_into_blocks({0x01}, 16), std::invalid_argument);
+  EXPECT_THROW(split_into_blocks({0x01}, 8), std::invalid_argument);
+}
+
+TEST(Framing, SingleBlockRoundTrip) {
+  const auto datagram = random_bytes(100, 1);  // 800 bits < 1024-16
+  const auto blocks = split_into_blocks(datagram, 1024);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].size(), 816u);  // payload + CRC
+  EXPECT_TRUE(block_valid(blocks[0]));
+  const auto back = reassemble_datagram(blocks);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, datagram);
+}
+
+TEST(Framing, MultiBlockSplitRespectsMaxSize) {
+  const auto datagram = random_bytes(1500, 2);  // 12000 bits
+  const auto blocks = split_into_blocks(datagram, 1024);
+  // 12000 bits / 1008 payload bits -> 12 blocks.
+  EXPECT_EQ(blocks.size(), 12u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_LE(blocks[i].size(), 1024u) << i;
+    EXPECT_TRUE(block_valid(blocks[i])) << i;
+  }
+  const auto back = reassemble_datagram(blocks);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, datagram);
+}
+
+TEST(Framing, CorruptedBlockFailsReassembly) {
+  const auto datagram = random_bytes(300, 3);
+  auto blocks = split_into_blocks(datagram, 1024);
+  blocks[1].set(5, !blocks[1].get(5));
+  EXPECT_FALSE(block_valid(blocks[1]));
+  EXPECT_FALSE(reassemble_datagram(blocks).has_value());
+}
+
+TEST(Framing, EmptyDatagramGivesOneEmptyishBlock) {
+  const std::vector<std::uint8_t> empty;
+  const auto blocks = split_into_blocks(empty, 1024);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].size(), 16u);  // CRC only
+  const auto back = reassemble_datagram(blocks);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Framing, AckBitmapAccounting) {
+  AckBitmap ack;
+  ack.decoded = {true, false, true, false};
+  EXPECT_FALSE(ack.all_decoded());
+  EXPECT_EQ(ack.remaining(), 2);
+  ack.decoded = {true, true};
+  EXPECT_TRUE(ack.all_decoded());
+  EXPECT_EQ(ack.remaining(), 0);
+}
+
+TEST(Framing, SeqnoRoundTrip) {
+  for (int s = 0; s < 256; ++s) {
+    const auto coded = encode_seqno(static_cast<std::uint8_t>(s));
+    const auto back = decode_seqno(coded);
+    ASSERT_TRUE(back.has_value()) << s;
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(Framing, SeqnoSurvivesMinorityCorruption) {
+  auto coded = encode_seqno(0xA7);
+  // Flip two of the five repetitions of three different bits.
+  coded[0] ^= 1;
+  coded[1] ^= 1;
+  coded[12] ^= 1;
+  coded[39] ^= 1;
+  const auto back = decode_seqno(coded);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, 0xA7);
+}
+
+TEST(Framing, SeqnoWrongSizeRejected) {
+  EXPECT_FALSE(decode_seqno(std::vector<std::uint8_t>(39)).has_value());
+  EXPECT_FALSE(decode_seqno({}).has_value());
+}
+
+TEST(Framing, PayloadBitsPreservedExactly) {
+  // Walk each byte boundary case.
+  for (std::size_t len : {1u, 125u, 126u, 127u, 128u, 129u}) {
+    const auto datagram = random_bytes(len, 100 + len);
+    const auto blocks = split_into_blocks(datagram, 1024);
+    const auto back = reassemble_datagram(blocks);
+    ASSERT_TRUE(back.has_value()) << len;
+    EXPECT_EQ(*back, datagram) << len;
+  }
+}
+
+}  // namespace
+}  // namespace spinal

@@ -1,0 +1,217 @@
+// Cross-module integration scenarios: full encoder -> channel ->
+// decoder -> framing paths, baseline codes under the shared engine, and
+// the end-to-end behaviours the evaluation (§8) leans on.
+
+#include <gtest/gtest.h>
+
+#include "ldpc/wifi_envelope.h"
+#include "raptor/raptor_session.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "sim/spinal_session.h"
+#include "spinal/framing.h"
+#include "strider/strider_session.h"
+#include "util/math.h"
+#include "util/prng.h"
+
+namespace spinal {
+namespace {
+
+TEST(Integration, SpinalBeatsLdpcEnvelopeAtLowSnrBand) {
+  // The hedging effect (§8.2): at a mid-band SNR the rateless spinal
+  // code should at least match the best fixed LDPC configuration.
+  const double snr = 7.0;
+
+  CodeParams p;
+  p.n = 256;
+  p.max_passes = 32;
+  sim::SweepOptions opt;
+  opt.trials = 4;
+  const double spinal_rate =
+      sim::measure_rate([&] { return std::make_unique<sim::SpinalSession>(p); },
+                        snr, opt)
+          .rate;
+
+  const ldpc::WifiLdpcFamily family(40);
+  const double ldpc_rate = family.envelope_rate(snr, 6, 321);
+
+  EXPECT_GE(spinal_rate * 1.05, ldpc_rate);  // allow 5% trial noise
+}
+
+TEST(Integration, SpinalBeatsRaptorAtMidSnr) {
+  const double snr = 12.0;
+  CodeParams p;
+  p.n = 256;
+  sim::SweepOptions opt;
+  opt.trials = 3;
+  const double spinal_rate =
+      sim::measure_rate([&] { return std::make_unique<sim::SpinalSession>(p); },
+                        snr, opt)
+          .rate;
+
+  raptor::RaptorSessionConfig rcfg;
+  rcfg.info_bits = 1000;
+  rcfg.chunk_symbols = 32;
+  const double raptor_rate =
+      sim::measure_rate([&] { return std::make_unique<raptor::RaptorSession>(rcfg); },
+                        snr, opt)
+          .rate;
+  EXPECT_GT(spinal_rate, raptor_rate);
+}
+
+TEST(Integration, SpinalBeatsStriderSmallBlocks) {
+  // Fig 8-3's regime: strider's fixed 33-layer structure is a poor fit
+  // for ~1 kbit messages.
+  const double snr = 12.0;
+  sim::SweepOptions opt;
+  opt.trials = 2;
+
+  CodeParams p;
+  p.n = 1024;
+  const double spinal_rate =
+      sim::measure_rate([&] { return std::make_unique<sim::SpinalSession>(p); },
+                        snr, opt)
+          .rate;
+
+  strider::StriderSessionConfig scfg;
+  scfg.code.layer_bits = 31;  // ~1 kbit over 33 layers
+  scfg.punctured = true;
+  const double strider_rate =
+      sim::measure_rate(
+          [&] { return std::make_unique<strider::StriderSession>(scfg); }, snr, opt)
+          .rate;
+
+  EXPECT_GT(spinal_rate, 1.5 * strider_rate);
+}
+
+TEST(Integration, FramingSurvivesNoisyLinkEndToEnd) {
+  // Datagram -> blocks -> spinal -> AWGN -> decode -> CRC -> reassemble.
+  CodeParams p;
+  p.n = 256;
+  p.B = 64;
+  p.max_passes = 32;
+  util::Xoshiro256 prng(11);
+  std::vector<std::uint8_t> datagram(64);
+  for (auto& b : datagram) b = static_cast<std::uint8_t>(prng.next_u64());
+
+  const auto blocks = split_into_blocks(datagram, p.n);
+  std::vector<util::BitVec> decoded_blocks;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    util::BitVec block = blocks[b];
+    const std::size_t true_bits = block.size();
+    while (block.size() < static_cast<std::size_t>(p.n)) block.append_bits(1, 0);
+
+    sim::SpinalSession session(p);
+    sim::ChannelSim channel(sim::ChannelKind::kAwgn, 10.0, 1, 0x11 + b);
+    const sim::RunResult r = run_message(session, channel, block);
+    ASSERT_TRUE(r.success) << "block " << b;
+
+    // Trim the padding back off before CRC-based reassembly.
+    util::BitVec trimmed(true_bits);
+    for (std::size_t i = 0; i < true_bits; ++i) trimmed.set(i, block.get(i));
+    decoded_blocks.push_back(trimmed);
+  }
+  const auto back = reassemble_datagram(decoded_blocks);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, datagram);
+}
+
+TEST(Integration, GapToCapacityWithinPaperBallparkMidSnr) {
+  // n=256, k=4, B=256 sits within ~2.5 dB of capacity through the
+  // paper's mid-SNR range (Fig 8-1 bottom panel shows ~1-2.5 dB).
+  CodeParams p;
+  p.n = 256;
+  sim::SweepOptions opt;
+  opt.trials = 4;
+  for (double snr : {0.0, 5.0, 10.0}) {
+    const auto m = sim::measure_rate(
+        [&] { return std::make_unique<sim::SpinalSession>(p); }, snr, opt);
+    EXPECT_EQ(m.success_rate, 1.0) << snr;
+    EXPECT_GT(m.gap_db, -3.0) << snr;  // gap is negative dB
+    EXPECT_LT(m.gap_db, 0.0) << snr;
+  }
+}
+
+TEST(Integration, FadingCsiBeatsNoCsi) {
+  // Exact CSI can only help (Fig 8-4 vs 8-5).
+  CodeParams p;
+  p.n = 128;
+  p.max_passes = 40;
+  sim::SweepOptions with_csi, no_csi;
+  with_csi.trials = no_csi.trials = 3;
+  with_csi.channel = sim::ChannelKind::kRayleighCsi;
+  no_csi.channel = sim::ChannelKind::kRayleighNoCsi;
+  with_csi.coherence = no_csi.coherence = 10;
+
+  const double r_csi =
+      sim::measure_rate([&] { return std::make_unique<sim::SpinalSession>(p); },
+                        15.0, with_csi)
+          .rate;
+  const double r_blind =
+      sim::measure_rate([&] { return std::make_unique<sim::SpinalSession>(p); },
+                        15.0, no_csi)
+          .rate;
+  EXPECT_GT(r_csi, r_blind);
+  EXPECT_GT(r_blind, 0.0);  // but blind operation still works (§8.3)
+}
+
+TEST(Integration, EngineAttemptBackoffCostsLittleRate) {
+  // Geometric attempt back-off (engine option) trades decode attempts
+  // for a small symbol overhead.
+  CodeParams p;
+  p.n = 256;
+  sim::SweepOptions every, backoff;
+  every.trials = backoff.trials = 3;
+  backoff.attempt_growth = 1.10;
+
+  const auto m_every = sim::measure_rate(
+      [&] { return std::make_unique<sim::SpinalSession>(p); }, 8.0, every);
+  const auto m_back = sim::measure_rate(
+      [&] { return std::make_unique<sim::SpinalSession>(p); }, 8.0, backoff);
+  EXPECT_GE(m_every.rate, m_back.rate);
+  EXPECT_GT(m_back.rate, 0.8 * m_every.rate);
+}
+
+TEST(Integration, Strider33LayerStaircase) {
+  // Full-size Strider: rate must step up with SNR along ~13.2/L.
+  strider::StriderSessionConfig cfg;
+  cfg.code.layer_bits = 153;  // 1/10 scale for test speed, same 33 layers
+  sim::SweepOptions opt;
+  opt.trials = 1;
+  const double r_low =
+      sim::measure_rate(
+          [&] { return std::make_unique<strider::StriderSession>(cfg); }, 5.0, opt)
+          .rate;
+  const double r_high =
+      sim::measure_rate(
+          [&] { return std::make_unique<strider::StriderSession>(cfg); }, 25.0, opt)
+          .rate;
+  EXPECT_GT(r_high, r_low);
+  EXPECT_GT(r_high, 1.0);
+}
+
+TEST(Integration, RaptorQam64VsQam256HighSnr) {
+  // §8.2: QAM-64 raptor does much worse at high SNR (capped at 6 bits
+  // per symbol before coding overhead).
+  sim::SweepOptions opt;
+  opt.trials = 2;
+  raptor::RaptorSessionConfig q64, q256;
+  q64.info_bits = q256.info_bits = 1200;
+  q64.bits_per_symbol = 6;
+  q256.bits_per_symbol = 8;
+  q64.chunk_symbols = q256.chunk_symbols = 32;
+
+  const double r64 =
+      sim::measure_rate([&] { return std::make_unique<raptor::RaptorSession>(q64); },
+                        28.0, opt)
+          .rate;
+  const double r256 =
+      sim::measure_rate(
+          [&] { return std::make_unique<raptor::RaptorSession>(q256); }, 28.0, opt)
+          .rate;
+  EXPECT_GT(r256, r64);
+  EXPECT_LE(r64, 6.0);
+}
+
+}  // namespace
+}  // namespace spinal

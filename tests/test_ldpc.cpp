@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "ldpc/bp_decoder.h"
+#include "ldpc/encoder.h"
+#include "ldpc/qc_ldpc.h"
+#include "ldpc/wifi_envelope.h"
+#include "util/prng.h"
+
+namespace spinal::ldpc {
+namespace {
+
+class LdpcAllRates : public ::testing::TestWithParam<Rate> {};
+INSTANTIATE_TEST_SUITE_P(Rates, LdpcAllRates,
+                         ::testing::Values(Rate::kHalf, Rate::kTwoThirds,
+                                           Rate::kThreeQuarters, Rate::kFiveSixths),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Rate::kHalf: return "r12";
+                             case Rate::kTwoThirds: return "r23";
+                             case Rate::kThreeQuarters: return "r34";
+                             case Rate::kFiveSixths: return "r56";
+                           }
+                           return "x";
+                         });
+
+TEST_P(LdpcAllRates, MatrixDimensionsMatchRate) {
+  const ParityMatrix H = make_wifi_style_matrix(GetParam());
+  EXPECT_EQ(H.variables(), 648);
+  EXPECT_EQ(H.checks(), static_cast<int>(648 * (1.0 - rate_value(GetParam())) + 0.5));
+}
+
+TEST_P(LdpcAllRates, EncoderProducesValidCodewords) {
+  const ParityMatrix H = make_wifi_style_matrix(GetParam());
+  const LdpcEncoder enc(H);
+  util::Xoshiro256 prng(1);
+  for (int t = 0; t < 5; ++t) {
+    const util::BitVec cw = enc.encode(prng.random_bits(enc.info_bits()));
+    std::vector<std::uint8_t> bits(cw.size());
+    for (std::size_t i = 0; i < cw.size(); ++i) bits[i] = cw.get(i);
+    EXPECT_TRUE(H.satisfied(bits)) << "trial " << t;
+  }
+}
+
+TEST_P(LdpcAllRates, InfoBitsNearNominal) {
+  const ParityMatrix H = make_wifi_style_matrix(GetParam());
+  const LdpcEncoder enc(H);
+  const int nominal = static_cast<int>(648 * rate_value(GetParam()) + 0.5);
+  EXPECT_GE(enc.info_bits(), nominal);          // rank slack only adds info bits
+  EXPECT_LE(enc.info_bits(), nominal + 30);     // and not many
+}
+
+TEST_P(LdpcAllRates, InfoExtractionRoundTrip) {
+  const ParityMatrix H = make_wifi_style_matrix(GetParam());
+  const LdpcEncoder enc(H);
+  util::Xoshiro256 prng(2);
+  const util::BitVec info = prng.random_bits(enc.info_bits());
+  EXPECT_EQ(enc.extract_info(enc.encode(info)), info);
+}
+
+TEST_P(LdpcAllRates, BpDecodesCleanChannel) {
+  const ParityMatrix H = make_wifi_style_matrix(GetParam());
+  const LdpcEncoder enc(H);
+  const BpDecoder dec(H, 40);
+  util::Xoshiro256 prng(3);
+  const util::BitVec cw = enc.encode(prng.random_bits(enc.info_bits()));
+  std::vector<float> llrs(cw.size());
+  for (std::size_t i = 0; i < cw.size(); ++i) llrs[i] = cw.get(i) ? -6.0f : 6.0f;
+  const BpResult r = dec.decode(llrs);
+  EXPECT_TRUE(r.checks_satisfied);
+  EXPECT_EQ(r.codeword, cw);
+}
+
+TEST(Ldpc, NoFourCyclesInInfoPart) {
+  // Construction avoids 4-cycles; verify no two checks share two
+  // variables (exhaustive over the rate-1/2 matrix).
+  const ParityMatrix H = make_wifi_style_matrix(Rate::kHalf);
+  int four_cycles = 0;
+  for (int c1 = 0; c1 < H.checks() && four_cycles == 0; ++c1) {
+    for (int c2 = c1 + 1; c2 < H.checks(); ++c2) {
+      int shared = 0;
+      for (int v : H.vars_of_check(c1))
+        for (int u : H.vars_of_check(c2)) shared += (u == v);
+      if (shared >= 2) {
+        ++four_cycles;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(four_cycles, 0);
+}
+
+TEST(Ldpc, HalfRateCorrectsErrorsAtFourDb) {
+  // Rate-1/2 + BPSK at 4 dB Es/N0 is comfortably inside the BP
+  // waterfall; expect near-perfect block success.
+  const WifiLdpcFamily family(40);
+  const double success =
+      family.block_success_rate({Rate::kHalf, 1}, 4.0, 10, 77);
+  EXPECT_GE(success, 0.9);
+}
+
+TEST(Ldpc, HalfRateFailsWellBelowShannon) {
+  // Rate 1/2 on BPSK needs ~0 dB; at -6 dB it must fail essentially
+  // always.
+  const WifiLdpcFamily family(40);
+  const double success =
+      family.block_success_rate({Rate::kHalf, 1}, -6.0, 6, 78);
+  EXPECT_LE(success, 0.2);
+}
+
+TEST(Ldpc, EnvelopeIsMonotoneInSnr) {
+  const WifiLdpcFamily family(40);
+  double prev = -1;
+  for (double snr : {0.0, 8.0, 16.0, 24.0}) {
+    const double rate = family.envelope_rate(snr, 4, 79);
+    EXPECT_GE(rate, prev - 0.2) << snr;  // small trial noise allowed
+    prev = rate;
+  }
+}
+
+TEST(Ldpc, EnvelopePicksDenserModulationAtHighSnr) {
+  const WifiLdpcFamily family(40);
+  Mcs low_best{Rate::kHalf, 1}, high_best{Rate::kHalf, 1};
+  family.envelope_rate(3.0, 4, 80, &low_best);
+  family.envelope_rate(25.0, 4, 80, &high_best);
+  EXPECT_LE(low_best.bits_per_symbol, 2);
+  EXPECT_GE(high_best.bits_per_symbol, 4);
+}
+
+TEST(Ldpc, MatrixRejectsBadDims) {
+  EXPECT_THROW(ParityMatrix(0, 5), std::invalid_argument);
+  EXPECT_THROW(ParityMatrix(5, 0), std::invalid_argument);
+}
+
+TEST(Ldpc, SatisfiedRejectsWrongLength) {
+  const ParityMatrix H = make_wifi_style_matrix(Rate::kHalf);
+  EXPECT_FALSE(H.satisfied(std::vector<std::uint8_t>(10)));
+}
+
+}  // namespace
+}  // namespace spinal::ldpc

@@ -1,0 +1,142 @@
+#include "spinal/link.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "util/prng.h"
+
+namespace spinal {
+namespace {
+
+CodeParams link_params() {
+  CodeParams p;
+  p.n = 256;
+  p.B = 64;
+  p.max_passes = 32;
+  return p;
+}
+
+std::vector<std::uint8_t> random_datagram(std::size_t bytes, std::uint64_t seed) {
+  util::Xoshiro256 prng(seed);
+  std::vector<std::uint8_t> out(bytes);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.next_u64());
+  return out;
+}
+
+/// Drives a full sender/receiver exchange over AWGN at @p snr_db.
+/// Returns the symbols used, or -1 if the link gave up.
+long run_link(const CodeParams& p, const std::vector<std::uint8_t>& datagram,
+              double snr_db, std::uint64_t seed,
+              std::vector<std::uint8_t>* out = nullptr) {
+  LinkSender sender(p, datagram);
+  LinkReceiver receiver(p, sender.block_count());
+  channel::AwgnChannel channel(snr_db, seed);
+
+  while (!sender.done() && !sender.gave_up()) {
+    for (LinkSymbol s : sender.next_burst()) {
+      s.value = channel.transmit(s.value);
+      receiver.receive(s);
+    }
+    sender.handle_ack(receiver.make_ack());
+  }
+  if (!sender.done()) return -1;
+  if (out) {
+    const auto d = receiver.datagram();
+    if (!d) return -1;
+    *out = *d;
+  }
+  return sender.symbols_sent();
+}
+
+TEST(Link, SingleBlockDatagramRoundTrip) {
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(20, 1);  // 160 bits, one block
+  std::vector<std::uint8_t> received;
+  const long symbols = run_link(p, datagram, 15.0, 42, &received);
+  ASSERT_GT(symbols, 0);
+  received.resize(datagram.size());  // strip block padding
+  EXPECT_EQ(received, datagram);
+}
+
+TEST(Link, MultiBlockDatagramRoundTrip) {
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(200, 2);  // 1600 bits, 7 blocks
+  LinkSender sender(p, datagram);
+  EXPECT_EQ(sender.block_count(), 7);  // ceil(1600 / 240)
+  std::vector<std::uint8_t> received;
+  const long symbols = run_link(p, datagram, 15.0, 43, &received);
+  ASSERT_GT(symbols, 0);
+  received.resize(datagram.size());
+  EXPECT_EQ(received, datagram);
+}
+
+TEST(Link, UsesFewerSymbolsAtHigherSnr) {
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(100, 3);
+  const long high = run_link(p, datagram, 25.0, 44);
+  const long low = run_link(p, datagram, 2.0, 44);
+  ASSERT_GT(high, 0);
+  ASSERT_GT(low, 0);
+  EXPECT_LT(high, low);
+}
+
+TEST(Link, BlocksAckIndependently) {
+  // After one noiseless burst every block should decode at once.
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(90, 4);  // 3 blocks
+  LinkSender sender(p, datagram);
+  LinkReceiver receiver(p, sender.block_count());
+  // Enough noiseless bursts to cover a full pass of every block.
+  for (int round = 0; round < 8; ++round)
+    for (const LinkSymbol& s : sender.next_burst()) receiver.receive(s);
+  const AckBitmap ack = receiver.make_ack();
+  EXPECT_TRUE(ack.all_decoded());
+}
+
+TEST(Link, SenderStopsTransmittingAckedBlocks) {
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(90, 5);  // 3 blocks
+  LinkSender sender(p, datagram);
+  AckBitmap partial;
+  partial.decoded = {true, false, true};
+  sender.handle_ack(partial);
+  for (const LinkSymbol& s : sender.next_burst()) EXPECT_EQ(s.block, 1);
+}
+
+TEST(Link, GivesUpAtHopelessSnr) {
+  CodeParams p = link_params();
+  p.max_passes = 3;
+  const auto datagram = random_datagram(50, 6);
+  const long r = run_link(p, datagram, -20.0, 45);
+  EXPECT_EQ(r, -1);
+}
+
+TEST(Link, AckSizeMismatchThrows) {
+  const CodeParams p = link_params();
+  LinkSender sender(p, random_datagram(90, 7));
+  AckBitmap wrong;
+  wrong.decoded = {true};
+  EXPECT_THROW(sender.handle_ack(wrong), std::invalid_argument);
+}
+
+TEST(Link, ReceiverRejectsBadBlockIndex) {
+  const CodeParams p = link_params();
+  LinkReceiver receiver(p, 2);
+  LinkSymbol s{5, {0, 0}, {0.f, 0.f}};
+  EXPECT_THROW(receiver.receive(s), std::out_of_range);
+}
+
+TEST(Link, DatagramUnavailableUntilAllBlocksDecode) {
+  const CodeParams p = link_params();
+  LinkReceiver receiver(p, 3);
+  EXPECT_FALSE(receiver.datagram().has_value());
+}
+
+TEST(Link, TinyNRejects) {
+  CodeParams p = link_params();
+  p.n = 16;  // no room for CRC
+  EXPECT_THROW(LinkSender(p, random_datagram(10, 8)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spinal

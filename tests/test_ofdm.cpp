@@ -1,0 +1,104 @@
+#include "modem/ofdm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "modem/qam.h"
+#include "util/prng.h"
+
+namespace spinal::modem {
+namespace {
+
+std::vector<std::complex<float>> random_qam_data(int bps, std::uint64_t seed) {
+  const QamModem qam(bps);
+  util::Xoshiro256 prng(seed);
+  const util::BitVec bits = prng.random_bits(bps * Ofdm80211::kDataCarriers);
+  std::vector<std::complex<float>> out(Ofdm80211::kDataCarriers);
+  for (int i = 0; i < Ofdm80211::kDataCarriers; ++i) out[i] = qam.map(bits, i * bps);
+  return out;
+}
+
+TEST(Ofdm, RejectsBadOversample) {
+  EXPECT_THROW(Ofdm80211(0), std::invalid_argument);
+  EXPECT_THROW(Ofdm80211(3), std::invalid_argument);
+  EXPECT_NO_THROW(Ofdm80211(1));
+  EXPECT_NO_THROW(Ofdm80211(4));
+}
+
+TEST(Ofdm, RejectsWrongDataLength) {
+  const Ofdm80211 ofdm(1);
+  std::vector<std::complex<float>> too_short(47);
+  EXPECT_THROW(ofdm.modulate(too_short), std::invalid_argument);
+}
+
+TEST(Ofdm, HasExactly48DataCarriers) {
+  const auto& idx = Ofdm80211::data_carrier_indices();
+  EXPECT_EQ(idx.size(), 48u);
+  for (int i : idx) {
+    EXPECT_NE(i, 0);
+    EXPECT_NE(std::abs(i), 7);
+    EXPECT_NE(std::abs(i), 21);
+    EXPECT_LE(std::abs(i), 26);
+  }
+}
+
+TEST(Ofdm, OutputLengthIncludesCyclicPrefix) {
+  for (int os : {1, 4}) {
+    const Ofdm80211 ofdm(os);
+    const auto y = ofdm.modulate(random_qam_data(2, 1));
+    EXPECT_EQ(y.size(), static_cast<std::size_t>((64 + 16) * os));
+  }
+}
+
+TEST(Ofdm, CyclicPrefixIsCopyOfTail) {
+  const Ofdm80211 ofdm(2);
+  const auto y = ofdm.modulate(random_qam_data(4, 2));
+  const int cp = 16 * 2;
+  const int body = 64 * 2;
+  for (int i = 0; i < cp; ++i) {
+    EXPECT_NEAR(y[i].real(), y[body + i].real(), 1e-9);
+    EXPECT_NEAR(y[i].imag(), y[body + i].imag(), 1e-9);
+  }
+}
+
+TEST(Ofdm, AveragePowerIndependentOfOversampling) {
+  auto mean_power = [](const std::vector<std::complex<double>>& y) {
+    double p = 0;
+    for (const auto& v : y) p += std::norm(v);
+    return p / y.size();
+  };
+  const auto data = random_qam_data(2, 3);
+  const double p1 = mean_power(Ofdm80211(1).modulate(data));
+  const double p4 = mean_power(Ofdm80211(4).modulate(data));
+  EXPECT_NEAR(p4 / p1, 1.0, 0.05);
+}
+
+TEST(Ofdm, PaprOfConstantEnvelopeIsZero) {
+  std::vector<std::complex<double>> flat(100, {0.7, 0.7});
+  EXPECT_NEAR(Ofdm80211::papr_db(flat), 0.0, 1e-12);
+}
+
+TEST(Ofdm, PaprOfOfdmSymbolInTypicalRange) {
+  // §8.4: "For such OFDM systems using scrambling, PAPR is typically
+  // 5-12 dB".
+  const Ofdm80211 ofdm(4);
+  util::Xoshiro256 prng(4);
+  double sum = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto y = ofdm.modulate(random_qam_data(2, 100 + t));
+    sum += Ofdm80211::papr_db(y);
+  }
+  const double mean = sum / trials;
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 12.0);
+}
+
+TEST(Ofdm, PaprEmptyWaveformIsZero) {
+  std::vector<std::complex<double>> empty;
+  EXPECT_DOUBLE_EQ(Ofdm80211::papr_db(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace spinal::modem

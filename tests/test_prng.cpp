@@ -1,0 +1,78 @@
+#include "util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spinal::util {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowInRange) {
+  Xoshiro256 r(10);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 r(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) ++seen[r.next_below(8)];
+  for (int v : seen) EXPECT_GT(v, 300);  // ~500 expected each
+}
+
+TEST(Xoshiro256, GaussianMomentsMatchStandardNormal) {
+  Xoshiro256 r(12);
+  const int n = 200000;
+  double sum = 0, sum2 = 0, sum4 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum4 / n, 3.0, 0.15);  // kurtosis of N(0,1)
+}
+
+TEST(Xoshiro256, RandomBitsBalanced) {
+  Xoshiro256 r(13);
+  const BitVec v = r.random_bits(10000);
+  int ones = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) ones += v.get(i);
+  EXPECT_NEAR(ones, 5000, 300);
+}
+
+TEST(Xoshiro256, ReseedResetsStream) {
+  Xoshiro256 r(14);
+  const std::uint64_t first = r.next_u64();
+  r.next_u64();
+  r.reseed(14);
+  EXPECT_EQ(r.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace spinal::util

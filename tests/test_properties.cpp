@@ -1,0 +1,251 @@
+// Parameterised property sweeps over the code's configuration space:
+// every (k, c, puncturing, map, hash) combination must satisfy the
+// invariants the paper's construction promises — prefix property,
+// deterministic symbol addressing, decode-at-high-SNR, and monotone
+// behaviour in the resource knobs.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "channel/awgn.h"
+#include "sim/channel_sim.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "sim/spinal_session.h"
+#include "spinal/decoder.h"
+#include "spinal/encoder.h"
+#include "util/prng.h"
+
+namespace spinal {
+namespace {
+
+// ---------------------------------------------------------------------
+// Sweep 1: (k, puncture_ways) grid — full rateless round trips.
+// ---------------------------------------------------------------------
+
+class KWaysSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Grid, KWaysSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 6),
+                                            ::testing::Values(1, 2, 4, 8)),
+                         [](const auto& info) {
+                           return "k" + std::to_string(std::get<0>(info.param)) +
+                                  "_w" + std::to_string(std::get<1>(info.param));
+                         });
+
+TEST_P(KWaysSweep, RoundTripAtModerateSnr) {
+  CodeParams p;
+  p.n = 60;  // exercises short final chunks for k=7 etc.
+  p.k = std::get<0>(GetParam());
+  p.puncture_ways = std::get<1>(GetParam());
+  p.B = 64;
+  p.max_passes = 32;
+
+  sim::SpinalSession session(p);
+  sim::ChannelSim channel(sim::ChannelKind::kAwgn, 12.0, 1,
+                          0xAB + p.k * 8 + p.puncture_ways);
+  util::Xoshiro256 prng(p.k * 131 + p.puncture_ways);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const sim::RunResult r = run_message(session, channel, msg);
+  EXPECT_TRUE(r.success) << "k=" << p.k << " ways=" << p.puncture_ways;
+}
+
+TEST_P(KWaysSweep, ScheduleCoversEverySymbolExactlyOnce) {
+  CodeParams p;
+  p.n = 60;
+  p.k = std::get<0>(GetParam());
+  p.puncture_ways = std::get<1>(GetParam());
+  const PuncturingSchedule sched(p);
+
+  // Across 3 passes: every (spine, ordinal<3) id appears exactly once
+  // for non-last spine values; the last spine value advances 1+tail per
+  // pass.
+  std::vector<std::vector<int>> seen(p.spine_length());
+  for (auto& v : seen) v.assign(3 * (1 + p.tail_symbols) + 1, 0);
+  for (int sp = 0; sp < 3 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp)) {
+      ASSERT_LT(id.ordinal, static_cast<int>(seen[id.spine_index].size()));
+      ++seen[id.spine_index][id.ordinal];
+    }
+  const int last = p.spine_length() - 1;
+  for (int i = 0; i < p.spine_length(); ++i) {
+    const int per_pass = (i == last) ? (1 + p.tail_symbols) : 1;
+    for (int o = 0; o < 3 * per_pass; ++o)
+      EXPECT_EQ(seen[i][o], 1) << "spine " << i << " ordinal " << o;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sweep 2: (c, map) grid — constellation invariants.
+// ---------------------------------------------------------------------
+
+class CMapSweep
+    : public ::testing::TestWithParam<std::tuple<int, modem::MapKind>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CMapSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6, 8),
+                       ::testing::Values(modem::MapKind::kUniform,
+                                         modem::MapKind::kTruncatedGaussian)),
+    [](const auto& info) {
+      return "c" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == modem::MapKind::kUniform ? "_uni" : "_gau");
+    });
+
+TEST_P(CMapSweep, EncoderPowerIsP) {
+  CodeParams p;
+  p.n = 512;
+  p.c = std::get<0>(GetParam());
+  p.map = std::get<1>(GetParam());
+  util::Xoshiro256 prng(std::get<0>(GetParam()) * 7 + 1);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  double power = 0;
+  int count = 0;
+  for (int i = 0; i < p.spine_length(); ++i)
+    for (int j = 0; j < 6; ++j) {
+      power += std::norm(enc.symbol({i, j}));
+      ++count;
+    }
+  // The paper's uniform formula under-delivers by the quantisation
+  // factor (1 - 2^-2c), noticeable at small c ("very small corrections
+  // to P are omitted", §3.3); the Gaussian map is renormalised exactly.
+  const double expected = p.map == modem::MapKind::kUniform
+                              ? 1.0 - std::pow(2.0, -2.0 * p.c)
+                              : 1.0;
+  EXPECT_NEAR(power / count, expected, 0.06);
+}
+
+TEST_P(CMapSweep, NoiselessDecodeEnoughPasses) {
+  CodeParams p;
+  p.n = 32;
+  p.c = std::get<0>(GetParam());
+  p.map = std::get<1>(GetParam());
+  p.B = 32;
+  // Low c carries few bits per symbol: send enough passes that
+  // 2c * passes comfortably exceeds k.
+  const int passes = 2 + 2 * p.k / std::max(1, 2 * p.c - 1);
+  util::Xoshiro256 prng(std::get<0>(GetParam()) * 11 + 2);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+  SpinalDecoder dec(p);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < passes * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp)) dec.add_symbol(id, enc.symbol(id));
+  EXPECT_EQ(dec.decode().message, msg);
+}
+
+// ---------------------------------------------------------------------
+// Sweep 3: prefix property across every configuration axis at once.
+// ---------------------------------------------------------------------
+
+TEST(Properties, SymbolsIndependentOfTransmissionHistory) {
+  // Rateless addressing: symbol(id) must be a pure function of the
+  // message and id, regardless of what was generated before — this is
+  // what lets receivers skip erased frames (§7.1).
+  CodeParams p;
+  p.n = 64;
+  util::Xoshiro256 prng(3);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder fresh(p, msg);
+  const SpinalEncoder used(p, msg);
+  const PuncturingSchedule sched(p);
+  // Exhaust three passes on `used`.
+  std::vector<SymbolId> ids;
+  std::vector<std::complex<float>> out;
+  for (int sp = 0; sp < 24; ++sp) used.encode_subpass(sp, ids, out);
+  // Probe arbitrary ids on both.
+  for (const SymbolId probe : {SymbolId{0, 7}, SymbolId{15, 0}, SymbolId{9, 3}})
+    EXPECT_EQ(fresh.symbol(probe), used.symbol(probe));
+}
+
+TEST(Properties, DecoderImprovesMonotonicallyWithSymbols) {
+  // More received symbols never hurt: track decode success over
+  // increasing prefixes of the stream.
+  CodeParams p;
+  p.n = 64;
+  p.B = 64;
+  util::Xoshiro256 prng(4);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(8.0, 99);
+  const PuncturingSchedule sched(p);
+
+  bool ever_decoded = false;
+  int flips_back = 0;
+  for (int sp = 0; sp < 24; ++sp) {
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+    const bool ok = dec.decode().message == msg;
+    if (ever_decoded && !ok) ++flips_back;
+    ever_decoded |= ok;
+  }
+  EXPECT_TRUE(ever_decoded);
+  // Success may flicker once near the threshold but not repeatedly.
+  EXPECT_LE(flips_back, 1);
+}
+
+TEST(Properties, PathCostDecreasesTowardTruth) {
+  // The winning path cost of the TRUE message is chi^2-distributed
+  // around N*sigma^2; a competing wrong message should cost more.
+  CodeParams p;
+  p.n = 48;
+  p.B = 64;
+  util::Xoshiro256 prng(5);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(15.0, 7);
+  const PuncturingSchedule sched(p);
+  int n_symbols = 0;
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp)) {
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+      ++n_symbols;
+    }
+  const DecodeResult r = dec.decode();
+  ASSERT_EQ(r.message, msg);
+  // E[cost] = N sigma^2; allow generous slack.
+  const double expected = n_symbols * ch.noise_variance();
+  EXPECT_LT(r.path_cost, 3 * expected);
+}
+
+TEST(Properties, SessionSeedsAreReproducible) {
+  CodeParams p;
+  p.n = 64;
+  for (int run = 0; run < 2; ++run) {
+    // identical seeds -> identical outcomes
+    sim::SweepOptions opt;
+    opt.trials = 2;
+    opt.seed = 77;
+    static double first_rate = 0;
+    const auto m = sim::measure_rate(
+        [&] { return std::make_unique<sim::SpinalSession>(p); }, 10.0, opt);
+    if (run == 0)
+      first_rate = m.rate;
+    else
+      EXPECT_DOUBLE_EQ(m.rate, first_rate);
+  }
+}
+
+TEST(Properties, LargerBNeverIncreasesSymbolsNeededNoiseless) {
+  // Noiseless channel: every beam width decodes after one pass; beam
+  // size cannot change that (sanity anchor for the B knob).
+  for (int B : {1, 4, 16, 64}) {
+    CodeParams p;
+    p.n = 64;
+    p.B = B;
+    util::Xoshiro256 prng(6);
+    const util::BitVec msg = prng.random_bits(p.n);
+    const SpinalEncoder enc(p, msg);
+    SpinalDecoder dec(p);
+    const PuncturingSchedule sched(p);
+    for (int sp = 0; sp < sched.subpasses_per_pass(); ++sp)
+      for (const SymbolId& id : sched.subpass(sp)) dec.add_symbol(id, enc.symbol(id));
+    EXPECT_EQ(dec.decode().message, msg) << "B=" << B;
+  }
+}
+
+}  // namespace
+}  // namespace spinal

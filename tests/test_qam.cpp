@@ -1,0 +1,102 @@
+#include "modem/qam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "util/prng.h"
+
+namespace spinal::modem {
+namespace {
+
+TEST(Gray, RoundTrip) {
+  for (std::uint32_t x = 0; x < 256; ++x)
+    EXPECT_EQ(gray_to_binary(binary_to_gray(x)), x);
+}
+
+TEST(Gray, AdjacentCodesDifferInOneBit) {
+  for (std::uint32_t x = 1; x < 256; ++x)
+    EXPECT_EQ(__builtin_popcount(binary_to_gray(x) ^ binary_to_gray(x - 1)), 1);
+}
+
+TEST(Qam, RejectsOddBitsAboveOne) {
+  EXPECT_THROW(QamModem(3), std::invalid_argument);
+  EXPECT_THROW(QamModem(0), std::invalid_argument);
+  EXPECT_NO_THROW(QamModem(1));
+  EXPECT_NO_THROW(QamModem(8));
+}
+
+class QamAllSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, QamAllSizes, ::testing::Values(1, 2, 4, 6, 8),
+                         [](const auto& info) {
+                           return "bps" + std::to_string(info.param);
+                         });
+
+TEST_P(QamAllSizes, UnitAveragePower) {
+  const QamModem qam(GetParam());
+  util::Xoshiro256 prng(5);
+  const util::BitVec bits = prng.random_bits(GetParam() * 4096);
+  const auto symbols = qam.modulate(bits);
+  double p = 0;
+  for (const auto& s : symbols) p += std::norm(s);
+  p /= symbols.size();
+  EXPECT_NEAR(p, 1.0, 0.05);
+}
+
+TEST_P(QamAllSizes, NoiselessDemapRecoversBits) {
+  const QamModem qam(GetParam());
+  util::Xoshiro256 prng(6);
+  const util::BitVec bits = prng.random_bits(GetParam() * 64);
+  const auto symbols = qam.modulate(bits);
+  std::vector<float> llrs;
+  for (const auto& s : symbols) qam.demap_soft(s, 0.01, llrs);
+  ASSERT_EQ(llrs.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // LLR convention: positive = bit 0.
+    EXPECT_EQ(llrs[i] < 0, bits.get(i)) << i;
+  }
+}
+
+TEST_P(QamAllSizes, DemapSignsMostlyCorrectAtHighSnr) {
+  const QamModem qam(GetParam());
+  util::Xoshiro256 prng(7);
+  channel::AwgnChannel ch(30.0, 99);
+  const util::BitVec bits = prng.random_bits(GetParam() * 512);
+  auto symbols = qam.modulate(bits);
+  ch.apply(symbols);
+  std::vector<float> llrs;
+  for (const auto& s : symbols) qam.demap_soft(s, ch.noise_variance(), llrs);
+  int errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += ((llrs[i] < 0) != bits.get(i));
+  EXPECT_LT(errors, static_cast<int>(bits.size()) / 50);
+}
+
+TEST(Qam, Qpsk4PointsAreUnitCircleCorners) {
+  const QamModem qam(2);
+  util::BitVec bits(2);
+  for (int v = 0; v < 4; ++v) {
+    bits.set_bits(0, 2, v);
+    const auto s = qam.map(bits, 0);
+    EXPECT_NEAR(std::abs(s), 1.0, 1e-6);
+    EXPECT_NEAR(std::abs(s.real()), std::sqrt(0.5), 1e-6);
+  }
+}
+
+TEST(Qam, Qam256Has16LevelsPerAxis) {
+  const QamModem qam(8);
+  EXPECT_EQ(qam.levels().size(), 16u);
+}
+
+TEST(Qam, LlrMagnitudeScalesWithSnr) {
+  const QamModem qam(2);
+  util::BitVec bits(2);  // symbol for 00
+  const auto s = qam.map(bits, 0);
+  std::vector<float> llr_low, llr_high;
+  qam.demap_soft(s, 1.0, llr_low);
+  qam.demap_soft(s, 0.1, llr_high);
+  EXPECT_GT(llr_high[0], llr_low[0]);
+}
+
+}  // namespace
+}  // namespace spinal::modem

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "raptor/lt.h"
+#include "raptor/precode.h"
+#include "raptor/raptor_codec.h"
+#include "raptor/raptor_session.h"
+#include "sim/engine.h"
+#include "util/prng.h"
+
+namespace spinal::raptor {
+namespace {
+
+TEST(LtDistribution, MatchesRfc5053Buckets) {
+  EXPECT_EQ(LtDegreeDistribution::sample(0), 1);
+  EXPECT_EQ(LtDegreeDistribution::sample(10240), 1);
+  EXPECT_EQ(LtDegreeDistribution::sample(10241), 2);
+  EXPECT_EQ(LtDegreeDistribution::sample(491581), 2);
+  EXPECT_EQ(LtDegreeDistribution::sample(491582), 3);
+  EXPECT_EQ(LtDegreeDistribution::sample(1032189), 40);
+  EXPECT_EQ(LtDegreeDistribution::sample((1u << 20) - 1), 40);
+}
+
+TEST(LtDistribution, MeanAroundFourPointSix) {
+  // RFC 5053 distribution has mean degree ~4.63
+  // (sum over buckets of P(d) * d).
+  EXPECT_NEAR(LtDegreeDistribution::mean(), 4.63, 0.05);
+}
+
+TEST(Lt, NeighborsDeterministicAndDistinct) {
+  const LtGenerator lt(1000, 42);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const auto a = lt.neighbors(i);
+    const auto b = lt.neighbors(i);
+    EXPECT_EQ(a, b);
+    for (std::size_t x = 0; x < a.size(); ++x) {
+      EXPECT_GE(a[x], 0);
+      EXPECT_LT(a[x], 1000);
+      for (std::size_t y = x + 1; y < a.size(); ++y) EXPECT_NE(a[x], a[y]);
+    }
+  }
+}
+
+TEST(Lt, EmpiricalDegreeDistributionMatches) {
+  const LtGenerator lt(5000, 7);
+  double total = 0;
+  const int n = 3000;
+  int deg1 = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto nb = lt.neighbors(i);
+    total += static_cast<double>(nb.size());
+    deg1 += (nb.size() == 1);
+  }
+  EXPECT_NEAR(total / n, 4.63, 0.4);
+  EXPECT_NEAR(static_cast<double>(deg1) / n, 0.00977, 0.01);
+}
+
+TEST(Precode, RateAndStructure) {
+  const RaptorPrecode pc(9500);
+  EXPECT_EQ(pc.info_bits(), 9500);
+  EXPECT_EQ(pc.intermediate_bits(), 10000);  // ceil(9500/0.95)
+  EXPECT_EQ(pc.parity_bits(), 500);
+  EXPECT_EQ(pc.checks().size(), 500u);
+}
+
+TEST(Precode, ExpandSatisfiesAllChecks) {
+  const RaptorPrecode pc(950);
+  util::Xoshiro256 prng(1);
+  const util::BitVec info = prng.random_bits(950);
+  const util::BitVec inter = pc.expand(info);
+  for (const auto& check : pc.checks()) {
+    int acc = 0;
+    for (int v : check) acc ^= inter.get(v) ? 1 : 0;
+    EXPECT_EQ(acc, 0);
+  }
+}
+
+TEST(Precode, SystematicPrefix) {
+  const RaptorPrecode pc(100);
+  util::Xoshiro256 prng(2);
+  const util::BitVec info = prng.random_bits(100);
+  const util::BitVec inter = pc.expand(info);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(inter.get(i), info.get(i));
+}
+
+TEST(Raptor, NoiselessDecodeWithModestOverhead) {
+  const int k = 500;
+  RaptorEncoder enc(k, 99);
+  RaptorDecoder dec(k, 99, 40);
+  util::Xoshiro256 prng(3);
+  const util::BitVec info = prng.random_bits(k);
+  enc.load(info);
+
+  // 30% overhead of perfectly-known coded bits.
+  const int coded = static_cast<int>(enc.precode().intermediate_bits() * 1.3);
+  for (int i = 0; i < coded; ++i)
+    dec.add_coded_bit(i, enc.coded_bit(i) ? -9.0f : 9.0f);
+
+  const auto out = dec.decode();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, info);
+}
+
+TEST(Raptor, InsufficientSymbolsReturnsNullopt) {
+  const int k = 500;
+  RaptorEncoder enc(k, 99);
+  RaptorDecoder dec(k, 99, 15);
+  util::Xoshiro256 prng(4);
+  enc.load(prng.random_bits(k));
+  // Far fewer bits than the intermediate block size: cannot decode.
+  for (int i = 0; i < 200; ++i)
+    dec.add_coded_bit(i, enc.coded_bit(i) ? -9.0f : 9.0f);
+  EXPECT_FALSE(dec.decode().has_value());
+}
+
+TEST(Raptor, SessionDecodesOverAwgnQam256) {
+  RaptorSessionConfig cfg;
+  cfg.info_bits = 800;
+  cfg.bits_per_symbol = 8;
+  cfg.chunk_symbols = 24;
+  cfg.bp_iterations = 40;
+  RaptorSession session(cfg);
+  sim::ChannelSim channel(sim::ChannelKind::kAwgn, 22.0, 1, 5);
+  util::Xoshiro256 prng(6);
+  const util::BitVec msg = prng.random_bits(cfg.info_bits);
+  const sim::RunResult r = run_message(session, channel, msg);
+  EXPECT_TRUE(r.success);
+  // At 22 dB (capacity ~7.3 b/s) the rate should be respectable.
+  EXPECT_GT(static_cast<double>(cfg.info_bits) / r.symbols, 2.0);
+}
+
+TEST(Raptor, SessionDecodesQam64AtMidSnr) {
+  RaptorSessionConfig cfg;
+  cfg.info_bits = 600;
+  cfg.bits_per_symbol = 6;
+  cfg.chunk_symbols = 24;
+  RaptorSession session(cfg);
+  sim::ChannelSim channel(sim::ChannelKind::kAwgn, 12.0, 1, 7);
+  util::Xoshiro256 prng(8);
+  const util::BitVec msg = prng.random_bits(cfg.info_bits);
+  const sim::RunResult r = run_message(session, channel, msg);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Raptor, RatelessAddressing) {
+  // Coded bit i must not depend on which bits were generated before it.
+  const int k = 300;
+  RaptorEncoder e1(k, 11), e2(k, 11);
+  util::Xoshiro256 prng(9);
+  const util::BitVec info = prng.random_bits(k);
+  e1.load(info);
+  e2.load(info);
+  // e1 reads sequentially; e2 reads only the probe positions.
+  for (int i = 0; i < 500; ++i) (void)e1.coded_bit(i);
+  for (int probe : {499, 100, 7}) EXPECT_EQ(e1.coded_bit(probe), e2.coded_bit(probe));
+}
+
+}  // namespace
+}  // namespace spinal::raptor

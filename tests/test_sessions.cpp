@@ -1,0 +1,166 @@
+// Session-interface contract tests: every RatelessSession implementation
+// must honour the engine's expectations (chunk accounting, restart
+// semantics, give-up bounds) — the glue §8.1's framework relies on.
+
+#include <gtest/gtest.h>
+
+#include "raptor/raptor_session.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "sim/spinal_session.h"
+#include "strider/strider_session.h"
+#include "util/prng.h"
+
+namespace spinal::sim {
+namespace {
+
+TEST(Sessions, SpinalChunksMatchScheduleSizes) {
+  CodeParams p;
+  p.n = 256;  // 64 spine values, 8-way: first subpass 8+2 tail, rest 8
+  SpinalSession s(p);
+  util::Xoshiro256 prng(1);
+  s.start(prng.random_bits(p.n));
+  EXPECT_EQ(s.next_chunk().size(), 10u);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(s.next_chunk().size(), 8u) << i;
+  EXPECT_EQ(s.next_chunk().size(), 10u);  // pass 2 begins
+}
+
+TEST(Sessions, SpinalRestartResetsEverything) {
+  CodeParams p;
+  p.n = 64;
+  SpinalSession s(p);
+  util::Xoshiro256 prng(2);
+  const util::BitVec m1 = prng.random_bits(p.n);
+  const util::BitVec m2 = prng.random_bits(p.n);
+
+  s.start(m1);
+  const auto chunk1 = s.next_chunk();
+  s.start(m2);
+  const auto chunk2 = s.next_chunk();
+  ASSERT_EQ(chunk1.size(), chunk2.size());
+  int same = 0;
+  for (std::size_t i = 0; i < chunk1.size(); ++i) same += (chunk1[i] == chunk2[i]);
+  EXPECT_LT(same, static_cast<int>(chunk1.size()));  // different message
+
+  // Restarting with m1 again reproduces the original chunk exactly.
+  s.start(m1);
+  const auto chunk1b = s.next_chunk();
+  for (std::size_t i = 0; i < chunk1.size(); ++i) EXPECT_EQ(chunk1[i], chunk1b[i]);
+}
+
+TEST(Sessions, SpinalMaxChunksBoundsChannelUse) {
+  CodeParams p;
+  p.n = 64;
+  p.max_passes = 5;
+  SpinalSession s(p);
+  EXPECT_EQ(s.max_chunks(), 5 * 8);
+}
+
+TEST(Sessions, SymbolGranularChunkingConservesSymbols) {
+  CodeParams p;
+  p.n = 64;
+  SpinalSession whole(p), granular(p, /*symbols_per_chunk=*/1);
+  util::Xoshiro256 prng(3);
+  const util::BitVec msg = prng.random_bits(p.n);
+  whole.start(msg);
+  granular.start(msg);
+
+  // One full pass worth of symbols must match element-wise.
+  std::vector<std::complex<float>> a, b;
+  while (a.size() < static_cast<std::size_t>(p.symbols_per_pass())) {
+    for (const auto& v : whole.next_chunk()) a.push_back(v);
+  }
+  while (b.size() < a.size()) {
+    for (const auto& v : granular.next_chunk()) b.push_back(v);
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+TEST(Sessions, RaptorChunkSizeIsConfigured) {
+  raptor::RaptorSessionConfig cfg;
+  cfg.info_bits = 400;
+  cfg.chunk_symbols = 17;
+  raptor::RaptorSession s(cfg);
+  util::Xoshiro256 prng(4);
+  s.start(prng.random_bits(cfg.info_bits));
+  EXPECT_EQ(s.next_chunk().size(), 17u);
+  EXPECT_EQ(s.message_bits(), 400);
+}
+
+TEST(Sessions, RaptorSkipsHopelessAttempts) {
+  // try_decode must return nullopt cheaply before the intermediate
+  // block could possibly be covered.
+  raptor::RaptorSessionConfig cfg;
+  cfg.info_bits = 800;
+  cfg.chunk_symbols = 8;
+  raptor::RaptorSession s(cfg);
+  util::Xoshiro256 prng(5);
+  s.start(prng.random_bits(cfg.info_bits));
+  s.set_noise_hint(0.1);
+  auto x = s.next_chunk();
+  std::vector<std::complex<float>> csi;
+  s.receive_chunk(x, csi);
+  EXPECT_FALSE(s.try_decode().has_value());  // 64 bits << 842 intermediate
+}
+
+TEST(Sessions, StriderPlainChunksAreWholePasses) {
+  strider::StriderConfig code;
+  code.layers = 4;
+  code.layer_bits = 60;
+  strider::StriderSessionConfig cfg;
+  cfg.code = code;
+  strider::StriderSession s(cfg);
+  util::Xoshiro256 prng(6);
+  s.start(prng.random_bits(code.message_bits()));
+  const auto chunk = s.next_chunk();
+  EXPECT_EQ(static_cast<int>(chunk.size()),
+            strider::StriderEncoder(code).symbols_per_pass());
+}
+
+TEST(Sessions, StriderPuncturedChunksTileThePass) {
+  strider::StriderConfig code;
+  code.layers = 4;
+  code.layer_bits = 60;
+  strider::StriderSessionConfig cfg;
+  cfg.code = code;
+  cfg.punctured = true;
+  cfg.subpasses = 8;
+  strider::StriderSession s(cfg);
+  util::Xoshiro256 prng(7);
+  s.start(prng.random_bits(code.message_bits()));
+
+  const int per_pass = strider::StriderEncoder(code).symbols_per_pass();
+  int collected = 0;
+  for (int i = 0; i < 8; ++i) collected += static_cast<int>(s.next_chunk().size());
+  EXPECT_EQ(collected, per_pass);  // 8 subpasses = exactly one pass
+}
+
+TEST(Sessions, NoiseHintDefaultIsHarmlessForSpinal) {
+  // The spinal decoder ignores the hint (pure min-distance metric):
+  // decoding works whether or not set_noise_hint is called.
+  CodeParams p;
+  p.n = 64;
+  SpinalSession s(p);
+  s.set_noise_hint(123.0);  // nonsense value on purpose
+  ChannelSim ch(ChannelKind::kAwgn, 15.0, 1, 8);
+  util::Xoshiro256 prng(9);
+  const util::BitVec msg = prng.random_bits(p.n);
+  EXPECT_TRUE(run_message(s, ch, msg).success);
+}
+
+TEST(Sessions, EngineCountsChunksAndAttempts) {
+  CodeParams p;
+  p.n = 64;
+  SpinalSession s(p);
+  ChannelSim ch(ChannelKind::kAwgn, 25.0, 1, 10);
+  util::Xoshiro256 prng(11);
+  EngineOptions opt;
+  opt.attempt_every = 2;
+  const RunResult r = run_message(s, ch, prng.random_bits(p.n), opt);
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(r.chunks, r.attempts * 2 - 1);
+}
+
+}  // namespace
+}  // namespace spinal::sim
