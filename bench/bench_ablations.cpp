@@ -29,14 +29,20 @@ double spinal_rate(const CodeParams& p, double snr, int trials) {
 }
 
 /// Rateless BSC run: passes until decoded; returns bits/channel-use.
+/// Trials run on the shared pool; per-trial slots + in-order reduction
+/// keep the result identical at any thread count.
 double bsc_rate(double p_flip, int trials, std::uint64_t seed) {
   CodeParams p;
   p.n = 192;
   p.c = 1;
   p.B = 256;
   p.max_passes = 64;
-  long sent = 0, decoded = 0;
-  for (int t = 0; t < trials; ++t) {
+  struct Outcome {
+    long bits = 0;
+    bool ok = false;
+  };
+  std::vector<Outcome> outcomes(trials);
+  benchutil::runner().parallel_for(trials, [&](int t) {
     util::Xoshiro256 prng(seed + t);
     const util::BitVec msg = prng.random_bits(p.n);
     const BscSpinalEncoder enc(p, msg);
@@ -53,8 +59,12 @@ double bsc_rate(double p_flip, int trials, std::uint64_t seed) {
       if ((sp + 1) % sched.subpasses_per_pass() == 0)
         ok = (dec.decode().message == msg);
     }
-    sent += bits;
-    if (ok) decoded += p.n;
+    outcomes[t] = {bits, ok};
+  });
+  long sent = 0, decoded = 0;
+  for (const Outcome& out : outcomes) {
+    sent += out.bits;
+    if (out.ok) decoded += p.n;
   }
   return static_cast<double>(decoded) / sent;
 }
@@ -125,9 +135,9 @@ int main() {
         p.B = 64;
         p.d = 6;  // full tree: exact ML
       }
-      int ok = 0;
       const int n_trials = benchutil::trials(40);
-      for (int t = 0; t < n_trials; ++t) {
+      std::vector<std::uint8_t> decoded(n_trials, 0);
+      benchutil::runner().parallel_for(n_trials, [&](int t) {
         util::Xoshiro256 prng(55 + t);
         const util::BitVec msg = prng.random_bits(p.n);
         const SpinalEncoder enc(p, msg);
@@ -137,8 +147,10 @@ int main() {
         for (int sp = 0; sp < 2; ++sp)
           for (const SymbolId& id : sched.subpass(sp))
             dec.add_symbol(id, ch.transmit(enc.symbol(id)));
-        ok += (dec.decode().message == msg);
-      }
+        decoded[t] = (dec.decode().message == msg);
+      });
+      int ok = 0;
+      for (const std::uint8_t x : decoded) ok += x;
       (variant == 0 ? ok_bubble : ok_ml) = ok;
     }
     std::printf("bubble=%d,ml=%d (expect: bubble within a trial or two of ML)\n",

@@ -3,9 +3,12 @@
 //
 // Every bench prints the rows/series of one table or figure from the
 // paper as comment-prefixed text plus CSV rows, sized so the whole
-// suite finishes on a single-core box. Environment knobs:
-//   SPINAL_BENCH_TRIALS=<n>  override per-point trial counts
-//   SPINAL_BENCH_FULL=1      8x trials and the fine SNR grid
+// suite finishes on a single-core box. Monte-Carlo trials spread across
+// the shared TrialRunner pool; per-trial seeding keeps every CSV row
+// byte-identical at any thread count. Environment knobs:
+//   SPINAL_BENCH_TRIALS=<n>   override per-point trial counts
+//   SPINAL_BENCH_FULL=1       8x trials and the fine SNR grid
+//   SPINAL_BENCH_THREADS=<n>  worker threads (default: all cores)
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/trial_runner.h"
 #include "util/math.h"
 
 namespace benchutil {
@@ -33,9 +37,17 @@ inline std::vector<double> snr_grid(double lo, double hi, double coarse,
 
 inline int trials(int base) { return spinal::sim::scaled_trials(base); }
 
+/// The shared Monte-Carlo thread pool (SPINAL_BENCH_THREADS workers).
+/// Bench-local trial loops should run through this rather than a raw
+/// for-loop; see trial_runner.h for the per-trial-slot recipe.
+inline spinal::sim::TrialRunner& runner() {
+  return spinal::sim::TrialRunner::shared();
+}
+
 inline void banner(const char* what, const char* paper_ref) {
   std::printf("# %s\n# reproduces: %s\n", what, paper_ref);
-  std::printf("# trials scale: SPINAL_BENCH_TRIALS / SPINAL_BENCH_FULL=1\n");
+  std::printf("# trials scale: SPINAL_BENCH_TRIALS / SPINAL_BENCH_FULL=1; "
+              "threads: SPINAL_BENCH_THREADS\n");
 }
 
 /// Fraction of Shannon capacity achieved at snr_db by a code at `rate`.

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "channel/awgn.h"
+#include "sim/trial_runner.h"
 #include "spinal/decoder.h"
 #include "spinal/encoder.h"
 #include "util/math.h"
@@ -16,29 +18,49 @@ RateMeasurement measure_rate(const SessionFactory& make_session, double snr_db,
   RateMeasurement m;
   m.snr_db = snr_db;
 
+  // Phase 1: run the trials, each into its own slot. Every trial's
+  // randomness derives from its index, so execution order is free.
+  struct TrialOutcome {
+    long symbols = 0;
+    int bits = 0;
+    bool success = false;
+  };
+  std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(opt.trials));
+
+  TrialRunner::shared().parallel_for(
+      opt.trials,
+      [&](int t) {
+        const std::uint64_t seed = opt.seed + 0x1000003 * static_cast<std::uint64_t>(t);
+        auto session = make_session();
+        util::Xoshiro256 prng(seed ^ 0xC0FFEE);
+        const util::BitVec message = prng.random_bits(session->message_bits());
+
+        ChannelSim channel(opt.channel, snr_db, opt.coherence, seed);
+        EngineOptions eopt;
+        eopt.attempt_every = opt.attempt_every;
+        eopt.attempt_growth = opt.attempt_growth;
+        const RunResult r = run_message(*session, channel, message, eopt);
+
+        TrialOutcome& out = outcomes[static_cast<std::size_t>(t)];
+        out.symbols = r.symbols;
+        out.success = r.success;
+        if (r.success) out.bits = session->message_bits();
+      },
+      opt.threads);
+
+  // Phase 2: reduce in trial order — the same accumulation sequence as
+  // a sequential loop, hence bit-identical results.
   long total_symbols = 0;
   long decoded_bits = 0;
   int successes = 0;
   double success_symbols = 0;
-
-  for (int t = 0; t < opt.trials; ++t) {
-    const std::uint64_t seed = opt.seed + 0x1000003 * static_cast<std::uint64_t>(t);
-    auto session = make_session();
-    util::Xoshiro256 prng(seed ^ 0xC0FFEE);
-    const util::BitVec message = prng.random_bits(session->message_bits());
-
-    ChannelSim channel(opt.channel, snr_db, opt.coherence, seed);
-    EngineOptions eopt;
-    eopt.attempt_every = opt.attempt_every;
-    eopt.attempt_growth = opt.attempt_growth;
-    const RunResult r = run_message(*session, channel, message, eopt);
-
-    total_symbols += r.symbols;
-    if (r.success) {
+  for (const TrialOutcome& out : outcomes) {
+    total_symbols += out.symbols;
+    if (out.success) {
       ++successes;
-      decoded_bits += session->message_bits();
-      success_symbols += static_cast<double>(r.symbols);
-      m.symbols_to_decode.add(static_cast<double>(r.symbols));
+      decoded_bits += out.bits;
+      success_symbols += static_cast<double>(out.symbols);
+      m.symbols_to_decode.add(static_cast<double>(out.symbols));
     }
   }
 
@@ -53,9 +75,9 @@ double fixed_rate_throughput(const CodeParams& params, int symbols, double snr_d
                              int trials, std::uint64_t seed) {
   const PuncturingSchedule schedule(params);
   const std::vector<SymbolId> ids = schedule.prefix(symbols);
-  int successes = 0;
+  std::vector<std::uint8_t> decoded(static_cast<std::size_t>(trials), 0);
 
-  for (int t = 0; t < trials; ++t) {
+  TrialRunner::shared().parallel_for(trials, [&](int t) {
     const std::uint64_t s = seed + 0x9E3779B9 * static_cast<std::uint64_t>(t);
     util::Xoshiro256 prng(s ^ 0xFACade);
     const util::BitVec message = prng.random_bits(params.n);
@@ -67,8 +89,11 @@ double fixed_rate_throughput(const CodeParams& params, int symbols, double snr_d
     for (const SymbolId& id : ids)
       decoder.add_symbol(id, channel.transmit(encoder.symbol(id)));
 
-    if (decoder.decode().message == message) ++successes;
-  }
+    decoded[static_cast<std::size_t>(t)] = decoder.decode().message == message;
+  });
+
+  int successes = 0;
+  for (const std::uint8_t ok : decoded) successes += ok;
   return (static_cast<double>(params.n) / symbols) *
          (static_cast<double>(successes) / trials);
 }

@@ -24,6 +24,11 @@ struct SweepOptions {
   double attempt_growth = 1.0;               ///< geometric attempt back-off
   ChannelKind channel = ChannelKind::kAwgn;  ///< channel model
   int coherence = 1;                         ///< fading tau (symbols)
+  /// Trial-level parallelism cap: 0 = the shared TrialRunner pool
+  /// (SPINAL_BENCH_THREADS, default hardware_concurrency), 1 = run
+  /// sequentially on the calling thread. Results are bit-identical at
+  /// every setting; see trial_runner.h.
+  int threads = 0;
 };
 
 struct RateMeasurement {
@@ -37,6 +42,10 @@ struct RateMeasurement {
 
 /// Streams @p opt.trials random messages through fresh sessions at one
 /// SNR and aggregates rate = sum(decoded bits) / sum(symbols sent).
+/// Trials run in parallel on the shared TrialRunner pool (each one is
+/// seeded from its index alone) and are reduced in trial order, so the
+/// measurement is bit-identical at any thread count. The factory must
+/// be safe to invoke concurrently.
 RateMeasurement measure_rate(const SessionFactory& make_session, double snr_db,
                              const SweepOptions& opt);
 

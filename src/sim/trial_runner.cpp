@@ -1,0 +1,132 @@
+#include "sim/trial_runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace spinal::sim {
+
+int bench_threads() {
+  if (const char* env = std::getenv("SPINAL_BENCH_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+TrialRunner::TrialRunner(int threads) {
+  if (threads <= 0) threads = bench_threads();
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+TrialRunner::~TrialRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+TrialRunner& TrialRunner::shared() {
+  static TrialRunner runner;
+  return runner;
+}
+
+void TrialRunner::parallel_for(int count, const std::function<void(int)>& body,
+                               int max_threads) {
+  if (count <= 0) return;
+  const int limit = max_threads > 0 ? std::min(max_threads, threads()) : threads();
+
+  // Sequential fast path: no pool involvement, identical to a plain loop.
+  if (limit <= 1 || count == 1 || workers_.empty()) {
+    for (int t = 0; t < count; ++t) body(t);
+    return;
+  }
+
+  // One job owns the pool at a time. A caller that finds it busy —
+  // another thread mid-sweep, or a nested call from inside a body —
+  // falls back to the inline loop instead of corrupting the shared job
+  // state. (An atomic flag, not a mutex try_lock: the nested case is a
+  // same-thread re-acquire, UB for std::mutex.)
+  bool expected = false;
+  if (!busy_.compare_exchange_strong(expected, true)) {
+    for (int t = 0; t < count; ++t) body(t);
+    return;
+  }
+  struct BusyGuard {
+    std::atomic<bool>& flag;
+    ~BusyGuard() { flag.store(false); }
+  } busy_guard{busy_};
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_.body = &body;
+    job_.count = count;
+    job_.worker_limit = limit - 1;  // calling thread takes the remaining slot
+    next_trial_ = 0;
+    pending_trials_ = count;
+    first_error_ = nullptr;
+    job_.seq = ++job_seq_;
+  }
+  cv_work_.notify_all();
+
+  consume(job_);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_trials_ == 0; });
+  job_.body = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void TrialRunner::consume(Job& job) {
+  for (;;) {
+    int t;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // The shared counters may already belong to a newer job: a worker
+      // that handed out this job's last trial can linger here while the
+      // caller returns and submits the next parallel_for. Comparing the
+      // snapshot's sequence number keeps it from claiming that job's
+      // indices (and calling this job's by-then-destroyed body).
+      if (job_seq_ != job.seq || next_trial_ >= job.count) return;
+      // After a failure, drain the remaining indices without running them
+      // so the caller's wait terminates promptly.
+      if (first_error_) {
+        pending_trials_ -= job.count - next_trial_;
+        next_trial_ = job.count;
+        if (pending_trials_ == 0) cv_done_.notify_all();
+        return;
+      }
+      t = next_trial_++;
+    }
+    try {
+      (*job.body)(t);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_trials_ == 0) cv_done_.notify_all();
+  }
+}
+
+void TrialRunner::worker_loop(int worker_index) {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stopping_ || job_seq_ != seen_seq; });
+      if (stopping_) return;
+      seen_seq = job_seq_;
+      if (worker_index >= job_.worker_limit) continue;  // capped-thread job
+      job = job_;
+    }
+    consume(job);
+  }
+}
+
+}  // namespace spinal::sim

@@ -1,0 +1,89 @@
+#pragma once
+// Multithreaded Monte-Carlo trial execution for the experiment sweeps.
+//
+// Every rate-vs-SNR point runs `trials` independent messages whose
+// seeds are derived from the trial index alone, so the trials are
+// embarrassingly parallel. TrialRunner is a persistent std::thread pool
+// that hands out trial indices to workers; callers write each trial's
+// outcome into a per-trial slot and reduce the slots sequentially
+// afterwards, which keeps every result bit-identical to a 1-thread run
+// at any thread count (floating-point accumulation order never
+// changes).
+//
+// Thread count is controlled by the SPINAL_BENCH_THREADS environment
+// variable and defaults to std::thread::hardware_concurrency().
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spinal::sim {
+
+/// Worker count for the shared pool: SPINAL_BENCH_THREADS when set to a
+/// positive integer, otherwise hardware_concurrency() (minimum 1).
+/// Re-reads the environment on every call.
+int bench_threads();
+
+class TrialRunner {
+ public:
+  /// @param threads pool size; 0 means bench_threads().
+  explicit TrialRunner(int threads = 0);
+  ~TrialRunner();
+
+  TrialRunner(const TrialRunner&) = delete;
+  TrialRunner& operator=(const TrialRunner&) = delete;
+
+  /// Total threads that can work on a job (workers + calling thread).
+  int threads() const noexcept { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(t) for every t in [0, count), spread across at most
+  /// @p max_threads threads (0 = the whole pool; 1 = inline on the
+  /// calling thread, byte-for-byte the sequential loop). The calling
+  /// thread always participates. Trials must be independent: body(t)
+  /// may only write state owned by trial t. If any body throws, the
+  /// first exception is rethrown here after all workers go idle;
+  /// remaining unstarted trials are skipped.
+  ///
+  /// Safe to call from multiple threads (so measure_rate stays as
+  /// thread-safe as its old sequential implementation): the pool runs
+  /// one job at a time, and a caller that finds it busy — including a
+  /// nested call from inside a body — simply runs its job inline on
+  /// its own thread.
+  void parallel_for(int count, const std::function<void(int)>& body,
+                    int max_threads = 0);
+
+  /// Process-wide pool sized from bench_threads() at first use. Bench
+  /// binaries and the experiment sweeps share this instance.
+  static TrialRunner& shared();
+
+ private:
+  struct Job {
+    const std::function<void(int)>* body = nullptr;
+    int count = 0;
+    int worker_limit = 0;  ///< workers with index >= limit sit this job out
+    std::uint64_t seq = 0;  ///< job_seq_ at submission; guards stale workers
+  };
+
+  void worker_loop(int worker_index);
+  void consume(Job& job);
+
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> busy_{false};  ///< a submitter owns the pool
+  std::mutex mutex_;
+  std::condition_variable cv_work_;   ///< signals a new job / shutdown
+  std::condition_variable cv_done_;   ///< signals all trials finished
+  Job job_;
+  std::uint64_t job_seq_ = 0;         ///< bumped once per parallel_for
+  int next_trial_ = 0;                ///< next unclaimed trial index
+  int pending_trials_ = 0;            ///< claimed-or-unclaimed, not yet finished
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace spinal::sim

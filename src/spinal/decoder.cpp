@@ -56,12 +56,10 @@ struct AwgnEnv {
 };
 
 SpinalDecoder::SpinalDecoder(const CodeParams& params)
-    : params_(params),
+    : params_(validated(params)),
       hash_(params.hash_kind, params.salt),
       constellation_(params.map, params.c, params.power, params.beta),
-      rx_(params.spine_length()) {
-  params_.validate();
-}
+      rx_(params.spine_length()) {}
 
 void SpinalDecoder::add_symbol(SymbolId id, std::complex<float> y) {
   add_symbol(id, y, {1.0f, 0.0f});
@@ -114,11 +112,9 @@ struct BscEnv {
 };
 
 BscSpinalDecoder::BscSpinalDecoder(const CodeParams& params)
-    : params_(params),
+    : params_(validated(params)),
       hash_(params.hash_kind, params.salt),
-      rx_(params.spine_length()) {
-  params_.validate();
-}
+      rx_(params.spine_length()) {}
 
 void BscSpinalDecoder::add_bit(SymbolId id, std::uint8_t bit) {
   if (id.spine_index < 0 || id.spine_index >= static_cast<std::int32_t>(rx_.size()))

@@ -3,13 +3,11 @@
 namespace spinal {
 
 SpinalEncoder::SpinalEncoder(const CodeParams& params, const util::BitVec& message)
-    : params_(params),
+    : params_(validated(params)),
       h_(params.hash_kind, params.salt),
       constellation_(params.map, params.c, params.power, params.beta),
       schedule_(params),
-      spine_(compute_spine(params, h_, message)) {
-  params_.validate();
-}
+      spine_(compute_spine(params, h_, message)) {}
 
 void SpinalEncoder::encode_subpass(int sp, std::vector<SymbolId>& ids_out,
                                    std::vector<std::complex<float>>& out) const {
@@ -20,12 +18,10 @@ void SpinalEncoder::encode_subpass(int sp, std::vector<SymbolId>& ids_out,
 }
 
 BscSpinalEncoder::BscSpinalEncoder(const CodeParams& params, const util::BitVec& message)
-    : params_(params),
+    : params_(validated(params)),
       h_(params.hash_kind, params.salt),
       schedule_(params),
-      spine_(compute_spine(params, h_, message)) {
-  params_.validate();
-}
+      spine_(compute_spine(params, h_, message)) {}
 
 void BscSpinalEncoder::encode_subpass(int sp, std::vector<SymbolId>& ids_out,
                                       std::vector<std::uint8_t>& out) const {

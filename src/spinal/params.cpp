@@ -22,8 +22,17 @@ void CodeParams::validate() const {
   if (fixed_point_frac_bits < 0 || fixed_point_frac_bits > 12)
     fail("fixed_point_frac_bits must be in [0, 12]");
 
-  // Bound the decoder working set: B * 2^(k*d) nodes per step.
+  // BeamSearch packs a subtree path of d chunks, k bits each, into one
+  // 32-bit word (beam_search.h leaf_path), so k*d <= 32 is a hard
+  // correctness bound: beyond it paths would silently corrupt. The
+  // working-set limit below is currently tighter, but this check is
+  // what must survive if that operational limit is ever relaxed.
   const int kd = k * d;
+  if (kd > 32)
+    fail("k*d must be <= 32 (bubble-search path words are 32-bit; "
+         "k*d bits of path are packed per subtree)");
+
+  // Bound the decoder working set: B * 2^(k*d) nodes per step.
   if (kd > 24) fail("k*d too large (limit 24)");
   const double nodes = static_cast<double>(B) * static_cast<double>(1u << kd);
   if (nodes > (1u << 26)) fail("B * 2^(k*d) exceeds the 2^26 working-set limit");

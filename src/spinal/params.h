@@ -56,4 +56,13 @@ struct CodeParams {
   void validate() const;
 };
 
+/// Validates @p p and passes it through. Lets a constructor whose
+/// CodeParams copy is its first member validate in the member-init
+/// list, so invalid params throw before any downstream member
+/// (Constellation, Schedule, spine) is built from them.
+inline const CodeParams& validated(const CodeParams& p) {
+  p.validate();
+  return p;
+}
+
 }  // namespace spinal

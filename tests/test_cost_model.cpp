@@ -46,7 +46,9 @@ TEST(CostModel, EqualHashBudgetAcrossFig87Configs) {
     p.d = d;
     const DecodeCost c = decode_attempt_cost(p, 1);
     const long per_step = c.nodes_explored / c.steps;
-    if (prev >= 0) EXPECT_EQ(per_step, prev);
+    if (prev >= 0) {
+      EXPECT_EQ(per_step, prev);
+    }
     prev = per_step;
   }
 }

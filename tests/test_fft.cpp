@@ -35,7 +35,9 @@ TEST(Fft, SingleToneLandsInOneBin) {
   fft(x);
   EXPECT_NEAR(std::abs(x[tone]), n, 1e-9);
   for (int k = 0; k < n; ++k) {
-    if (k != tone) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9) << k;
+    if (k != tone) {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9) << k;
+    }
   }
 }
 

@@ -73,7 +73,9 @@ TEST(Schedule, OrdinalsAdvancePerPass) {
   // Pass 1 = subpasses 2 and 3; every non-last spine value at ordinal 1.
   for (int sub = 2; sub < 4; ++sub) {
     for (const auto& id : s.subpass(sub)) {
-      if (id.spine_index != 15) EXPECT_EQ(id.ordinal, 1);
+      if (id.spine_index != 15) {
+        EXPECT_EQ(id.ordinal, 1);
+      }
     }
   }
 }

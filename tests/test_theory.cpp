@@ -52,7 +52,9 @@ TEST(Theory, MinPassesMatchesRateBound) {
     ASSERT_GT(L, 0) << snr_db;
     const double per_pass = theorem1_rate_bound(6, snr_db);
     EXPECT_GT(L * per_pass, 4.0);            // L satisfies the theorem
-    if (L > 1) EXPECT_LE((L - 1) * per_pass, 4.0);  // and is minimal
+    if (L > 1) {
+      EXPECT_LE((L - 1) * per_pass, 4.0);  // and is minimal
+    }
   }
 }
 
