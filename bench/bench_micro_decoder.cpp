@@ -1,0 +1,123 @@
+// Decode-throughput microbenchmarks for the bubble-decoder hot path.
+//
+// Each benchmark feeds a fixed number of passes into a decoder once and
+// then times repeated full decode attempts — the §4.5 receiver cost the
+// batched SoA kernel targets. The AWGN (n=256, k=4, B=256, d=1) point is
+// the tracked reference number for perf regressions; run with
+// SPINAL_BENCH_THREADS=1 semantics (decode is single-threaded anyway).
+
+#include <benchmark/benchmark.h>
+
+#include "channel/awgn.h"
+#include "channel/bsc.h"
+#include "spinal/decoder.h"
+#include "spinal/encoder.h"
+#include "util/prng.h"
+
+using namespace spinal;
+
+namespace {
+
+CodeParams make_params(int n, int k, int B, int d) {
+  CodeParams p;
+  p.n = n;
+  p.k = k;
+  p.B = B;
+  p.d = d;
+  return p;
+}
+
+/// Feeds @p passes unpunctured passes of noisy symbols into @p dec.
+void feed_awgn(const CodeParams& p, SpinalDecoder& dec, int passes,
+               bool with_csi = false) {
+  util::Xoshiro256 prng(7);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  channel::AwgnChannel ch(10.0, 11);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < passes * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp)) {
+      if (with_csi)
+        dec.add_symbol(id, ch.transmit(enc.symbol(id)), {0.9f, 0.3f});
+      else
+        dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+    }
+}
+
+void feed_bsc(const CodeParams& p, BscSpinalDecoder& dec, int passes) {
+  util::Xoshiro256 prng(8);
+  const BscSpinalEncoder enc(p, prng.random_bits(p.n));
+  channel::BscChannel ch(0.03, 12);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < passes * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_bit(id, ch.transmit(enc.bit(id)));
+}
+
+/// args: n, k, B, d, passes. Reports decoded message bits per second.
+void BM_DecodeAwgn(benchmark::State& state) {
+  const CodeParams p =
+      make_params(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+                  static_cast<int>(state.range(2)), static_cast<int>(state.range(3)));
+  SpinalDecoder dec(p);
+  feed_awgn(p, dec, static_cast<int>(state.range(4)));
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+}
+// The tracked reference point (paper's recommended operating point).
+BENCHMARK(BM_DecodeAwgn)
+    ->Args({256, 4, 256, 1, 2})   // reference: n=256, k=4, B=256, d=1
+    ->Args({256, 4, 64, 1, 2})    // narrower beam
+    ->Args({1024, 4, 256, 1, 2})  // long block
+    ->Args({96, 3, 64, 2, 2})     // deep bubble d=2
+    ->Args({256, 4, 256, 1, 8})   // symbol-heavy (8 passes)
+    ->ArgNames({"n", "k", "B", "d", "passes"});
+
+void BM_DecodeAwgnCsi(benchmark::State& state) {
+  const CodeParams p = make_params(256, 4, static_cast<int>(state.range(0)), 1);
+  SpinalDecoder dec(p);
+  feed_awgn(p, dec, 2, /*with_csi=*/true);
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+}
+BENCHMARK(BM_DecodeAwgnCsi)->Arg(256)->ArgName("B");
+
+void BM_DecodeAwgnFixedPoint(benchmark::State& state) {
+  CodeParams p = make_params(256, 4, static_cast<int>(state.range(0)), 1);
+  p.fixed_point_frac_bits = 6;
+  SpinalDecoder dec(p);
+  feed_awgn(p, dec, 2);
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+}
+BENCHMARK(BM_DecodeAwgnFixedPoint)->Arg(256)->ArgName("B");
+
+/// args: B, passes.
+void BM_DecodeBsc(benchmark::State& state) {
+  CodeParams p = make_params(256, 4, static_cast<int>(state.range(0)), 1);
+  p.c = 1;
+  BscSpinalDecoder dec(p);
+  feed_bsc(p, dec, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+}
+BENCHMARK(BM_DecodeBsc)
+    ->Args({256, 6})
+    ->Args({64, 6})
+    ->Args({256, 12})
+    ->ArgNames({"B", "passes"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

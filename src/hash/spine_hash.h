@@ -4,6 +4,7 @@
 // random index into the pairwise-independent family H), plus the
 // hash-derived RNG of §7.1: RNG(s, t) = h(s, t).
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -39,6 +40,51 @@ class SpineHash {
   /// symbols lost to erased frames never need to be generated.
   std::uint32_t rng(std::uint32_t spine, std::uint32_t index) const noexcept {
     return (*this)(spine, index ^ 0x80000000u);  // domain-separate from h
+  }
+
+  /// Batched h over a lane array: out[i] = h(states[i], data) for all
+  /// i < count. Bit-identical to looping operator(); the kind dispatch
+  /// is hoisted out of the loop and the per-kind loops are written over
+  /// contiguous arrays so the compiler can vectorise them.
+  void hash_n(const std::uint32_t* states, std::size_t count, std::uint32_t data,
+              std::uint32_t* out) const noexcept;
+
+  /// Batched RNG: out[i] = rng(states[i], index) for all i < count.
+  void rng_n(const std::uint32_t* states, std::size_t count, std::uint32_t index,
+             std::uint32_t* out) const noexcept {
+    hash_n(states, count, index ^ 0x80000000u, out);
+  }
+
+  /// All 2^k children of a whole leaf array in one sweep:
+  /// out[v*count + i] = h(states[i], v) for v < fanout, i < count.
+  /// For one-at-a-time the state pre-mix (which does not depend on the
+  /// chunk value) is shared across the fanout, so a leaf's children cost
+  /// fanout+1 word mixes instead of 2*fanout.
+  void hash_children(const std::uint32_t* states, std::size_t count,
+                     std::uint32_t fanout, std::uint32_t* out) const noexcept;
+
+  /// True when h factors into a data-independent state pre-mix followed
+  /// by a data mix (one-at-a-time does; lookup3 and Salsa20 do not).
+  /// When it does, callers hashing the same states against many data
+  /// words (the per-symbol RNG draws) can pay the pre-mix once:
+  ///   premix_n(states, n, tmp);
+  ///   for each data: hash_premixed_n(tmp, n, data, out);
+  /// is bit-identical to hash_n(states, n, data, out) per data word.
+  bool has_premix() const noexcept { return kind_ == Kind::kOneAtATime; }
+
+  /// Pre-mixes a lane array (only valid when has_premix()).
+  void premix_n(const std::uint32_t* states, std::size_t count,
+                std::uint32_t* out) const noexcept;
+
+  /// Finishes h for lanes pre-mixed by premix_n (only valid when
+  /// has_premix()).
+  void hash_premixed_n(const std::uint32_t* premixed, std::size_t count,
+                       std::uint32_t data, std::uint32_t* out) const noexcept;
+
+  /// RNG over pre-mixed lanes: the premix-shared form of rng_n.
+  void rng_premixed_n(const std::uint32_t* premixed, std::size_t count,
+                      std::uint32_t index, std::uint32_t* out) const noexcept {
+    hash_premixed_n(premixed, count, index ^ 0x80000000u, out);
   }
 
  private:

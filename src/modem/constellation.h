@@ -51,6 +51,11 @@ class SpinalConstellation {
   /// Full per-dimension table (2^c entries), for tests and PAPR studies.
   const std::vector<float>& table() const noexcept { return table_; }
 
+  /// Raw table pointer and index mask, for SoA cost kernels that fuse
+  /// the two-draw lookup into a vectorisable loop (bulk decode path).
+  const float* data() const noexcept { return table_.data(); }
+  std::uint32_t mask() const noexcept { return mask_; }
+
  private:
   MapKind kind_;
   int c_;

@@ -14,176 +14,299 @@
 //   float node_cost(int spine_idx, std::uint32_t state) const;
 // node_cost must return 0 for spine values with no received symbols, so
 // puncturing needs no special handling here (§5).
+//
+// An Env may additionally provide the fused batched expansion kernel
+//   void expand_all(int spine_idx, const std::uint32_t* states,
+//                   std::size_t count, int fanout,
+//                   std::uint32_t* out_states, float* out_costs) const;
+// computing out_states[v*count + i] = child(states[i], v) and
+// out_costs[v*count + i] = node_cost(spine_idx, out_states[v*count + i])
+// for every chunk value v < fanout over the whole contiguous leaf array.
+// When present it is used for the main-loop expansion (the hot path);
+// results must be bit-identical to the scalar pair, which remains the
+// golden reference (see test_decoder_golden.cpp). The search itself
+// allocates nothing once its SearchWorkspace buffers reach steady-state
+// capacity, so repeated decode attempts are allocation-free.
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
-#include <numeric>
 #include <vector>
 
 #include "spinal/params.h"
 
 namespace spinal::detail {
 
+/// Order-preserving float-to-integer map: monotone_key(a) < monotone_key(b)
+/// iff a < b for all non-NaN floats (with -0 ordered just below +0, which
+/// cannot matter here: candidate costs that tie at zero are both +0).
+/// Lets the B-of-N selection run on flat uint64 (key << 32 | index) values
+/// instead of an indirect float comparator — same (cost, index) order,
+/// including the index tie-break, at a fraction of the compare cost.
+inline std::uint32_t monotone_key(float f) noexcept {
+  const std::uint32_t b = std::bit_cast<std::uint32_t>(f);
+  return (b & 0x80000000u) ? ~b : (b | 0x80000000u);
+}
+
 struct SearchResult {
   std::vector<std::uint32_t> chunks;  ///< decoded chunk values, index 0 .. n/k-1
   double best_cost = 0.0;             ///< path cost of the returned leaf
 };
 
+/// Backtracking arena entry: one node per selected subtree per step.
+struct ArenaNode {
+  std::int32_t parent;
+  std::uint32_t chunk;
+};
+
+/// Scratch buffers for BeamSearch::run. Reusing one workspace across
+/// attempts keeps the steady state allocation-free: every buffer is
+/// sized by assign/resize, which only touch the heap while the high-water
+/// capacity is still growing (sizes depend only on the CodeParams, so
+/// after the first full run they never grow again).
+struct SearchWorkspace {
+  std::vector<std::uint32_t> leaf_state, leaf_path, next_state, next_path;
+  std::vector<float> leaf_cost, next_cost;
+  std::vector<std::uint32_t> cand_state, cand_path;
+  std::vector<float> cand_cost, cand_min;
+  std::vector<int> fill;
+  std::vector<std::uint64_t> keys;  ///< (monotone cost, candidate index) packed
+  std::vector<std::int32_t> entry_arena, next_entry_arena;
+  std::vector<ArenaNode> arena;
+  std::vector<std::uint32_t> child_state;  ///< batched kernel: [fanout][leaves]
+  std::vector<float> child_cost;           ///< batched kernel: [fanout][leaves]
+};
+
+template <class Env>
+concept BatchedSearchEnv = requires(const Env& e, const std::uint32_t* st,
+                                    std::uint32_t* os, float* oc) {
+  e.expand_all(0, st, std::size_t{0}, 0, os, oc);
+};
+
 template <class Env>
 class BeamSearch {
  public:
-  /// Runs one full decode attempt over the received data captured in
-  /// @p env. The tree is rebuilt from scratch every attempt (§7.1
-  /// explains why caching between attempts does not pay off).
+  /// Convenience overload with throwaway scratch (tests, one-shot use).
   SearchResult run(const Env& env, const CodeParams& p) const {
+    SearchWorkspace ws;
+    SearchResult out;
+    run(env, p, ws, out);
+    return out;
+  }
+
+  /// Runs one full decode attempt over the received data captured in
+  /// @p env, reusing @p ws scratch and writing into @p out. The tree is
+  /// rebuilt from scratch every attempt (§7.1 explains why caching
+  /// between attempts does not pay off).
+  void run(const Env& env, const CodeParams& p, SearchWorkspace& ws,
+           SearchResult& out) const {
     const int S = p.spine_length();
     const int d = std::min(p.d, S);
     const int k = p.k;
     const int B = p.B;
 
     // ---- Initial build: single root s0, leaves out to depth d-1 ----
-    // (path chunks 0 .. d-2; all full k bits since d-2 <= S-2).
-    std::vector<std::uint32_t> leaf_state{p.s0};
-    std::vector<float> leaf_cost{0.0f};
-    std::vector<std::uint32_t> leaf_path{0};
+    // (path chunks 0 .. d-2; all full k bits since d-2 <= S-2). This
+    // prologue touches at most 2^(k(d-1)) nodes, so it stays scalar.
+    ws.leaf_state.assign(1, p.s0);
+    ws.leaf_cost.assign(1, 0.0f);
+    ws.leaf_path.assign(1, 0);
     for (int lvl = 0; lvl <= d - 2; ++lvl) {
       const int fanout = 1 << p.chunk_bits(lvl);
-      std::vector<std::uint32_t> ns;
-      std::vector<float> nc;
-      std::vector<std::uint32_t> np;
-      ns.reserve(leaf_state.size() * fanout);
-      nc.reserve(leaf_state.size() * fanout);
-      np.reserve(leaf_state.size() * fanout);
-      for (std::size_t i = 0; i < leaf_state.size(); ++i) {
-        for (int v = 0; v < fanout; ++v) {
-          const std::uint32_t st = env.child(leaf_state[i], static_cast<std::uint32_t>(v));
-          ns.push_back(st);
-          nc.push_back(leaf_cost[i] + env.node_cost(lvl, st));
-          np.push_back(leaf_path[i] | (static_cast<std::uint32_t>(v) << (k * lvl)));
+      const std::size_t n = ws.leaf_state.size();
+      ws.next_state.resize(n * fanout);
+      ws.next_cost.resize(n * fanout);
+      ws.next_path.resize(n * fanout);
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (int v = 0; v < fanout; ++v, ++w) {
+          const std::uint32_t st = env.child(ws.leaf_state[i], static_cast<std::uint32_t>(v));
+          ws.next_state[w] = st;
+          ws.next_cost[w] = ws.leaf_cost[i] + env.node_cost(lvl, st);
+          ws.next_path[w] = ws.leaf_path[i] | (static_cast<std::uint32_t>(v) << (k * lvl));
         }
       }
-      leaf_state.swap(ns);
-      leaf_cost.swap(nc);
-      leaf_path.swap(np);
+      ws.leaf_state.swap(ws.next_state);
+      ws.leaf_cost.swap(ws.next_cost);
+      ws.leaf_path.swap(ws.next_path);
     }
 
-    // Backtracking arena: one node per selected subtree per step.
-    struct ArenaNode {
-      std::int32_t parent;
-      std::uint32_t chunk;
-    };
-    std::vector<ArenaNode> arena;
-    arena.push_back({-1, 0});  // virtual node for the depth-0 root
-
-    std::vector<std::int32_t> entry_arena{0};  // arena node of each beam entry
-    int leaves_per_entry = static_cast<int>(leaf_state.size());
+    ws.arena.clear();
+    ws.arena.push_back({-1, 0});  // virtual node for the depth-0 root
+    ws.entry_arena.assign(1, 0);  // arena node of each beam entry
+    int leaves_per_entry = static_cast<int>(ws.leaf_state.size());
 
     const std::uint32_t group_mask = (k < 32) ? ((1u << k) - 1u) : ~0u;
+    // With d == 1 every partial path is empty (ext = v, ext >> k = 0),
+    // so the path arrays would hold nothing but zeroes — skip them.
+    const bool use_paths = d > 1;
 
     // ---- Main loop: steps t = 0 .. S-d, expansion chunk e = t+d-1 ----
-    std::vector<std::uint32_t> cand_state, cand_path;
-    std::vector<float> cand_cost;
-    std::vector<float> cand_min;
-    std::vector<int> order;
-
     for (int t = 0; t <= S - d; ++t) {
       const int e = t + d - 1;                    // chunk evaluated this step
       const int fanout = 1 << p.chunk_bits(e);    // children per expanded leaf
       const int group_count = 1 << p.chunk_bits(t);  // candidate subtrees per entry
-      const int entries = static_cast<int>(entry_arena.size());
+      const int entries = static_cast<int>(ws.entry_arena.size());
       const int new_leaves_per_cand = leaves_per_entry * fanout / group_count;
       const int cand_total = entries * group_count;
+      const std::size_t total_leaves = ws.leaf_state.size();
 
-      cand_state.assign(static_cast<std::size_t>(cand_total) * new_leaves_per_cand, 0);
-      cand_cost.assign(static_cast<std::size_t>(cand_total) * new_leaves_per_cand, 0.0f);
-      cand_path.assign(static_cast<std::size_t>(cand_total) * new_leaves_per_cand, 0);
-      cand_min.assign(cand_total, std::numeric_limits<float>::infinity());
-      std::vector<int> fill(cand_total, 0);
+      ws.cand_state.resize(static_cast<std::size_t>(cand_total) * new_leaves_per_cand);
+      ws.cand_cost.resize(static_cast<std::size_t>(cand_total) * new_leaves_per_cand);
+      if (use_paths)
+        ws.cand_path.resize(static_cast<std::size_t>(cand_total) * new_leaves_per_cand);
+      ws.keys.resize(cand_total);
 
-      for (int en = 0; en < entries; ++en) {
-        const std::size_t base = static_cast<std::size_t>(en) * leaves_per_entry;
-        for (int lf = 0; lf < leaves_per_entry; ++lf) {
-          const std::uint32_t st = leaf_state[base + lf];
-          const float pc = leaf_cost[base + lf];
-          const std::uint32_t path = leaf_path[base + lf];
-          for (int v = 0; v < fanout; ++v) {
-            const std::uint32_t child_state = env.child(st, static_cast<std::uint32_t>(v));
-            const float cost = pc + env.node_cost(e, child_state);
-            // Extended path = path chunks (t..t+d-2) then v at slot d-1;
-            // the slot-0 chunk picks the candidate subtree.
-            const std::uint32_t ext =
-                path | (static_cast<std::uint32_t>(v) << (k * (d - 1)));
-            const std::uint32_t g = ext & group_mask;
-            const int cand = en * group_count + static_cast<int>(g);
-            const std::size_t slot =
-                static_cast<std::size_t>(cand) * new_leaves_per_cand + fill[cand]++;
-            cand_state[slot] = child_state;
-            cand_cost[slot] = cost;
-            cand_path[slot] = ext >> k;  // drop slot 0: chunks t+1..t+d-1
-            if (cost < cand_min[cand]) cand_min[cand] = cost;
+      if constexpr (BatchedSearchEnv<Env>) {
+        // Fused kernel: children + level costs for the whole contiguous
+        // leaf array in one sweep, then a hash-free scatter that walks
+        // candidates in the same (entry, leaf, chunk) order as the
+        // scalar path, so slot layout and float sums are identical.
+        ws.child_state.resize(static_cast<std::size_t>(fanout) * total_leaves);
+        ws.child_cost.resize(static_cast<std::size_t>(fanout) * total_leaves);
+        env.expand_all(e, ws.leaf_state.data(), total_leaves, fanout,
+                       ws.child_state.data(), ws.child_cost.data());
+        if (d == 1) {
+          // One leaf per candidate (leaves_per_entry == 1, group_count
+          // == fanout): the scatter is a transpose of the [v][leaf]
+          // kernel output, fused with the selection-key build.
+          for (int en = 0; en < entries; ++en) {
+            const float pc = ws.leaf_cost[en];
+            for (int v = 0; v < fanout; ++v) {
+              const std::size_t src = static_cast<std::size_t>(v) * total_leaves + en;
+              const float cost = pc + ws.child_cost[src];
+              const int cand = en * fanout + v;
+              ws.cand_state[cand] = ws.child_state[src];
+              ws.cand_cost[cand] = cost;
+              ws.keys[cand] = (static_cast<std::uint64_t>(monotone_key(cost)) << 32) |
+                              static_cast<std::uint32_t>(cand);
+            }
+          }
+        } else {
+          ws.cand_min.assign(cand_total, std::numeric_limits<float>::infinity());
+          ws.fill.assign(cand_total, 0);
+          for (int en = 0; en < entries; ++en) {
+            const std::size_t base = static_cast<std::size_t>(en) * leaves_per_entry;
+            for (int lf = 0; lf < leaves_per_entry; ++lf) {
+              const std::size_t i = base + lf;
+              const float pc = ws.leaf_cost[i];
+              const std::uint32_t path = ws.leaf_path[i];
+              for (int v = 0; v < fanout; ++v) {
+                const std::size_t src = static_cast<std::size_t>(v) * total_leaves + i;
+                const float cost = pc + ws.child_cost[src];
+                const std::uint32_t ext =
+                    path | (static_cast<std::uint32_t>(v) << (k * (d - 1)));
+                const std::uint32_t g = ext & group_mask;
+                const int cand = en * group_count + static_cast<int>(g);
+                const std::size_t slot =
+                    static_cast<std::size_t>(cand) * new_leaves_per_cand + ws.fill[cand]++;
+                ws.cand_state[slot] = ws.child_state[src];
+                ws.cand_cost[slot] = cost;
+                ws.cand_path[slot] = ext >> k;
+                if (cost < ws.cand_min[cand]) ws.cand_min[cand] = cost;
+              }
+            }
+          }
+          for (int c = 0; c < cand_total; ++c)
+            ws.keys[c] = (static_cast<std::uint64_t>(monotone_key(ws.cand_min[c])) << 32) |
+                         static_cast<std::uint32_t>(c);
+        }
+      } else {
+        ws.cand_min.assign(cand_total, std::numeric_limits<float>::infinity());
+        ws.fill.assign(cand_total, 0);
+        for (int en = 0; en < entries; ++en) {
+          const std::size_t base = static_cast<std::size_t>(en) * leaves_per_entry;
+          for (int lf = 0; lf < leaves_per_entry; ++lf) {
+            const std::uint32_t st = ws.leaf_state[base + lf];
+            const float pc = ws.leaf_cost[base + lf];
+            const std::uint32_t path = use_paths ? ws.leaf_path[base + lf] : 0;
+            for (int v = 0; v < fanout; ++v) {
+              const std::uint32_t child_state = env.child(st, static_cast<std::uint32_t>(v));
+              const float cost = pc + env.node_cost(e, child_state);
+              // Extended path = path chunks (t..t+d-2) then v at slot d-1;
+              // the slot-0 chunk picks the candidate subtree.
+              const std::uint32_t ext =
+                  path | (static_cast<std::uint32_t>(v) << (k * (d - 1)));
+              const std::uint32_t g = ext & group_mask;
+              const int cand = en * group_count + static_cast<int>(g);
+              const std::size_t slot =
+                  static_cast<std::size_t>(cand) * new_leaves_per_cand + ws.fill[cand]++;
+              ws.cand_state[slot] = child_state;
+              ws.cand_cost[slot] = cost;
+              if (use_paths)
+                ws.cand_path[slot] = ext >> k;  // drop slot 0: chunks t+1..t+d-1
+              if (cost < ws.cand_min[cand]) ws.cand_min[cand] = cost;
+            }
           }
         }
+        for (int c = 0; c < cand_total; ++c)
+          ws.keys[c] = (static_cast<std::uint64_t>(monotone_key(ws.cand_min[c])) << 32) |
+                       static_cast<std::uint32_t>(c);
       }
 
       // ---- Select the B best subtrees (ties broken by index) ----
-      order.resize(cand_total);
-      std::iota(order.begin(), order.end(), 0);
+      // Keys order exactly like the float comparator (cost, then
+      // candidate index). nth_element fixes the kept *set*; sorting the
+      // kept prefix fixes its *order* — hence arena layout and every
+      // equal-cost tie-break downstream — identically on every stdlib.
+      // With no pruning the keys are already in candidate-index order,
+      // the historical (and deterministic) layout.
       const int keep = std::min(B, cand_total);
-      auto better = [&](int a, int b) {
-        return cand_min[a] != cand_min[b] ? cand_min[a] < cand_min[b] : a < b;
-      };
-      if (keep < cand_total)
-        std::nth_element(order.begin(), order.begin() + keep, order.end(), better);
+      if (keep < cand_total) {
+        std::nth_element(ws.keys.begin(), ws.keys.begin() + keep, ws.keys.end());
+        std::sort(ws.keys.begin(), ws.keys.begin() + keep);
+      }
 
-      std::vector<std::int32_t> new_entry_arena(keep);
-      std::vector<std::uint32_t> new_state(static_cast<std::size_t>(keep) * new_leaves_per_cand);
-      std::vector<float> new_cost(static_cast<std::size_t>(keep) * new_leaves_per_cand);
-      std::vector<std::uint32_t> new_path(static_cast<std::size_t>(keep) * new_leaves_per_cand);
+      ws.next_entry_arena.resize(keep);
+      ws.next_state.resize(static_cast<std::size_t>(keep) * new_leaves_per_cand);
+      ws.next_cost.resize(static_cast<std::size_t>(keep) * new_leaves_per_cand);
+      if (use_paths)
+        ws.next_path.resize(static_cast<std::size_t>(keep) * new_leaves_per_cand);
       for (int j = 0; j < keep; ++j) {
-        const int cand = order[j];
+        const int cand = static_cast<int>(ws.keys[j] & 0xFFFFFFFFu);
         const int en = cand / group_count;
         const std::uint32_t g = static_cast<std::uint32_t>(cand % group_count);
-        arena.push_back({entry_arena[en], g});
-        new_entry_arena[j] = static_cast<std::int32_t>(arena.size() - 1);
+        ws.arena.push_back({ws.entry_arena[en], g});
+        ws.next_entry_arena[j] = static_cast<std::int32_t>(ws.arena.size() - 1);
         const std::size_t src = static_cast<std::size_t>(cand) * new_leaves_per_cand;
         const std::size_t dst = static_cast<std::size_t>(j) * new_leaves_per_cand;
         for (int l = 0; l < new_leaves_per_cand; ++l) {
-          new_state[dst + l] = cand_state[src + l];
-          new_cost[dst + l] = cand_cost[src + l];
-          new_path[dst + l] = cand_path[src + l];
+          ws.next_state[dst + l] = ws.cand_state[src + l];
+          ws.next_cost[dst + l] = ws.cand_cost[src + l];
         }
+        if (use_paths)
+          for (int l = 0; l < new_leaves_per_cand; ++l)
+            ws.next_path[dst + l] = ws.cand_path[src + l];
       }
-      entry_arena.swap(new_entry_arena);
-      leaf_state.swap(new_state);
-      leaf_cost.swap(new_cost);
-      leaf_path.swap(new_path);
+      ws.entry_arena.swap(ws.next_entry_arena);
+      ws.leaf_state.swap(ws.next_state);
+      ws.leaf_cost.swap(ws.next_cost);
+      if (use_paths) ws.leaf_path.swap(ws.next_path);
       leaves_per_entry = new_leaves_per_cand;
     }
 
     // ---- Global best leaf, then backtrack (§4.4: tail symbols make the
     // lowest-cost candidate the right one to validate) ----
     std::size_t best = 0;
-    for (std::size_t i = 1; i < leaf_cost.size(); ++i)
-      if (leaf_cost[i] < leaf_cost[best]) best = i;
+    for (std::size_t i = 1; i < ws.leaf_cost.size(); ++i)
+      if (ws.leaf_cost[i] < ws.leaf_cost[best]) best = i;
 
-    SearchResult result;
-    result.best_cost = leaf_cost[best];
-    result.chunks.assign(S, 0);
+    out.best_cost = ws.leaf_cost[best];
+    out.chunks.assign(S, 0);
 
     // Leaf path covers chunks S-d+1 .. S-1 (slots 0 .. d-2).
     const int entry_of_best = static_cast<int>(best) / std::max(leaves_per_entry, 1);
     for (int j = 0; j <= d - 2; ++j)
-      result.chunks[S - d + 1 + j] = (leaf_path[best] >> (k * j)) & group_mask;
+      out.chunks[S - d + 1 + j] = (ws.leaf_path[best] >> (k * j)) & group_mask;
 
     // Arena covers chunks S-d .. 0, innermost last.
-    std::int32_t node = entry_arena[entry_of_best];
+    std::int32_t node = ws.entry_arena[entry_of_best];
     int chunk_idx = S - d;
-    while (node >= 0 && arena[node].parent >= 0) {
-      result.chunks[chunk_idx--] = arena[node].chunk;
-      node = arena[node].parent;
+    while (node >= 0 && ws.arena[node].parent >= 0) {
+      out.chunks[chunk_idx--] = ws.arena[node].chunk;
+      node = ws.arena[node].parent;
     }
-    return result;
   }
 };
 

@@ -1,27 +1,45 @@
 #include "spinal/decoder.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
-
-#include "spinal/beam_search.h"
 
 namespace spinal {
 namespace {
 
-/// Converts decoded chunk values back into an n-bit message.
-util::BitVec chunks_to_message(const CodeParams& p,
-                               const std::vector<std::uint32_t>& chunks) {
-  util::BitVec msg(static_cast<std::size_t>(p.n));
+/// Converts decoded chunk values back into an n-bit message, reusing
+/// @p msg storage (allocation-free once capacity is established).
+void chunks_to_message_into(const CodeParams& p,
+                            const std::vector<std::uint32_t>& chunks,
+                            util::BitVec& msg) {
+  msg.reset(static_cast<std::size_t>(p.n));
   for (int i = 0; i < p.spine_length(); ++i)
     msg.set_bits(static_cast<std::size_t>(i) * p.k,
                  static_cast<unsigned>(p.chunk_bits(i)), chunks[i]);
+}
+
+util::BitVec chunks_to_message(const CodeParams& p,
+                               const std::vector<std::uint32_t>& chunks) {
+  util::BitVec msg;
+  chunks_to_message_into(p, chunks, msg);
   return msg;
+}
+
+/// Appendix-B grid quantisation. One definition shared by the scalar
+/// reference, the batched kernel and the pre-quantised table so all
+/// three stay bit-identical.
+inline float fx_quantise(float v, float scale) noexcept {
+  return std::nearbyintf(v * scale) / scale;
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------- AWGN
 
+/// Retained scalar reference environment: per-node child() + node_cost()
+/// exactly as the pre-batching decoder computed them. The golden
+/// equivalence suite pins the batched kernel against this.
 struct AwgnEnv {
   const SpinalDecoder& dec;
   bool use_csi;
@@ -34,9 +52,7 @@ struct AwgnEnv {
     return dec.hash_(state, chunk);
   }
 
-  float quantise(float v) const noexcept {
-    return std::nearbyintf(v * fx_scale) / fx_scale;
-  }
+  float quantise(float v) const noexcept { return fx_quantise(v, fx_scale); }
 
   float node_cost(int spine_idx, std::uint32_t state) const noexcept {
     float acc = 0.0f;
@@ -55,11 +71,94 @@ struct AwgnEnv {
   }
 };
 
+/// Batched environment: fuses child hashing, RNG draws, constellation
+/// lookup and the l2 metric into per-level sweeps over contiguous SoA
+/// arrays. Bit-identical to AwgnEnv: same hash composition, the same
+/// per-symbol accumulation order, and the same float expression shapes
+/// (scalar x86-64 SSE has no contraction, so vectorising is exact).
+struct AwgnBatchEnv : AwgnEnv {
+  detail::DecodeWorkspace* ws;
+  const float* table;      // pre-quantised in fixed-point mode
+  const float* raw_table;  // unquantised (CSI path quantises after h·x)
+  std::uint32_t mask;
+  int cbits;
+
+  void expand_all(int spine_idx, const std::uint32_t* states, std::size_t count,
+                  int fanout, std::uint32_t* out_states, float* out_costs) const {
+    dec.hash_.hash_children(states, count, static_cast<std::uint32_t>(fanout),
+                            out_states);
+    const std::size_t total = count * static_cast<std::size_t>(fanout);
+    std::fill_n(out_costs, total, 0.0f);
+    const std::uint32_t begin = ws->soa_off[spine_idx];
+    const std::uint32_t end = ws->soa_off[spine_idx + 1];
+    if (begin == end || total == 0) return;
+    ws->rng_words.resize(total);
+    std::uint32_t* const w = ws->rng_words.data();
+    float* const __restrict oc = out_costs;
+
+    // One state pre-mix shared by every symbol's RNG draw (when the hash
+    // kind factors; one-at-a-time does, saving half the mixes).
+    const bool premixed = dec.hash_.has_premix() && end - begin > 1;
+    if (premixed) {
+      ws->premix.resize(total);
+      dec.hash_.premix_n(out_states, total, ws->premix.data());
+    }
+
+    for (std::uint32_t s = begin; s < end; ++s) {
+      if (premixed)
+        dec.hash_.rng_premixed_n(ws->premix.data(), total, ws->ord[s], w);
+      else
+        dec.hash_.rng_n(out_states, total, ws->ord[s], w);
+      const float yr = ws->y_re[s], yi = ws->y_im[s];
+      if (!use_csi) {
+        // y was quantised in the SoA build and the table entries are
+        // pre-quantised, so fixed-point and float share one loop.
+        const float* const __restrict t = table;
+        for (std::size_t i = 0; i < total; ++i) {
+          const float xr = t[w[i] & mask];
+          const float xi = t[(w[i] >> cbits) & mask];
+          const float dr = yr - xr, di = yi - xi;
+          oc[i] += dr * dr + di * di;
+        }
+      } else if (fx_scale <= 0.0f) {
+        const float hr = ws->h_re[s], hi = ws->h_im[s];
+        const float* const __restrict t = raw_table;
+        for (std::size_t i = 0; i < total; ++i) {
+          const float xr = t[w[i] & mask];
+          const float xi = t[(w[i] >> cbits) & mask];
+          const float rr = hr * xr - hi * xi;
+          const float ri = hr * xi + hi * xr;
+          const float dr = yr - rr, di = yi - ri;
+          oc[i] += dr * dr + di * di;
+        }
+      } else {
+        const float hr = ws->h_re[s], hi = ws->h_im[s];
+        const float* const __restrict t = raw_table;
+        for (std::size_t i = 0; i < total; ++i) {
+          const float xr = t[w[i] & mask];
+          const float xi = t[(w[i] >> cbits) & mask];
+          const float rr = fx_quantise(hr * xr - hi * xi, fx_scale);
+          const float ri = fx_quantise(hr * xi + hi * xr, fx_scale);
+          const float dr = yr - rr, di = yi - ri;
+          oc[i] += dr * dr + di * di;
+        }
+      }
+    }
+  }
+};
+
 SpinalDecoder::SpinalDecoder(const CodeParams& params)
     : params_(validated(params)),
       hash_(params.hash_kind, params.salt),
       constellation_(params.map, params.c, params.power, params.beta),
-      rx_(params.spine_length()) {}
+      rx_(params.spine_length()) {
+  if (params_.fixed_point_frac_bits > 0) {
+    fx_scale_ = static_cast<float>(1 << params_.fixed_point_frac_bits);
+    fx_table_.resize(constellation_.table().size());
+    for (std::size_t i = 0; i < fx_table_.size(); ++i)
+      fx_table_[i] = fx_quantise(constellation_.table()[i], fx_scale_);
+  }
+}
 
 void SpinalDecoder::add_symbol(SymbolId id, std::complex<float> y) {
   add_symbol(id, y, {1.0f, 0.0f});
@@ -75,12 +174,56 @@ void SpinalDecoder::add_symbol(SymbolId id, std::complex<float> y,
 }
 
 DecodeResult SpinalDecoder::decode() const {
+  DecodeResult out;
+  decode_into(out);
+  return out;
+}
+
+void SpinalDecoder::decode_into(DecodeResult& out) const {
+  // ---- Flatten the AoS symbol store into per-spine SoA arrays ----
+  // (once per decode; fixed-point quantisation of y hoisted out of the
+  // search inner loop here).
+  const int S = params_.spine_length();
+  ws_.soa_off.resize(S + 1);
+  ws_.ord.resize(count_);
+  ws_.y_re.resize(count_);
+  ws_.y_im.resize(count_);
+  ws_.h_re.resize(count_);
+  ws_.h_im.resize(count_);
+  std::uint32_t off = 0;
+  for (int s = 0; s < S; ++s) {
+    ws_.soa_off[s] = off;
+    for (const RxSymbol& r : rx_[s]) {
+      ws_.ord[off] = static_cast<std::uint32_t>(r.ordinal);
+      float yr = r.y.real(), yi = r.y.imag();
+      if (fx_scale_ > 0.0f) {
+        yr = fx_quantise(yr, fx_scale_);
+        yi = fx_quantise(yi, fx_scale_);
+      }
+      ws_.y_re[off] = yr;
+      ws_.y_im[off] = yi;
+      ws_.h_re[off] = r.h.real();
+      ws_.h_im[off] = r.h.imag();
+      ++off;
+    }
+  }
+  ws_.soa_off[S] = off;
+
+  const detail::BeamSearch<AwgnBatchEnv> search;
+  const AwgnBatchEnv env{{*this, any_csi_, fx_scale_},
+                         &ws_,
+                         fx_scale_ > 0.0f ? fx_table_.data() : constellation_.data(),
+                         constellation_.data(),
+                         constellation_.mask(),
+                         constellation_.c()};
+  search.run(env, params_, ws_.search, ws_.result);
+  chunks_to_message_into(params_, ws_.result.chunks, out.message);
+  out.path_cost = ws_.result.best_cost;
+}
+
+DecodeResult SpinalDecoder::decode_reference() const {
   const detail::BeamSearch<AwgnEnv> search;
-  const float fx_scale =
-      params_.fixed_point_frac_bits > 0
-          ? static_cast<float>(1 << params_.fixed_point_frac_bits)
-          : 0.0f;
-  const AwgnEnv env{*this, any_csi_, fx_scale};
+  const AwgnEnv env{*this, any_csi_, fx_scale_};
   const detail::SearchResult r = search.run(env, params_);
   return {chunks_to_message(params_, r.chunks), r.best_cost};
 }
@@ -93,6 +236,7 @@ void SpinalDecoder::reset() {
 
 // ----------------------------------------------------------------- BSC
 
+/// Retained scalar reference (see AwgnEnv).
 struct BscEnv {
   const BscSpinalDecoder& dec;
 
@@ -111,6 +255,54 @@ struct BscEnv {
   }
 };
 
+/// Batched BSC environment: coded bits for 64 received symbols at a time
+/// are packed into one word per candidate child, and the Hamming metric
+/// becomes XOR + popcount against the packed received word. The counts
+/// are small exact integers, so the float costs match the scalar
+/// one-bit-at-a-time accumulation exactly.
+struct BscBatchEnv : BscEnv {
+  detail::DecodeWorkspace* ws;
+
+  void expand_all(int spine_idx, const std::uint32_t* states, std::size_t count,
+                  int fanout, std::uint32_t* out_states, float* out_costs) const {
+    dec.hash_.hash_children(states, count, static_cast<std::uint32_t>(fanout),
+                            out_states);
+    const std::size_t total = count * static_cast<std::size_t>(fanout);
+    std::fill_n(out_costs, total, 0.0f);
+    const std::uint32_t begin = ws->soa_off[spine_idx];
+    const std::uint32_t nsym = ws->soa_off[spine_idx + 1] - begin;
+    if (nsym == 0 || total == 0) return;
+    ws->rng_words.resize(total);
+    ws->acc_bits.resize(total);
+    std::uint32_t* const w = ws->rng_words.data();
+    std::uint64_t* const __restrict acc = ws->acc_bits.data();
+    const std::uint64_t* rxw = ws->rx_bits.data() + ws->soa_word_off[spine_idx];
+
+    const bool premixed = dec.hash_.has_premix() && nsym > 1;
+    if (premixed) {
+      ws->premix.resize(total);
+      dec.hash_.premix_n(out_states, total, ws->premix.data());
+    }
+
+    for (std::uint32_t blk = 0; blk * 64 < nsym; ++blk) {
+      const std::uint32_t jmax = std::min<std::uint32_t>(64, nsym - blk * 64);
+      std::fill_n(acc, total, std::uint64_t{0});
+      for (std::uint32_t j = 0; j < jmax; ++j) {
+        const std::uint32_t ord = ws->ord[begin + blk * 64 + j];
+        if (premixed)
+          dec.hash_.rng_premixed_n(ws->premix.data(), total, ord, w);
+        else
+          dec.hash_.rng_n(out_states, total, ord, w);
+        for (std::size_t i = 0; i < total; ++i)
+          acc[i] |= static_cast<std::uint64_t>(w[i] & 1u) << j;
+      }
+      const std::uint64_t rw = rxw[blk];
+      for (std::size_t i = 0; i < total; ++i)
+        out_costs[i] += static_cast<float>(std::popcount(acc[i] ^ rw));
+    }
+  }
+};
+
 BscSpinalDecoder::BscSpinalDecoder(const CodeParams& params)
     : params_(validated(params)),
       hash_(params.hash_kind, params.salt),
@@ -124,6 +316,46 @@ void BscSpinalDecoder::add_bit(SymbolId id, std::uint8_t bit) {
 }
 
 DecodeResult BscSpinalDecoder::decode() const {
+  DecodeResult out;
+  decode_into(out);
+  return out;
+}
+
+void BscSpinalDecoder::decode_into(DecodeResult& out) const {
+  // ---- Flatten per-spine bits: ordinals SoA + packed received words ----
+  const int S = params_.spine_length();
+  ws_.soa_off.resize(S + 1);
+  ws_.soa_word_off.resize(S + 1);
+  ws_.ord.resize(count_);
+  std::uint32_t off = 0, woff = 0;
+  for (int s = 0; s < S; ++s) {
+    ws_.soa_off[s] = off;
+    ws_.soa_word_off[s] = woff;
+    off += static_cast<std::uint32_t>(rx_[s].size());
+    woff += static_cast<std::uint32_t>((rx_[s].size() + 63) / 64);
+  }
+  ws_.soa_off[S] = off;
+  ws_.soa_word_off[S] = woff;
+  ws_.rx_bits.assign(woff, 0);
+  for (int s = 0; s < S; ++s) {
+    std::uint32_t o = ws_.soa_off[s];
+    const std::uint32_t wbase = ws_.soa_word_off[s];
+    std::uint32_t j = 0;
+    for (const RxBit& r : rx_[s]) {
+      ws_.ord[o++] = static_cast<std::uint32_t>(r.ordinal);
+      ws_.rx_bits[wbase + j / 64] |= static_cast<std::uint64_t>(r.bit & 1u) << (j % 64);
+      ++j;
+    }
+  }
+
+  const detail::BeamSearch<BscBatchEnv> search;
+  const BscBatchEnv env{{*this}, &ws_};
+  search.run(env, params_, ws_.search, ws_.result);
+  chunks_to_message_into(params_, ws_.result.chunks, out.message);
+  out.path_cost = ws_.result.best_cost;
+}
+
+DecodeResult BscSpinalDecoder::decode_reference() const {
   const detail::BeamSearch<BscEnv> search;
   const BscEnv env{*this};
   const detail::SearchResult r = search.run(env, params_);

@@ -8,6 +8,16 @@
 // SpinalDecoder handles the AWGN channel (§4.1's l2 metric) and, when
 // symbols arrive with CSI, the coherent fading metric |y - h·x|^2
 // (§8.3). BscSpinalDecoder uses Hamming distance (§4.1).
+//
+// The hot path is batched: each decode flattens the received symbols
+// into per-spine SoA arrays once, then the search expands whole leaf
+// arrays through SpineHash::hash_children / rng_n and a fused,
+// vectoriser-friendly cost kernel (no std::complex temporaries). All
+// scratch lives in a DecodeWorkspace owned by the decoder, so repeated
+// decode attempts are allocation-free after the first. The output is
+// bit-identical to the retained scalar reference (decode_reference()).
+// One decoder instance must not run decode() concurrently from two
+// threads (the workspace is shared); distinct instances are fine.
 
 #include <complex>
 #include <cstdint>
@@ -16,6 +26,7 @@
 
 #include "hash/spine_hash.h"
 #include "modem/constellation.h"
+#include "spinal/beam_search.h"
 #include "spinal/params.h"
 #include "spinal/schedule.h"
 #include "util/bitvec.h"
@@ -27,6 +38,32 @@ struct DecodeResult {
   util::BitVec message;  ///< most likely message (approximate ML)
   double path_cost;      ///< its total path cost under the metric
 };
+
+namespace detail {
+
+/// All per-decoder scratch: the search buffers plus the SoA image of
+/// the received symbols. Sized by assign/resize only, so the steady
+/// state (same params, no new symbols) never touches the heap.
+struct DecodeWorkspace {
+  SearchWorkspace search;
+  SearchResult result;
+
+  // Received symbols flattened per spine: symbols of spine s occupy
+  // [soa_off[s], soa_off[s+1]) of ord / y_re / y_im / h_re / h_im
+  // (AWGN; y pre-quantised in fixed-point mode) or of the packed
+  // rx_bits words (BSC: bit j of word soa_word_off[s] + j/64).
+  std::vector<std::uint32_t> soa_off;
+  std::vector<std::uint32_t> ord;
+  std::vector<float> y_re, y_im, h_re, h_im;
+  std::vector<std::uint32_t> soa_word_off;
+  std::vector<std::uint64_t> rx_bits;
+
+  std::vector<std::uint32_t> rng_words;  ///< per-child RNG draw scratch
+  std::vector<std::uint32_t> premix;     ///< per-child hash pre-mix (shared across symbols)
+  std::vector<std::uint64_t> acc_bits;   ///< per-child coded-bit accumulator (BSC)
+};
+
+}  // namespace detail
 
 class SpinalDecoder {
  public:
@@ -47,6 +84,16 @@ class SpinalDecoder {
   /// Runs the bubble search over everything received so far.
   DecodeResult decode() const;
 
+  /// Like decode(), but writes into @p out, reusing its storage — the
+  /// allocation-free form for repeated attempts on a hot link.
+  void decode_into(DecodeResult& out) const;
+
+  /// The retained scalar reference decode: per-node child() + node_cost()
+  /// calls, no batching, no workspace reuse. Exists so the golden
+  /// equivalence suite can pin the batched kernel bit-for-bit against
+  /// the pre-batching search; not a hot-path API.
+  DecodeResult decode_reference() const;
+
   /// Drops all received symbols (new code block).
   void reset();
 
@@ -60,11 +107,15 @@ class SpinalDecoder {
   CodeParams params_;
   hash::SpineHash hash_;
   modem::SpinalConstellation constellation_;
+  float fx_scale_ = 0.0f;           // 2^frac_bits, or 0 in full float mode
+  std::vector<float> fx_table_;     // constellation table pre-quantised to fx_scale_
   std::vector<std::vector<RxSymbol>> rx_;  // per spine index
   std::size_t count_ = 0;
   bool any_csi_ = false;
+  mutable detail::DecodeWorkspace ws_;
 
   friend struct AwgnEnv;
+  friend struct AwgnBatchEnv;
 };
 
 class BscSpinalDecoder {
@@ -81,6 +132,12 @@ class BscSpinalDecoder {
   /// Runs the bubble search with the Hamming metric.
   DecodeResult decode() const;
 
+  /// Allocation-free form of decode() (see SpinalDecoder::decode_into).
+  void decode_into(DecodeResult& out) const;
+
+  /// Scalar reference decode (see SpinalDecoder::decode_reference).
+  DecodeResult decode_reference() const;
+
   void reset();
 
  private:
@@ -93,8 +150,10 @@ class BscSpinalDecoder {
   hash::SpineHash hash_;
   std::vector<std::vector<RxBit>> rx_;
   std::size_t count_ = 0;
+  mutable detail::DecodeWorkspace ws_;
 
   friend struct BscEnv;
+  friend struct BscBatchEnv;
 };
 
 }  // namespace spinal

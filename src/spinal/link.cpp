@@ -91,10 +91,10 @@ AckBitmap LinkReceiver::make_ack() {
   for (std::size_t b = 0; b < decoders_.size(); ++b) {
     if (decoded_[b] || !dirty_[b]) continue;
     dirty_[b] = false;
-    const DecodeResult r = decoders_[b].decode();
-    if (util::crc16_check(r.message)) {
+    decoders_[b].decode_into(scratch_);
+    if (util::crc16_check(scratch_.message)) {
       decoded_[b] = true;
-      blocks_[b] = r.message;
+      blocks_[b] = scratch_.message;
     }
   }
   AckBitmap ack;

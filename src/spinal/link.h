@@ -89,6 +89,7 @@ class LinkReceiver {
   std::vector<bool> decoded_;
   std::vector<util::BitVec> blocks_;
   std::vector<bool> dirty_;  // block got new symbols since last attempt
+  DecodeResult scratch_;     // recycled across decode attempts (no allocs)
 };
 
 }  // namespace spinal

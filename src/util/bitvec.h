@@ -23,6 +23,14 @@ class BitVec {
   /// Creates a vector of @p nbits bits, all zero.
   explicit BitVec(std::size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
 
+  /// Re-sizes to @p nbits bits, all zero. Reuses the existing word
+  /// storage when capacity allows, so result objects can be recycled
+  /// across decode attempts without heap traffic.
+  void reset(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.assign((nbits + 63) / 64, 0);
+  }
+
   /// Number of bits held.
   std::size_t size() const noexcept { return nbits_; }
   bool empty() const noexcept { return nbits_ == 0; }

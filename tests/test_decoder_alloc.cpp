@@ -1,0 +1,147 @@
+// Verifies the zero-steady-state-allocation contract: after the first
+// decode attempt has grown the DecodeWorkspace to its high-water marks,
+// repeated decode_into() calls must not touch the heap at all.
+//
+// Global operator new/delete are replaced with counting versions in this
+// test binary only; the counter is read around the steady-state loop.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "channel/bsc.h"
+#include "spinal/decoder.h"
+#include "spinal/encoder.h"
+#include "spinal/link.h"
+#include "util/prng.h"
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace spinal {
+namespace {
+
+template <class Body>
+long allocations_during(Body&& body) {
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  body();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(DecoderAlloc, CounterSeesHeapTraffic) {
+  // Guards against the override silently not linking: a fresh vector
+  // growth must be visible, or every zero-allocation check is vacuous.
+  const long n = allocations_during([] {
+    std::vector<int> v(1000);
+    ASSERT_NE(v.data(), nullptr);
+  });
+  EXPECT_GT(n, 0);
+}
+
+TEST(DecoderAlloc, AwgnSteadyStateDecodeIsAllocationFree) {
+  CodeParams p;
+  p.n = 256;
+  p.B = 64;
+  util::Xoshiro256 prng(41);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(10.0, 141);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+
+  DecodeResult out;
+  dec.decode_into(out);  // warm-up: workspace reaches high-water capacity
+  const util::BitVec first = out.message;
+
+  const long n = allocations_during([&] {
+    for (int i = 0; i < 20; ++i) dec.decode_into(out);
+  });
+  EXPECT_EQ(n, 0) << "heap allocations in steady-state decode";
+  EXPECT_EQ(out.message, first);
+}
+
+TEST(DecoderAlloc, AwgnDeepBubbleSteadyStateIsAllocationFree) {
+  CodeParams p;
+  p.n = 96;
+  p.k = 3;
+  p.B = 16;
+  p.d = 3;  // multi-leaf path: cand/path buffers in play
+  util::Xoshiro256 prng(42);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(10.0, 142);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+
+  DecodeResult out;
+  dec.decode_into(out);
+  const long n = allocations_during([&] {
+    for (int i = 0; i < 10; ++i) dec.decode_into(out);
+  });
+  EXPECT_EQ(n, 0);
+}
+
+TEST(DecoderAlloc, BscSteadyStateDecodeIsAllocationFree) {
+  CodeParams p;
+  p.n = 128;
+  p.B = 32;
+  p.c = 1;
+  util::Xoshiro256 prng(43);
+  const BscSpinalEncoder enc(p, prng.random_bits(p.n));
+  BscSpinalDecoder dec(p);
+  channel::BscChannel ch(0.05, 143);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 6 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp)) dec.add_bit(id, ch.transmit(enc.bit(id)));
+
+  DecodeResult out;
+  dec.decode_into(out);
+  const long n = allocations_during([&] {
+    for (int i = 0; i < 20; ++i) dec.decode_into(out);
+  });
+  EXPECT_EQ(n, 0);
+}
+
+TEST(DecoderAlloc, MoreSymbolsThenDecodeReusesCapacity) {
+  // Adding symbols grows the SoA image, so the decode right after may
+  // allocate — but a second decode at the new size must not.
+  CodeParams p;
+  p.n = 64;
+  p.B = 32;
+  util::Xoshiro256 prng(44);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(10.0, 144);
+  const PuncturingSchedule sched(p);
+  DecodeResult out;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int sp = 0; sp < sched.subpasses_per_pass(); ++sp)
+      for (const SymbolId& id : sched.subpass(pass * sched.subpasses_per_pass() + sp))
+        dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+    dec.decode_into(out);  // may grow
+    const long n = allocations_during([&] { dec.decode_into(out); });
+    EXPECT_EQ(n, 0) << "pass " << pass;
+  }
+}
+
+}  // namespace
+}  // namespace spinal

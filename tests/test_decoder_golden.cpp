@@ -1,0 +1,240 @@
+// Golden equivalence: the batched SoA decode kernel (decode / decode_into)
+// must produce *identical* results — message bits and exact path-cost
+// bits — to the retained per-node scalar reference (decode_reference)
+// across every hash kind, both channels, CSI, puncturing, fixed-point
+// mode and bubble depths. The two share the tree search and selection;
+// only the expansion kernels differ, so any divergence is a kernel bug.
+
+#include "spinal/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "channel/bsc.h"
+#include "channel/rayleigh.h"
+#include "spinal/encoder.h"
+#include "util/prng.h"
+
+namespace spinal {
+namespace {
+
+CodeParams base_params(hash::Kind kind) {
+  CodeParams p;
+  p.n = 64;
+  p.k = 4;
+  p.B = 16;  // small beam: pruning and near-ties exercised
+  p.d = 1;
+  p.hash_kind = kind;
+  return p;
+}
+
+void expect_identical(const SpinalDecoder& dec, const char* label) {
+  const DecodeResult batched = dec.decode();
+  const DecodeResult reference = dec.decode_reference();
+  EXPECT_EQ(batched.message, reference.message) << label;
+  EXPECT_EQ(batched.path_cost, reference.path_cost) << label;  // exact bits
+
+  DecodeResult into;
+  dec.decode_into(into);
+  EXPECT_EQ(into.message, batched.message) << label;
+  EXPECT_EQ(into.path_cost, batched.path_cost) << label;
+}
+
+void expect_identical(const BscSpinalDecoder& dec, const char* label) {
+  const DecodeResult batched = dec.decode();
+  const DecodeResult reference = dec.decode_reference();
+  EXPECT_EQ(batched.message, reference.message) << label;
+  EXPECT_EQ(batched.path_cost, reference.path_cost) << label;
+
+  DecodeResult into;
+  dec.decode_into(into);
+  EXPECT_EQ(into.message, batched.message) << label;
+  EXPECT_EQ(into.path_cost, batched.path_cost) << label;
+}
+
+class GoldenAllKinds : public ::testing::TestWithParam<hash::Kind> {};
+INSTANTIATE_TEST_SUITE_P(AllKinds, GoldenAllKinds,
+                         ::testing::Values(hash::Kind::kOneAtATime,
+                                           hash::Kind::kLookup3,
+                                           hash::Kind::kSalsa20),
+                         [](const auto& info) {
+                           std::string name = hash::kind_name(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST_P(GoldenAllKinds, AwgnMatchesScalarReference) {
+  const CodeParams p = base_params(GetParam());
+  util::Xoshiro256 prng(21);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(6.0, 121);  // marginal SNR: wrong paths stay live
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 3 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+  expect_identical(dec, "awgn");
+}
+
+TEST_P(GoldenAllKinds, AwgnCsiMatchesScalarReference) {
+  const CodeParams p = base_params(GetParam());
+  util::Xoshiro256 prng(22);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::RayleighChannel ch(10.0, 8, 122);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp) {
+    const auto ids = sched.subpass(sp);
+    std::vector<std::complex<float>> x;
+    for (const auto& id : ids) x.push_back(enc.symbol(id));
+    std::vector<std::complex<float>> csi;
+    ch.apply(x, csi);
+    for (std::size_t i = 0; i < ids.size(); ++i) dec.add_symbol(ids[i], x[i], csi[i]);
+  }
+  expect_identical(dec, "awgn-csi");
+}
+
+TEST_P(GoldenAllKinds, AwgnFixedPointMatchesScalarReference) {
+  CodeParams p = base_params(GetParam());
+  p.fixed_point_frac_bits = 6;
+  util::Xoshiro256 prng(23);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(8.0, 123);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+  expect_identical(dec, "awgn-fx");
+}
+
+TEST_P(GoldenAllKinds, AwgnCsiFixedPointMatchesScalarReference) {
+  // CSI + fixed point: quantisation cannot be hoisted into the table, so
+  // this pins the in-kernel h·x quantisation against the scalar one.
+  CodeParams p = base_params(GetParam());
+  p.fixed_point_frac_bits = 6;
+  util::Xoshiro256 prng(24);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::RayleighChannel ch(12.0, 8, 124);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp) {
+    const auto ids = sched.subpass(sp);
+    std::vector<std::complex<float>> x;
+    for (const auto& id : ids) x.push_back(enc.symbol(id));
+    std::vector<std::complex<float>> csi;
+    ch.apply(x, csi);
+    for (std::size_t i = 0; i < ids.size(); ++i) dec.add_symbol(ids[i], x[i], csi[i]);
+  }
+  expect_identical(dec, "awgn-csi-fx");
+}
+
+TEST_P(GoldenAllKinds, PuncturedPrefixMatchesScalarReference) {
+  // Half a pass: some spine values have zero received symbols, so the
+  // batched kernel's empty-spine early-out is on the decode path.
+  CodeParams p = base_params(GetParam());
+  p.B = 64;
+  util::Xoshiro256 prng(25);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(20.0, 125);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 4; ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+  expect_identical(dec, "awgn-punctured");
+}
+
+TEST_P(GoldenAllKinds, DeepBubbleMatchesScalarReference) {
+  CodeParams p = base_params(GetParam());
+  p.n = 60;
+  p.k = 3;
+  p.B = 8;
+  p.d = 3;  // multi-leaf candidates: grouping + fill-order on the line
+  util::Xoshiro256 prng(26);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(6.0, 126);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+  expect_identical(dec, "awgn-d3");
+}
+
+TEST_P(GoldenAllKinds, ShortFinalChunkMatchesScalarReference) {
+  CodeParams p = base_params(GetParam());
+  p.n = 62;  // 15*4 + 2: final fanout is 4, not 16
+  util::Xoshiro256 prng(27);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(10.0, 127);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+  expect_identical(dec, "awgn-short-chunk");
+}
+
+TEST_P(GoldenAllKinds, BscMatchesScalarReference) {
+  CodeParams p = base_params(GetParam());
+  p.c = 1;
+  util::Xoshiro256 prng(28);
+  const BscSpinalEncoder enc(p, prng.random_bits(p.n));
+  BscSpinalDecoder dec(p);
+  channel::BscChannel ch(0.08, 128);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 8 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp)) dec.add_bit(id, ch.transmit(enc.bit(id)));
+  expect_identical(dec, "bsc");
+}
+
+TEST_P(GoldenAllKinds, BscManyPassesMatchesScalarReference) {
+  // > 64 bits per spine value: the packed-word accumulator spans
+  // multiple blocks, including a partial final block.
+  CodeParams p = base_params(GetParam());
+  p.c = 1;
+  p.B = 8;
+  p.n = 32;
+  util::Xoshiro256 prng(29);
+  const BscSpinalEncoder enc(p, prng.random_bits(p.n));
+  BscSpinalDecoder dec(p);
+  channel::BscChannel ch(0.2, 129);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 70 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp)) dec.add_bit(id, ch.transmit(enc.bit(id)));
+  expect_identical(dec, "bsc-multiblock");
+}
+
+TEST(Golden, RepeatedDecodeAttemptsAreStable) {
+  // Workspace reuse across attempts and across symbol arrivals must not
+  // leak state between decodes: each attempt equals a fresh reference.
+  const CodeParams p = base_params(hash::Kind::kOneAtATime);
+  util::Xoshiro256 prng(30);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(6.0, 130);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 4 * sched.subpasses_per_pass(); ++sp) {
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+    expect_identical(dec, "incremental");
+  }
+}
+
+TEST(Golden, GaussianConstellationMatchesScalarReference) {
+  CodeParams p = base_params(hash::Kind::kOneAtATime);
+  p.map = modem::MapKind::kTruncatedGaussian;
+  util::Xoshiro256 prng(31);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(8.0, 131);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 2 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+  expect_identical(dec, "gaussian");
+}
+
+}  // namespace
+}  // namespace spinal

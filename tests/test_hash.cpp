@@ -127,6 +127,69 @@ TEST_P(SpineHashAllKinds, RngIsDomainSeparatedFromHash) {
   EXPECT_LE(same, 1);
 }
 
+TEST_P(SpineHashAllKinds, HashNMatchesLoopedSingleShot) {
+  const SpineHash h(GetParam(), 17);
+  // Sizes straddling the internal blocking (0, 1, partial, full, >block).
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{256}, std::size_t{300}}) {
+    std::vector<std::uint32_t> states(n), got(n);
+    for (std::size_t i = 0; i < n; ++i)
+      states[i] = static_cast<std::uint32_t>(i) * 2654435761u + 99u;
+    for (std::uint32_t data : {0u, 5u, 0x80000003u}) {
+      h.hash_n(states.data(), n, data, got.data());
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(got[i], h(states[i], data)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SpineHashAllKinds, RngNMatchesLoopedRng) {
+  const SpineHash h(GetParam(), 23);
+  std::vector<std::uint32_t> states(65), got(65);
+  for (std::size_t i = 0; i < states.size(); ++i)
+    states[i] = static_cast<std::uint32_t>(i * i + 3);
+  h.rng_n(states.data(), states.size(), 7u, got.data());
+  for (std::size_t i = 0; i < states.size(); ++i)
+    EXPECT_EQ(got[i], h.rng(states[i], 7u));
+}
+
+TEST_P(SpineHashAllKinds, HashChildrenMatchesLoopedSingleShot) {
+  const SpineHash h(GetParam(), 31);
+  for (std::size_t n : {std::size_t{1}, std::size_t{37}, std::size_t{260}}) {
+    const std::uint32_t fanout = 16;
+    std::vector<std::uint32_t> states(n), got(n * fanout);
+    for (std::size_t i = 0; i < n; ++i)
+      states[i] = static_cast<std::uint32_t>(i) * 40503u + 1u;
+    h.hash_children(states.data(), n, fanout, got.data());
+    for (std::uint32_t v = 0; v < fanout; ++v)
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(got[v * n + i], h(states[i], v)) << "n=" << n << " v=" << v;
+  }
+}
+
+TEST_P(SpineHashAllKinds, PremixedHashingMatchesDirect) {
+  const SpineHash h(GetParam(), 37);
+  if (!h.has_premix()) return;  // factorisation only exists for one-at-a-time
+  std::vector<std::uint32_t> states(100), premixed(100), got(100);
+  for (std::size_t i = 0; i < states.size(); ++i)
+    states[i] = static_cast<std::uint32_t>(i * 7919);
+  h.premix_n(states.data(), states.size(), premixed.data());
+  for (std::uint32_t data : {0u, 42u, 0x80000001u}) {
+    h.hash_premixed_n(premixed.data(), states.size(), data, got.data());
+    for (std::size_t i = 0; i < states.size(); ++i)
+      ASSERT_EQ(got[i], h(states[i], data)) << "data=" << data;
+  }
+  h.rng_premixed_n(premixed.data(), states.size(), 9u, got.data());
+  for (std::size_t i = 0; i < states.size(); ++i)
+    EXPECT_EQ(got[i], h.rng(states[i], 9u));
+}
+
+TEST(SpineHash, OnlyOneAtATimeHasPremix) {
+  EXPECT_TRUE(SpineHash(Kind::kOneAtATime, 1).has_premix());
+  EXPECT_FALSE(SpineHash(Kind::kLookup3, 1).has_premix());
+  EXPECT_FALSE(SpineHash(Kind::kSalsa20, 1).has_premix());
+}
+
 TEST(SpineHash, KindNames) {
   EXPECT_EQ(kind_name(Kind::kOneAtATime), "one-at-a-time");
   EXPECT_EQ(kind_name(Kind::kLookup3), "lookup3");
