@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "backend/backend.h"
 #include "channel/awgn.h"
 #include "channel/bsc.h"
 #include "spinal/decoder.h"
@@ -118,6 +121,52 @@ BENCHMARK(BM_DecodeBsc)
     ->Args({256, 12})
     ->ArgNames({"B", "passes"});
 
+// ---- Per-backend cases (registered at runtime: which backends exist
+// is a CPU fact, not a compile-time one). Each pins one kernel backend
+// for the tracked reference point, so the scalar vs SSE4.2 vs AVX2 vs
+// NEON trajectory can be read off one run.
+
+void BM_DecodeAwgnBackend(benchmark::State& state, const backend::Backend* b) {
+  const std::string prev = backend::active().name;
+  backend::force(b->name);
+  const CodeParams p = make_params(256, 4, 256, 1);  // the reference point
+  SpinalDecoder dec(p);
+  feed_awgn(p, dec, 2);
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+  backend::force(prev);
+}
+
+void BM_DecodeBscBackend(benchmark::State& state, const backend::Backend* b) {
+  const std::string prev = backend::active().name;
+  backend::force(b->name);
+  CodeParams p = make_params(256, 4, 256, 1);
+  p.c = 1;
+  BscSpinalDecoder dec(p);
+  feed_bsc(p, dec, 6);
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+  backend::force(prev);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const backend::Backend* b : backend::available()) {
+    const std::string awgn = "BM_DecodeAwgn/backend:" + std::string(b->name);
+    const std::string bsc = "BM_DecodeBsc/backend:" + std::string(b->name);
+    benchmark::RegisterBenchmark(awgn.c_str(), BM_DecodeAwgnBackend, b);
+    benchmark::RegisterBenchmark(bsc.c_str(), BM_DecodeBscBackend, b);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "backend/backend.h"
 #include "hash/spine_hash.h"
 
 using namespace spinal;
@@ -83,6 +85,55 @@ void BM_RngPremixed(benchmark::State& state) {
 }
 BENCHMARK(BM_RngPremixed);
 
+// ---- Per-backend cases: the same batch sweeps, but pinned to one
+// kernel backend via its table directly (registered at runtime — which
+// backends exist is a CPU fact).
+
+void BM_HashNBackend(benchmark::State& state, const backend::Backend* b,
+                     hash::Kind kind) {
+  const std::size_t n = 4096;
+  std::vector<std::uint32_t> states(n), out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    states[i] = static_cast<std::uint32_t>(i) * 2654435761u;
+  std::uint32_t data = 0;
+  for (auto _ : state) {
+    b->hash_n(kind, 42, states.data(), n, data++, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_HashChildrenBackend(benchmark::State& state, const backend::Backend* b,
+                            hash::Kind kind) {
+  const std::size_t n = 256;
+  const std::uint32_t fanout = 16;
+  std::vector<std::uint32_t> states(n), out(n * fanout);
+  for (std::size_t i = 0; i < n; ++i) states[i] = static_cast<std::uint32_t>(i) * 40503u;
+  for (auto _ : state) {
+    b->hash_children(kind, 42, states.data(), n, fanout, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * fanout);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  constexpr hash::Kind kinds[] = {hash::Kind::kOneAtATime, hash::Kind::kLookup3,
+                                  hash::Kind::kSalsa20};
+  for (const backend::Backend* b : backend::available()) {
+    for (hash::Kind kind : kinds) {
+      const std::string suffix =
+          std::string(b->name) + "/kind:" + hash::kind_name(kind);
+      const std::string hn = "BM_HashN/backend:" + suffix;
+      const std::string hc = "BM_HashChildren/backend:" + suffix;
+      benchmark::RegisterBenchmark(hn.c_str(), BM_HashNBackend, b, kind);
+      benchmark::RegisterBenchmark(hc.c_str(), BM_HashChildrenBackend, b, kind);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

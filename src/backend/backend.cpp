@@ -1,0 +1,250 @@
+// Backend registry: runtime CPU-feature detection, the SPINAL_BACKEND
+// environment override, and the shared packed-key selection kernels.
+// This TU is always compiled with baseline flags — the shared kernels
+// defined here are the copies every backend's table points at, so they
+// must run on any CPU the binary reaches.
+
+#include "backend/backends_impl.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "backend/scalar_kernels.h"
+
+#if defined(SPINAL_BACKEND_HAVE_NEON) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
+namespace spinal::backend {
+
+void shared_build_keys(const float* costs, std::size_t count, std::uint64_t* keys) {
+  scalar::build_keys(costs, count, keys);
+}
+
+namespace {
+
+/// Branchless Lomuto partition of keys[lo, hi) on pred "byte at shift
+/// <= T": every element is unconditionally swapped toward the front and
+/// the boundary advances by the predicate value, so the selection cost
+/// does not depend on branch prediction (real cost keys arrive
+/// near-sorted and clustered — poison for branchy partitions). Returns
+/// the boundary: [lo, ret) satisfies the predicate.
+inline std::size_t partition_le(std::uint64_t* keys, std::size_t lo, std::size_t hi,
+                                int shift, std::uint64_t T) {
+  std::size_t m = lo;
+  for (std::size_t j = lo; j < hi; ++j) {
+    const std::uint64_t x = keys[j];
+    keys[j] = keys[m];
+    keys[m] = x;
+    m += ((x >> shift) & 0xFF) <= T;
+  }
+  return m;
+}
+
+/// Ascending LSD radix sort of keys[0, n): branch-free counting passes,
+/// skipping bytes on which all keys agree (cost keys cluster, so most
+/// high bytes are constant). Falls back to std::sort above the stack
+/// scratch size — selection keeps B candidates, so this only triggers
+/// for beams wider than 4096.
+inline void sort_keys_prefix(std::uint64_t* keys, std::size_t n) {
+  constexpr std::size_t kScratch = 4096;
+  if (n < 2) return;
+  if (n > kScratch) {
+    std::sort(keys, keys + n);
+    return;
+  }
+  std::uint64_t k0 = keys[0], diff = 0;
+  for (std::size_t i = 1; i < n; ++i) diff |= keys[i] ^ k0;
+  std::uint64_t tmp[kScratch];
+  std::uint64_t* src = keys;
+  std::uint64_t* dst = tmp;
+  for (int shift = 0; shift < 64; shift += 8) {
+    if (((diff >> shift) & 0xFF) == 0) continue;  // constant byte
+    std::uint32_t off[256] = {};
+    for (std::size_t i = 0; i < n; ++i) ++off[(src[i] >> shift) & 0xFF];
+    std::uint32_t sum = 0;
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint32_t c = off[b];
+      off[b] = sum;
+      sum += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[off[(src[i] >> shift) & 0xFF]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != keys) std::memcpy(keys, src, n * sizeof(std::uint64_t));
+}
+
+}  // namespace
+
+void shared_select_keys(std::uint64_t* keys, std::size_t count, std::size_t keep) {
+  if (keep == 0 || keep >= count) return;
+  // Radix select: peel the key bytes from the top, keeping a single
+  // ambiguous block [lo, hi) that straddles the keep boundary. Each
+  // round histograms the block's highest differing byte, picks the
+  // threshold value T whose bucket contains the boundary, and
+  // partitions the block (< T kept outright, > T dropped, == T stays
+  // ambiguous). Real cost keys cluster tightly and arrive nearly
+  // sorted, which drives introselect (nth_element) to several times its
+  // random-input cost; everything here is a sequential branch-free
+  // scan, immune to input order. Keys are unique (candidate index in
+  // the low bits), so the kept *set* is exactly nth_element's, and the
+  // final prefix sort fixes the kept *order* — bit-identical selection,
+  // per the Backend::select_keys contract.
+  std::size_t lo = 0, hi = count;  // ambiguous block
+  std::size_t need = keep;         // how many of [lo, hi) are kept
+  while (need > 0 && need < hi - lo) {
+    // Jump straight to the highest byte where the block differs (an
+    // OR-reduction of XORs against one element — independent ops, so
+    // it streams). Clustered costs share their top bytes; scanning
+    // them byte-by-byte would re-walk the full block per byte.
+    const std::uint64_t k0 = keys[lo];
+    std::uint64_t d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+    std::size_t i = lo;
+    for (; i + 4 <= hi; i += 4) {
+      d0 |= keys[i] ^ k0;
+      d1 |= keys[i + 1] ^ k0;
+      d2 |= keys[i + 2] ^ k0;
+      d3 |= keys[i + 3] ^ k0;
+    }
+    for (; i < hi; ++i) d0 |= keys[i] ^ k0;
+    const std::uint64_t diff = d0 | d1 | d2 | d3;
+    if (diff == 0) break;  // unreachable with unique keys; defensive
+    const int shift = (63 - std::countl_zero(diff)) & ~7;
+
+    // Histogram of that byte, 4 interleaved tables: clustered keys hit
+    // the same bucket over and over, and a single table would serialise
+    // on the store-to-load dependence.
+    std::uint32_t cnt[4][256] = {};
+    i = lo;
+    for (; i + 4 <= hi; i += 4) {
+      ++cnt[0][(keys[i] >> shift) & 0xFF];
+      ++cnt[1][(keys[i + 1] >> shift) & 0xFF];
+      ++cnt[2][(keys[i + 2] >> shift) & 0xFF];
+      ++cnt[3][(keys[i + 3] >> shift) & 0xFF];
+    }
+    for (; i < hi; ++i) ++cnt[0][(keys[i] >> shift) & 0xFF];
+
+    // Threshold byte T: its bucket straddles the keep boundary.
+    std::size_t acc = 0;
+    unsigned T = 0;
+    for (;; ++T) {
+      const std::size_t c = static_cast<std::size_t>(cnt[0][T]) + cnt[1][T] +
+                            cnt[2][T] + cnt[3][T];
+      if (acc + c > need) break;
+      acc += c;
+    }
+    // Two branchless passes: move byte <= T to the front, then split
+    // that prefix into the kept < T part and the still-ambiguous == T
+    // block. (T == 0 has no < T part: one pass, ambiguous prefix.)
+    if (T == 0) {
+      hi = partition_le(keys, lo, hi, shift, 0);
+      continue;
+    }
+    const std::size_t le = partition_le(keys, lo, hi, shift, T);
+    const std::size_t lt = partition_le(keys, lo, le, shift, T - 1);
+    need -= lt - lo;
+    lo = lt;
+    hi = le;
+  }
+  sort_keys_prefix(keys, keep);
+}
+
+namespace {
+
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+// __builtin_cpu_supports runs CPUID (and XGETBV for the AVX family, so
+// OS save support is included) and caches the result.
+[[maybe_unused]] bool cpu_has_sse42() { return __builtin_cpu_supports("sse4.2") != 0; }
+[[maybe_unused]] bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+#else
+[[maybe_unused]] bool cpu_has_sse42() { return false; }
+[[maybe_unused]] bool cpu_has_avx2() { return false; }
+#endif
+
+#if defined(SPINAL_BACKEND_HAVE_NEON)
+bool cpu_has_neon() {
+#if defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+  return true;  // ASIMD is architectural on aarch64
+#endif
+}
+#endif
+
+/// Detection order: scalar first, widest last — the default pick is
+/// the back of the list.
+const std::vector<const Backend*>& registry() {
+  static const std::vector<const Backend*> r = [] {
+    std::vector<const Backend*> v;
+    v.push_back(scalar_backend());
+#if defined(SPINAL_BACKEND_HAVE_SSE42)
+    if (cpu_has_sse42()) v.push_back(sse42_backend());
+#endif
+#if defined(SPINAL_BACKEND_HAVE_AVX2)
+    if (cpu_has_avx2()) v.push_back(avx2_backend());
+#endif
+#if defined(SPINAL_BACKEND_HAVE_NEON)
+    if (cpu_has_neon()) v.push_back(neon_backend());
+#endif
+    return v;
+  }();
+  return r;
+}
+
+/// Mutable slot behind active(); resolved lazily so the SPINAL_BACKEND
+/// override is read exactly once, at first use.
+const Backend*& active_slot() {
+  static const Backend* slot = [] {
+    const char* env = std::getenv("SPINAL_BACKEND");
+    bool warned = false;
+    const Backend* b = resolve(env ? std::string_view(env) : std::string_view(), &warned);
+    if (warned) {
+      std::string names;
+      for (const Backend* a : registry()) {
+        names += ' ';
+        names += a->name;
+      }
+      std::fprintf(stderr,
+                   "spinal: SPINAL_BACKEND=%s is not available; using '%s' "
+                   "(available:%s)\n",
+                   env, b->name, names.c_str());
+    }
+    return b;
+  }();
+  return slot;
+}
+
+}  // namespace
+
+const std::vector<const Backend*>& available() noexcept { return registry(); }
+
+const Backend* find(std::string_view name) noexcept {
+  for (const Backend* b : registry())
+    if (name == b->name) return b;
+  return nullptr;
+}
+
+const Backend* resolve(std::string_view env_value, bool* warned) noexcept {
+  if (!env_value.empty()) {
+    if (const Backend* b = find(env_value)) return b;
+    if (warned) *warned = true;
+  }
+  return registry().back();
+}
+
+const Backend& active() noexcept { return *active_slot(); }
+
+bool force(std::string_view name) noexcept {
+  const Backend* b = find(name);
+  if (b == nullptr) return false;
+  active_slot() = b;
+  return true;
+}
+
+}  // namespace spinal::backend

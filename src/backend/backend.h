@@ -1,0 +1,184 @@
+#pragma once
+// Runtime-dispatched SIMD kernel backends for the bubble-decoder hot
+// path (§7's hardware discussion: wide-beam decoding must be as fast as
+// the machine allows). One kernel contract, several implementations:
+//
+//   scalar  — portable C++, the retained reference implementation;
+//   sse42   — x86 SSE4.2 intrinsics, 4 lanes (compile- and CPUID-gated);
+//   avx2    — x86 AVX2 intrinsics, 8 lanes (compile- and CPUID-gated);
+//   neon    — ARM NEON intrinsics, 4 lanes (compile-time gated; ASIMD is
+//             architectural on aarch64, auxval-probed on 32-bit ARM).
+//
+// Every backend is *bit-identical* to the scalar kernels: the hash
+// lanes are pure integer ops, and the float cost metrics keep the same
+// expression shapes and the same per-lane reduction order (symbols
+// accumulate sequentially per lane; lanes never sum across each other),
+// compiled under the same -ffp-contract=off discipline. The PR 2 golden
+// suite (test_decoder_golden) therefore acts as the conformance oracle
+// for all of them, and test_backend checks the kernels pairwise.
+//
+// Selection: the best available backend is chosen at first use via
+// CPUID (x86) / hwcaps (ARM). The SPINAL_BACKEND environment variable
+// overrides it by name; an unknown name warns on stderr and falls back
+// to the detected best. force() switches at runtime (tests, benches).
+// Switching backends while another thread is decoding is a data race —
+// pick the backend before spinning up decode threads.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hash/spine_hash.h"
+
+namespace spinal::backend {
+
+/// Order-preserving float-to-integer map: monotone_key(a) < monotone_key(b)
+/// iff a < b for all non-NaN floats (with -0 ordered just below +0, which
+/// cannot matter here: candidate costs that tie at zero are both +0).
+/// Lets the B-of-N selection run on flat uint64 (key << 32 | index) values
+/// instead of an indirect float comparator — same (cost, index) order,
+/// including the index tie-break, at a fraction of the compare cost.
+inline std::uint32_t monotone_key(float f) noexcept {
+  const std::uint32_t b = std::bit_cast<std::uint32_t>(f);
+  return (b & 0x80000000u) ? ~b : (b | 0x80000000u);
+}
+
+/// Per-decode scratch the fused expansion kernels use, grown to steady
+/// state by the *caller* before the kernel call (resize-only, so
+/// repeated decodes stay allocation-free; owned by the decoder's
+/// DecodeWorkspace). The kernels receive raw pointers — no std::vector
+/// method is ever instantiated inside a SIMD-flagged translation unit,
+/// which would risk a vague-linkage copy with wide instructions being
+/// picked for baseline CPUs.
+struct ExpandScratch {
+  std::vector<std::uint32_t> rng_words;  ///< per-child RNG draw scratch
+  std::vector<std::uint32_t> premix;     ///< per-child hash pre-mix (shared across symbols)
+  std::vector<std::uint64_t> acc_bits;   ///< per-child coded-bit accumulator (BSC)
+};
+
+/// Everything the fused AWGN expansion kernel needs for one spine level:
+/// hash family, this level's received symbols (SoA slices), channel
+/// mode, constellation tables, and caller-sized scratch (count * fanout
+/// lanes each; premix_scratch may be null when the hash kind does not
+/// factor or fewer than two symbols landed on the level).
+struct AwgnLevel {
+  hash::Kind kind;
+  std::uint32_t salt;
+  const std::uint32_t* ord;  ///< symbol ordinals, nsym entries
+  std::uint32_t nsym;
+  const float* y_re;
+  const float* y_im;
+  const float* h_re;  ///< CSI, valid when use_csi
+  const float* h_im;
+  bool use_csi;
+  float fx_scale;  ///< > 0: Appendix-B fixed-point grid 2^frac_bits
+  const float* table;      ///< constellation (pre-quantised in fx mode)
+  const float* raw_table;  ///< unquantised (CSI path quantises after h·x)
+  std::uint32_t mask;
+  int cbits;
+  std::uint32_t* rng_scratch;     ///< per-child RNG draws
+  std::uint32_t* premix_scratch;  ///< shared pre-mix, or nullptr
+};
+
+/// One spine level of the BSC kernel: ordinals plus the received bits
+/// packed 64 per word (bit j of word j/64), and caller-sized scratch.
+struct BscLevel {
+  hash::Kind kind;
+  std::uint32_t salt;
+  const std::uint32_t* ord;
+  std::uint32_t nsym;
+  const std::uint64_t* rx_words;
+  std::uint32_t* rng_scratch;
+  std::uint32_t* premix_scratch;  ///< shared pre-mix, or nullptr
+  std::uint64_t* acc_scratch;     ///< packed coded-bit accumulator
+};
+
+/// The kernel table: one entry per hot-path primitive. All function
+/// pointers are always non-null. Results are bit-identical across
+/// backends (the contract test_backend/test_decoder_golden enforce).
+struct Backend {
+  const char* name;  ///< registry key: "scalar", "sse42", "avx2", "neon"
+  int lanes;         ///< uint32 lanes per vector (1 for scalar)
+
+  /// out[i] = h(states[i], data), the batched spine hash.
+  void (*hash_n)(hash::Kind kind, std::uint32_t salt, const std::uint32_t* states,
+                 std::size_t count, std::uint32_t data, std::uint32_t* out);
+
+  /// out[i*fanout + v] = h(states[i], v) for v < fanout, child-major:
+  /// a leaf's children are contiguous, so at bubble depth d=1 the
+  /// kernel output *is* the candidate order (cand = leaf*fanout + v)
+  /// and the search needs no scatter at all. The one-at-a-time state
+  /// pre-mix is still shared across the fanout.
+  void (*hash_children)(hash::Kind kind, std::uint32_t salt, const std::uint32_t* states,
+                        std::size_t count, std::uint32_t fanout, std::uint32_t* out);
+
+  /// One-at-a-time state pre-mix (kind-specific: only valid for the
+  /// factoring kind, see SpineHash::has_premix).
+  void (*premix_n)(std::uint32_t salt, const std::uint32_t* states, std::size_t count,
+                   std::uint32_t* out);
+
+  /// Finishes h for lanes pre-mixed by premix_n.
+  void (*hash_premixed_n)(const std::uint32_t* premixed, std::size_t count,
+                          std::uint32_t data, std::uint32_t* out);
+
+  /// Fused per-level expansion: children of the whole leaf array plus
+  /// the accumulated channel metric per child (AWGN: l2 against the
+  /// constellation, with optional CSI and fixed-point quantisation).
+  void (*awgn_expand_all)(const AwgnLevel& level, const std::uint32_t* states,
+                          std::size_t count, std::uint32_t fanout,
+                          std::uint32_t* out_states, float* out_costs);
+
+  /// Fused per-level expansion, BSC Hamming metric (XOR + popcount over
+  /// 64-symbol packed blocks).
+  void (*bsc_expand_all)(const BscLevel& level, const std::uint32_t* states,
+                         std::size_t count, std::uint32_t fanout,
+                         std::uint32_t* out_states, float* out_costs);
+
+  /// keys[i] = monotone_key(costs[i]) << 32 | i — the packed B-of-N
+  /// selection keys.
+  void (*build_keys)(const float* costs, std::size_t count, std::uint64_t* keys);
+
+  /// Fused d=1 candidate finalize over the child-major kernel output:
+  ///   cand_cost[i*fanout + v] = parent_cost[i] + child_cost[i*fanout + v]
+  ///   keys[c] = monotone_key(cand_cost[c]) << 32 | c
+  /// The single float add keeps the exact scalar expression
+  /// (parent + node_cost); keys land in candidate order.
+  void (*d1_keys)(const float* parent_cost, const float* child_cost, std::size_t count,
+                  std::uint32_t fanout, float* cand_cost, std::uint64_t* keys);
+
+  /// Reorders keys so the keep smallest occupy [0, keep) in ascending
+  /// order (the kept *set* and its *order* are deterministic; the tail
+  /// order is unspecified). Precondition: keep <= count.
+  void (*select_keys)(std::uint64_t* keys, std::size_t count, std::size_t keep);
+
+  /// Batched RNG of §7.1 (domain-separated hash, see SpineHash::rng).
+  void rng_n(hash::Kind kind, std::uint32_t salt, const std::uint32_t* states,
+             std::size_t count, std::uint32_t index, std::uint32_t* out) const {
+    hash_n(kind, salt, states, count, index ^ 0x80000000u, out);
+  }
+};
+
+/// Backends compiled in *and* supported by this CPU, detection order
+/// (scalar first, widest last). Never empty: scalar is always present.
+const std::vector<const Backend*>& available() noexcept;
+
+/// The backend every decode routes through. First call resolves the
+/// SPINAL_BACKEND override (unknown names warn on stderr) and otherwise
+/// picks the last — widest — entry of available().
+const Backend& active() noexcept;
+
+/// Looks a backend up by registry name; nullptr when absent.
+const Backend* find(std::string_view name) noexcept;
+
+/// Switches active() to the named backend. Returns false (and leaves
+/// the active backend unchanged) when the name is not in available().
+bool force(std::string_view name) noexcept;
+
+/// The pure resolution rule behind active()'s first call, exposed for
+/// tests: empty/unset requests the detected best; an unknown name sets
+/// *warned and falls back to the best. Does not touch active().
+const Backend* resolve(std::string_view env_value, bool* warned) noexcept;
+
+}  // namespace spinal::backend

@@ -1,0 +1,37 @@
+// AVX2 backend: 8 uint32 lanes, hardware gather for the constellation
+// lookups. This TU (and only this TU) is compiled with -mavx2; the
+// registry only hands the table out after CPUID confirms support.
+
+#include "backend/backends_impl.h"
+
+#if defined(__AVX2__)
+
+#include "backend/expand.h"
+#include "backend/simd_kernels.h"
+#include "backend/vec_x86.h"
+
+namespace spinal::backend {
+namespace {
+using Ops = simd::SimdOps<simd::Vec256>;
+}  // namespace
+
+const Backend* avx2_backend() noexcept {
+  static const Backend b{
+      "avx2",
+      8,
+      Ops::hash_n,
+      Ops::hash_children,
+      Ops::premix_n,
+      Ops::hash_premixed_n,
+      awgn_expand_all_t<Ops>,
+      bsc_expand_all_t<Ops>,
+      shared_build_keys,
+      Ops::d1_keys,
+      shared_select_keys,
+  };
+  return &b;
+}
+
+}  // namespace spinal::backend
+
+#endif  // __AVX2__

@@ -1,0 +1,80 @@
+// The portable scalar backend: the pre-backend-layer hot-path code,
+// moved behind the kernel table. Always compiled, always available —
+// it is both the fallback on feature-poor CPUs and the bit-identity
+// reference the SIMD backends are tested against.
+
+#include "backend/backends_impl.h"
+#include "backend/expand.h"
+#include "backend/scalar_kernels.h"
+
+namespace spinal::backend {
+namespace {
+
+struct ScalarOps {
+  static void hash_n(hash::Kind kind, std::uint32_t salt, const std::uint32_t* states,
+                     std::size_t count, std::uint32_t data, std::uint32_t* out) {
+    scalar::hash_n(kind, salt, states, count, data, out);
+  }
+  static void hash_children(hash::Kind kind, std::uint32_t salt,
+                            const std::uint32_t* states, std::size_t count,
+                            std::uint32_t fanout, std::uint32_t* out) {
+    scalar::hash_children(kind, salt, states, count, fanout, out);
+  }
+  static void premix_n(std::uint32_t salt, const std::uint32_t* states,
+                       std::size_t count, std::uint32_t* out) {
+    scalar::premix_n(salt, states, count, out);
+  }
+  static void hash_premixed_n(const std::uint32_t* premixed, std::size_t count,
+                              std::uint32_t data, std::uint32_t* out) {
+    scalar::hash_premixed_n(premixed, count, data, out);
+  }
+  static void awgn_accum(const std::uint32_t* w, std::size_t count, const float* table,
+                         std::uint32_t mask, int cbits, float yr, float yi, float* acc) {
+    scalar::awgn_accum(w, count, table, mask, cbits, yr, yi, acc);
+  }
+  static void awgn_csi_accum(const std::uint32_t* w, std::size_t count,
+                             const float* table, std::uint32_t mask, int cbits, float yr,
+                             float yi, float hr, float hi, float* acc) {
+    scalar::awgn_csi_accum(w, count, table, mask, cbits, yr, yi, hr, hi, acc);
+  }
+  static void awgn_csi_fx_accum(const std::uint32_t* w, std::size_t count,
+                                const float* table, std::uint32_t mask, int cbits,
+                                float yr, float yi, float hr, float hi, float fx_scale,
+                                float* acc) {
+    scalar::awgn_csi_fx_accum(w, count, table, mask, cbits, yr, yi, hr, hi, fx_scale, acc);
+  }
+  static void bsc_gather_bit(const std::uint32_t* w, std::size_t count, std::uint32_t j,
+                             std::uint64_t* acc) {
+    scalar::bsc_gather_bit(w, count, j, acc);
+  }
+  static void bsc_hamming_add(const std::uint64_t* acc, std::size_t count,
+                              std::uint64_t rx_word, float* costs) {
+    scalar::bsc_hamming_add(acc, count, rx_word, costs);
+  }
+  static void d1_keys(const float* parent_cost, const float* child_cost,
+                      std::size_t count, std::uint32_t fanout, float* cand_cost,
+                      std::uint64_t* keys) {
+    scalar::d1_keys(parent_cost, child_cost, count, fanout, cand_cost, keys);
+  }
+};
+
+}  // namespace
+
+const Backend* scalar_backend() noexcept {
+  static const Backend b{
+      "scalar",
+      1,
+      ScalarOps::hash_n,
+      ScalarOps::hash_children,
+      ScalarOps::premix_n,
+      ScalarOps::hash_premixed_n,
+      awgn_expand_all_t<ScalarOps>,
+      bsc_expand_all_t<ScalarOps>,
+      shared_build_keys,
+      ScalarOps::d1_keys,
+      shared_select_keys,
+  };
+  return &b;
+}
+
+}  // namespace spinal::backend

@@ -1,0 +1,94 @@
+#pragma once
+// The fused per-level expansion drivers, shared by every backend. A
+// backend supplies an Ops policy (static member functions with the
+// scalar_kernels.h signatures); the drivers contribute the level
+// orchestration — child hashing, the shared one-at-a-time pre-mix, the
+// per-symbol RNG draws, and the channel metric accumulation — so the
+// symbol/block loop structure (and with it the float accumulation
+// order) is identical across backends by construction. Only the lane
+// loops inside Ops differ.
+//
+// Deliberately freestanding: no std:: algorithm or container calls.
+// These templates are instantiated inside SIMD-flagged translation
+// units, where any vague-linkage std instantiation could be compiled
+// with wide instructions and then be the copy the linker keeps for the
+// whole (baseline) binary. Scratch is sized by the caller (see the
+// *Level structs); loops are hand-rolled.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "backend/backend.h"
+
+namespace spinal::backend {
+
+template <class Ops>
+void awgn_expand_all_t(const AwgnLevel& L, const std::uint32_t* states,
+                       std::size_t count, std::uint32_t fanout,
+                       std::uint32_t* out_states, float* out_costs) {
+  Ops::hash_children(L.kind, L.salt, states, count, fanout, out_states);
+  const std::size_t total = count * static_cast<std::size_t>(fanout);
+  for (std::size_t i = 0; i < total; ++i) out_costs[i] = 0.0f;
+  if (L.nsym == 0 || total == 0) return;
+  std::uint32_t* const w = L.rng_scratch;
+
+  // One state pre-mix shared by every symbol's RNG draw (when the hash
+  // kind factors; one-at-a-time does, saving half the mixes).
+  const bool premixed =
+      L.kind == hash::Kind::kOneAtATime && L.nsym > 1 && L.premix_scratch != nullptr;
+  if (premixed) Ops::premix_n(L.salt, out_states, total, L.premix_scratch);
+
+  for (std::uint32_t s = 0; s < L.nsym; ++s) {
+    const std::uint32_t data = L.ord[s] ^ 0x80000000u;  // RNG domain separation
+    if (premixed)
+      Ops::hash_premixed_n(L.premix_scratch, total, data, w);
+    else
+      Ops::hash_n(L.kind, L.salt, out_states, total, data, w);
+    if (!L.use_csi) {
+      // y was quantised in the SoA build and the table entries are
+      // pre-quantised, so fixed-point and float share one loop.
+      Ops::awgn_accum(w, total, L.table, L.mask, L.cbits, L.y_re[s], L.y_im[s],
+                      out_costs);
+    } else if (L.fx_scale <= 0.0f) {
+      Ops::awgn_csi_accum(w, total, L.raw_table, L.mask, L.cbits, L.y_re[s], L.y_im[s],
+                          L.h_re[s], L.h_im[s], out_costs);
+    } else {
+      Ops::awgn_csi_fx_accum(w, total, L.raw_table, L.mask, L.cbits, L.y_re[s],
+                             L.y_im[s], L.h_re[s], L.h_im[s], L.fx_scale, out_costs);
+    }
+  }
+}
+
+template <class Ops>
+void bsc_expand_all_t(const BscLevel& L, const std::uint32_t* states, std::size_t count,
+                      std::uint32_t fanout, std::uint32_t* out_states, float* out_costs) {
+  Ops::hash_children(L.kind, L.salt, states, count, fanout, out_states);
+  const std::size_t total = count * static_cast<std::size_t>(fanout);
+  for (std::size_t i = 0; i < total; ++i) out_costs[i] = 0.0f;
+  if (L.nsym == 0 || total == 0) return;
+  std::uint32_t* const w = L.rng_scratch;
+  std::uint64_t* const acc = L.acc_scratch;
+
+  const bool premixed =
+      L.kind == hash::Kind::kOneAtATime && L.nsym > 1 && L.premix_scratch != nullptr;
+  if (premixed) Ops::premix_n(L.salt, out_states, total, L.premix_scratch);
+
+  // Coded bits for 64 received symbols at a time are packed into one
+  // word per child; the Hamming metric is XOR + popcount per block.
+  for (std::uint32_t blk = 0; blk * 64 < L.nsym; ++blk) {
+    const std::uint32_t rem = L.nsym - blk * 64;
+    const std::uint32_t jmax = rem < 64 ? rem : 64;
+    for (std::size_t i = 0; i < total; ++i) acc[i] = 0;
+    for (std::uint32_t j = 0; j < jmax; ++j) {
+      const std::uint32_t data = L.ord[blk * 64 + j] ^ 0x80000000u;
+      if (premixed)
+        Ops::hash_premixed_n(L.premix_scratch, total, data, w);
+      else
+        Ops::hash_n(L.kind, L.salt, out_states, total, data, w);
+      Ops::bsc_gather_bit(w, total, j, acc);
+    }
+    Ops::bsc_hamming_add(acc, total, L.rx_words[blk], out_costs);
+  }
+}
+
+}  // namespace spinal::backend

@@ -1,0 +1,190 @@
+#pragma once
+// Portable scalar kernel primitives — the reference semantics every
+// SIMD backend must reproduce bit-for-bit, and the tail loops those
+// backends run on the last count % lanes elements. All kernels are
+// elementwise over the lane index, so a tail is just the same function
+// on offset pointers. The float expressions here are the single source
+// of truth for the metric shapes: a SIMD backend may reorder *lanes*
+// but never the per-lane sequence of adds/mults (and never contract
+// them into FMAs — the build pins -ffp-contract=off).
+//
+// Everything is `static inline` (internal linkage): each translation
+// unit gets its own copy, so a copy compiled inside a SIMD-flagged TU
+// can never be vague-linkage-merged into the baseline binary and run
+// on a CPU without that ISA. For the same reason no std:: template is
+// called here (popcount via builtin, min via ternary).
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "backend/backend.h"
+#include "hash/jenkins.h"
+#include "hash/salsa20.h"
+
+namespace spinal::backend::scalar {
+
+/// The one-at-a-time seed derivation shared by every backend (folds the
+/// salt into the initial value; see SpineHash::operator()).
+static inline std::uint32_t oaat_seed(std::uint32_t salt) noexcept {
+  return salt ^ 0x2545F491u;
+}
+
+static inline void hash_n(hash::Kind kind, std::uint32_t salt,
+                          const std::uint32_t* states, std::size_t count,
+                          std::uint32_t data, std::uint32_t* out) noexcept {
+  switch (kind) {
+    case hash::Kind::kOneAtATime: {
+      const std::uint32_t seed = oaat_seed(salt);
+      for (std::size_t i = 0; i < count; ++i)
+        out[i] = hash::one_at_a_time_word(hash::one_at_a_time_word(seed, states[i]), data);
+      break;
+    }
+    case hash::Kind::kLookup3:
+      for (std::size_t i = 0; i < count; ++i)
+        out[i] = hash::lookup3_pair(states[i], data, salt);
+      break;
+    case hash::Kind::kSalsa20:
+      for (std::size_t i = 0; i < count; ++i)
+        out[i] = hash::salsa20_pair(states[i], data, salt);
+      break;
+  }
+}
+
+static inline void premix_n(std::uint32_t salt, const std::uint32_t* states,
+                            std::size_t count, std::uint32_t* out) noexcept {
+  const std::uint32_t seed = oaat_seed(salt);
+  for (std::size_t i = 0; i < count; ++i) out[i] = hash::one_at_a_time_word(seed, states[i]);
+}
+
+static inline void hash_premixed_n(const std::uint32_t* premixed, std::size_t count,
+                                   std::uint32_t data, std::uint32_t* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = hash::one_at_a_time_word(premixed[i], data);
+}
+
+/// Child-major (out[i*fanout + v] = h(states[i], v)): a leaf's children
+/// are contiguous, so the d=1 search consumes the output with no
+/// scatter (see Backend::hash_children).
+static inline void hash_children(hash::Kind kind, std::uint32_t salt,
+                                 const std::uint32_t* states, std::size_t count,
+                                 std::uint32_t fanout, std::uint32_t* out) noexcept {
+  if (kind == hash::Kind::kOneAtATime) {
+    // The state pre-mix is chunk-independent: one mix per leaf, then
+    // fanout data mixes writing the leaf's contiguous child row.
+    const std::uint32_t seed = oaat_seed(salt);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t premix = hash::one_at_a_time_word(seed, states[i]);
+      std::uint32_t* row = out + i * static_cast<std::size_t>(fanout);
+      for (std::uint32_t v = 0; v < fanout; ++v)
+        row[v] = hash::one_at_a_time_word(premix, v);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t* row = out + i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; ++v)
+      row[v] = kind == hash::Kind::kLookup3 ? hash::lookup3_pair(states[i], v, salt)
+                                            : hash::salsa20_pair(states[i], v, salt);
+  }
+}
+
+/// Appendix-B grid quantisation; nearbyintf under the (default)
+/// round-to-nearest-even mode, which SIMD backends match with a
+/// current-rounding-direction round instruction.
+static inline float fx_quantise(float v, float scale) noexcept {
+  return std::nearbyintf(v * scale) / scale;
+}
+
+/// acc[i] += |y - x(w[i])|^2 over the constellation table.
+static inline void awgn_accum(const std::uint32_t* w, std::size_t count,
+                              const float* table, std::uint32_t mask, int cbits,
+                              float yr, float yi, float* acc) noexcept {
+  const float* const __restrict t = table;
+  float* const __restrict oc = acc;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float xr = t[w[i] & mask];
+    const float xi = t[(w[i] >> cbits) & mask];
+    const float dr = yr - xr, di = yi - xi;
+    oc[i] += dr * dr + di * di;
+  }
+}
+
+/// acc[i] += |y - h·x(w[i])|^2 (coherent CSI metric, §8.3).
+static inline void awgn_csi_accum(const std::uint32_t* w, std::size_t count,
+                                  const float* table, std::uint32_t mask, int cbits,
+                                  float yr, float yi, float hr, float hi,
+                                  float* acc) noexcept {
+  const float* const __restrict t = table;
+  float* const __restrict oc = acc;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float xr = t[w[i] & mask];
+    const float xi = t[(w[i] >> cbits) & mask];
+    const float rr = hr * xr - hi * xi;
+    const float ri = hr * xi + hi * xr;
+    const float dr = yr - rr, di = yi - ri;
+    oc[i] += dr * dr + di * di;
+  }
+}
+
+/// CSI + fixed point: h·x quantised to the Appendix-B grid in-kernel.
+static inline void awgn_csi_fx_accum(const std::uint32_t* w, std::size_t count,
+                                     const float* table, std::uint32_t mask, int cbits,
+                                     float yr, float yi, float hr, float hi,
+                                     float fx_scale, float* acc) noexcept {
+  const float* const __restrict t = table;
+  float* const __restrict oc = acc;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float xr = t[w[i] & mask];
+    const float xi = t[(w[i] >> cbits) & mask];
+    const float rr = fx_quantise(hr * xr - hi * xi, fx_scale);
+    const float ri = fx_quantise(hr * xi + hi * xr, fx_scale);
+    const float dr = yr - rr, di = yi - ri;
+    oc[i] += dr * dr + di * di;
+  }
+}
+
+/// acc[i] |= (w[i] & 1) << j — gathers one coded bit per child into the
+/// packed 64-symbol accumulator.
+static inline void bsc_gather_bit(const std::uint32_t* w, std::size_t count,
+                                  std::uint32_t j, std::uint64_t* acc) noexcept {
+  std::uint64_t* const __restrict a = acc;
+  for (std::size_t i = 0; i < count; ++i)
+    a[i] |= static_cast<std::uint64_t>(w[i] & 1u) << j;
+}
+
+/// costs[i] += popcount(acc[i] ^ rx_word) — the Hamming metric per
+/// 64-symbol block (small exact integers, so float addition is exact).
+static inline void bsc_hamming_add(const std::uint64_t* acc, std::size_t count,
+                                   std::uint64_t rx_word, float* costs) noexcept {
+  float* const __restrict oc = costs;
+  for (std::size_t i = 0; i < count; ++i)
+    oc[i] += static_cast<float>(__builtin_popcountll(acc[i] ^ rx_word));
+}
+
+/// keys[i] = monotone_key(costs[i]) << 32 | i.
+static inline void build_keys(const float* costs, std::size_t count,
+                              std::uint64_t* keys) noexcept {
+  for (std::size_t i = 0; i < count; ++i)
+    keys[i] = (static_cast<std::uint64_t>(monotone_key(costs[i])) << 32) |
+              static_cast<std::uint32_t>(i);
+}
+
+/// Fused d=1 candidate finalize (see Backend::d1_keys): child-major
+/// costs plus the parent cost, and packed selection keys, in one sweep.
+static inline void d1_keys(const float* parent_cost, const float* child_cost,
+                           std::size_t count, std::uint32_t fanout, float* cand_cost,
+                           std::uint64_t* keys) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float pc = parent_cost[i];
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; ++v) {
+      const float cost = pc + child_cost[row + v];
+      cand_cost[row + v] = cost;
+      keys[row + v] = (static_cast<std::uint64_t>(monotone_key(cost)) << 32) |
+                      static_cast<std::uint32_t>(row + v);
+    }
+  }
+}
+
+}  // namespace spinal::backend::scalar

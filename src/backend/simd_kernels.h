@@ -1,0 +1,389 @@
+#pragma once
+// Generic SIMD kernels over a vector-of-uint32 abstraction V (see
+// vec_x86.h / vec_neon.h for the wrappers). Each kernel runs the main
+// loop V::W lanes at a time and finishes the count % W tail with the
+// scalar primitive on offset pointers — elementwise kernels make the
+// split exact. Bit-identity rules:
+//
+//  * hash lanes are pure integer ops — identical by construction;
+//  * float metrics keep the scalar expression shapes (separate mul and
+//    add, never a fused multiply-add: the build also pins
+//    -ffp-contract=off in these TUs) and the scalar per-lane reduction
+//    order (symbols accumulate sequentially per lane; lanes are
+//    independent slots, never summed across);
+//  * fixed-point rounding uses the current-rounding-direction round
+//    instruction, matching scalar nearbyintf.
+//
+// Everything here is `static` (internal linkage) and only ever
+// instantiated inside the one TU compiled with the matching ISA flags.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "backend/scalar_kernels.h"
+
+namespace spinal::backend::simd {
+
+template <class V>
+static inline typename V::U rotl_v(typename V::U x, int r) {
+  return V::or_(V::shl(x, r), V::shr(x, 32 - r));
+}
+
+/// One-at-a-time over one 32-bit word (see hash::one_at_a_time_word).
+template <class V>
+static inline typename V::U oaat_word_v(typename V::U h, typename V::U word) {
+  const typename V::U byte_mask = V::set1(0xFFu);
+  for (int b = 0; b < 4; ++b) {
+    h = V::add(h, V::and_(V::shr(word, 8 * b), byte_mask));
+    h = V::add(h, V::shl(h, 10));
+    h = V::xor_(h, V::shr(h, 6));
+  }
+  h = V::add(h, V::shl(h, 3));
+  h = V::xor_(h, V::shr(h, 11));
+  h = V::add(h, V::shl(h, 15));
+  return h;
+}
+
+/// lookup3 final_mix (see jenkins.cpp) on vector lanes.
+template <class V>
+static inline void final_mix_v(typename V::U& a, typename V::U& b, typename V::U& c) {
+  c = V::xor_(c, b); c = V::sub(c, rotl_v<V>(b, 14));
+  a = V::xor_(a, c); a = V::sub(a, rotl_v<V>(c, 11));
+  b = V::xor_(b, a); b = V::sub(b, rotl_v<V>(a, 25));
+  c = V::xor_(c, b); c = V::sub(c, rotl_v<V>(b, 16));
+  a = V::xor_(a, c); a = V::sub(a, rotl_v<V>(c, 4));
+  b = V::xor_(b, a); b = V::sub(b, rotl_v<V>(a, 14));
+  c = V::xor_(c, b); c = V::sub(c, rotl_v<V>(b, 24));
+}
+
+/// lookup3_hashword for a (state, data) pair: length 2, so the init
+/// value folds (2 << 2) and the switch reduces to b += data; a += state.
+/// Both state and data are lane vectors (either may be a broadcast).
+template <class V>
+static inline typename V::U lookup3_pair_v(typename V::U state, typename V::U data,
+                                           std::uint32_t salt) {
+  const std::uint32_t init = 0xdeadbeefu + (2u << 2) + salt;
+  typename V::U a = V::add(V::set1(init), state);
+  typename V::U b = V::add(V::set1(init), data);
+  typename V::U c = V::set1(init);
+  final_mix_v<V>(a, b, c);
+  return c;
+}
+
+template <class V>
+static inline void salsa_quarter_v(typename V::U& a, typename V::U& b,
+                                   typename V::U& c, typename V::U& d) {
+  b = V::xor_(b, rotl_v<V>(V::add(a, d), 7));
+  c = V::xor_(c, rotl_v<V>(V::add(b, a), 9));
+  d = V::xor_(d, rotl_v<V>(V::add(c, b), 13));
+  a = V::xor_(a, rotl_v<V>(V::add(d, c), 18));
+}
+
+/// Salsa20/20 core on a (state, data, salt) block per lane; returns
+/// out[0] ^ out[8] (see salsa20.cpp salsa20_pair). Both state and data
+/// are lane vectors (either may be a broadcast).
+template <class V>
+static inline typename V::U salsa20_pair_v(typename V::U state, typename V::U data,
+                                           std::uint32_t salt) {
+  using U = typename V::U;
+  U in[16];
+  in[0] = V::set1(0x61707865u);
+  in[1] = state;
+  in[2] = data;
+  in[3] = V::set1(salt);
+  in[4] = V::set1(0x3320646eu);
+  in[5] = V::xor_(state, V::set1(0x9E3779B9u));
+  in[6] = V::xor_(data, V::set1(0x7F4A7C15u));
+  in[7] = V::set1(salt ^ 0x85EBCA6Bu);
+  in[8] = V::set1(0x79622d32u);
+  in[9] = V::set1(0u);
+  in[10] = V::set1(0u);
+  in[11] = V::set1(0u);
+  in[12] = V::set1(0x6b206574u);
+  in[13] = V::add(state, data);
+  in[14] = V::add(data, V::set1(salt));
+  in[15] = V::add(V::set1(salt), state);
+
+  U x[16];
+  for (int i = 0; i < 16; ++i) x[i] = in[i];
+  for (int round = 0; round < 20; round += 2) {
+    // Column round.
+    salsa_quarter_v<V>(x[0], x[4], x[8], x[12]);
+    salsa_quarter_v<V>(x[5], x[9], x[13], x[1]);
+    salsa_quarter_v<V>(x[10], x[14], x[2], x[6]);
+    salsa_quarter_v<V>(x[15], x[3], x[7], x[11]);
+    // Row round.
+    salsa_quarter_v<V>(x[0], x[1], x[2], x[3]);
+    salsa_quarter_v<V>(x[5], x[6], x[7], x[4]);
+    salsa_quarter_v<V>(x[10], x[11], x[8], x[9]);
+    salsa_quarter_v<V>(x[15], x[12], x[13], x[14]);
+  }
+  return V::xor_(V::add(x[0], in[0]), V::add(x[8], in[8]));
+}
+
+// ------------------------------------------------------------- kernels
+
+template <class V>
+static void premix_n_v(std::uint32_t salt, const std::uint32_t* states,
+                       std::size_t count, std::uint32_t* out) {
+  const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
+  std::size_t i = 0;
+  for (; i + V::W <= count; i += V::W)
+    V::storeu(out + i, oaat_word_v<V>(seedv, V::loadu(states + i)));
+  if (i < count) scalar::premix_n(salt, states + i, count - i, out + i);
+}
+
+template <class V>
+static void hash_premixed_n_v(const std::uint32_t* premixed, std::size_t count,
+                              std::uint32_t data, std::uint32_t* out) {
+  const typename V::U datav = V::set1(data);
+  std::size_t i = 0;
+  for (; i + V::W <= count; i += V::W)
+    V::storeu(out + i, oaat_word_v<V>(V::loadu(premixed + i), datav));
+  if (i < count) scalar::hash_premixed_n(premixed + i, count - i, data, out + i);
+}
+
+template <class V>
+static void hash_n_v(hash::Kind kind, std::uint32_t salt, const std::uint32_t* states,
+                     std::size_t count, std::uint32_t data, std::uint32_t* out) {
+  std::size_t i = 0;
+  switch (kind) {
+    case hash::Kind::kOneAtATime: {
+      const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
+      const typename V::U datav = V::set1(data);
+      for (; i + V::W <= count; i += V::W)
+        V::storeu(out + i,
+                  oaat_word_v<V>(oaat_word_v<V>(seedv, V::loadu(states + i)), datav));
+      break;
+    }
+    case hash::Kind::kLookup3: {
+      const typename V::U datav = V::set1(data);
+      for (; i + V::W <= count; i += V::W)
+        V::storeu(out + i, lookup3_pair_v<V>(V::loadu(states + i), datav, salt));
+      break;
+    }
+    case hash::Kind::kSalsa20: {
+      const typename V::U datav = V::set1(data);
+      for (; i + V::W <= count; i += V::W)
+        V::storeu(out + i, salsa20_pair_v<V>(V::loadu(states + i), datav, salt));
+      break;
+    }
+  }
+  if (i < count) scalar::hash_n(kind, salt, states + i, count - i, data, out + i);
+}
+
+/// Child-major hash_children (out[i*fanout + v], see Backend): for wide
+/// fanouts each leaf's child row is produced with the *chunk values* in
+/// the lanes (state broadcast per leaf, v = row offset + iota), so the
+/// stores are contiguous rows; narrow fanouts (< W: k <= 2 or a short
+/// final chunk) fall back to the scalar kernel.
+template <class V>
+static void hash_children_v(hash::Kind kind, std::uint32_t salt,
+                            const std::uint32_t* states, std::size_t count,
+                            std::uint32_t fanout, std::uint32_t* out) {
+  // Chunk-value lane vectors, shared by every row. Decoder fanouts are
+  // 2^k with k <= 8 (CodeParams), but hash_children is a public API:
+  // anything narrower than a vector or wider than the vvec table takes
+  // the (always-correct) scalar kernel.
+  constexpr std::uint32_t kMaxFanout = 256;
+  if (fanout < V::W || fanout % V::W != 0 || fanout > kMaxFanout) {
+    scalar::hash_children(kind, salt, states, count, fanout, out);
+    return;
+  }
+  typename V::U vvec[kMaxFanout / V::W];
+  const std::uint32_t steps = fanout / static_cast<std::uint32_t>(V::W);
+  for (std::uint32_t s = 0; s < steps; ++s)
+    vvec[s] = V::add(V::set1(s * static_cast<std::uint32_t>(V::W)), V::iota());
+
+  if (kind == hash::Kind::kOneAtATime) {
+    // Per block: premix a batch of leaves lane-parallel, then emit each
+    // leaf's child row with the premix broadcast and v in the lanes.
+    constexpr std::size_t kBlock = 256;
+    std::uint32_t premix[kBlock];
+    for (std::size_t base = 0; base < count; base += kBlock) {
+      const std::size_t rem = count - base;
+      const std::size_t m = rem < kBlock ? rem : kBlock;
+      premix_n_v<V>(salt, states + base, m, premix);
+      for (std::size_t i = 0; i < m; ++i) {
+        const typename V::U pm = V::set1(premix[i]);
+        std::uint32_t* row = out + (base + i) * static_cast<std::size_t>(fanout);
+        for (std::uint32_t s = 0; s < steps; ++s)
+          V::storeu(row + s * V::W, oaat_word_v<V>(pm, vvec[s]));
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const typename V::U st = V::set1(states[i]);
+    std::uint32_t* row = out + i * static_cast<std::size_t>(fanout);
+    if (kind == hash::Kind::kLookup3) {
+      for (std::uint32_t s = 0; s < steps; ++s)
+        V::storeu(row + s * V::W, lookup3_pair_v<V>(st, vvec[s], salt));
+    } else {
+      for (std::uint32_t s = 0; s < steps; ++s)
+        V::storeu(row + s * V::W, salsa20_pair_v<V>(st, vvec[s], salt));
+    }
+  }
+}
+
+/// Branchless lane form of monotone_key (backend.h): b ^ (b>>31 | sign).
+template <class V>
+static inline typename V::U monotone_key_v(typename V::F costs) {
+  const typename V::U b = V::castfu(costs);
+  return V::xor_(b, V::or_(V::sar(b, 31), V::set1(0x80000000u)));
+}
+
+/// Fused d=1 candidate finalize (see Backend::d1_keys), vectorized over
+/// each leaf's contiguous child row.
+template <class V>
+static void d1_keys_v(const float* parent_cost, const float* child_cost,
+                      std::size_t count, std::uint32_t fanout, float* cand_cost,
+                      std::uint64_t* keys) {
+  if (fanout < V::W || fanout % V::W != 0) {
+    scalar::d1_keys(parent_cost, child_cost, count, fanout, cand_cost, keys);
+    return;
+  }
+  const typename V::U iota = V::iota();
+  for (std::size_t i = 0; i < count; ++i) {
+    const typename V::F pc = V::set1f(parent_cost[i]);
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; v += static_cast<std::uint32_t>(V::W)) {
+      const std::size_t idx = row + v;
+      const typename V::F cost = V::addf(pc, V::loadf(child_cost + idx));
+      V::storef(cand_cost + idx, cost);
+      const typename V::U idxv =
+          V::add(V::set1(static_cast<std::uint32_t>(idx)), iota);
+      V::zip_store_keys(keys + idx, idxv, monotone_key_v<V>(cost));
+    }
+  }
+}
+
+template <class V>
+static void awgn_accum_v(const std::uint32_t* w, std::size_t count, const float* table,
+                         std::uint32_t mask, int cbits, float yr, float yi, float* acc) {
+  const typename V::U maskv = V::set1(mask);
+  const typename V::F yrv = V::set1f(yr), yiv = V::set1f(yi);
+  std::size_t i = 0;
+  for (; i + V::W <= count; i += V::W) {
+    const typename V::U wv = V::loadu(w + i);
+    const typename V::F xr = V::gather(table, V::and_(wv, maskv));
+    const typename V::F xi = V::gather(table, V::and_(V::shr(wv, cbits), maskv));
+    const typename V::F dr = V::subf(yrv, xr), di = V::subf(yiv, xi);
+    V::storef(acc + i, V::addf(V::loadf(acc + i),
+                               V::addf(V::mulf(dr, dr), V::mulf(di, di))));
+  }
+  if (i < count) scalar::awgn_accum(w + i, count - i, table, mask, cbits, yr, yi, acc + i);
+}
+
+template <class V>
+static void awgn_csi_accum_v(const std::uint32_t* w, std::size_t count,
+                             const float* table, std::uint32_t mask, int cbits, float yr,
+                             float yi, float hr, float hi, float* acc) {
+  const typename V::U maskv = V::set1(mask);
+  const typename V::F yrv = V::set1f(yr), yiv = V::set1f(yi);
+  const typename V::F hrv = V::set1f(hr), hiv = V::set1f(hi);
+  std::size_t i = 0;
+  for (; i + V::W <= count; i += V::W) {
+    const typename V::U wv = V::loadu(w + i);
+    const typename V::F xr = V::gather(table, V::and_(wv, maskv));
+    const typename V::F xi = V::gather(table, V::and_(V::shr(wv, cbits), maskv));
+    const typename V::F rr = V::subf(V::mulf(hrv, xr), V::mulf(hiv, xi));
+    const typename V::F ri = V::addf(V::mulf(hrv, xi), V::mulf(hiv, xr));
+    const typename V::F dr = V::subf(yrv, rr), di = V::subf(yiv, ri);
+    V::storef(acc + i, V::addf(V::loadf(acc + i),
+                               V::addf(V::mulf(dr, dr), V::mulf(di, di))));
+  }
+  if (i < count)
+    scalar::awgn_csi_accum(w + i, count - i, table, mask, cbits, yr, yi, hr, hi, acc + i);
+}
+
+template <class V>
+static void awgn_csi_fx_accum_v(const std::uint32_t* w, std::size_t count,
+                                const float* table, std::uint32_t mask, int cbits,
+                                float yr, float yi, float hr, float hi, float fx_scale,
+                                float* acc) {
+  const typename V::U maskv = V::set1(mask);
+  const typename V::F yrv = V::set1f(yr), yiv = V::set1f(yi);
+  const typename V::F hrv = V::set1f(hr), hiv = V::set1f(hi);
+  const typename V::F sv = V::set1f(fx_scale);
+  std::size_t i = 0;
+  for (; i + V::W <= count; i += V::W) {
+    const typename V::U wv = V::loadu(w + i);
+    const typename V::F xr = V::gather(table, V::and_(wv, maskv));
+    const typename V::F xi = V::gather(table, V::and_(V::shr(wv, cbits), maskv));
+    // fx_quantise(v, s) = nearbyintf(v*s)/s, lane-wise with the
+    // current-rounding-direction round (same default nearest-even).
+    const typename V::F rr =
+        V::divf(V::roundf_cur(V::mulf(V::subf(V::mulf(hrv, xr), V::mulf(hiv, xi)), sv)), sv);
+    const typename V::F ri =
+        V::divf(V::roundf_cur(V::mulf(V::addf(V::mulf(hrv, xi), V::mulf(hiv, xr)), sv)), sv);
+    const typename V::F dr = V::subf(yrv, rr), di = V::subf(yiv, ri);
+    V::storef(acc + i, V::addf(V::loadf(acc + i),
+                               V::addf(V::mulf(dr, dr), V::mulf(di, di))));
+  }
+  if (i < count)
+    scalar::awgn_csi_fx_accum(w + i, count - i, table, mask, cbits, yr, yi, hr, hi,
+                              fx_scale, acc + i);
+}
+
+template <class V>
+static void bsc_gather_bit_v(const std::uint32_t* w, std::size_t count, std::uint32_t j,
+                             std::uint64_t* acc) {
+  std::size_t i = 0;
+  for (; i + V::W <= count; i += V::W) V::gather_bits(acc + i, V::loadu(w + i), j);
+  if (i < count) scalar::bsc_gather_bit(w + i, count - i, j, acc + i);
+}
+
+/// The Ops policy the fused expand drivers (expand.h) instantiate with.
+template <class V>
+struct SimdOps {
+  static void hash_n(hash::Kind kind, std::uint32_t salt, const std::uint32_t* states,
+                     std::size_t count, std::uint32_t data, std::uint32_t* out) {
+    hash_n_v<V>(kind, salt, states, count, data, out);
+  }
+  static void hash_children(hash::Kind kind, std::uint32_t salt,
+                            const std::uint32_t* states, std::size_t count,
+                            std::uint32_t fanout, std::uint32_t* out) {
+    hash_children_v<V>(kind, salt, states, count, fanout, out);
+  }
+  static void premix_n(std::uint32_t salt, const std::uint32_t* states,
+                       std::size_t count, std::uint32_t* out) {
+    premix_n_v<V>(salt, states, count, out);
+  }
+  static void hash_premixed_n(const std::uint32_t* premixed, std::size_t count,
+                              std::uint32_t data, std::uint32_t* out) {
+    hash_premixed_n_v<V>(premixed, count, data, out);
+  }
+  static void awgn_accum(const std::uint32_t* w, std::size_t count, const float* table,
+                         std::uint32_t mask, int cbits, float yr, float yi, float* acc) {
+    awgn_accum_v<V>(w, count, table, mask, cbits, yr, yi, acc);
+  }
+  static void awgn_csi_accum(const std::uint32_t* w, std::size_t count,
+                             const float* table, std::uint32_t mask, int cbits, float yr,
+                             float yi, float hr, float hi, float* acc) {
+    awgn_csi_accum_v<V>(w, count, table, mask, cbits, yr, yi, hr, hi, acc);
+  }
+  static void awgn_csi_fx_accum(const std::uint32_t* w, std::size_t count,
+                                const float* table, std::uint32_t mask, int cbits,
+                                float yr, float yi, float hr, float hi, float fx_scale,
+                                float* acc) {
+    awgn_csi_fx_accum_v<V>(w, count, table, mask, cbits, yr, yi, hr, hi, fx_scale, acc);
+  }
+  static void bsc_gather_bit(const std::uint32_t* w, std::size_t count, std::uint32_t j,
+                             std::uint64_t* acc) {
+    bsc_gather_bit_v<V>(w, count, j, acc);
+  }
+  static void bsc_hamming_add(const std::uint64_t* acc, std::size_t count,
+                              std::uint64_t rx_word, float* costs) {
+    // XOR + popcount per word: the scalar loop compiles to the native
+    // popcount instruction in these ISA-flagged TUs already.
+    scalar::bsc_hamming_add(acc, count, rx_word, costs);
+  }
+  static void d1_keys(const float* parent_cost, const float* child_cost,
+                      std::size_t count, std::uint32_t fanout, float* cand_cost,
+                      std::uint64_t* keys) {
+    d1_keys_v<V>(parent_cost, child_cost, count, fanout, cand_cost, keys);
+  }
+};
+
+}  // namespace spinal::backend::simd

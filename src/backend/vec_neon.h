@@ -1,0 +1,80 @@
+#pragma once
+// ARM NEON vector wrapper for the generic SIMD kernels (simd_kernels.h):
+// 4 uint32 lanes. aarch64 only — the fixed-point path needs FRINTI
+// (round to integral, current mode) and FDIV, both A64 instructions;
+// 32-bit ARM falls back to the scalar backend.
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+
+namespace spinal::backend::simd {
+
+struct VecNeon {
+  static constexpr std::size_t W = 4;
+  using U = uint32x4_t;
+  using F = float32x4_t;
+
+  static U loadu(const std::uint32_t* p) { return vld1q_u32(p); }
+  static void storeu(std::uint32_t* p, U v) { vst1q_u32(p, v); }
+  static U set1(std::uint32_t x) { return vdupq_n_u32(x); }
+  static U add(U a, U b) { return vaddq_u32(a, b); }
+  static U sub(U a, U b) { return vsubq_u32(a, b); }
+  static U xor_(U a, U b) { return veorq_u32(a, b); }
+  static U and_(U a, U b) { return vandq_u32(a, b); }
+  static U or_(U a, U b) { return vorrq_u32(a, b); }
+  static U shl(U a, int n) { return vshlq_u32(a, vdupq_n_s32(n)); }
+  static U shr(U a, int n) { return vshlq_u32(a, vdupq_n_s32(-n)); }
+  static U sar(U a, int n) {
+    return vreinterpretq_u32_s32(vshlq_s32(vreinterpretq_s32_u32(a), vdupq_n_s32(-n)));
+  }
+  static U iota() {
+    static const std::uint32_t k[4] = {0, 1, 2, 3};
+    return vld1q_u32(k);
+  }
+
+  static F loadf(const float* p) { return vld1q_f32(p); }
+  static void storef(float* p, F v) { vst1q_f32(p, v); }
+  static F set1f(float x) { return vdupq_n_f32(x); }
+  static F addf(F a, F b) { return vaddq_f32(a, b); }
+  static F subf(F a, F b) { return vsubq_f32(a, b); }
+  static F mulf(F a, F b) { return vmulq_f32(a, b); }
+  static F divf(F a, F b) { return vdivq_f32(a, b); }
+  static F roundf_cur(F a) { return vrndiq_f32(a); }  // FRINTI: current mode
+  static U castfu(F a) { return vreinterpretq_u32_f32(a); }
+
+  /// dst[l] = (uint64)m[l] << 32 | idx[l], in lane order.
+  static void zip_store_keys(std::uint64_t* dst, U idx, U m) {
+    const uint32x4x2_t z = vzipq_u32(idx, m);
+    vst1q_u32(reinterpret_cast<std::uint32_t*>(dst), z.val[0]);
+    vst1q_u32(reinterpret_cast<std::uint32_t*>(dst) + 4, z.val[1]);
+  }
+
+  // No gather instruction: extract indices, scalar loads.
+  static F gather(const float* t, U idx) {
+    float v[4] = {t[vgetq_lane_u32(idx, 0)], t[vgetq_lane_u32(idx, 1)],
+                  t[vgetq_lane_u32(idx, 2)], t[vgetq_lane_u32(idx, 3)]};
+    return vld1q_f32(v);
+  }
+
+  /// acc[0..3] |= (w & 1) << j, widening the four uint32 lanes to
+  /// uint64 in two halves.
+  static void gather_bits(std::uint64_t* acc, U w, std::uint32_t j) {
+    const U bits = vandq_u32(w, vdupq_n_u32(1));
+    const uint64x2_t lo = vmovl_u32(vget_low_u32(bits));
+    const uint64x2_t hi = vmovl_u32(vget_high_u32(bits));
+    const int64x2_t jv = vdupq_n_s64(static_cast<std::int64_t>(j));
+    uint64x2_t a0 = vld1q_u64(acc);
+    uint64x2_t a1 = vld1q_u64(acc + 2);
+    a0 = vorrq_u64(a0, vshlq_u64(lo, jv));
+    a1 = vorrq_u64(a1, vshlq_u64(hi, jv));
+    vst1q_u64(acc, a0);
+    vst1q_u64(acc + 2, a1);
+  }
+};
+
+}  // namespace spinal::backend::simd
+
+#endif  // __aarch64__

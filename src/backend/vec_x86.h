@@ -1,0 +1,145 @@
+#pragma once
+// x86 vector wrappers for the generic SIMD kernels (simd_kernels.h):
+// Vec128 (SSE4.2, 4 uint32 lanes) and Vec256 (AVX2, 8 lanes). Each is
+// only visible inside a TU compiled with the matching -m flags; the
+// rest of the build never sees an intrinsic.
+//
+// Float ops are plain IEEE single mul/sub/add/div (never FMA — the
+// kernels' bit-identity contract) and the fixed-point round uses the
+// current-rounding-direction form of ROUNDPS, matching nearbyintf.
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE4_2__) || defined(__AVX2__)
+#include <immintrin.h>
+
+namespace spinal::backend::simd {
+
+#if defined(__SSE4_2__)
+struct Vec128 {
+  static constexpr std::size_t W = 4;
+  using U = __m128i;
+  using F = __m128;
+
+  static U loadu(const std::uint32_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void storeu(std::uint32_t* p, U v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static U set1(std::uint32_t x) { return _mm_set1_epi32(static_cast<int>(x)); }
+  static U add(U a, U b) { return _mm_add_epi32(a, b); }
+  static U sub(U a, U b) { return _mm_sub_epi32(a, b); }
+  static U xor_(U a, U b) { return _mm_xor_si128(a, b); }
+  static U and_(U a, U b) { return _mm_and_si128(a, b); }
+  static U or_(U a, U b) { return _mm_or_si128(a, b); }
+  static U shl(U a, int n) { return _mm_slli_epi32(a, n); }
+  static U shr(U a, int n) { return _mm_srli_epi32(a, n); }
+  static U sar(U a, int n) { return _mm_srai_epi32(a, n); }
+  static U iota() { return _mm_setr_epi32(0, 1, 2, 3); }
+
+  static F loadf(const float* p) { return _mm_loadu_ps(p); }
+  static void storef(float* p, F v) { _mm_storeu_ps(p, v); }
+  static F set1f(float x) { return _mm_set1_ps(x); }
+  static F addf(F a, F b) { return _mm_add_ps(a, b); }
+  static F subf(F a, F b) { return _mm_sub_ps(a, b); }
+  static F mulf(F a, F b) { return _mm_mul_ps(a, b); }
+  static F divf(F a, F b) { return _mm_div_ps(a, b); }
+  static F roundf_cur(F a) { return _mm_round_ps(a, _MM_FROUND_CUR_DIRECTION); }
+  static U castfu(F a) { return _mm_castps_si128(a); }
+
+  /// dst[l] = (uint64)m[l] << 32 | idx[l], in lane order.
+  static void zip_store_keys(std::uint64_t* dst, U idx, U m) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), _mm_unpacklo_epi32(idx, m));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 2), _mm_unpackhi_epi32(idx, m));
+  }
+
+  // SSE has no gather instruction: extract indices, scalar loads.
+  static F gather(const float* t, U idx) {
+    alignas(16) std::uint32_t i[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(i), idx);
+    return _mm_setr_ps(t[i[0]], t[i[1]], t[i[2]], t[i[3]]);
+  }
+
+  /// acc[0..3] |= (w & 1) << j, widening the four uint32 lanes to
+  /// uint64.
+  static void gather_bits(std::uint64_t* acc, U w, std::uint32_t j) {
+    const U bits = _mm_and_si128(w, _mm_set1_epi32(1));
+    const __m128i lo = _mm_cvtepu32_epi64(bits);
+    const __m128i hi = _mm_cvtepu32_epi64(_mm_srli_si128(bits, 8));
+    __m128i a0 = _mm_loadu_si128(reinterpret_cast<__m128i*>(acc));
+    __m128i a1 = _mm_loadu_si128(reinterpret_cast<__m128i*>(acc + 2));
+    a0 = _mm_or_si128(a0, _mm_slli_epi64(lo, static_cast<int>(j)));
+    a1 = _mm_or_si128(a1, _mm_slli_epi64(hi, static_cast<int>(j)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc), a0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + 2), a1);
+  }
+};
+#endif  // __SSE4_2__
+
+#if defined(__AVX2__)
+struct Vec256 {
+  static constexpr std::size_t W = 8;
+  using U = __m256i;
+  using F = __m256;
+
+  static U loadu(const std::uint32_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void storeu(std::uint32_t* p, U v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static U set1(std::uint32_t x) { return _mm256_set1_epi32(static_cast<int>(x)); }
+  static U add(U a, U b) { return _mm256_add_epi32(a, b); }
+  static U sub(U a, U b) { return _mm256_sub_epi32(a, b); }
+  static U xor_(U a, U b) { return _mm256_xor_si256(a, b); }
+  static U and_(U a, U b) { return _mm256_and_si256(a, b); }
+  static U or_(U a, U b) { return _mm256_or_si256(a, b); }
+  static U shl(U a, int n) { return _mm256_slli_epi32(a, n); }
+  static U shr(U a, int n) { return _mm256_srli_epi32(a, n); }
+  static U sar(U a, int n) { return _mm256_srai_epi32(a, n); }
+  static U iota() { return _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7); }
+
+  static F loadf(const float* p) { return _mm256_loadu_ps(p); }
+  static void storef(float* p, F v) { _mm256_storeu_ps(p, v); }
+  static F set1f(float x) { return _mm256_set1_ps(x); }
+  static F addf(F a, F b) { return _mm256_add_ps(a, b); }
+  static F subf(F a, F b) { return _mm256_sub_ps(a, b); }
+  static F mulf(F a, F b) { return _mm256_mul_ps(a, b); }
+  static F divf(F a, F b) { return _mm256_div_ps(a, b); }
+  static F roundf_cur(F a) { return _mm256_round_ps(a, _MM_FROUND_CUR_DIRECTION); }
+  static U castfu(F a) { return _mm256_castps_si256(a); }
+
+  /// dst[l] = (uint64)m[l] << 32 | idx[l], in lane order (unpack works
+  /// per 128-bit half, so the halves are re-zipped with permute2x128).
+  static void zip_store_keys(std::uint64_t* dst, U idx, U m) {
+    const __m256i lo = _mm256_unpacklo_epi32(idx, m);  // keys 0,1 | 4,5
+    const __m256i hi = _mm256_unpackhi_epi32(idx, m);  // keys 2,3 | 6,7
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                        _mm256_permute2x128_si256(lo, hi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 4),
+                        _mm256_permute2x128_si256(lo, hi, 0x31));
+  }
+
+  static F gather(const float* t, U idx) { return _mm256_i32gather_ps(t, idx, 4); }
+
+  /// acc[0..7] |= (w & 1) << j, widening the eight uint32 lanes to
+  /// uint64 in two halves.
+  static void gather_bits(std::uint64_t* acc, U w, std::uint32_t j) {
+    const U bits = _mm256_and_si256(w, _mm256_set1_epi32(1));
+    const __m256i lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(bits));
+    const __m256i hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256(bits, 1));
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(acc));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(acc + 4));
+    a0 = _mm256_or_si256(a0, _mm256_slli_epi64(lo, static_cast<int>(j)));
+    a1 = _mm256_or_si256(a1, _mm256_slli_epi64(hi, static_cast<int>(j)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 4), a1);
+  }
+};
+#endif  // __AVX2__
+
+}  // namespace spinal::backend::simd
+
+#endif  // __SSE4_2__ || __AVX2__

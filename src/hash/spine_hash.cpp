@@ -1,7 +1,6 @@
 #include "hash/spine_hash.h"
 
-#include <algorithm>
-
+#include "backend/backend.h"
 #include "hash/jenkins.h"
 #include "hash/salsa20.h"
 
@@ -30,63 +29,29 @@ std::uint32_t SpineHash::operator()(std::uint32_t state,
   return 0;
 }
 
+// The batched forms route through the active kernel backend (scalar /
+// SSE4.2 / AVX2 / NEON — see backend/backend.h). Every backend is
+// bit-identical to looping operator(), so callers never observe which
+// one ran.
+
 void SpineHash::hash_n(const std::uint32_t* states, std::size_t count,
                        std::uint32_t data, std::uint32_t* out) const noexcept {
-  switch (kind_) {
-    case Kind::kOneAtATime: {
-      const std::uint32_t seed = salt_ ^ 0x2545F491u;
-      for (std::size_t i = 0; i < count; ++i)
-        out[i] = one_at_a_time_word(one_at_a_time_word(seed, states[i]), data);
-      break;
-    }
-    case Kind::kLookup3:
-      for (std::size_t i = 0; i < count; ++i)
-        out[i] = lookup3_pair(states[i], data, salt_);
-      break;
-    case Kind::kSalsa20:
-      for (std::size_t i = 0; i < count; ++i)
-        out[i] = salsa20_pair(states[i], data, salt_);
-      break;
-  }
+  backend::active().hash_n(kind_, salt_, states, count, data, out);
 }
 
 void SpineHash::premix_n(const std::uint32_t* states, std::size_t count,
                          std::uint32_t* out) const noexcept {
-  const std::uint32_t seed = salt_ ^ 0x2545F491u;
-  const std::uint32_t* __restrict in = states;
-  std::uint32_t* __restrict o = out;
-  for (std::size_t i = 0; i < count; ++i) o[i] = one_at_a_time_word(seed, in[i]);
+  backend::active().premix_n(salt_, states, count, out);
 }
 
 void SpineHash::hash_premixed_n(const std::uint32_t* premixed, std::size_t count,
                                 std::uint32_t data, std::uint32_t* out) const noexcept {
-  const std::uint32_t* __restrict in = premixed;
-  std::uint32_t* __restrict o = out;
-  for (std::size_t i = 0; i < count; ++i) o[i] = one_at_a_time_word(in[i], data);
+  backend::active().hash_premixed_n(premixed, count, data, out);
 }
 
 void SpineHash::hash_children(const std::uint32_t* states, std::size_t count,
                               std::uint32_t fanout, std::uint32_t* out) const noexcept {
-  if (kind_ == Kind::kOneAtATime) {
-    // The state pre-mix is chunk-independent: compute it once per lane
-    // block, then mix each chunk value against the whole block. The
-    // block keeps the premix in cache while staying vectoriser-sized.
-    const std::uint32_t seed = salt_ ^ 0x2545F491u;
-    constexpr std::size_t kBlock = 256;
-    std::uint32_t premix[kBlock];
-    for (std::size_t base = 0; base < count; base += kBlock) {
-      const std::size_t m = std::min(kBlock, count - base);
-      for (std::size_t i = 0; i < m; ++i)
-        premix[i] = one_at_a_time_word(seed, states[base + i]);
-      for (std::uint32_t v = 0; v < fanout; ++v) {
-        std::uint32_t* dst = out + static_cast<std::size_t>(v) * count + base;
-        for (std::size_t i = 0; i < m; ++i) dst[i] = one_at_a_time_word(premix[i], v);
-      }
-    }
-    return;
-  }
-  for (std::uint32_t v = 0; v < fanout; ++v)
-    hash_n(states, count, v, out + static_cast<std::size_t>(v) * count);
+  backend::active().hash_children(kind_, salt_, states, count, fanout, out);
 }
 
 }  // namespace spinal::hash

@@ -55,11 +55,12 @@ class SpineHash {
     hash_n(states, count, index ^ 0x80000000u, out);
   }
 
-  /// All 2^k children of a whole leaf array in one sweep:
-  /// out[v*count + i] = h(states[i], v) for v < fanout, i < count.
-  /// For one-at-a-time the state pre-mix (which does not depend on the
-  /// chunk value) is shared across the fanout, so a leaf's children cost
-  /// fanout+1 word mixes instead of 2*fanout.
+  /// All 2^k children of a whole leaf array in one sweep, child-major:
+  /// out[i*fanout + v] = h(states[i], v) for v < fanout, i < count (a
+  /// leaf's children are contiguous, which is also the bubble search's
+  /// d=1 candidate order). For one-at-a-time the state pre-mix (which
+  /// does not depend on the chunk value) is shared across the fanout,
+  /// so a leaf's children cost fanout+1 word mixes instead of 2*fanout.
   void hash_children(const std::uint32_t* states, std::size_t count,
                      std::uint32_t fanout, std::uint32_t* out) const noexcept;
 

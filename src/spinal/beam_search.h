@@ -19,35 +19,34 @@
 //   void expand_all(int spine_idx, const std::uint32_t* states,
 //                   std::size_t count, int fanout,
 //                   std::uint32_t* out_states, float* out_costs) const;
-// computing out_states[v*count + i] = child(states[i], v) and
-// out_costs[v*count + i] = node_cost(spine_idx, out_states[v*count + i])
-// for every chunk value v < fanout over the whole contiguous leaf array.
-// When present it is used for the main-loop expansion (the hot path);
-// results must be bit-identical to the scalar pair, which remains the
-// golden reference (see test_decoder_golden.cpp). The search itself
-// allocates nothing once its SearchWorkspace buffers reach steady-state
-// capacity, so repeated decode attempts are allocation-free.
+// computing, child-major, out_states[i*fanout + v] = child(states[i], v)
+// and out_costs[i*fanout + v] = node_cost(spine_idx, out_states[...])
+// for every chunk value v < fanout over the whole contiguous leaf
+// array. Child-major means the kernel output coincides with the d=1
+// candidate numbering (cand = leaf*fanout + v), so the hot path runs
+// scatter-free: the backend d1_keys kernel finalizes costs and
+// selection keys straight off the kernel output. When present it is
+// used for the main-loop expansion; results must be bit-identical to
+// the scalar pair, which remains the golden reference (see
+// test_decoder_golden.cpp). The search itself allocates nothing once
+// its SearchWorkspace buffers reach steady-state capacity, so repeated
+// decode attempts are allocation-free.
 
 #include <algorithm>
 #include <bit>
+#include <concepts>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "backend/backend.h"
 #include "spinal/params.h"
 
 namespace spinal::detail {
 
-/// Order-preserving float-to-integer map: monotone_key(a) < monotone_key(b)
-/// iff a < b for all non-NaN floats (with -0 ordered just below +0, which
-/// cannot matter here: candidate costs that tie at zero are both +0).
-/// Lets the B-of-N selection run on flat uint64 (key << 32 | index) values
-/// instead of an indirect float comparator — same (cost, index) order,
-/// including the index tie-break, at a fraction of the compare cost.
-inline std::uint32_t monotone_key(float f) noexcept {
-  const std::uint32_t b = std::bit_cast<std::uint32_t>(f);
-  return (b & 0x80000000u) ? ~b : (b | 0x80000000u);
-}
+/// Order-preserving float-to-integer selection key; canonical
+/// definition lives with the kernel backends (backend/backend.h).
+using backend::monotone_key;
 
 struct SearchResult {
   std::vector<std::uint32_t> chunks;  ///< decoded chunk values, index 0 .. n/k-1
@@ -74,14 +73,22 @@ struct SearchWorkspace {
   std::vector<std::uint64_t> keys;  ///< (monotone cost, candidate index) packed
   std::vector<std::int32_t> entry_arena, next_entry_arena;
   std::vector<ArenaNode> arena;
-  std::vector<std::uint32_t> child_state;  ///< batched kernel: [fanout][leaves]
-  std::vector<float> child_cost;           ///< batched kernel: [fanout][leaves]
+  std::vector<std::uint32_t> child_state;  ///< batched kernel: [leaves][fanout]
+  std::vector<float> child_cost;           ///< batched kernel: [leaves][fanout]
 };
 
 template <class Env>
 concept BatchedSearchEnv = requires(const Env& e, const std::uint32_t* st,
                                     std::uint32_t* os, float* oc) {
   e.expand_all(0, st, std::size_t{0}, 0, os, oc);
+};
+
+/// An Env may pin the kernel backend its batched kernels run on; the
+/// search then routes its own lane-parallel pieces (selection-key build
+/// and the B-of-N selection) through the same backend table.
+template <class Env>
+concept BackendSearchEnv = requires(const Env& e) {
+  { e.search_backend() } -> std::convertible_to<const backend::Backend&>;
 };
 
 template <class Env>
@@ -105,6 +112,13 @@ class BeamSearch {
     const int d = std::min(p.d, S);
     const int k = p.k;
     const int B = p.B;
+
+    // The key build and B-of-N selection route through a kernel
+    // backend table; envs that pin one (the batched decoders) override
+    // the process-wide default. All backends are bit-identical here, so
+    // the choice never changes results.
+    const backend::Backend* be = &backend::active();
+    if constexpr (BackendSearchEnv<Env>) be = &env.search_backend();
 
     // ---- Initial build: single root s0, leaves out to depth d-1 ----
     // (path chunks 0 .. d-2; all full k bits since d-2 <= S-2). This
@@ -152,7 +166,10 @@ class BeamSearch {
       const int cand_total = entries * group_count;
       const std::size_t total_leaves = ws.leaf_state.size();
 
-      ws.cand_state.resize(static_cast<std::size_t>(cand_total) * new_leaves_per_cand);
+      // In the fused d=1 path candidates live directly in the kernel's
+      // child-major output, so cand_state is never written.
+      if (!(BatchedSearchEnv<Env> && d == 1))
+        ws.cand_state.resize(static_cast<std::size_t>(cand_total) * new_leaves_per_cand);
       ws.cand_cost.resize(static_cast<std::size_t>(cand_total) * new_leaves_per_cand);
       if (use_paths)
         ws.cand_path.resize(static_cast<std::size_t>(cand_total) * new_leaves_per_cand);
@@ -160,30 +177,26 @@ class BeamSearch {
 
       if constexpr (BatchedSearchEnv<Env>) {
         // Fused kernel: children + level costs for the whole contiguous
-        // leaf array in one sweep, then a hash-free scatter that walks
-        // candidates in the same (entry, leaf, chunk) order as the
-        // scalar path, so slot layout and float sums are identical.
+        // leaf array in one sweep, child-major (a leaf's fanout children
+        // are contiguous).
         ws.child_state.resize(static_cast<std::size_t>(fanout) * total_leaves);
         ws.child_cost.resize(static_cast<std::size_t>(fanout) * total_leaves);
         env.expand_all(e, ws.leaf_state.data(), total_leaves, fanout,
                        ws.child_state.data(), ws.child_cost.data());
         if (d == 1) {
           // One leaf per candidate (leaves_per_entry == 1, group_count
-          // == fanout): the scatter is a transpose of the [v][leaf]
-          // kernel output, fused with the selection-key build.
-          for (int en = 0; en < entries; ++en) {
-            const float pc = ws.leaf_cost[en];
-            for (int v = 0; v < fanout; ++v) {
-              const std::size_t src = static_cast<std::size_t>(v) * total_leaves + en;
-              const float cost = pc + ws.child_cost[src];
-              const int cand = en * fanout + v;
-              ws.cand_state[cand] = ws.child_state[src];
-              ws.cand_cost[cand] = cost;
-              ws.keys[cand] = (static_cast<std::uint64_t>(monotone_key(cost)) << 32) |
-                              static_cast<std::uint32_t>(cand);
-            }
-          }
+          // == fanout): the child-major kernel output IS the candidate
+          // array (cand = en*fanout + v), so finalizing the costs
+          // (parent + node cost, the exact scalar expression) and the
+          // packed selection keys is one scatter-free backend sweep.
+          be->d1_keys(ws.leaf_cost.data(), ws.child_cost.data(), total_leaves,
+                      static_cast<std::uint32_t>(fanout), ws.cand_cost.data(),
+                      ws.keys.data());
         } else {
+          // Multi-leaf candidates: regroup the children into their root
+          // subtrees, walking candidates in the same (entry, leaf,
+          // chunk) order as the scalar path so slot layout and float
+          // sums are identical.
           ws.cand_min.assign(cand_total, std::numeric_limits<float>::infinity());
           ws.fill.assign(cand_total, 0);
           for (int en = 0; en < entries; ++en) {
@@ -192,8 +205,9 @@ class BeamSearch {
               const std::size_t i = base + lf;
               const float pc = ws.leaf_cost[i];
               const std::uint32_t path = ws.leaf_path[i];
+              const std::size_t row = i * static_cast<std::size_t>(fanout);
               for (int v = 0; v < fanout; ++v) {
-                const std::size_t src = static_cast<std::size_t>(v) * total_leaves + i;
+                const std::size_t src = row + static_cast<std::size_t>(v);
                 const float cost = pc + ws.child_cost[src];
                 const std::uint32_t ext =
                     path | (static_cast<std::uint32_t>(v) << (k * (d - 1)));
@@ -208,9 +222,8 @@ class BeamSearch {
               }
             }
           }
-          for (int c = 0; c < cand_total; ++c)
-            ws.keys[c] = (static_cast<std::uint64_t>(monotone_key(ws.cand_min[c])) << 32) |
-                         static_cast<std::uint32_t>(c);
+          be->build_keys(ws.cand_min.data(), static_cast<std::size_t>(cand_total),
+                         ws.keys.data());
         }
       } else {
         ws.cand_min.assign(cand_total, std::numeric_limits<float>::infinity());
@@ -240,29 +253,30 @@ class BeamSearch {
             }
           }
         }
-        for (int c = 0; c < cand_total; ++c)
-          ws.keys[c] = (static_cast<std::uint64_t>(monotone_key(ws.cand_min[c])) << 32) |
-                       static_cast<std::uint32_t>(c);
+        be->build_keys(ws.cand_min.data(), static_cast<std::size_t>(cand_total),
+                       ws.keys.data());
       }
 
       // ---- Select the B best subtrees (ties broken by index) ----
       // Keys order exactly like the float comparator (cost, then
-      // candidate index). nth_element fixes the kept *set*; sorting the
-      // kept prefix fixes its *order* — hence arena layout and every
-      // equal-cost tie-break downstream — identically on every stdlib.
-      // With no pruning the keys are already in candidate-index order,
-      // the historical (and deterministic) layout.
+      // candidate index); see Backend::select_keys for the determinism
+      // contract. With no pruning the keys are already in
+      // candidate-index order, the historical (and deterministic)
+      // layout.
       const int keep = std::min(B, cand_total);
-      if (keep < cand_total) {
-        std::nth_element(ws.keys.begin(), ws.keys.begin() + keep, ws.keys.end());
-        std::sort(ws.keys.begin(), ws.keys.begin() + keep);
-      }
+      be->select_keys(ws.keys.data(), static_cast<std::size_t>(cand_total),
+                      static_cast<std::size_t>(keep));
 
       ws.next_entry_arena.resize(keep);
       ws.next_state.resize(static_cast<std::size_t>(keep) * new_leaves_per_cand);
       ws.next_cost.resize(static_cast<std::size_t>(keep) * new_leaves_per_cand);
       if (use_paths)
         ws.next_path.resize(static_cast<std::size_t>(keep) * new_leaves_per_cand);
+      // In the fused d=1 path the candidate states were never scattered:
+      // the child-major kernel output is already in candidate order.
+      const std::uint32_t* cand_state = ws.cand_state.data();
+      if constexpr (BatchedSearchEnv<Env>)
+        if (d == 1) cand_state = ws.child_state.data();
       for (int j = 0; j < keep; ++j) {
         const int cand = static_cast<int>(ws.keys[j] & 0xFFFFFFFFu);
         const int en = cand / group_count;
@@ -272,7 +286,7 @@ class BeamSearch {
         const std::size_t src = static_cast<std::size_t>(cand) * new_leaves_per_cand;
         const std::size_t dst = static_cast<std::size_t>(j) * new_leaves_per_cand;
         for (int l = 0; l < new_leaves_per_cand; ++l) {
-          ws.next_state[dst + l] = ws.cand_state[src + l];
+          ws.next_state[dst + l] = cand_state[src + l];
           ws.next_cost[dst + l] = ws.cand_cost[src + l];
         }
         if (use_paths)

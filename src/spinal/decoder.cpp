@@ -73,77 +73,50 @@ struct AwgnEnv {
 
 /// Batched environment: fuses child hashing, RNG draws, constellation
 /// lookup and the l2 metric into per-level sweeps over contiguous SoA
-/// arrays. Bit-identical to AwgnEnv: same hash composition, the same
-/// per-symbol accumulation order, and the same float expression shapes
-/// (scalar x86-64 SSE has no contraction, so vectorising is exact).
+/// arrays, all running in the pinned kernel backend (scalar / SSE4.2 /
+/// AVX2 / NEON — see backend/backend.h). Bit-identical to AwgnEnv
+/// whichever backend runs: same hash composition, the same per-symbol
+/// accumulation order, and the same float expression shapes (never
+/// contracted — the build pins -ffp-contract=off everywhere).
 struct AwgnBatchEnv : AwgnEnv {
   detail::DecodeWorkspace* ws;
+  const backend::Backend* be;
   const float* table;      // pre-quantised in fixed-point mode
   const float* raw_table;  // unquantised (CSI path quantises after h·x)
   std::uint32_t mask;
   int cbits;
 
+  const backend::Backend& search_backend() const noexcept { return *be; }
+
   void expand_all(int spine_idx, const std::uint32_t* states, std::size_t count,
                   int fanout, std::uint32_t* out_states, float* out_costs) const {
-    dec.hash_.hash_children(states, count, static_cast<std::uint32_t>(fanout),
-                            out_states);
     const std::size_t total = count * static_cast<std::size_t>(fanout);
-    std::fill_n(out_costs, total, 0.0f);
     const std::uint32_t begin = ws->soa_off[spine_idx];
-    const std::uint32_t end = ws->soa_off[spine_idx + 1];
-    if (begin == end || total == 0) return;
-    ws->rng_words.resize(total);
-    std::uint32_t* const w = ws->rng_words.data();
-    float* const __restrict oc = out_costs;
-
-    // One state pre-mix shared by every symbol's RNG draw (when the hash
-    // kind factors; one-at-a-time does, saving half the mixes).
-    const bool premixed = dec.hash_.has_premix() && end - begin > 1;
-    if (premixed) {
-      ws->premix.resize(total);
-      dec.hash_.premix_n(out_states, total, ws->premix.data());
-    }
-
-    for (std::uint32_t s = begin; s < end; ++s) {
-      if (premixed)
-        dec.hash_.rng_premixed_n(ws->premix.data(), total, ws->ord[s], w);
-      else
-        dec.hash_.rng_n(out_states, total, ws->ord[s], w);
-      const float yr = ws->y_re[s], yi = ws->y_im[s];
-      if (!use_csi) {
-        // y was quantised in the SoA build and the table entries are
-        // pre-quantised, so fixed-point and float share one loop.
-        const float* const __restrict t = table;
-        for (std::size_t i = 0; i < total; ++i) {
-          const float xr = t[w[i] & mask];
-          const float xi = t[(w[i] >> cbits) & mask];
-          const float dr = yr - xr, di = yi - xi;
-          oc[i] += dr * dr + di * di;
-        }
-      } else if (fx_scale <= 0.0f) {
-        const float hr = ws->h_re[s], hi = ws->h_im[s];
-        const float* const __restrict t = raw_table;
-        for (std::size_t i = 0; i < total; ++i) {
-          const float xr = t[w[i] & mask];
-          const float xi = t[(w[i] >> cbits) & mask];
-          const float rr = hr * xr - hi * xi;
-          const float ri = hr * xi + hi * xr;
-          const float dr = yr - rr, di = yi - ri;
-          oc[i] += dr * dr + di * di;
-        }
-      } else {
-        const float hr = ws->h_re[s], hi = ws->h_im[s];
-        const float* const __restrict t = raw_table;
-        for (std::size_t i = 0; i < total; ++i) {
-          const float xr = t[w[i] & mask];
-          const float xi = t[(w[i] >> cbits) & mask];
-          const float rr = fx_quantise(hr * xr - hi * xi, fx_scale);
-          const float ri = fx_quantise(hr * xi + hi * xr, fx_scale);
-          const float dr = yr - rr, di = yi - ri;
-          oc[i] += dr * dr + di * di;
-        }
-      }
-    }
+    const std::uint32_t nsym = ws->soa_off[spine_idx + 1] - begin;
+    // Scratch is sized here, in baseline code, so the kernels (possibly
+    // compiled with wide-ISA flags) never touch std::vector internals.
+    backend::ExpandScratch& sc = ws->expand;
+    sc.rng_words.resize(total);
+    const bool premixed = dec.hash_.has_premix() && nsym > 1;
+    if (premixed) sc.premix.resize(total);
+    const backend::AwgnLevel level{dec.hash_.kind(),
+                                   dec.hash_.salt(),
+                                   ws->ord.data() + begin,
+                                   nsym,
+                                   ws->y_re.data() + begin,
+                                   ws->y_im.data() + begin,
+                                   ws->h_re.data() + begin,
+                                   ws->h_im.data() + begin,
+                                   use_csi,
+                                   fx_scale,
+                                   table,
+                                   raw_table,
+                                   mask,
+                                   cbits,
+                                   sc.rng_words.data(),
+                                   premixed ? sc.premix.data() : nullptr};
+    be->awgn_expand_all(level, states, count, static_cast<std::uint32_t>(fanout),
+                        out_states, out_costs);
   }
 };
 
@@ -212,6 +185,7 @@ void SpinalDecoder::decode_into(DecodeResult& out) const {
   const detail::BeamSearch<AwgnBatchEnv> search;
   const AwgnBatchEnv env{{*this, any_csi_, fx_scale_},
                          &ws_,
+                         &backend::active(),
                          fx_scale_ > 0.0f ? fx_table_.data() : constellation_.data(),
                          constellation_.data(),
                          constellation_.mask(),
@@ -257,49 +231,35 @@ struct BscEnv {
 
 /// Batched BSC environment: coded bits for 64 received symbols at a time
 /// are packed into one word per candidate child, and the Hamming metric
-/// becomes XOR + popcount against the packed received word. The counts
-/// are small exact integers, so the float costs match the scalar
-/// one-bit-at-a-time accumulation exactly.
+/// becomes XOR + popcount against the packed received word (all in the
+/// pinned kernel backend). The counts are small exact integers, so the
+/// float costs match the scalar one-bit-at-a-time accumulation exactly.
 struct BscBatchEnv : BscEnv {
   detail::DecodeWorkspace* ws;
+  const backend::Backend* be;
+
+  const backend::Backend& search_backend() const noexcept { return *be; }
 
   void expand_all(int spine_idx, const std::uint32_t* states, std::size_t count,
                   int fanout, std::uint32_t* out_states, float* out_costs) const {
-    dec.hash_.hash_children(states, count, static_cast<std::uint32_t>(fanout),
-                            out_states);
     const std::size_t total = count * static_cast<std::size_t>(fanout);
-    std::fill_n(out_costs, total, 0.0f);
     const std::uint32_t begin = ws->soa_off[spine_idx];
     const std::uint32_t nsym = ws->soa_off[spine_idx + 1] - begin;
-    if (nsym == 0 || total == 0) return;
-    ws->rng_words.resize(total);
-    ws->acc_bits.resize(total);
-    std::uint32_t* const w = ws->rng_words.data();
-    std::uint64_t* const __restrict acc = ws->acc_bits.data();
-    const std::uint64_t* rxw = ws->rx_bits.data() + ws->soa_word_off[spine_idx];
-
+    backend::ExpandScratch& sc = ws->expand;
+    sc.rng_words.resize(total);
+    sc.acc_bits.resize(total);
     const bool premixed = dec.hash_.has_premix() && nsym > 1;
-    if (premixed) {
-      ws->premix.resize(total);
-      dec.hash_.premix_n(out_states, total, ws->premix.data());
-    }
-
-    for (std::uint32_t blk = 0; blk * 64 < nsym; ++blk) {
-      const std::uint32_t jmax = std::min<std::uint32_t>(64, nsym - blk * 64);
-      std::fill_n(acc, total, std::uint64_t{0});
-      for (std::uint32_t j = 0; j < jmax; ++j) {
-        const std::uint32_t ord = ws->ord[begin + blk * 64 + j];
-        if (premixed)
-          dec.hash_.rng_premixed_n(ws->premix.data(), total, ord, w);
-        else
-          dec.hash_.rng_n(out_states, total, ord, w);
-        for (std::size_t i = 0; i < total; ++i)
-          acc[i] |= static_cast<std::uint64_t>(w[i] & 1u) << j;
-      }
-      const std::uint64_t rw = rxw[blk];
-      for (std::size_t i = 0; i < total; ++i)
-        out_costs[i] += static_cast<float>(std::popcount(acc[i] ^ rw));
-    }
+    if (premixed) sc.premix.resize(total);
+    const backend::BscLevel level{dec.hash_.kind(),
+                                  dec.hash_.salt(),
+                                  ws->ord.data() + begin,
+                                  nsym,
+                                  ws->rx_bits.data() + ws->soa_word_off[spine_idx],
+                                  sc.rng_words.data(),
+                                  premixed ? sc.premix.data() : nullptr,
+                                  sc.acc_bits.data()};
+    be->bsc_expand_all(level, states, count, static_cast<std::uint32_t>(fanout),
+                       out_states, out_costs);
   }
 };
 
@@ -349,7 +309,7 @@ void BscSpinalDecoder::decode_into(DecodeResult& out) const {
   }
 
   const detail::BeamSearch<BscBatchEnv> search;
-  const BscBatchEnv env{{*this}, &ws_};
+  const BscBatchEnv env{{*this}, &ws_, &backend::active()};
   search.run(env, params_, ws_.search, ws_.result);
   chunks_to_message_into(params_, ws_.result.chunks, out.message);
   out.path_cost = ws_.result.best_cost;

@@ -11,11 +11,13 @@
 //
 // The hot path is batched: each decode flattens the received symbols
 // into per-spine SoA arrays once, then the search expands whole leaf
-// arrays through SpineHash::hash_children / rng_n and a fused,
-// vectoriser-friendly cost kernel (no std::complex temporaries). All
-// scratch lives in a DecodeWorkspace owned by the decoder, so repeated
-// decode attempts are allocation-free after the first. The output is
-// bit-identical to the retained scalar reference (decode_reference()).
+// arrays through the fused child-hash + cost kernels of the active
+// SIMD backend (backend/backend.h: scalar, SSE4.2, AVX2 or NEON,
+// captured per decode from backend::active()). All scratch lives in a
+// DecodeWorkspace owned by the decoder, so repeated decode attempts
+// are allocation-free after the first. The output is bit-identical to
+// the retained scalar reference (decode_reference()) under every
+// backend.
 // One decoder instance must not run decode() concurrently from two
 // threads (the workspace is shared); distinct instances are fine.
 
@@ -24,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "backend/backend.h"
 #include "hash/spine_hash.h"
 #include "modem/constellation.h"
 #include "spinal/beam_search.h"
@@ -58,9 +61,10 @@ struct DecodeWorkspace {
   std::vector<std::uint32_t> soa_word_off;
   std::vector<std::uint64_t> rx_bits;
 
-  std::vector<std::uint32_t> rng_words;  ///< per-child RNG draw scratch
-  std::vector<std::uint32_t> premix;     ///< per-child hash pre-mix (shared across symbols)
-  std::vector<std::uint64_t> acc_bits;   ///< per-child coded-bit accumulator (BSC)
+  /// Scratch the backend expansion kernels use (RNG draws, shared hash
+  /// pre-mix, BSC bit accumulator); sized here, in baseline code,
+  /// before each kernel call.
+  backend::ExpandScratch expand;
 };
 
 }  // namespace detail

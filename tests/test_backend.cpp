@@ -1,0 +1,422 @@
+// The kernel-backend registry and the kernel-level bit-identity
+// contract (backend/backend.h): detection invariants, the
+// SPINAL_BACKEND override resolution rule, force()/find() behaviour,
+// and — for every available backend — direct equivalence of each
+// kernel-table entry against the scalar backend on randomized inputs.
+// test_decoder_golden covers the same contract end-to-end through full
+// decodes; this suite pins it at the single-kernel level so a lane bug
+// is reported next to the kernel that has it.
+
+#include "backend/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace spinal {
+namespace {
+
+using backend::Backend;
+
+const Backend* scalar() {
+  const Backend* b = backend::find("scalar");
+  EXPECT_NE(b, nullptr);
+  return b;
+}
+
+/// Non-scalar backends to compare against the scalar reference.
+std::vector<const Backend*> simd_backends() {
+  std::vector<const Backend*> out;
+  for (const Backend* b : backend::available())
+    if (std::string_view(b->name) != "scalar") out.push_back(b);
+  return out;
+}
+
+constexpr hash::Kind kKinds[] = {hash::Kind::kOneAtATime, hash::Kind::kLookup3,
+                                 hash::Kind::kSalsa20};
+
+// ------------------------------------------------------------ registry
+
+TEST(BackendRegistry, ScalarIsAlwaysAvailableAndFirst) {
+  const auto& av = backend::available();
+  ASSERT_FALSE(av.empty());
+  EXPECT_STREQ(av.front()->name, "scalar");
+  EXPECT_EQ(av.front()->lanes, 1);
+}
+
+TEST(BackendRegistry, ActiveIsAvailable) {
+  const Backend* act = &backend::active();
+  bool found = false;
+  for (const Backend* b : backend::available()) found |= (b == act);
+  EXPECT_TRUE(found);
+}
+
+TEST(BackendRegistry, NamesAreUniqueAndLanesSane) {
+  std::vector<std::string> names;
+  for (const Backend* b : backend::available()) {
+    names.emplace_back(b->name);
+    EXPECT_GE(b->lanes, 1) << b->name;
+    // Every table entry must be populated.
+    EXPECT_NE(b->hash_n, nullptr) << b->name;
+    EXPECT_NE(b->hash_children, nullptr) << b->name;
+    EXPECT_NE(b->premix_n, nullptr) << b->name;
+    EXPECT_NE(b->hash_premixed_n, nullptr) << b->name;
+    EXPECT_NE(b->awgn_expand_all, nullptr) << b->name;
+    EXPECT_NE(b->bsc_expand_all, nullptr) << b->name;
+    EXPECT_NE(b->build_keys, nullptr) << b->name;
+    EXPECT_NE(b->d1_keys, nullptr) << b->name;
+    EXPECT_NE(b->select_keys, nullptr) << b->name;
+  }
+  for (std::size_t i = 0; i < names.size(); ++i)
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_NE(names[i], names[j]);
+}
+
+TEST(BackendRegistry, FindMatchesAvailable) {
+  for (const Backend* b : backend::available()) EXPECT_EQ(backend::find(b->name), b);
+  EXPECT_EQ(backend::find("definitely-not-a-backend"), nullptr);
+  EXPECT_EQ(backend::find(""), nullptr);
+}
+
+TEST(BackendRegistry, ResolveEmptyPicksDetectedBest) {
+  bool warned = false;
+  EXPECT_EQ(backend::resolve("", &warned), backend::available().back());
+  EXPECT_FALSE(warned);
+}
+
+TEST(BackendRegistry, ResolveKnownNamePicksIt) {
+  for (const Backend* b : backend::available()) {
+    bool warned = false;
+    EXPECT_EQ(backend::resolve(b->name, &warned), b);
+    EXPECT_FALSE(warned) << b->name;
+  }
+}
+
+TEST(BackendRegistry, ResolveUnknownNameWarnsAndFallsBack) {
+  // The SPINAL_BACKEND=<unknown> rule: warn, then use the detected best.
+  bool warned = false;
+  EXPECT_EQ(backend::resolve("mmx", &warned), backend::available().back());
+  EXPECT_TRUE(warned);
+}
+
+TEST(BackendRegistry, ForceSwitchesAndRejectsUnknown) {
+  const Backend* before = &backend::active();
+  for (const Backend* b : backend::available()) {
+    EXPECT_TRUE(backend::force(b->name));
+    EXPECT_EQ(&backend::active(), b);
+    // An unknown name must fail AND leave the active backend untouched.
+    EXPECT_FALSE(backend::force("avx1024"));
+    EXPECT_EQ(&backend::active(), b);
+  }
+  backend::force(before->name);
+}
+
+// ------------------------------------------------- kernel equivalence
+
+/// Randomized lane arrays at sizes straddling every vector width,
+/// including 0 and sizes exercising SIMD tails.
+constexpr std::size_t kSizes[] = {0, 1, 3, 7, 8, 9, 31, 64, 257, 1000};
+
+std::vector<std::uint32_t> random_words(util::Xoshiro256& prng, std::size_t n) {
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(prng.next_u64());
+  return v;
+}
+
+TEST(BackendKernels, HashLanesMatchScalarExactly) {
+  util::Xoshiro256 prng(101);
+  for (const Backend* b : simd_backends()) {
+    for (hash::Kind kind : kKinds) {
+      for (std::size_t n : kSizes) {
+        const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+        const std::uint32_t data = static_cast<std::uint32_t>(prng.next_u64());
+        const auto states = random_words(prng, n);
+        std::vector<std::uint32_t> want(n), got(n);
+        scalar()->hash_n(kind, salt, states.data(), n, data, want.data());
+        b->hash_n(kind, salt, states.data(), n, data, got.data());
+        EXPECT_EQ(want, got) << b->name << " hash_n kind="
+                             << hash::kind_name(kind) << " n=" << n;
+        scalar()->rng_n(kind, salt, states.data(), n, data, want.data());
+        b->rng_n(kind, salt, states.data(), n, data, got.data());
+        EXPECT_EQ(want, got) << b->name << " rng_n kind=" << hash::kind_name(kind)
+                             << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, HashChildrenMatchScalarExactly) {
+  util::Xoshiro256 prng(102);
+  for (const Backend* b : simd_backends()) {
+    for (hash::Kind kind : kKinds) {
+      for (std::size_t n : {std::size_t{1}, std::size_t{9}, std::size_t{256},
+                            std::size_t{300}}) {
+        // 512 exceeds the SIMD kernels' chunk-vector table (kMaxFanout
+        // = 256): must take the scalar fallback, not overrun it.
+        for (std::uint32_t fanout : {1u, 2u, 16u, 512u}) {
+          const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+          const auto states = random_words(prng, n);
+          std::vector<std::uint32_t> want(n * fanout), got(n * fanout);
+          scalar()->hash_children(kind, salt, states.data(), n, fanout, want.data());
+          b->hash_children(kind, salt, states.data(), n, fanout, got.data());
+          EXPECT_EQ(want, got) << b->name << " kind=" << hash::kind_name(kind)
+                               << " n=" << n << " fanout=" << fanout;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, PremixCompositionMatchesScalarExactly) {
+  util::Xoshiro256 prng(103);
+  for (const Backend* b : simd_backends()) {
+    for (std::size_t n : kSizes) {
+      const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+      const std::uint32_t data = static_cast<std::uint32_t>(prng.next_u64());
+      const auto states = random_words(prng, n);
+      std::vector<std::uint32_t> pm_want(n), pm_got(n), want(n), got(n);
+      scalar()->premix_n(salt, states.data(), n, pm_want.data());
+      b->premix_n(salt, states.data(), n, pm_got.data());
+      EXPECT_EQ(pm_want, pm_got) << b->name << " premix_n n=" << n;
+      scalar()->hash_premixed_n(pm_want.data(), n, data, want.data());
+      b->hash_premixed_n(pm_want.data(), n, data, got.data());
+      EXPECT_EQ(want, got) << b->name << " hash_premixed_n n=" << n;
+      // Composition == direct one-at-a-time hash.
+      b->hash_n(hash::Kind::kOneAtATime, salt, states.data(), n, data, want.data());
+      EXPECT_EQ(want, got) << b->name << " premix composition n=" << n;
+    }
+  }
+}
+
+/// Builds a small random constellation table (power-of-two size, as the
+/// real one) for the cost-metric kernels.
+std::vector<float> random_table(util::Xoshiro256& prng, int cbits) {
+  std::vector<float> t(std::size_t{1} << cbits);
+  for (auto& x : t) x = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+  return t;
+}
+
+TEST(BackendKernels, AwgnExpandAllMatchesScalarExactly) {
+  util::Xoshiro256 prng(104);
+  backend::ExpandScratch sc_want, sc_got;
+  for (const Backend* b : simd_backends()) {
+    for (hash::Kind kind : kKinds) {
+      for (int mode = 0; mode < 3; ++mode) {  // plain, CSI, CSI+fixed-point
+        const int cbits = 6;
+        const auto table = random_table(prng, cbits);
+        const std::size_t count = 37;  // deliberately not a lane multiple
+        const std::uint32_t fanout = 8;
+        const std::size_t total = count * fanout;
+        const auto states = random_words(prng, count);
+        const std::uint32_t nsym = 5;
+        const auto ord = random_words(prng, nsym);
+        std::vector<float> y_re(nsym), y_im(nsym), h_re(nsym), h_im(nsym);
+        for (std::uint32_t s = 0; s < nsym; ++s) {
+          y_re[s] = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+          y_im[s] = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+          h_re[s] = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+          h_im[s] = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+        }
+        const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+
+        auto run = [&](const Backend* be, backend::ExpandScratch& sc,
+                       std::vector<std::uint32_t>& out_states,
+                       std::vector<float>& out_costs) {
+          sc.rng_words.resize(total);
+          sc.premix.resize(total);
+          backend::AwgnLevel level{kind,
+                                   salt,
+                                   ord.data(),
+                                   nsym,
+                                   y_re.data(),
+                                   y_im.data(),
+                                   h_re.data(),
+                                   h_im.data(),
+                                   /*use_csi=*/mode > 0,
+                                   /*fx_scale=*/mode == 2 ? 64.0f : 0.0f,
+                                   table.data(),
+                                   table.data(),
+                                   static_cast<std::uint32_t>(table.size() - 1),
+                                   cbits,
+                                   sc.rng_words.data(),
+                                   sc.premix.data()};
+          out_states.resize(total);
+          out_costs.resize(total);
+          be->awgn_expand_all(level, states.data(), count, fanout, out_states.data(),
+                              out_costs.data());
+        };
+
+        std::vector<std::uint32_t> st_want, st_got;
+        std::vector<float> c_want, c_got;
+        run(scalar(), sc_want, st_want, c_want);
+        run(b, sc_got, st_got, c_got);
+        EXPECT_EQ(st_want, st_got)
+            << b->name << " states, kind=" << hash::kind_name(kind) << " mode=" << mode;
+        // Float costs must match to the exact bit, not approximately.
+        ASSERT_EQ(c_want.size(), c_got.size());
+        for (std::size_t i = 0; i < c_want.size(); ++i)
+          EXPECT_EQ(std::memcmp(&c_want[i], &c_got[i], sizeof(float)), 0)
+              << b->name << " cost lane " << i << " kind=" << hash::kind_name(kind)
+              << " mode=" << mode << " want=" << c_want[i] << " got=" << c_got[i];
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, BscExpandAllMatchesScalarExactly) {
+  util::Xoshiro256 prng(105);
+  backend::ExpandScratch sc_want, sc_got;
+  for (const Backend* b : simd_backends()) {
+    for (hash::Kind kind : kKinds) {
+      const std::size_t count = 29;
+      const std::uint32_t fanout = 4;
+      const std::size_t total = count * fanout;
+      const auto states = random_words(prng, count);
+      const std::uint32_t nsym = 130;  // > 2 packed blocks, partial tail
+      const auto ord = random_words(prng, nsym);
+      std::vector<std::uint64_t> rx_words((nsym + 63) / 64);
+      for (auto& wd : rx_words) wd = prng.next_u64();
+      const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+
+      auto run = [&](const Backend* be, backend::ExpandScratch& sc,
+                     std::vector<std::uint32_t>& out_states,
+                     std::vector<float>& out_costs) {
+        sc.rng_words.resize(total);
+        sc.premix.resize(total);
+        sc.acc_bits.resize(total);
+        backend::BscLevel level{kind,
+                                salt,
+                                ord.data(),
+                                nsym,
+                                rx_words.data(),
+                                sc.rng_words.data(),
+                                sc.premix.data(),
+                                sc.acc_bits.data()};
+        out_states.resize(total);
+        out_costs.resize(total);
+        be->bsc_expand_all(level, states.data(), count, fanout, out_states.data(),
+                           out_costs.data());
+      };
+
+      std::vector<std::uint32_t> st_want, st_got;
+      std::vector<float> c_want, c_got;
+      run(scalar(), sc_want, st_want, c_want);
+      run(b, sc_got, st_got, c_got);
+      EXPECT_EQ(st_want, st_got) << b->name << " kind=" << hash::kind_name(kind);
+      EXPECT_EQ(c_want, c_got) << b->name << " kind=" << hash::kind_name(kind);
+    }
+  }
+}
+
+TEST(BackendKernels, SelectionKeysMatchScalarExactly) {
+  util::Xoshiro256 prng(106);
+  for (const Backend* b : simd_backends()) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{17}, std::size_t{1024}}) {
+      std::vector<float> costs(n);
+      for (auto& c : costs)
+        c = static_cast<float>(prng.next_double()) * 8.0f - 1.0f;  // mixed signs
+      costs[0] = 0.0f;  // exercise ties at zero
+      if (n > 4) costs[4] = 0.0f;
+      std::vector<std::uint64_t> want(n), got(n);
+      scalar()->build_keys(costs.data(), n, want.data());
+      b->build_keys(costs.data(), n, got.data());
+      EXPECT_EQ(want, got) << b->name << " build_keys n=" << n;
+
+      // Selection: same kept set, same kept order.
+      const std::size_t keep = n / 2 + 1;
+      std::vector<std::uint64_t> sel_want = want, sel_got = got;
+      scalar()->select_keys(sel_want.data(), n, keep);
+      b->select_keys(sel_got.data(), n, keep);
+      sel_want.resize(keep);
+      sel_got.resize(keep);
+      EXPECT_EQ(sel_want, sel_got) << b->name << " select_keys n=" << n;
+    }
+  }
+}
+
+TEST(BackendKernels, D1KeysMatchScalarExactly) {
+  util::Xoshiro256 prng(107);
+  for (const Backend* b : simd_backends()) {
+    // Fanouts straddling the lane widths, incl. short-final-chunk sizes.
+    for (std::uint32_t fanout : {1u, 2u, 4u, 8u, 16u, 64u}) {
+      const std::size_t count = 53;
+      const std::size_t total = count * fanout;
+      std::vector<float> parent(count), child(total);
+      for (auto& c : parent) c = static_cast<float>(prng.next_double()) * 30.0f;
+      for (auto& c : child) c = static_cast<float>(prng.next_double()) * 10.0f;
+      std::vector<float> cc_want(total), cc_got(total);
+      std::vector<std::uint64_t> k_want(total), k_got(total);
+      scalar()->d1_keys(parent.data(), child.data(), count, fanout, cc_want.data(),
+                        k_want.data());
+      b->d1_keys(parent.data(), child.data(), count, fanout, cc_got.data(),
+                 k_got.data());
+      EXPECT_EQ(k_want, k_got) << b->name << " fanout=" << fanout;
+      for (std::size_t i = 0; i < total; ++i)
+        EXPECT_EQ(std::memcmp(&cc_want[i], &cc_got[i], sizeof(float)), 0)
+            << b->name << " lane " << i << " fanout=" << fanout;
+      // Key semantics: monotone cost in the high word, index in the low.
+      for (std::size_t i = 0; i < total; ++i) {
+        EXPECT_EQ(k_got[i] & 0xFFFFFFFFu, i);
+        EXPECT_EQ(k_got[i] >> 32, backend::monotone_key(cc_got[i]));
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, SelectKeysMatchesFullSortReference) {
+  // The radix selection must keep exactly the keep smallest keys, in
+  // ascending order — i.e. the prefix of a full sort. Exercised on
+  // clustered near-sorted keys (the shape real decode costs have) and
+  // several keep points, for every backend's table entry.
+  util::Xoshiro256 prng(108);
+  for (const Backend* b : backend::available()) {
+    for (std::size_t n : {std::size_t{2}, std::size_t{100}, std::size_t{4096},
+                          std::size_t{5000}}) {
+      std::vector<float> costs(n);
+      float walk = 20.0f;
+      for (auto& c : costs) {
+        walk += static_cast<float>(prng.next_double()) * 0.25f;
+        c = walk + static_cast<float>(prng.next_double()) * 2.0f;
+      }
+      std::vector<std::uint64_t> keys(n);
+      b->build_keys(costs.data(), n, keys.data());
+      std::vector<std::uint64_t> sorted = keys;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t keep : {std::size_t{1}, n / 3, n - 1, n}) {
+        if (keep == 0) continue;
+        std::vector<std::uint64_t> work = keys;
+        b->select_keys(work.data(), n, keep);
+        bool ok = true;
+        if (keep < n) {
+          for (std::size_t i = 0; i < keep; ++i) ok &= work[i] == sorted[i];
+        } else {
+          // keep == n is a no-op by contract (no pruning, order kept).
+          ok = work == keys;
+        }
+        EXPECT_TRUE(ok) << b->name << " n=" << n << " keep=" << keep;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, MonotoneKeyOrdersLikeFloat) {
+  const float vals[] = {-3.5f, -0.0f, 0.0f, 1e-30f, 0.25f, 1.0f, 1e30f};
+  for (float a : vals)
+    for (float c : vals) {
+      if (a < c) {
+        EXPECT_LT(backend::monotone_key(a), backend::monotone_key(c)) << a << " " << c;
+      }
+      if (a == c && std::signbit(a) == std::signbit(c)) {
+        EXPECT_EQ(backend::monotone_key(a), backend::monotone_key(c)) << a;
+      }
+    }
+}
+
+}  // namespace
+}  // namespace spinal

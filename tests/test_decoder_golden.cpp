@@ -2,13 +2,21 @@
 // must produce *identical* results — message bits and exact path-cost
 // bits — to the retained per-node scalar reference (decode_reference)
 // across every hash kind, both channels, CSI, puncturing, fixed-point
-// mode and bubble depths. The two share the tree search and selection;
-// only the expansion kernels differ, so any divergence is a kernel bug.
+// mode and bubble depths — under EVERY kernel backend the machine
+// offers (scalar / SSE4.2 / AVX2 / NEON). The reference env computes
+// per-node child() + node_cost() with plain scalar calls, so this suite
+// is the conformance oracle for the whole backend layer: any lane,
+// reduction-order or rounding divergence in a SIMD kernel shows up as a
+// message or exact-float-cost mismatch here.
 
 #include "spinal/decoder.h"
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
+#include "backend/backend.h"
 #include "channel/awgn.h"
 #include "channel/bsc.h"
 #include "channel/rayleigh.h"
@@ -27,6 +35,19 @@ CodeParams base_params(hash::Kind kind) {
   p.hash_kind = kind;
   return p;
 }
+
+/// Pins backend::active() to @p name for one test body, restoring the
+/// previous backend on scope exit.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const char* name) : prev_(backend::active().name) {
+    EXPECT_TRUE(backend::force(name)) << name;
+  }
+  ~ScopedBackend() { backend::force(prev_); }
+
+ private:
+  const char* prev_;
+};
 
 void expect_identical(const SpinalDecoder& dec, const char* label) {
   const DecodeResult batched = dec.decode();
@@ -52,19 +73,29 @@ void expect_identical(const BscSpinalDecoder& dec, const char* label) {
   EXPECT_EQ(into.path_cost, batched.path_cost) << label;
 }
 
-class GoldenAllKinds : public ::testing::TestWithParam<hash::Kind> {};
-INSTANTIATE_TEST_SUITE_P(AllKinds, GoldenAllKinds,
-                         ::testing::Values(hash::Kind::kOneAtATime,
-                                           hash::Kind::kLookup3,
-                                           hash::Kind::kSalsa20),
-                         [](const auto& info) {
-                           std::string name = hash::kind_name(info.param);
-                           std::erase(name, '-');
-                           return name;
-                         });
+/// hash kind × every backend in backend::available().
+class GoldenAllKinds
+    : public ::testing::TestWithParam<std::tuple<hash::Kind, const backend::Backend*>> {
+ public:
+  hash::Kind kind() const { return std::get<0>(GetParam()); }
+  const char* backend_name() const { return std::get<1>(GetParam())->name; }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllBackends, GoldenAllKinds,
+    ::testing::Combine(::testing::Values(hash::Kind::kOneAtATime,
+                                         hash::Kind::kLookup3,
+                                         hash::Kind::kSalsa20),
+                       ::testing::ValuesIn(backend::available())),
+    [](const auto& info) {
+      std::string name = hash::kind_name(std::get<0>(info.param));
+      std::erase(name, '-');
+      return name + "_" + std::get<1>(info.param)->name;
+    });
 
 TEST_P(GoldenAllKinds, AwgnMatchesScalarReference) {
-  const CodeParams p = base_params(GetParam());
+  const ScopedBackend scoped(backend_name());
+  const CodeParams p = base_params(kind());
   util::Xoshiro256 prng(21);
   const SpinalEncoder enc(p, prng.random_bits(p.n));
   SpinalDecoder dec(p);
@@ -77,7 +108,8 @@ TEST_P(GoldenAllKinds, AwgnMatchesScalarReference) {
 }
 
 TEST_P(GoldenAllKinds, AwgnCsiMatchesScalarReference) {
-  const CodeParams p = base_params(GetParam());
+  const ScopedBackend scoped(backend_name());
+  const CodeParams p = base_params(kind());
   util::Xoshiro256 prng(22);
   const SpinalEncoder enc(p, prng.random_bits(p.n));
   SpinalDecoder dec(p);
@@ -95,7 +127,8 @@ TEST_P(GoldenAllKinds, AwgnCsiMatchesScalarReference) {
 }
 
 TEST_P(GoldenAllKinds, AwgnFixedPointMatchesScalarReference) {
-  CodeParams p = base_params(GetParam());
+  const ScopedBackend scoped(backend_name());
+  CodeParams p = base_params(kind());
   p.fixed_point_frac_bits = 6;
   util::Xoshiro256 prng(23);
   const SpinalEncoder enc(p, prng.random_bits(p.n));
@@ -109,9 +142,10 @@ TEST_P(GoldenAllKinds, AwgnFixedPointMatchesScalarReference) {
 }
 
 TEST_P(GoldenAllKinds, AwgnCsiFixedPointMatchesScalarReference) {
+  const ScopedBackend scoped(backend_name());
   // CSI + fixed point: quantisation cannot be hoisted into the table, so
   // this pins the in-kernel h·x quantisation against the scalar one.
-  CodeParams p = base_params(GetParam());
+  CodeParams p = base_params(kind());
   p.fixed_point_frac_bits = 6;
   util::Xoshiro256 prng(24);
   const SpinalEncoder enc(p, prng.random_bits(p.n));
@@ -130,9 +164,10 @@ TEST_P(GoldenAllKinds, AwgnCsiFixedPointMatchesScalarReference) {
 }
 
 TEST_P(GoldenAllKinds, PuncturedPrefixMatchesScalarReference) {
+  const ScopedBackend scoped(backend_name());
   // Half a pass: some spine values have zero received symbols, so the
   // batched kernel's empty-spine early-out is on the decode path.
-  CodeParams p = base_params(GetParam());
+  CodeParams p = base_params(kind());
   p.B = 64;
   util::Xoshiro256 prng(25);
   const SpinalEncoder enc(p, prng.random_bits(p.n));
@@ -146,7 +181,8 @@ TEST_P(GoldenAllKinds, PuncturedPrefixMatchesScalarReference) {
 }
 
 TEST_P(GoldenAllKinds, DeepBubbleMatchesScalarReference) {
-  CodeParams p = base_params(GetParam());
+  const ScopedBackend scoped(backend_name());
+  CodeParams p = base_params(kind());
   p.n = 60;
   p.k = 3;
   p.B = 8;
@@ -163,7 +199,8 @@ TEST_P(GoldenAllKinds, DeepBubbleMatchesScalarReference) {
 }
 
 TEST_P(GoldenAllKinds, ShortFinalChunkMatchesScalarReference) {
-  CodeParams p = base_params(GetParam());
+  const ScopedBackend scoped(backend_name());
+  CodeParams p = base_params(kind());
   p.n = 62;  // 15*4 + 2: final fanout is 4, not 16
   util::Xoshiro256 prng(27);
   const SpinalEncoder enc(p, prng.random_bits(p.n));
@@ -177,7 +214,8 @@ TEST_P(GoldenAllKinds, ShortFinalChunkMatchesScalarReference) {
 }
 
 TEST_P(GoldenAllKinds, BscMatchesScalarReference) {
-  CodeParams p = base_params(GetParam());
+  const ScopedBackend scoped(backend_name());
+  CodeParams p = base_params(kind());
   p.c = 1;
   util::Xoshiro256 prng(28);
   const BscSpinalEncoder enc(p, prng.random_bits(p.n));
@@ -190,9 +228,10 @@ TEST_P(GoldenAllKinds, BscMatchesScalarReference) {
 }
 
 TEST_P(GoldenAllKinds, BscManyPassesMatchesScalarReference) {
+  const ScopedBackend scoped(backend_name());
   // > 64 bits per spine value: the packed-word accumulator spans
   // multiple blocks, including a partial final block.
-  CodeParams p = base_params(GetParam());
+  CodeParams p = base_params(kind());
   p.c = 1;
   p.B = 8;
   p.n = 32;

@@ -161,9 +161,9 @@ TEST_P(SpineHashAllKinds, HashChildrenMatchesLoopedSingleShot) {
     for (std::size_t i = 0; i < n; ++i)
       states[i] = static_cast<std::uint32_t>(i) * 40503u + 1u;
     h.hash_children(states.data(), n, fanout, got.data());
-    for (std::uint32_t v = 0; v < fanout; ++v)
-      for (std::size_t i = 0; i < n; ++i)
-        ASSERT_EQ(got[v * n + i], h(states[i], v)) << "n=" << n << " v=" << v;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::uint32_t v = 0; v < fanout; ++v)
+        ASSERT_EQ(got[i * fanout + v], h(states[i], v)) << "n=" << n << " v=" << v;
   }
 }
 
