@@ -64,25 +64,41 @@ inline void sort_keys_prefix(std::uint64_t* keys, std::size_t n) {
   std::uint64_t tmp[kScratch];
   std::uint64_t* src = keys;
   std::uint64_t* dst = tmp;
-  for (int shift = 0; shift < 64; shift += 8) {
+  // LSD passes over the differing COST bytes only (16-bit counters:
+  // for the streaming pipeline's kept-prefix sorts — a few hundred
+  // keys, every level — the histogram zeroing dominates, and skipping
+  // the candidate-index bytes drops the pass count further). Equal-cost
+  // runs come out in scrambled order and are fixed afterwards; float
+  // costs make exact ties rare (integer Hamming costs tie more, but
+  // then the runs sort in one comparison burst each).
+  for (int shift = 32; shift < 64; shift += 8) {
     if (((diff >> shift) & 0xFF) == 0) continue;  // constant byte
-    std::uint32_t off[256] = {};
+    std::uint16_t off[256] = {};
     for (std::size_t i = 0; i < n; ++i) ++off[(src[i] >> shift) & 0xFF];
-    std::uint32_t sum = 0;
+    std::uint16_t sum = 0;
     for (unsigned b = 0; b < 256; ++b) {
-      const std::uint32_t c = off[b];
+      const std::uint16_t c = off[b];
       off[b] = sum;
-      sum += c;
+      sum = static_cast<std::uint16_t>(sum + c);
     }
     for (std::size_t i = 0; i < n; ++i) dst[off[(src[i] >> shift) & 0xFF]++] = src[i];
     std::swap(src, dst);
   }
   if (src != keys) std::memcpy(keys, src, n * sizeof(std::uint64_t));
+  // Keys are unique, so equal-cost runs order deterministically by the
+  // candidate index in their low words.
+  std::size_t run = 0;
+  while (run < n) {
+    std::size_t end = run + 1;
+    while (end < n && (keys[end] >> 32) == (keys[run] >> 32)) ++end;
+    if (end - run > 1) std::sort(keys + run, keys + end);
+    run = end;
+  }
 }
 
 }  // namespace
 
-void shared_select_keys(std::uint64_t* keys, std::size_t count, std::size_t keep) {
+void shared_partition_keys(std::uint64_t* keys, std::size_t count, std::size_t keep) {
   if (keep == 0 || keep >= count) return;
   // Radix select: peel the key bytes from the top, keeping a single
   // ambiguous block [lo, hi) that straddles the keep boundary. Each
@@ -117,25 +133,35 @@ void shared_select_keys(std::uint64_t* keys, std::size_t count, std::size_t keep
     if (diff == 0) break;  // unreachable with unique keys; defensive
     const int shift = (63 - std::countl_zero(diff)) & ~7;
 
-    // Histogram of that byte, 4 interleaved tables: clustered keys hit
-    // the same bucket over and over, and a single table would serialise
-    // on the store-to-load dependence.
-    std::uint32_t cnt[4][256] = {};
-    i = lo;
-    for (; i + 4 <= hi; i += 4) {
-      ++cnt[0][(keys[i] >> shift) & 0xFF];
-      ++cnt[1][(keys[i + 1] >> shift) & 0xFF];
-      ++cnt[2][(keys[i + 2] >> shift) & 0xFF];
-      ++cnt[3][(keys[i + 3] >> shift) & 0xFF];
+    // Histogram of that byte. Large blocks use 4 interleaved tables:
+    // clustered keys hit the same bucket over and over, and a single
+    // table would serialise on the store-to-load dependence. Small
+    // blocks — the streaming pipeline's survivor sets, a few hundred
+    // keys per refinement — use one table: zeroing 4 KiB of counters
+    // would cost more than the whole scan.
+    std::uint32_t cnt[4][256];
+    std::uint32_t* const c0 = cnt[0];
+    if (hi - lo >= 1024) {
+      std::memset(cnt, 0, sizeof(cnt));
+      i = lo;
+      for (; i + 4 <= hi; i += 4) {
+        ++cnt[0][(keys[i] >> shift) & 0xFF];
+        ++cnt[1][(keys[i + 1] >> shift) & 0xFF];
+        ++cnt[2][(keys[i + 2] >> shift) & 0xFF];
+        ++cnt[3][(keys[i + 3] >> shift) & 0xFF];
+      }
+      for (; i < hi; ++i) ++cnt[0][(keys[i] >> shift) & 0xFF];
+      for (unsigned b = 0; b < 256; ++b) c0[b] += cnt[1][b] + cnt[2][b] + cnt[3][b];
+    } else {
+      std::memset(c0, 0, sizeof(cnt[0]));
+      for (i = lo; i < hi; ++i) ++c0[(keys[i] >> shift) & 0xFF];
     }
-    for (; i < hi; ++i) ++cnt[0][(keys[i] >> shift) & 0xFF];
 
     // Threshold byte T: its bucket straddles the keep boundary.
     std::size_t acc = 0;
     unsigned T = 0;
     for (;; ++T) {
-      const std::size_t c = static_cast<std::size_t>(cnt[0][T]) + cnt[1][T] +
-                            cnt[2][T] + cnt[3][T];
+      const std::size_t c = c0[T];
       if (acc + c > need) break;
       acc += c;
     }
@@ -152,6 +178,11 @@ void shared_select_keys(std::uint64_t* keys, std::size_t count, std::size_t keep
     lo = lt;
     hi = le;
   }
+}
+
+void shared_select_keys(std::uint64_t* keys, std::size_t count, std::size_t keep) {
+  if (keep == 0 || keep >= count) return;
+  shared_partition_keys(keys, count, keep);
   sort_keys_prefix(keys, keep);
 }
 
@@ -198,24 +229,15 @@ const std::vector<const Backend*>& registry() {
 }
 
 /// Mutable slot behind active(); resolved lazily so the SPINAL_BACKEND
-/// override is read exactly once, at first use.
+/// override is read exactly once, at first use. resolve() itself
+/// prints the diagnostic (with the available-backend list) on an
+/// unknown name, so every resolution path tells the user what the
+/// valid names are.
 const Backend*& active_slot() {
   static const Backend* slot = [] {
     const char* env = std::getenv("SPINAL_BACKEND");
     bool warned = false;
-    const Backend* b = resolve(env ? std::string_view(env) : std::string_view(), &warned);
-    if (warned) {
-      std::string names;
-      for (const Backend* a : registry()) {
-        names += ' ';
-        names += a->name;
-      }
-      std::fprintf(stderr,
-                   "spinal: SPINAL_BACKEND=%s is not available; using '%s' "
-                   "(available:%s)\n",
-                   env, b->name, names.c_str());
-    }
-    return b;
+    return resolve(env ? std::string_view(env) : std::string_view(), &warned);
   }();
   return slot;
 }
@@ -230,10 +252,26 @@ const Backend* find(std::string_view name) noexcept {
   return nullptr;
 }
 
+std::string available_names() {
+  std::string names;
+  for (const Backend* b : registry()) {
+    if (!names.empty()) names += ' ';
+    names += b->name;
+  }
+  return names;
+}
+
 const Backend* resolve(std::string_view env_value, bool* warned) noexcept {
   if (!env_value.empty()) {
     if (const Backend* b = find(env_value)) return b;
     if (warned) *warned = true;
+    const Backend* best = registry().back();
+    std::fprintf(stderr,
+                 "spinal: SPINAL_BACKEND=%.*s is not available; using '%s' "
+                 "(available: %s)\n",
+                 static_cast<int>(env_value.size()), env_value.data(), best->name,
+                 available_names().c_str());
+    return best;
   }
   return registry().back();
 }

@@ -27,6 +27,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -45,6 +46,16 @@ inline std::uint32_t monotone_key(float f) noexcept {
   return (b & 0x80000000u) ? ~b : (b | 0x80000000u);
 }
 
+/// Exact inverse of monotone_key: the map is a bijection on bit
+/// patterns, so a float cost round-trips through its packed selection
+/// key bit-for-bit. The streaming pipeline uses this to recover kept
+/// candidate costs from survivor keys instead of materializing a
+/// full candidate-cost array.
+inline float inverse_monotone_key(std::uint32_t m) noexcept {
+  const std::uint32_t b = (m & 0x80000000u) ? (m & 0x7FFFFFFFu) : ~m;
+  return std::bit_cast<float>(b);
+}
+
 /// Per-decode scratch the fused expansion kernels use, grown to steady
 /// state by the *caller* before the kernel call (resize-only, so
 /// repeated decodes stay allocation-free; owned by the decoder's
@@ -54,8 +65,10 @@ inline std::uint32_t monotone_key(float f) noexcept {
 /// picked for baseline CPUs.
 struct ExpandScratch {
   std::vector<std::uint32_t> rng_words;  ///< per-child RNG draw scratch
-  std::vector<std::uint32_t> premix;     ///< per-child hash pre-mix (shared across symbols)
+  std::vector<std::uint32_t> premix;     ///< per-child hash pre-mix / compacted RNG lanes
   std::vector<std::uint64_t> acc_bits;   ///< per-child coded-bit accumulator (BSC)
+  std::vector<float> acc;                ///< per-child metric accumulator (streaming AWGN)
+  std::vector<std::uint32_t> idx;        ///< partial-prune survivor child indices
 };
 
 /// Everything the fused AWGN expansion kernel needs for one spine level:
@@ -80,6 +93,10 @@ struct AwgnLevel {
   int cbits;
   std::uint32_t* rng_scratch;     ///< per-child RNG draws
   std::uint32_t* premix_scratch;  ///< shared pre-mix, or nullptr
+  // The streaming awgn_expand_prune kernel additionally needs (both
+  // may be null for plain awgn_expand_all calls):
+  float* acc_scratch;          ///< per-child metric accumulator
+  std::uint32_t* idx_scratch;  ///< partial-cost survivor child indices
 };
 
 /// One spine level of the BSC kernel: ordinals plus the received bits
@@ -136,21 +153,103 @@ struct Backend {
                          std::size_t count, std::uint32_t fanout,
                          std::uint32_t* out_states, float* out_costs);
 
+  /// The streaming d=1 pipeline head: child hashing, RNG draws, the
+  /// per-symbol AWGN metric sweeps AND the online prune fused into one
+  /// kernel over a leaf block. After the first symbol's accumulation,
+  /// children whose *partial* cost (parent + first-symbol metric;
+  /// metrics only grow, so this is admissible) already exceeds bound_key
+  /// leave the pipeline: the survivor lanes compress and the remaining
+  /// nsym-1 hash+metric sweeps run over the compressed set only —
+  /// losing children never get their costs finished, let alone written
+  /// back. Appends survivor keys exactly as d1_prune does (same packed
+  /// contract, same slack requirement) and returns the count; all
+  /// child states still land in out_states (the writeback reads kept
+  /// states by candidate index). level.acc_scratch, level.idx_scratch,
+  /// level.rng_scratch and level.premix_scratch must all be non-null
+  /// and sized count*fanout. Bit-identity: each surviving child's
+  /// metric accumulates in the same per-lane order as awgn_expand_all,
+  /// so results equal awgn_expand_all + d1_prune exactly
+  /// (test_backend pins this).
+  std::size_t (*awgn_expand_prune)(const AwgnLevel& level, const std::uint32_t* states,
+                                   const float* parent_cost, std::size_t count,
+                                   std::uint32_t fanout, std::uint32_t cand_base,
+                                   std::uint64_t bound_key, std::uint32_t* out_states,
+                                   std::uint64_t* out_keys);
+
   /// keys[i] = monotone_key(costs[i]) << 32 | i — the packed B-of-N
   /// selection keys.
   void (*build_keys)(const float* costs, std::size_t count, std::uint64_t* keys);
 
-  /// Fused d=1 candidate finalize over the child-major kernel output:
-  ///   cand_cost[i*fanout + v] = parent_cost[i] + child_cost[i*fanout + v]
-  ///   keys[c] = monotone_key(cand_cost[c]) << 32 | c
-  /// The single float add keeps the exact scalar expression
-  /// (parent + node_cost); keys land in candidate order.
-  void (*d1_keys)(const float* parent_cost, const float* child_cost, std::size_t count,
-                  std::uint32_t fanout, float* cand_cost, std::uint64_t* keys);
+  /// Streaming fused d=1 finalize+prune over one child-major expansion
+  /// block (the streaming pipeline that retired the old
+  /// materialize-then-select d1_keys contract). For every candidate
+  /// c = i*fanout + v of the block,
+  ///   cost = parent_cost[i] + child_cost[c]   (the exact scalar shape)
+  /// and the candidate is *discarded* — never written anywhere — when
+  /// its full packed key exceeds bound_key, the running B-th-best
+  /// *key* (cost word and candidate-index tie-break together) the
+  /// search maintains — so even exact cost ties past the bound prune,
+  /// which is where integer (Hamming) metrics put most of their
+  /// candidates. Survivors append in candidate order, exactly the
+  /// packed keys the old full build produced:
+  ///   out_keys[j] = monotone_key(cost) << 32 | (cand_base + c)
+  /// so the survivor set is a filtered subset of the historical key
+  /// array and every downstream selection/tie-break is unchanged.
+  /// Returns the number appended. Whole rows short-circuit on the
+  /// parent cost (children cost at least the parent). Preconditions:
+  /// child_cost >= 0 (channel metrics are non-negative; pruning leans
+  /// on cost monotonicity along paths) and no cost is -0.0f. Pass
+  /// bound_key = ~0ull to keep everything. out_keys needs 7 slots of
+  /// slack past the worst-case append count: SIMD backends
+  /// compress-store whole vectors.
+  std::size_t (*d1_prune)(const float* parent_cost, const float* child_cost,
+                          std::size_t count, std::uint32_t fanout,
+                          std::uint32_t cand_base, std::uint64_t bound_key,
+                          std::uint64_t* out_keys);
+
+  /// d>1 regroup, phase 1: per-leaf row minima folded with the parent
+  /// cost, out[i] = leaf_cost[i] + min_v child_cost[i*fanout + v].
+  /// Exact: float min is order-free and x + min(row) equals
+  /// min_v (x + row[v]) bit-for-bit (addition is monotone), so the
+  /// value matches the scalar running-min over finalized child costs.
+  /// Preconditions as for d1_prune (no -0.0f, finite costs).
+  void (*row_mins)(const float* leaf_cost, const float* child_cost, std::size_t leaves,
+                   std::uint32_t fanout, float* out);
+
+  /// d>1 regroup, phase 2: copies the *surviving* groups' child rows of
+  /// one entry into the survivor arena — the vectorized replacement for
+  /// the old scalar regroup scatter. Every child of leaf i belongs to
+  /// group g = leaf_path[i] & group_mask (the chunk value at path slot
+  /// 0), so rows move whole: for each leaf in order, when
+  /// group_rowbase[g] >= 0 the row lands at the group's next free arena
+  /// rows as
+  ///   out_state[dst + v] = child_state[i*fanout + v]
+  ///   out_cost[dst + v]  = leaf_cost[i] + child_cost[i*fanout + v]
+  ///   out_path[dst + v]  = (leaf_path[i] >> k) | v << (k*(d-2))
+  /// reproducing the scalar fill order (leaf-major, children
+  /// contiguous) and float expressions exactly. group_rowbase[g] is the
+  /// arena element offset of group g's candidate record, or -1 when the
+  /// group was pruned (nothing of it is written at all).
+  void (*regroup_emit)(const std::uint32_t* child_state, const float* child_cost,
+                       const float* leaf_cost, const std::uint32_t* leaf_path,
+                       std::size_t leaves, std::uint32_t fanout, int k, int d,
+                       std::uint32_t group_mask, const std::int32_t* group_rowbase,
+                       std::uint32_t* out_state, float* out_cost,
+                       std::uint32_t* out_path);
+
+  /// Moves the keep smallest keys into [0, keep) in *unspecified*
+  /// order (the kept set is deterministic; no order inside or outside
+  /// it is). The streaming pipeline's mid-level bound refinements run
+  /// this over the survivor buffer — the keep-th-best bound needs the
+  /// set, never the order, and the final select re-sorts anyway.
+  void (*partition_keys)(std::uint64_t* keys, std::size_t count, std::size_t keep);
 
   /// Reorders keys so the keep smallest occupy [0, keep) in ascending
   /// order (the kept *set* and its *order* are deterministic; the tail
-  /// order is unspecified). Precondition: keep <= count.
+  /// order is unspecified). Precondition: keep <= count. In the
+  /// streaming pipeline this runs block-locally: over the survivor
+  /// buffer once per level at the end, never over the full B·2^k
+  /// candidate set.
   void (*select_keys)(std::uint64_t* keys, std::size_t count, std::size_t keep);
 
   /// Batched RNG of §7.1 (domain-separated hash, see SpineHash::rng).
@@ -178,7 +277,13 @@ bool force(std::string_view name) noexcept;
 
 /// The pure resolution rule behind active()'s first call, exposed for
 /// tests: empty/unset requests the detected best; an unknown name sets
-/// *warned and falls back to the best. Does not touch active().
+/// *warned, prints the available-backend list to stderr (so a typo'd
+/// SPINAL_BACKEND tells the user what the valid names are) and falls
+/// back to the best. Does not touch active().
 const Backend* resolve(std::string_view env_value, bool* warned) noexcept;
+
+/// Space-separated names of every available backend, in detection
+/// order — the list resolve() prints on an unknown name.
+std::string available_names();
 
 }  // namespace spinal::backend

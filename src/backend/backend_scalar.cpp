@@ -43,6 +43,27 @@ struct ScalarOps {
                                 float* acc) {
     scalar::awgn_csi_fx_accum(w, count, table, mask, cbits, yr, yi, hr, hi, fx_scale, acc);
   }
+  static void hash_children_premix(hash::Kind kind, std::uint32_t salt, bool premix,
+                                   const std::uint32_t* states, std::size_t count,
+                                   std::uint32_t fanout, std::uint32_t* out_states,
+                                   std::uint32_t* out_lanes) {
+    scalar::hash_children_premix(kind, salt, premix, states, count, fanout, out_states,
+                                 out_lanes);
+  }
+  static void awgn_sweep(hash::Kind kind, std::uint32_t salt, bool premixed,
+                         const std::uint32_t* lanes, std::size_t count,
+                         std::uint32_t data, const float* table, std::uint32_t mask,
+                         int cbits, float yr, float yi, std::uint32_t* w, float* acc) {
+    scalar::awgn_sweep(kind, salt, premixed, lanes, count, data, table, mask, cbits,
+                       yr, yi, w, acc);
+  }
+  static void awgn_sweep0(hash::Kind kind, std::uint32_t salt, bool premixed,
+                          const std::uint32_t* lanes, std::size_t count,
+                          std::uint32_t data, const float* table, std::uint32_t mask,
+                          int cbits, float yr, float yi, std::uint32_t* w, float* acc) {
+    scalar::awgn_sweep0(kind, salt, premixed, lanes, count, data, table, mask, cbits,
+                        yr, yi, w, acc);
+  }
   static void bsc_gather_bit(const std::uint32_t* w, std::size_t count, std::uint32_t j,
                              std::uint64_t* acc) {
     scalar::bsc_gather_bit(w, count, j, acc);
@@ -51,10 +72,39 @@ struct ScalarOps {
                               std::uint64_t rx_word, float* costs) {
     scalar::bsc_hamming_add(acc, count, rx_word, costs);
   }
-  static void d1_keys(const float* parent_cost, const float* child_cost,
-                      std::size_t count, std::uint32_t fanout, float* cand_cost,
-                      std::uint64_t* keys) {
-    scalar::d1_keys(parent_cost, child_cost, count, fanout, cand_cost, keys);
+  static std::size_t d1_prune(const float* parent_cost, const float* child_cost,
+                              std::size_t count, std::uint32_t fanout,
+                              std::uint32_t cand_base, std::uint64_t bound_key,
+                              std::uint64_t* out_keys) {
+    return scalar::d1_prune(parent_cost, child_cost, count, fanout, cand_base,
+                            bound_key, out_keys);
+  }
+  static std::size_t partial_compress(const float* parent_cost, float* acc,
+                                      std::size_t count, std::uint32_t fanout,
+                                      std::uint64_t bound_key, std::uint32_t* lanes,
+                                      std::uint32_t* idx_out) {
+    return scalar::partial_compress(parent_cost, acc, count, fanout, bound_key, lanes,
+                                    idx_out);
+  }
+  static std::size_t final_prune(const float* parent_cost, const float* acc,
+                                 const std::uint32_t* idx, std::size_t n,
+                                 int log2_fanout, std::uint32_t cand_base,
+                                 std::uint64_t bound_key, std::uint64_t* out_keys) {
+    return scalar::final_prune(parent_cost, acc, idx, n, log2_fanout, cand_base,
+                               bound_key, out_keys);
+  }
+  static void row_mins(const float* leaf_cost, const float* child_cost,
+                       std::size_t leaves, std::uint32_t fanout, float* out) {
+    scalar::row_mins(leaf_cost, child_cost, leaves, fanout, out);
+  }
+  static void regroup_emit(const std::uint32_t* child_state, const float* child_cost,
+                           const float* leaf_cost, const std::uint32_t* leaf_path,
+                           std::size_t leaves, std::uint32_t fanout, int k, int d,
+                           std::uint32_t group_mask, const std::int32_t* group_rowbase,
+                           std::uint32_t* out_state, float* out_cost,
+                           std::uint32_t* out_path) {
+    scalar::regroup_emit(child_state, child_cost, leaf_cost, leaf_path, leaves, fanout,
+                         k, d, group_mask, group_rowbase, out_state, out_cost, out_path);
   }
 };
 
@@ -70,8 +120,12 @@ const Backend* scalar_backend() noexcept {
       ScalarOps::hash_premixed_n,
       awgn_expand_all_t<ScalarOps>,
       bsc_expand_all_t<ScalarOps>,
+      awgn_expand_prune_t<ScalarOps>,
       shared_build_keys,
-      ScalarOps::d1_keys,
+      ScalarOps::d1_prune,
+      ScalarOps::row_mins,
+      ScalarOps::regroup_emit,
+      shared_partition_keys,
       shared_select_keys,
   };
   return &b;

@@ -25,8 +25,12 @@ const Backend* sse42_backend() noexcept {
       Ops::hash_premixed_n,
       awgn_expand_all_t<Ops>,
       bsc_expand_all_t<Ops>,
+      awgn_expand_prune_t<Ops>,
       shared_build_keys,
-      Ops::d1_keys,
+      Ops::d1_prune,
+      Ops::row_mins,
+      Ops::regroup_emit,
+      shared_partition_keys,
       shared_select_keys,
   };
   return &b;

@@ -59,6 +59,98 @@ void awgn_expand_all_t(const AwgnLevel& L, const std::uint32_t* states,
   }
 }
 
+/// One AWGN metric sweep (symbol s) over lanes [0, total): RNG draw +
+/// channel-mode accumulate. Shared between the full-width and the
+/// compressed phases of the fused kernel so the per-lane op sequence —
+/// and with it the float result — is identical by construction.
+template <class Ops>
+static inline void awgn_symbol_sweep(const AwgnLevel& L, std::uint32_t s,
+                                     const std::uint32_t* lanes, bool premixed,
+                                     std::size_t total, std::uint32_t* w,
+                                     float* acc) {
+  const std::uint32_t data = L.ord[s] ^ 0x80000000u;  // RNG domain separation
+  if (!L.use_csi) {
+    // Plain l2: the RNG draw feeds the metric expression directly, no
+    // scratch round-trip (per-lane ops identical to the split form).
+    Ops::awgn_sweep(L.kind, L.salt, premixed, lanes, total, data, L.table, L.mask,
+                    L.cbits, L.y_re[s], L.y_im[s], w, acc);
+    return;
+  }
+  if (premixed)
+    Ops::hash_premixed_n(lanes, total, data, w);
+  else
+    Ops::hash_n(L.kind, L.salt, lanes, total, data, w);
+  if (L.fx_scale <= 0.0f) {
+    Ops::awgn_csi_accum(w, total, L.raw_table, L.mask, L.cbits, L.y_re[s], L.y_im[s],
+                        L.h_re[s], L.h_im[s], acc);
+  } else {
+    Ops::awgn_csi_fx_accum(w, total, L.raw_table, L.mask, L.cbits, L.y_re[s], L.y_im[s],
+                           L.h_re[s], L.h_im[s], L.fx_scale, acc);
+  }
+}
+
+/// The fused streaming expansion+prune head of the d=1 search (see
+/// Backend::awgn_expand_prune). Phase 1 runs child hashing, the shared
+/// pre-mix and the first symbol's metric full-width; phase 2 compresses
+/// to the partial-cost survivors and finishes the remaining symbols on
+/// the compressed lanes only. With no live bound (or a single symbol)
+/// it degenerates to expand_all + d1_prune in one pass.
+template <class Ops>
+std::size_t awgn_expand_prune_t(const AwgnLevel& L, const std::uint32_t* states,
+                                const float* parent_cost, std::size_t count,
+                                std::uint32_t fanout, std::uint32_t cand_base,
+                                std::uint64_t bound_key, std::uint32_t* out_states,
+                                std::uint64_t* out_keys) {
+  const std::size_t total = count * static_cast<std::size_t>(fanout);
+  if (L.nsym == 0 || total == 0) {
+    Ops::hash_children(L.kind, L.salt, states, count, fanout, out_states);
+    float* const acc0 = L.acc_scratch;
+    for (std::size_t i = 0; i < total; ++i) acc0[i] = 0.0f;
+    return Ops::d1_prune(parent_cost, acc0, count, fanout, cand_base, bound_key,
+                         out_keys);
+  }
+  float* const acc = L.acc_scratch;
+  std::uint32_t* const w = L.rng_scratch;
+
+  // Child states and their RNG hash inputs in one fused pass: the
+  // shared one-at-a-time pre-mix when the kind factors, the raw child
+  // state otherwise. Either way the lane array is mutable scratch, so
+  // phase 2 can compress it in place.
+  const bool premixed = L.kind == hash::Kind::kOneAtATime && L.nsym > 1;
+  std::uint32_t* const lanes = L.premix_scratch;
+  Ops::hash_children_premix(L.kind, L.salt, premixed, states, count, fanout,
+                            out_states, lanes);
+
+  // First symbol *stores* its metric (0 + x == x exactly), replacing
+  // the zero-fill + accumulate round-trip; CSI modes keep the
+  // accumulate shape and pre-zero instead.
+  if (!L.use_csi) {
+    Ops::awgn_sweep0(L.kind, L.salt, premixed, lanes, total, L.ord[0] ^ 0x80000000u,
+                     L.table, L.mask, L.cbits, L.y_re[0], L.y_im[0], w, acc);
+  } else {
+    for (std::size_t i = 0; i < total; ++i) acc[i] = 0.0f;
+    awgn_symbol_sweep<Ops>(L, 0, lanes, premixed, total, w, acc);
+  }
+  if (L.nsym == 1 || bound_key == ~0ull) {
+    // No pruning leverage: finish full-width, filter once at the end.
+    for (std::uint32_t s = 1; s < L.nsym; ++s)
+      awgn_symbol_sweep<Ops>(L, s, lanes, premixed, total, w, acc);
+    return Ops::d1_prune(parent_cost, acc, count, fanout, cand_base, bound_key,
+                         out_keys);
+  }
+
+  // Partial-cost prune: only survivors get the remaining symbols.
+  const std::size_t n =
+      Ops::partial_compress(parent_cost, acc, count, fanout, bound_key, lanes,
+                            L.idx_scratch);
+  for (std::uint32_t s = 1; s < L.nsym; ++s)
+    awgn_symbol_sweep<Ops>(L, s, lanes, premixed, n, w, acc);
+  int log2_fanout = 0;
+  while ((1u << log2_fanout) < fanout) ++log2_fanout;
+  return Ops::final_prune(parent_cost, acc, L.idx_scratch, n, log2_fanout, cand_base,
+                          bound_key, out_keys);
+}
+
 template <class Ops>
 void bsc_expand_all_t(const BscLevel& L, const std::uint32_t* states, std::size_t count,
                       std::uint32_t fanout, std::uint32_t* out_states, float* out_costs) {

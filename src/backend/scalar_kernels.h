@@ -89,6 +89,30 @@ static inline void hash_children(hash::Kind kind, std::uint32_t salt,
   }
 }
 
+/// Fused child hash + RNG-lane derivation for the streaming pipeline:
+/// writes every child state AND its RNG hash input in one pass, while
+/// the child state is still in a register. The RNG lane is the shared
+/// one-at-a-time pre-mix when @p premix is set (kOneAtATime, several
+/// symbols), the raw child state otherwise — exactly what the split
+/// hash_children + premix_n (or state copy) sequence produces.
+static inline void hash_children_premix(hash::Kind kind, std::uint32_t salt,
+                                        bool premix, const std::uint32_t* states,
+                                        std::size_t count, std::uint32_t fanout,
+                                        std::uint32_t* out_states,
+                                        std::uint32_t* out_lanes) noexcept {
+  // Split passes on purpose: each plain loop auto-vectorizes with
+  // baseline instructions, which is where the scalar backend's
+  // throughput comes from. Explicit-SIMD backends fuse the passes
+  // instead (see simd_kernels.h).
+  hash_children(kind, salt, states, count, fanout, out_states);
+  const std::size_t total = count * static_cast<std::size_t>(fanout);
+  if (kind == hash::Kind::kOneAtATime && premix) {
+    premix_n(salt, out_states, total, out_lanes);
+  } else {
+    for (std::size_t i = 0; i < total; ++i) out_lanes[i] = out_states[i];
+  }
+}
+
 /// Appendix-B grid quantisation; nearbyintf under the (default)
 /// round-to-nearest-even mode, which SIMD backends match with a
 /// current-rounding-direction round instruction.
@@ -108,6 +132,51 @@ static inline void awgn_accum(const std::uint32_t* w, std::size_t count,
     const float dr = yr - xr, di = yi - xi;
     oc[i] += dr * dr + di * di;
   }
+}
+
+/// acc[i] = |y - x(w[i])|^2: the store form of awgn_accum for the
+/// first symbol (0 + x == x exactly, so this equals zero-fill + add).
+static inline void awgn_accum0(const std::uint32_t* w, std::size_t count,
+                               const float* table, std::uint32_t mask, int cbits,
+                               float yr, float yi, float* acc) noexcept {
+  const float* const __restrict t = table;
+  float* const __restrict oc = acc;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float xr = t[w[i] & mask];
+    const float xi = t[(w[i] >> cbits) & mask];
+    const float dr = yr - xr, di = yi - xi;
+    oc[i] = dr * dr + di * di;
+  }
+}
+
+/// One symbol's RNG draw + AWGN l2 accumulation. Split passes (hash
+/// into @p w, then accumulate) so both loops auto-vectorize; lane
+/// semantics exactly match hash_premixed_n/hash_n + awgn_accum.
+/// Explicit-SIMD backends fuse the passes instead.
+static inline void awgn_sweep(hash::Kind kind, std::uint32_t salt, bool premixed,
+                              const std::uint32_t* lanes, std::size_t count,
+                              std::uint32_t data, const float* table,
+                              std::uint32_t mask, int cbits, float yr, float yi,
+                              std::uint32_t* w, float* acc) noexcept {
+  if (premixed)
+    hash_premixed_n(lanes, count, data, w);
+  else
+    hash_n(kind, salt, lanes, count, data, w);
+  awgn_accum(w, count, table, mask, cbits, yr, yi, acc);
+}
+
+/// First-symbol variant of awgn_sweep: *stores* the metric instead of
+/// accumulating, replacing the zero-fill + add round-trip.
+static inline void awgn_sweep0(hash::Kind kind, std::uint32_t salt, bool premixed,
+                               const std::uint32_t* lanes, std::size_t count,
+                               std::uint32_t data, const float* table,
+                               std::uint32_t mask, int cbits, float yr, float yi,
+                               std::uint32_t* w, float* acc) noexcept {
+  if (premixed)
+    hash_premixed_n(lanes, count, data, w);
+  else
+    hash_n(kind, salt, lanes, count, data, w);
+  awgn_accum0(w, count, table, mask, cbits, yr, yi, acc);
 }
 
 /// acc[i] += |y - h·x(w[i])|^2 (coherent CSI metric, §8.3).
@@ -170,19 +239,133 @@ static inline void build_keys(const float* costs, std::size_t count,
               static_cast<std::uint32_t>(i);
 }
 
-/// Fused d=1 candidate finalize (see Backend::d1_keys): child-major
-/// costs plus the parent cost, and packed selection keys, in one sweep.
-static inline void d1_keys(const float* parent_cost, const float* child_cost,
-                           std::size_t count, std::uint32_t fanout, float* cand_cost,
-                           std::uint64_t* keys) noexcept {
+/// Streaming fused d=1 finalize+prune (see Backend::d1_prune): one
+/// sweep over a child-major expansion block that appends only the
+/// candidates whose monotone cost clears the running bound. Whole rows
+/// short-circuit on the parent cost (children cost at least the
+/// parent: child_cost >= 0 by contract).
+static inline std::size_t d1_prune(const float* parent_cost, const float* child_cost,
+                                   std::size_t count, std::uint32_t fanout,
+                                   std::uint32_t cand_base, std::uint64_t bound_key,
+                                   std::uint64_t* out_keys) noexcept {
+  std::size_t sc = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const float pc = parent_cost[i];
+    // Every child key >= (monotone(pc) << 32): row skip on the parent.
+    if ((static_cast<std::uint64_t>(monotone_key(pc)) << 32) > bound_key) continue;
     const std::size_t row = i * static_cast<std::size_t>(fanout);
     for (std::uint32_t v = 0; v < fanout; ++v) {
       const float cost = pc + child_cost[row + v];
-      cand_cost[row + v] = cost;
-      keys[row + v] = (static_cast<std::uint64_t>(monotone_key(cost)) << 32) |
-                      static_cast<std::uint32_t>(row + v);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(monotone_key(cost)) << 32) |
+          (cand_base + static_cast<std::uint32_t>(row + v));
+      // Branchless append (prune outcomes are data-random, poison for
+      // the predictor): always write, advance on survival. The slot
+      // past the last survivor is scratch — hence the contract's
+      // out_keys slack.
+      out_keys[sc] = key;
+      sc += key <= bound_key;
+    }
+  }
+  return sc;
+}
+
+/// Partial-cost survivor compression for the fused streaming expansion
+/// (see Backend::awgn_expand_prune): children whose parent + partial
+/// metric already exceeds the bound leave the pipeline. Survivor lanes
+/// of acc and lanes compact in place (front-packed, order preserved —
+/// write index never passes read index) and idx_out records each
+/// survivor's child index. Returns the survivor count.
+static inline std::size_t partial_compress(const float* parent_cost, float* acc,
+                                           std::size_t count, std::uint32_t fanout,
+                                           std::uint64_t bound_key, std::uint32_t* lanes,
+                                           std::uint32_t* idx_out) noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float pc = parent_cost[i];
+    if ((static_cast<std::uint64_t>(monotone_key(pc)) << 32) > bound_key)
+      continue;  // costs only grow
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; ++v) {
+      const std::size_t c = row + v;
+      // Branchless compaction: the write cursor trails the read index,
+      // so unconditional writes are self-overwriting, never clobbering.
+      acc[n] = acc[c];
+      lanes[n] = lanes[c];
+      idx_out[n] = static_cast<std::uint32_t>(c);
+      // Partial key (block-local index low word) <= final key, so this
+      // admits every candidate the full-cost filter would keep.
+      const std::uint64_t pkey =
+          (static_cast<std::uint64_t>(monotone_key(pc + acc[n])) << 32) |
+          static_cast<std::uint32_t>(c);
+      n += pkey <= bound_key;
+    }
+  }
+  return n;
+}
+
+/// Final key build over the compressed survivor lanes (see
+/// Backend::awgn_expand_prune): finalizes cost = parent + metric with
+/// the exact scalar expression, filters against the bound once more
+/// (partial survivors can still lose on the full cost) and appends
+/// packed keys in candidate order.
+static inline std::size_t final_prune(const float* parent_cost, const float* acc,
+                                      const std::uint32_t* idx, std::size_t n,
+                                      int log2_fanout, std::uint32_t cand_base,
+                                      std::uint64_t bound_key,
+                                      std::uint64_t* out_keys) noexcept {
+  std::size_t sc = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const float cost = parent_cost[idx[j] >> log2_fanout] + acc[j];
+    const std::uint64_t key = (static_cast<std::uint64_t>(monotone_key(cost)) << 32) |
+                              (cand_base + idx[j]);
+    out_keys[sc] = key;
+    sc += key <= bound_key;  // branchless append, see d1_prune
+  }
+  return sc;
+}
+
+/// Per-leaf row minima folded with the parent cost (see
+/// Backend::row_mins). The running strict-less min over the row in v
+/// order is the reference semantics SIMD backends must match.
+static inline void row_mins(const float* leaf_cost, const float* child_cost,
+                            std::size_t leaves, std::uint32_t fanout,
+                            float* out) noexcept {
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    float m = child_cost[row];
+    for (std::uint32_t v = 1; v < fanout; ++v)
+      if (child_cost[row + v] < m) m = child_cost[row + v];
+    out[i] = leaf_cost[i] + m;
+  }
+}
+
+/// Survivor-group row emit (see Backend::regroup_emit): the scalar
+/// reference for the vectorized d>1 regroup. Kernel-local fill
+/// counters reproduce the old scatter's leaf-major fill order.
+static inline void regroup_emit(const std::uint32_t* child_state, const float* child_cost,
+                                const float* leaf_cost, const std::uint32_t* leaf_path,
+                                std::size_t leaves, std::uint32_t fanout, int k, int d,
+                                std::uint32_t group_mask,
+                                const std::int32_t* group_rowbase, std::uint32_t* out_state,
+                                float* out_cost, std::uint32_t* out_path) noexcept {
+  std::uint32_t next[256];  // group_count <= 2^k <= 256 (CodeParams)
+  const std::uint32_t group_count = group_mask + 1;
+  for (std::uint32_t g = 0; g < group_count; ++g)
+    next[g] = group_rowbase[g] < 0 ? 0 : static_cast<std::uint32_t>(group_rowbase[g]);
+  const int shift = k * (d - 2);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::uint32_t g = leaf_path[i] & group_mask;
+    if (group_rowbase[g] < 0) continue;
+    const float pc = leaf_cost[i];
+    const std::uint32_t pbase = leaf_path[i] >> k;
+    const std::size_t src = i * static_cast<std::size_t>(fanout);
+    const std::size_t dst = next[g];
+    next[g] += fanout;
+    for (std::uint32_t v = 0; v < fanout; ++v) {
+      out_state[dst + v] = child_state[src + v];
+      out_cost[dst + v] = pc + child_cost[src + v];
+      out_path[dst + v] = pbase | (v << shift);
     }
   }
 }

@@ -123,11 +123,21 @@ static inline typename V::U salsa20_pair_v(typename V::U state, typename V::U da
 
 // ------------------------------------------------------------- kernels
 
+// The one-at-a-time mix is a serial ~15-op dependency chain per vector;
+// a single-vector loop is latency-bound, not throughput-bound. The hot
+// batched mixes below therefore run two independent chains per
+// iteration — the compiler does not interleave across iterations on
+// its own, and the hash mixes dominate the fused expansion kernel.
+
 template <class V>
 static void premix_n_v(std::uint32_t salt, const std::uint32_t* states,
                        std::size_t count, std::uint32_t* out) {
   const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
   std::size_t i = 0;
+  for (; i + 2 * V::W <= count; i += 2 * V::W) {
+    V::storeu(out + i, oaat_word_v<V>(seedv, V::loadu(states + i)));
+    V::storeu(out + i + V::W, oaat_word_v<V>(seedv, V::loadu(states + i + V::W)));
+  }
   for (; i + V::W <= count; i += V::W)
     V::storeu(out + i, oaat_word_v<V>(seedv, V::loadu(states + i)));
   if (i < count) scalar::premix_n(salt, states + i, count - i, out + i);
@@ -138,6 +148,10 @@ static void hash_premixed_n_v(const std::uint32_t* premixed, std::size_t count,
                               std::uint32_t data, std::uint32_t* out) {
   const typename V::U datav = V::set1(data);
   std::size_t i = 0;
+  for (; i + 2 * V::W <= count; i += 2 * V::W) {
+    V::storeu(out + i, oaat_word_v<V>(V::loadu(premixed + i), datav));
+    V::storeu(out + i + V::W, oaat_word_v<V>(V::loadu(premixed + i + V::W), datav));
+  }
   for (; i + V::W <= count; i += V::W)
     V::storeu(out + i, oaat_word_v<V>(V::loadu(premixed + i), datav));
   if (i < count) scalar::hash_premixed_n(premixed + i, count - i, data, out + i);
@@ -151,6 +165,13 @@ static void hash_n_v(hash::Kind kind, std::uint32_t salt, const std::uint32_t* s
     case hash::Kind::kOneAtATime: {
       const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
       const typename V::U datav = V::set1(data);
+      for (; i + 2 * V::W <= count; i += 2 * V::W) {
+        V::storeu(out + i,
+                  oaat_word_v<V>(oaat_word_v<V>(seedv, V::loadu(states + i)), datav));
+        V::storeu(out + i + V::W,
+                  oaat_word_v<V>(oaat_word_v<V>(seedv, V::loadu(states + i + V::W)),
+                                 datav));
+      }
       for (; i + V::W <= count; i += V::W)
         V::storeu(out + i,
                   oaat_word_v<V>(oaat_word_v<V>(seedv, V::loadu(states + i)), datav));
@@ -198,13 +219,26 @@ static void hash_children_v(hash::Kind kind, std::uint32_t salt,
   if (kind == hash::Kind::kOneAtATime) {
     // Per block: premix a batch of leaves lane-parallel, then emit each
     // leaf's child row with the premix broadcast and v in the lanes.
+    // Rows of adjacent leaves are independent chains: emitting two per
+    // iteration keeps the serial oaat latency off the critical path.
     constexpr std::size_t kBlock = 256;
     std::uint32_t premix[kBlock];
     for (std::size_t base = 0; base < count; base += kBlock) {
       const std::size_t rem = count - base;
       const std::size_t m = rem < kBlock ? rem : kBlock;
       premix_n_v<V>(salt, states + base, m, premix);
-      for (std::size_t i = 0; i < m; ++i) {
+      std::size_t i = 0;
+      for (; i + 2 <= m; i += 2) {
+        const typename V::U pm0 = V::set1(premix[i]);
+        const typename V::U pm1 = V::set1(premix[i + 1]);
+        std::uint32_t* row0 = out + (base + i) * static_cast<std::size_t>(fanout);
+        std::uint32_t* row1 = row0 + fanout;
+        for (std::uint32_t s = 0; s < steps; ++s) {
+          V::storeu(row0 + s * V::W, oaat_word_v<V>(pm0, vvec[s]));
+          V::storeu(row1 + s * V::W, oaat_word_v<V>(pm1, vvec[s]));
+        }
+      }
+      for (; i < m; ++i) {
         const typename V::U pm = V::set1(premix[i]);
         std::uint32_t* row = out + (base + i) * static_cast<std::size_t>(fanout);
         for (std::uint32_t s = 0; s < steps; ++s)
@@ -226,6 +260,156 @@ static void hash_children_v(hash::Kind kind, std::uint32_t salt,
   }
 }
 
+/// Fused child hash + RNG-lane derivation (see
+/// scalar::hash_children_premix): one pass, child states stay in
+/// registers for the lane mix. Two leaf rows per iteration keep the
+/// serial oaat chains off the critical path.
+template <class V>
+static void hash_children_premix_v(hash::Kind kind, std::uint32_t salt, bool premix,
+                                   const std::uint32_t* states, std::size_t count,
+                                   std::uint32_t fanout, std::uint32_t* out_states,
+                                   std::uint32_t* out_lanes) {
+  constexpr std::uint32_t kMaxFanout = 256;
+  if (kind != hash::Kind::kOneAtATime || fanout < V::W || fanout % V::W != 0 ||
+      fanout > kMaxFanout) {
+    hash_children_v<V>(kind, salt, states, count, fanout, out_states);
+    if (kind == hash::Kind::kOneAtATime && premix) {
+      premix_n_v<V>(salt, out_states,
+                    count * static_cast<std::size_t>(fanout), out_lanes);
+    } else {
+      const std::size_t total = count * static_cast<std::size_t>(fanout);
+      std::size_t i = 0;
+      for (; i + V::W <= total; i += V::W)
+        V::storeu(out_lanes + i, V::loadu(out_states + i));
+      for (; i < total; ++i) out_lanes[i] = out_states[i];
+    }
+    return;
+  }
+  typename V::U vvec[kMaxFanout / V::W];
+  const std::uint32_t steps = fanout / static_cast<std::uint32_t>(V::W);
+  for (std::uint32_t s = 0; s < steps; ++s)
+    vvec[s] = V::add(V::set1(s * static_cast<std::uint32_t>(V::W)), V::iota());
+  const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
+
+  constexpr std::size_t kBlock = 256;
+  std::uint32_t pmbuf[kBlock];
+  for (std::size_t base = 0; base < count; base += kBlock) {
+    const std::size_t rem = count - base;
+    const std::size_t m = rem < kBlock ? rem : kBlock;
+    premix_n_v<V>(salt, states + base, m, pmbuf);
+    // Two leaf rows per iteration: the child mix feeding the lane mix
+    // is one long serial chain, so parallel rows are what keep the
+    // units busy.
+    std::size_t i = 0;
+    for (; i + 2 <= m; i += 2) {
+      const typename V::U pm0 = V::set1(pmbuf[i]);
+      const typename V::U pm1 = V::set1(pmbuf[i + 1]);
+      const std::size_t row0 = (base + i) * static_cast<std::size_t>(fanout);
+      const std::size_t row1 = row0 + fanout;
+      for (std::uint32_t s = 0; s < steps; ++s) {
+        const typename V::U st0 = oaat_word_v<V>(pm0, vvec[s]);
+        const typename V::U st1 = oaat_word_v<V>(pm1, vvec[s]);
+        V::storeu(out_states + row0 + s * V::W, st0);
+        V::storeu(out_states + row1 + s * V::W, st1);
+        V::storeu(out_lanes + row0 + s * V::W,
+                  premix ? oaat_word_v<V>(seedv, st0) : st0);
+        V::storeu(out_lanes + row1 + s * V::W,
+                  premix ? oaat_word_v<V>(seedv, st1) : st1);
+      }
+    }
+    for (; i < m; ++i) {
+      const typename V::U pm = V::set1(pmbuf[i]);
+      const std::size_t row = (base + i) * static_cast<std::size_t>(fanout);
+      for (std::uint32_t s = 0; s < steps; ++s) {
+        const typename V::U st = oaat_word_v<V>(pm, vvec[s]);
+        V::storeu(out_states + row + s * V::W, st);
+        V::storeu(out_lanes + row + s * V::W,
+                  premix ? oaat_word_v<V>(seedv, st) : st);
+      }
+    }
+  }
+}
+
+/// Fused RNG draw + AWGN l2 metric for one symbol (see
+/// scalar::awgn_sweep): the hash feeds the metric expression directly,
+/// no scratch round-trip. kStore selects first-symbol store semantics
+/// (0 + x == x exactly) vs accumulate — one body, so the two paths can
+/// never drift apart. Two vectors per iteration in the hot premixed
+/// shape: the hash chain ahead of each gather is serial, so paired
+/// chains hide its latency.
+template <class V, bool kStore>
+static void awgn_sweep_impl_v(hash::Kind kind, std::uint32_t salt, bool premixed,
+                              const std::uint32_t* lanes, std::size_t count,
+                              std::uint32_t data, const float* table,
+                              std::uint32_t mask, int cbits, float yr, float yi,
+                              std::uint32_t* w_scratch, float* acc) {
+  const typename V::U datav = V::set1(data);
+  const typename V::U maskv = V::set1(mask);
+  const typename V::F yrv = V::set1f(yr), yiv = V::set1f(yi);
+  const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
+  const auto metric = [&](typename V::U w) {
+    const typename V::F xr = V::gather(table, V::and_(w, maskv));
+    const typename V::F xi = V::gather(table, V::and_(V::shr(w, cbits), maskv));
+    const typename V::F dr = V::subf(yrv, xr), di = V::subf(yiv, xi);
+    return V::addf(V::mulf(dr, dr), V::mulf(di, di));
+  };
+  const auto emit = [&](std::size_t at, typename V::F m) {
+    if constexpr (kStore)
+      V::storef(acc + at, m);
+    else
+      V::storef(acc + at, V::addf(V::loadf(acc + at), m));
+  };
+  std::size_t i = 0;
+  if (premixed) {
+    for (; i + 2 * V::W <= count; i += 2 * V::W) {
+      const typename V::U w0 = oaat_word_v<V>(V::loadu(lanes + i), datav);
+      const typename V::U w1 = oaat_word_v<V>(V::loadu(lanes + i + V::W), datav);
+      emit(i, metric(w0));
+      emit(i + V::W, metric(w1));
+    }
+  }
+  for (; i + V::W <= count; i += V::W) {
+    typename V::U w;
+    if (premixed)
+      w = oaat_word_v<V>(V::loadu(lanes + i), datav);
+    else if (kind == hash::Kind::kOneAtATime)
+      w = oaat_word_v<V>(oaat_word_v<V>(seedv, V::loadu(lanes + i)), datav);
+    else if (kind == hash::Kind::kLookup3)
+      w = lookup3_pair_v<V>(V::loadu(lanes + i), datav, salt);
+    else
+      w = salsa20_pair_v<V>(V::loadu(lanes + i), datav, salt);
+    emit(i, metric(w));
+  }
+  if (i < count) {
+    if constexpr (kStore)
+      scalar::awgn_sweep0(kind, salt, premixed, lanes + i, count - i, data, table,
+                          mask, cbits, yr, yi, w_scratch + i, acc + i);
+    else
+      scalar::awgn_sweep(kind, salt, premixed, lanes + i, count - i, data, table,
+                         mask, cbits, yr, yi, w_scratch + i, acc + i);
+  }
+}
+
+template <class V>
+static void awgn_sweep_v(hash::Kind kind, std::uint32_t salt, bool premixed,
+                         const std::uint32_t* lanes, std::size_t count,
+                         std::uint32_t data, const float* table, std::uint32_t mask,
+                         int cbits, float yr, float yi, std::uint32_t* w_scratch,
+                         float* acc) {
+  awgn_sweep_impl_v<V, false>(kind, salt, premixed, lanes, count, data, table, mask,
+                              cbits, yr, yi, w_scratch, acc);
+}
+
+template <class V>
+static void awgn_sweep0_v(hash::Kind kind, std::uint32_t salt, bool premixed,
+                          const std::uint32_t* lanes, std::size_t count,
+                          std::uint32_t data, const float* table, std::uint32_t mask,
+                          int cbits, float yr, float yi, std::uint32_t* w_scratch,
+                          float* acc) {
+  awgn_sweep_impl_v<V, true>(kind, salt, premixed, lanes, count, data, table, mask,
+                             cbits, yr, yi, w_scratch, acc);
+}
+
 /// Branchless lane form of monotone_key (backend.h): b ^ (b>>31 | sign).
 template <class V>
 static inline typename V::U monotone_key_v(typename V::F costs) {
@@ -233,27 +417,201 @@ static inline typename V::U monotone_key_v(typename V::F costs) {
   return V::xor_(b, V::or_(V::sar(b, 31), V::set1(0x80000000u)));
 }
 
-/// Fused d=1 candidate finalize (see Backend::d1_keys), vectorized over
-/// each leaf's contiguous child row.
+/// Per-vector survivors of the full-key bound: lane l survives when
+/// (m[l] << 32 | idx[l]) <= bound_key, i.e. cost word below the bound's,
+/// or equal with the index tie-break in its favour.
 template <class V>
-static void d1_keys_v(const float* parent_cost, const float* child_cost,
-                      std::size_t count, std::uint32_t fanout, float* cand_cost,
-                      std::uint64_t* keys) {
-  if (fanout < V::W || fanout % V::W != 0) {
-    scalar::d1_keys(parent_cost, child_cost, count, fanout, cand_cost, keys);
-    return;
-  }
+static inline unsigned keep_mask_v(typename V::U m, typename V::U idxv,
+                                   typename V::U bhi, typename V::U blo,
+                                   unsigned full) {
+  const unsigned m_gt = V::gtu_mask(m, bhi);
+  const unsigned m_lt = V::gtu_mask(bhi, m);
+  const unsigned m_eq = full & ~(m_gt | m_lt);
+  const unsigned i_le = full & ~V::gtu_mask(idxv, blo);
+  return m_lt | (m_eq & i_le);
+}
+
+/// Streaming fused d=1 finalize+prune (see Backend::d1_prune),
+/// vectorized over each leaf's contiguous child row. Per vector: cost,
+/// monotone key, and the full-key bound compare; surviving lanes
+/// append through the branchless compress store, a fully-pruned vector
+/// writes nothing at all (the common case once the bound tightens).
+/// Append order is candidate order, so the output matches the scalar
+/// kernel exactly.
+template <class V>
+static std::size_t d1_prune_v(const float* parent_cost, const float* child_cost,
+                              std::size_t count, std::uint32_t fanout,
+                              std::uint32_t cand_base, std::uint64_t bound_key,
+                              std::uint64_t* out_keys) {
+  if (fanout < V::W || fanout % V::W != 0)
+    return scalar::d1_prune(parent_cost, child_cost, count, fanout, cand_base,
+                            bound_key, out_keys);
+  constexpr unsigned kFull = (1u << V::W) - 1u;
+  const typename V::U bhi = V::set1(static_cast<std::uint32_t>(bound_key >> 32));
+  const typename V::U blo = V::set1(static_cast<std::uint32_t>(bound_key));
   const typename V::U iota = V::iota();
+  std::size_t sc = 0;
   for (std::size_t i = 0; i < count; ++i) {
-    const typename V::F pc = V::set1f(parent_cost[i]);
+    const float pc = parent_cost[i];
+    if ((static_cast<std::uint64_t>(monotone_key(pc)) << 32) > bound_key)
+      continue;  // children cost >= pc
+    const typename V::F pcv = V::set1f(pc);
     const std::size_t row = i * static_cast<std::size_t>(fanout);
     for (std::uint32_t v = 0; v < fanout; v += static_cast<std::uint32_t>(V::W)) {
       const std::size_t idx = row + v;
-      const typename V::F cost = V::addf(pc, V::loadf(child_cost + idx));
-      V::storef(cand_cost + idx, cost);
+      const typename V::F cost = V::addf(pcv, V::loadf(child_cost + idx));
+      const typename V::U m = monotone_key_v<V>(cost);
       const typename V::U idxv =
-          V::add(V::set1(static_cast<std::uint32_t>(idx)), iota);
-      V::zip_store_keys(keys + idx, idxv, monotone_key_v<V>(cost));
+          V::add(V::set1(cand_base + static_cast<std::uint32_t>(idx)), iota);
+      const unsigned keep = keep_mask_v<V>(m, idxv, bhi, blo, kFull);
+      if (keep == 0) continue;  // the hot case once the bound bites
+      sc += V::compress_store_keys(out_keys + sc, idxv, m, keep);
+    }
+  }
+  return sc;
+}
+
+/// Partial-cost survivor compression (see scalar::partial_compress):
+/// acc, lanes and the survivor index list compress through the same
+/// per-vector mask. In-place safe: the write cursor never passes the
+/// read cursor, and the blind compress stores stay below the next
+/// unread vector.
+template <class V>
+static std::size_t partial_compress_v(const float* parent_cost, float* acc,
+                                      std::size_t count, std::uint32_t fanout,
+                                      std::uint64_t bound_key, std::uint32_t* lanes,
+                                      std::uint32_t* idx_out) {
+  // The in-place float compress needs the branchless whole-vector
+  // store (writing acc lane patterns through plain uint32 stores would
+  // alias float storage); narrow ISAs take the scalar path.
+  if constexpr (!V::kFastCompress)
+    return scalar::partial_compress(parent_cost, acc, count, fanout, bound_key, lanes,
+                                    idx_out);
+  else if (fanout < V::W || fanout % V::W != 0)
+    return scalar::partial_compress(parent_cost, acc, count, fanout, bound_key, lanes,
+                                    idx_out);
+  constexpr unsigned kFull = (1u << V::W) - 1u;
+  const typename V::U bhi = V::set1(static_cast<std::uint32_t>(bound_key >> 32));
+  const typename V::U blo = V::set1(static_cast<std::uint32_t>(bound_key));
+  const typename V::U iota = V::iota();
+  std::uint32_t* const acc_u = reinterpret_cast<std::uint32_t*>(acc);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float pc = parent_cost[i];
+    if ((static_cast<std::uint64_t>(monotone_key(pc)) << 32) > bound_key)
+      continue;  // costs only grow
+    const typename V::F pcv = V::set1f(pc);
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; v += static_cast<std::uint32_t>(V::W)) {
+      const std::size_t c = row + v;
+      const typename V::F a = V::loadf(acc + c);
+      const typename V::U m = monotone_key_v<V>(V::addf(pcv, a));
+      const typename V::U iv = V::add(V::set1(static_cast<std::uint32_t>(c)), iota);
+      const unsigned keep = keep_mask_v<V>(m, iv, bhi, blo, kFull);
+      if (keep == 0) continue;
+      const typename V::U lv = V::loadu(lanes + c);
+      V::compress_store_u32(acc_u + n, V::castfu(a), keep);
+      V::compress_store_u32(lanes + n, lv, keep);
+      n += V::compress_store_u32(idx_out + n, iv, keep);
+    }
+  }
+  return n;
+}
+
+/// Final key build over the compressed survivor lanes (see
+/// scalar::final_prune), with the parent costs gathered by child index.
+template <class V>
+static std::size_t final_prune_v(const float* parent_cost, const float* acc,
+                                 const std::uint32_t* idx, std::size_t n,
+                                 int log2_fanout, std::uint32_t cand_base,
+                                 std::uint64_t bound_key, std::uint64_t* out_keys) {
+  constexpr unsigned kFull = (1u << V::W) - 1u;
+  const typename V::U bhi = V::set1(static_cast<std::uint32_t>(bound_key >> 32));
+  const typename V::U blo = V::set1(static_cast<std::uint32_t>(bound_key));
+  const typename V::U basev = V::set1(cand_base);
+  std::size_t sc = 0;
+  std::size_t j = 0;
+  for (; j + V::W <= n; j += V::W) {
+    const typename V::U idxv = V::loadu(idx + j);
+    const typename V::F pc = V::gather(parent_cost, V::shr(idxv, log2_fanout));
+    const typename V::U m = monotone_key_v<V>(V::addf(pc, V::loadf(acc + j)));
+    const typename V::U candv = V::add(basev, idxv);
+    const unsigned keep = keep_mask_v<V>(m, candv, bhi, blo, kFull);
+    if (keep == 0) continue;
+    sc += V::compress_store_keys(out_keys + sc, candv, m, keep);
+  }
+  if (j < n)
+    sc += scalar::final_prune(parent_cost, acc + j, idx + j, n - j, log2_fanout,
+                              cand_base, bound_key, out_keys + sc);
+  return sc;
+}
+
+/// Per-leaf row minima folded with the parent cost (see
+/// Backend::row_mins): vector fold over the row, then a scalar reduce
+/// of the fold buffer — exact, because float min is order-free on
+/// inputs without -0 (the kernel precondition).
+template <class V>
+static void row_mins_v(const float* leaf_cost, const float* child_cost,
+                       std::size_t leaves, std::uint32_t fanout, float* out) {
+  if (fanout < V::W || fanout % V::W != 0) {
+    scalar::row_mins(leaf_cost, child_cost, leaves, fanout, out);
+    return;
+  }
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    typename V::F acc = V::loadf(child_cost + row);
+    for (std::uint32_t v = static_cast<std::uint32_t>(V::W); v < fanout;
+         v += static_cast<std::uint32_t>(V::W))
+      acc = V::minf(acc, V::loadf(child_cost + row + v));
+    float buf[V::W];
+    V::storef(buf, acc);
+    float m = buf[0];
+    for (unsigned l = 1; l < V::W; ++l)
+      if (buf[l] < m) m = buf[l];
+    out[i] = leaf_cost[i] + m;
+  }
+}
+
+/// Survivor-group row emit (see Backend::regroup_emit): whole child
+/// rows move contiguously (every child of a leaf shares its group), so
+/// the copy + cost finalize + path extension all vectorize over the
+/// row; pruned groups skip without touching memory.
+template <class V>
+static void regroup_emit_v(const std::uint32_t* child_state, const float* child_cost,
+                           const float* leaf_cost, const std::uint32_t* leaf_path,
+                           std::size_t leaves, std::uint32_t fanout, int k, int d,
+                           std::uint32_t group_mask, const std::int32_t* group_rowbase,
+                           std::uint32_t* out_state, float* out_cost,
+                           std::uint32_t* out_path) {
+  constexpr std::uint32_t kMaxFanout = 256;
+  if (fanout < V::W || fanout % V::W != 0 || fanout > kMaxFanout || group_mask >= 256) {
+    scalar::regroup_emit(child_state, child_cost, leaf_cost, leaf_path, leaves, fanout,
+                         k, d, group_mask, group_rowbase, out_state, out_cost,
+                         out_path);
+    return;
+  }
+  const int shift = k * (d - 2);
+  typename V::U vvec[kMaxFanout / V::W];  // v << shift, per vector step
+  const std::uint32_t steps = fanout / static_cast<std::uint32_t>(V::W);
+  for (std::uint32_t s = 0; s < steps; ++s)
+    vvec[s] = V::shl(V::add(V::set1(s * static_cast<std::uint32_t>(V::W)), V::iota()),
+                     shift);
+  std::uint32_t next[256];
+  for (std::uint32_t g = 0; g <= group_mask; ++g)
+    next[g] = group_rowbase[g] < 0 ? 0 : static_cast<std::uint32_t>(group_rowbase[g]);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::uint32_t g = leaf_path[i] & group_mask;
+    if (group_rowbase[g] < 0) continue;
+    const typename V::F pcv = V::set1f(leaf_cost[i]);
+    const typename V::U pbase = V::set1(leaf_path[i] >> k);
+    const std::size_t src = i * static_cast<std::size_t>(fanout);
+    const std::size_t dst = next[g];
+    next[g] += fanout;
+    for (std::uint32_t s = 0; s < steps; ++s) {
+      const std::size_t o = s * V::W;
+      V::storeu(out_state + dst + o, V::loadu(child_state + src + o));
+      V::storef(out_cost + dst + o, V::addf(pcv, V::loadf(child_cost + src + o)));
+      V::storeu(out_path + dst + o, V::or_(pbase, vvec[s]));
     }
   }
 }
@@ -373,16 +731,66 @@ struct SimdOps {
                              std::uint64_t* acc) {
     bsc_gather_bit_v<V>(w, count, j, acc);
   }
+  static void hash_children_premix(hash::Kind kind, std::uint32_t salt, bool premix,
+                                   const std::uint32_t* states, std::size_t count,
+                                   std::uint32_t fanout, std::uint32_t* out_states,
+                                   std::uint32_t* out_lanes) {
+    hash_children_premix_v<V>(kind, salt, premix, states, count, fanout, out_states,
+                              out_lanes);
+  }
+  static void awgn_sweep(hash::Kind kind, std::uint32_t salt, bool premixed,
+                         const std::uint32_t* lanes, std::size_t count,
+                         std::uint32_t data, const float* table, std::uint32_t mask,
+                         int cbits, float yr, float yi, std::uint32_t* w, float* acc) {
+    awgn_sweep_v<V>(kind, salt, premixed, lanes, count, data, table, mask, cbits, yr,
+                    yi, w, acc);
+  }
+  static void awgn_sweep0(hash::Kind kind, std::uint32_t salt, bool premixed,
+                          const std::uint32_t* lanes, std::size_t count,
+                          std::uint32_t data, const float* table, std::uint32_t mask,
+                          int cbits, float yr, float yi, std::uint32_t* w, float* acc) {
+    awgn_sweep0_v<V>(kind, salt, premixed, lanes, count, data, table, mask, cbits, yr,
+                     yi, w, acc);
+  }
   static void bsc_hamming_add(const std::uint64_t* acc, std::size_t count,
                               std::uint64_t rx_word, float* costs) {
     // XOR + popcount per word: the scalar loop compiles to the native
     // popcount instruction in these ISA-flagged TUs already.
     scalar::bsc_hamming_add(acc, count, rx_word, costs);
   }
-  static void d1_keys(const float* parent_cost, const float* child_cost,
-                      std::size_t count, std::uint32_t fanout, float* cand_cost,
-                      std::uint64_t* keys) {
-    d1_keys_v<V>(parent_cost, child_cost, count, fanout, cand_cost, keys);
+  static std::size_t d1_prune(const float* parent_cost, const float* child_cost,
+                              std::size_t count, std::uint32_t fanout,
+                              std::uint32_t cand_base, std::uint64_t bound_key,
+                              std::uint64_t* out_keys) {
+    return d1_prune_v<V>(parent_cost, child_cost, count, fanout, cand_base, bound_key,
+                         out_keys);
+  }
+  static std::size_t partial_compress(const float* parent_cost, float* acc,
+                                      std::size_t count, std::uint32_t fanout,
+                                      std::uint64_t bound_key, std::uint32_t* lanes,
+                                      std::uint32_t* idx_out) {
+    return partial_compress_v<V>(parent_cost, acc, count, fanout, bound_key, lanes,
+                                 idx_out);
+  }
+  static std::size_t final_prune(const float* parent_cost, const float* acc,
+                                 const std::uint32_t* idx, std::size_t n,
+                                 int log2_fanout, std::uint32_t cand_base,
+                                 std::uint64_t bound_key, std::uint64_t* out_keys) {
+    return final_prune_v<V>(parent_cost, acc, idx, n, log2_fanout, cand_base,
+                            bound_key, out_keys);
+  }
+  static void row_mins(const float* leaf_cost, const float* child_cost,
+                       std::size_t leaves, std::uint32_t fanout, float* out) {
+    row_mins_v<V>(leaf_cost, child_cost, leaves, fanout, out);
+  }
+  static void regroup_emit(const std::uint32_t* child_state, const float* child_cost,
+                           const float* leaf_cost, const std::uint32_t* leaf_path,
+                           std::size_t leaves, std::uint32_t fanout, int k, int d,
+                           std::uint32_t group_mask, const std::int32_t* group_rowbase,
+                           std::uint32_t* out_state, float* out_cost,
+                           std::uint32_t* out_path) {
+    regroup_emit_v<V>(child_state, child_cost, leaf_cost, leaf_path, leaves, fanout, k,
+                      d, group_mask, group_rowbase, out_state, out_cost, out_path);
   }
 };
 

@@ -14,6 +14,8 @@ namespace spinal::backend::simd {
 
 struct VecNeon {
   static constexpr std::size_t W = 4;
+  /// Lane compression falls back to scalar extraction (see vec_x86.h).
+  static constexpr bool kFastCompress = false;
   using U = uint32x4_t;
   using F = float32x4_t;
 
@@ -44,12 +46,49 @@ struct VecNeon {
   static F divf(F a, F b) { return vdivq_f32(a, b); }
   static F roundf_cur(F a) { return vrndiq_f32(a); }  // FRINTI: current mode
   static U castfu(F a) { return vreinterpretq_u32_f32(a); }
+  static F minf(F a, F b) { return vminq_f32(a, b); }
+
+  /// Bitmask of lanes where a > b, both unsigned (NEON compares
+  /// unsigned natively; lanes collapse to bits via a weighted add).
+  static unsigned gtu_mask(U a, U b) {
+    static const std::uint32_t w[4] = {1, 2, 4, 8};
+    return vaddvq_u32(vandq_u32(vcgtq_u32(a, b), vld1q_u32(w)));
+  }
 
   /// dst[l] = (uint64)m[l] << 32 | idx[l], in lane order.
   static void zip_store_keys(std::uint64_t* dst, U idx, U m) {
     const uint32x4x2_t z = vzipq_u32(idx, m);
     vst1q_u32(reinterpret_cast<std::uint32_t*>(dst), z.val[0]);
     vst1q_u32(reinterpret_cast<std::uint32_t*>(dst) + 4, z.val[1]);
+  }
+
+  /// Appends the surviving lanes' (m << 32 | idx) keys to dst in lane
+  /// order (lane l survives when bit l of keep_mask is set); returns
+  /// the count. May write up to W slots regardless of the count.
+  static std::size_t compress_store_keys(std::uint64_t* dst, U idx, U m,
+                                         unsigned keep_mask) {
+    std::uint32_t ib[4], mb[4];
+    vst1q_u32(ib, idx);
+    vst1q_u32(mb, m);
+    std::size_t n = 0;
+    for (unsigned l = 0; l < 4; ++l) {
+      dst[n] = (static_cast<std::uint64_t>(mb[l]) << 32) | ib[l];
+      n += (keep_mask >> l) & 1u;  // branchless append
+    }
+    return n;
+  }
+
+  /// Appends the surviving lanes of v to dst in lane order; returns the
+  /// count. May write up to W slots regardless of the count.
+  static std::size_t compress_store_u32(std::uint32_t* dst, U v, unsigned keep_mask) {
+    std::uint32_t b[4];
+    vst1q_u32(b, v);
+    std::size_t n = 0;
+    for (unsigned l = 0; l < 4; ++l) {
+      dst[n] = b[l];
+      n += (keep_mask >> l) & 1u;  // branchless append
+    }
+    return n;
   }
 
   // No gather instruction: extract indices, scalar loads.

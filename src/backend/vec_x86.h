@@ -19,6 +19,9 @@ namespace spinal::backend::simd {
 #if defined(__SSE4_2__)
 struct Vec128 {
   static constexpr std::size_t W = 4;
+  /// Lane compression falls back to scalar extraction here; kernels
+  /// that only profit from branchless compress gate on this.
+  static constexpr bool kFastCompress = false;
   using U = __m128i;
   using F = __m128;
 
@@ -48,11 +51,49 @@ struct Vec128 {
   static F divf(F a, F b) { return _mm_div_ps(a, b); }
   static F roundf_cur(F a) { return _mm_round_ps(a, _MM_FROUND_CUR_DIRECTION); }
   static U castfu(F a) { return _mm_castps_si128(a); }
+  static F minf(F a, F b) { return _mm_min_ps(a, b); }
+
+  /// Bitmask of lanes where a > b, both treated as unsigned (SSE has
+  /// only signed compares: flip the sign bit of both operands first).
+  static unsigned gtu_mask(U a, U b) {
+    const U sign = _mm_set1_epi32(static_cast<int>(0x80000000u));
+    const U gt = _mm_cmpgt_epi32(_mm_xor_si128(a, sign), _mm_xor_si128(b, sign));
+    return static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(gt)));
+  }
 
   /// dst[l] = (uint64)m[l] << 32 | idx[l], in lane order.
   static void zip_store_keys(std::uint64_t* dst, U idx, U m) {
     _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), _mm_unpacklo_epi32(idx, m));
     _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 2), _mm_unpackhi_epi32(idx, m));
+  }
+
+  /// Appends the surviving lanes' (m << 32 | idx) keys to dst in lane
+  /// order (lane l survives when bit l of keep_mask is set); returns
+  /// the count. May write up to W slots regardless of the count.
+  static std::size_t compress_store_keys(std::uint64_t* dst, U idx, U m,
+                                         unsigned keep_mask) {
+    alignas(16) std::uint32_t ib[4], mb[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ib), idx);
+    _mm_store_si128(reinterpret_cast<__m128i*>(mb), m);
+    std::size_t n = 0;
+    for (unsigned l = 0; l < 4; ++l) {
+      dst[n] = (static_cast<std::uint64_t>(mb[l]) << 32) | ib[l];
+      n += (keep_mask >> l) & 1u;  // branchless append
+    }
+    return n;
+  }
+
+  /// Appends the surviving lanes of v to dst in lane order; returns the
+  /// count. May write up to W slots regardless of the count.
+  static std::size_t compress_store_u32(std::uint32_t* dst, U v, unsigned keep_mask) {
+    alignas(16) std::uint32_t b[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(b), v);
+    std::size_t n = 0;
+    for (unsigned l = 0; l < 4; ++l) {
+      dst[n] = b[l];
+      n += (keep_mask >> l) & 1u;  // branchless append
+    }
+    return n;
   }
 
   // SSE has no gather instruction: extract indices, scalar loads.
@@ -79,8 +120,26 @@ struct Vec128 {
 #endif  // __SSE4_2__
 
 #if defined(__AVX2__)
+/// Mask-indexed lane-compression permutation table for Vec256's
+/// compress stores: entry [mask] lists the surviving lane indices in
+/// lane order, zero-padded. Computed at compile time — no per-call
+/// magic-static guard in the innermost prune loops.
+inline constexpr struct CompressLut256 {
+  std::uint32_t perm[256][8];
+} kCompressLut256 = [] {
+  CompressLut256 t{};
+  for (unsigned mask = 0; mask < 256; ++mask) {
+    unsigned n = 0;
+    for (unsigned l = 0; l < 8; ++l)
+      if (mask & (1u << l)) t.perm[mask][n++] = l;
+    for (; n < 8; ++n) t.perm[mask][n] = 0;
+  }
+  return t;
+}();
+
 struct Vec256 {
   static constexpr std::size_t W = 8;
+  static constexpr bool kFastCompress = true;
   using U = __m256i;
   using F = __m256;
 
@@ -110,6 +169,14 @@ struct Vec256 {
   static F divf(F a, F b) { return _mm256_div_ps(a, b); }
   static F roundf_cur(F a) { return _mm256_round_ps(a, _MM_FROUND_CUR_DIRECTION); }
   static U castfu(F a) { return _mm256_castps_si256(a); }
+  static F minf(F a, F b) { return _mm256_min_ps(a, b); }
+
+  /// Bitmask of lanes where a > b, both treated as unsigned.
+  static unsigned gtu_mask(U a, U b) {
+    const U sign = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+    const U gt = _mm256_cmpgt_epi32(_mm256_xor_si256(a, sign), _mm256_xor_si256(b, sign));
+    return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(gt)));
+  }
 
   /// dst[l] = (uint64)m[l] << 32 | idx[l], in lane order (unpack works
   /// per 128-bit half, so the halves are re-zipped with permute2x128).
@@ -123,6 +190,31 @@ struct Vec256 {
   }
 
   static F gather(const float* t, U idx) { return _mm256_i32gather_ps(t, idx, 4); }
+
+  /// Appends the surviving lanes' (m << 32 | idx) keys to dst in lane
+  /// order (lane l survives when bit l of keep_mask is set); returns
+  /// the count. Branchless: both value vectors are compressed through a
+  /// mask-indexed permute table, then two full vectors store blindly —
+  /// dst needs W-1 slots of slack past the true append count.
+  static std::size_t compress_store_keys(std::uint64_t* dst, U idx, U m,
+                                         unsigned keep_mask) {
+    const __m256i perm = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kCompressLut256.perm[keep_mask]));
+    zip_store_keys(dst, _mm256_permutevar8x32_epi32(idx, perm),
+                   _mm256_permutevar8x32_epi32(m, perm));
+    return static_cast<std::size_t>(__builtin_popcount(keep_mask));
+  }
+
+  /// Appends the surviving lanes of v to dst in lane order (branchless
+  /// permute compress); returns the count. May write a full vector of
+  /// slack regardless of the count.
+  static std::size_t compress_store_u32(std::uint32_t* dst, U v, unsigned keep_mask) {
+    const __m256i perm = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kCompressLut256.perm[keep_mask]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                        _mm256_permutevar8x32_epi32(v, perm));
+    return static_cast<std::size_t>(__builtin_popcount(keep_mask));
+  }
 
   /// acc[0..7] |= (w & 1) << j, widening the eight uint32 lanes to
   /// uint64 in two halves.

@@ -114,9 +114,50 @@ struct AwgnBatchEnv : AwgnEnv {
                                    mask,
                                    cbits,
                                    sc.rng_words.data(),
-                                   premixed ? sc.premix.data() : nullptr};
+                                   premixed ? sc.premix.data() : nullptr,
+                                   nullptr,
+                                   nullptr};
     be->awgn_expand_all(level, states, count, static_cast<std::uint32_t>(fanout),
                         out_states, out_costs);
+  }
+
+  /// The streaming d=1 pipeline head (see Backend::awgn_expand_prune):
+  /// expansion, metric sweeps and the online prune in one kernel call,
+  /// with the post-first-symbol sweeps narrowed to partial-cost
+  /// survivors. Bit-identical to expand_all + the generic prune.
+  std::size_t expand_prune(int spine_idx, const std::uint32_t* states,
+                           const float* parent_cost, std::size_t count, int fanout,
+                           std::uint32_t cand_base, std::uint64_t bound_key,
+                           std::uint32_t* out_states, std::uint64_t* out_keys) const {
+    const std::size_t total = count * static_cast<std::size_t>(fanout);
+    const std::uint32_t begin = ws->soa_off[spine_idx];
+    const std::uint32_t nsym = ws->soa_off[spine_idx + 1] - begin;
+    backend::ExpandScratch& sc = ws->expand;
+    sc.rng_words.resize(total);
+    sc.premix.resize(total);  // pre-mix or compacted RNG lanes, always on
+    sc.acc.resize(total);
+    sc.idx.resize(total);
+    const backend::AwgnLevel level{dec.hash_.kind(),
+                                   dec.hash_.salt(),
+                                   ws->ord.data() + begin,
+                                   nsym,
+                                   ws->y_re.data() + begin,
+                                   ws->y_im.data() + begin,
+                                   ws->h_re.data() + begin,
+                                   ws->h_im.data() + begin,
+                                   use_csi,
+                                   fx_scale,
+                                   table,
+                                   raw_table,
+                                   mask,
+                                   cbits,
+                                   sc.rng_words.data(),
+                                   sc.premix.data(),
+                                   sc.acc.data(),
+                                   sc.idx.data()};
+    return be->awgn_expand_prune(level, states, parent_cost, count,
+                                 static_cast<std::uint32_t>(fanout), cand_base,
+                                 bound_key, out_states, out_keys);
   }
 };
 

@@ -62,8 +62,9 @@ struct DecodeWorkspace {
   std::vector<std::uint64_t> rx_bits;
 
   /// Scratch the backend expansion kernels use (RNG draws, shared hash
-  /// pre-mix, BSC bit accumulator); sized here, in baseline code,
-  /// before each kernel call.
+  /// pre-mix / compacted lanes, metric accumulator, BSC bit
+  /// accumulator, partial-prune survivor indices); sized here, in
+  /// baseline code, before each kernel call.
   backend::ExpandScratch expand;
 };
 

@@ -69,8 +69,12 @@ TEST(BackendRegistry, NamesAreUniqueAndLanesSane) {
     EXPECT_NE(b->hash_premixed_n, nullptr) << b->name;
     EXPECT_NE(b->awgn_expand_all, nullptr) << b->name;
     EXPECT_NE(b->bsc_expand_all, nullptr) << b->name;
+    EXPECT_NE(b->awgn_expand_prune, nullptr) << b->name;
     EXPECT_NE(b->build_keys, nullptr) << b->name;
-    EXPECT_NE(b->d1_keys, nullptr) << b->name;
+    EXPECT_NE(b->d1_prune, nullptr) << b->name;
+    EXPECT_NE(b->row_mins, nullptr) << b->name;
+    EXPECT_NE(b->regroup_emit, nullptr) << b->name;
+    EXPECT_NE(b->partition_keys, nullptr) << b->name;
     EXPECT_NE(b->select_keys, nullptr) << b->name;
   }
   for (std::size_t i = 0; i < names.size(); ++i)
@@ -99,10 +103,25 @@ TEST(BackendRegistry, ResolveKnownNamePicksIt) {
 }
 
 TEST(BackendRegistry, ResolveUnknownNameWarnsAndFallsBack) {
-  // The SPINAL_BACKEND=<unknown> rule: warn, then use the detected best.
+  // The SPINAL_BACKEND=<unknown> rule: warn (resolve prints the
+  // available-backend list to stderr so the user learns the valid
+  // names), then use the detected best.
   bool warned = false;
   EXPECT_EQ(backend::resolve("mmx", &warned), backend::available().back());
   EXPECT_TRUE(warned);
+}
+
+TEST(BackendRegistry, AvailableNamesListsEveryBackendInOrder) {
+  // The list resolve() prints on an unknown SPINAL_BACKEND: every
+  // available backend, detection order, space-separated.
+  const std::string names = backend::available_names();
+  std::string want;
+  for (const Backend* b : backend::available()) {
+    if (!want.empty()) want += ' ';
+    want += b->name;
+  }
+  EXPECT_EQ(names, want);
+  EXPECT_NE(names.find("scalar"), std::string::npos);
 }
 
 TEST(BackendRegistry, ForceSwitchesAndRejectsUnknown) {
@@ -245,7 +264,9 @@ TEST(BackendKernels, AwgnExpandAllMatchesScalarExactly) {
                                    static_cast<std::uint32_t>(table.size() - 1),
                                    cbits,
                                    sc.rng_words.data(),
-                                   sc.premix.data()};
+                                   sc.premix.data(),
+                                   nullptr,
+                                   nullptr};
           out_states.resize(total);
           out_costs.resize(total);
           be->awgn_expand_all(level, states.data(), count, fanout, out_states.data(),
@@ -314,6 +335,138 @@ TEST(BackendKernels, BscExpandAllMatchesScalarExactly) {
   }
 }
 
+TEST(BackendKernels, AwgnExpandPruneMatchesSplitPipeline) {
+  // The fused streaming kernel — expansion, metric sweeps, partial-cost
+  // narrowing and the bound filter in one call — must append exactly
+  // the keys that awgn_expand_all followed by d1_prune produces, with
+  // identical child states, for every backend x hash kind x channel
+  // mode x bound tightness (including the degenerate keep-everything
+  // bound, where no narrowing happens).
+  util::Xoshiro256 prng(111);
+  backend::ExpandScratch sc_split, sc_fused;
+  for (const Backend* b : backend::available()) {
+    for (hash::Kind kind : kKinds) {
+      for (int mode = 0; mode < 3; ++mode) {  // plain, CSI, CSI+fixed-point
+        const int cbits = 6;
+        const auto table = random_table(prng, cbits);
+        const std::size_t count = 37;
+        const std::uint32_t fanout = 8;
+        const std::size_t total = count * fanout;
+        const auto states = random_words(prng, count);
+        const std::uint32_t nsym = 3;
+        const auto ord = random_words(prng, nsym);
+        std::vector<float> y_re(nsym), y_im(nsym), h_re(nsym), h_im(nsym);
+        for (std::uint32_t s = 0; s < nsym; ++s) {
+          y_re[s] = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+          y_im[s] = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+          h_re[s] = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+          h_im[s] = static_cast<float>(prng.next_double()) * 2.0f - 1.0f;
+        }
+        std::vector<float> parent(count);
+        float walk = 0.5f;
+        for (auto& p : parent) {
+          walk += static_cast<float>(prng.next_double()) * 0.3f;
+          p = walk;
+        }
+        const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+
+        auto make_level = [&](backend::ExpandScratch& sc) {
+          sc.rng_words.resize(total);
+          sc.premix.resize(total);
+          sc.acc.resize(total);
+          sc.idx.resize(total);
+          return backend::AwgnLevel{kind,
+                                    salt,
+                                    ord.data(),
+                                    nsym,
+                                    y_re.data(),
+                                    y_im.data(),
+                                    h_re.data(),
+                                    h_im.data(),
+                                    /*use_csi=*/mode > 0,
+                                    /*fx_scale=*/mode == 2 ? 64.0f : 0.0f,
+                                    table.data(),
+                                    table.data(),
+                                    static_cast<std::uint32_t>(table.size() - 1),
+                                    cbits,
+                                    sc.rng_words.data(),
+                                    sc.premix.data(),
+                                    sc.acc.data(),
+                                    sc.idx.data()};
+        };
+
+        // Split reference: full expansion, then the generic prune.
+        const backend::AwgnLevel ls = make_level(sc_split);
+        std::vector<std::uint32_t> st_split(total);
+        std::vector<float> costs(total);
+        b->awgn_expand_all(ls, states.data(), count, fanout, st_split.data(),
+                           costs.data());
+
+        for (int bsel = 0; bsel < 3; ++bsel) {
+          // Bounds: keep everything / the 25% point / the 75% point.
+          std::uint64_t bound = ~0ull;
+          if (bsel > 0) {
+            std::vector<float> fin(total);
+            for (std::size_t i = 0; i < count; ++i)
+              for (std::uint32_t v = 0; v < fanout; ++v)
+                fin[i * fanout + v] = parent[i] + costs[i * fanout + v];
+            std::sort(fin.begin(), fin.end());
+            const float cut = fin[bsel == 1 ? total / 4 : 3 * total / 4];
+            bound = (static_cast<std::uint64_t>(backend::monotone_key(cut)) << 32) |
+                    0x000004FFull;  // a mid-range index tie-break
+          }
+          std::vector<std::uint64_t> k_split(total + 7, ~0ull), k_fused(total + 7, ~1ull);
+          const std::size_t n_split =
+              b->d1_prune(parent.data(), costs.data(), count, fanout, 100, bound,
+                          k_split.data());
+          const backend::AwgnLevel lf = make_level(sc_fused);
+          std::vector<std::uint32_t> st_fused(total, ~0u);
+          const std::size_t n_fused =
+              b->awgn_expand_prune(lf, states.data(), parent.data(), count, fanout, 100,
+                                   bound, st_fused.data(), k_fused.data());
+          EXPECT_EQ(n_split, n_fused)
+              << b->name << " kind=" << hash::kind_name(kind) << " mode=" << mode
+              << " bsel=" << bsel;
+          EXPECT_EQ(st_split, st_fused) << b->name << " mode=" << mode;
+          for (std::size_t j = 0; j < std::min(n_split, n_fused); ++j)
+            EXPECT_EQ(k_split[j], k_fused[j])
+                << b->name << " kind=" << hash::kind_name(kind) << " mode=" << mode
+                << " bsel=" << bsel << " survivor " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, PartitionKeysKeepsTheSelectSet) {
+  // The set-only refinement half of the selection contract: the keep
+  // smallest keys land in [0, keep) in some order — exactly the
+  // select_keys set, order-free.
+  util::Xoshiro256 prng(112);
+  for (const Backend* b : backend::available()) {
+    for (std::size_t n : {std::size_t{2}, std::size_t{300}, std::size_t{4096}}) {
+      std::vector<float> costs(n);
+      float walk = 5.0f;
+      for (auto& c : costs) {
+        walk += static_cast<float>(prng.next_double()) * 0.25f;
+        c = walk + static_cast<float>(prng.next_double()) * 2.0f;
+      }
+      std::vector<std::uint64_t> keys(n);
+      b->build_keys(costs.data(), n, keys.data());
+      std::vector<std::uint64_t> sorted = keys;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t keep : {std::size_t{1}, n / 2, n - 1}) {
+        if (keep == 0) continue;
+        std::vector<std::uint64_t> work = keys;
+        b->partition_keys(work.data(), n, keep);
+        std::sort(work.begin(), work.begin() + keep);
+        for (std::size_t i = 0; i < keep; ++i)
+          EXPECT_EQ(work[i], sorted[i]) << b->name << " n=" << n << " keep=" << keep;
+      }
+    }
+  }
+}
+
 TEST(BackendKernels, SelectionKeysMatchScalarExactly) {
   util::Xoshiro256 prng(106);
   for (const Backend* b : simd_backends()) {
@@ -340,9 +493,15 @@ TEST(BackendKernels, SelectionKeysMatchScalarExactly) {
   }
 }
 
-TEST(BackendKernels, D1KeysMatchScalarExactly) {
+TEST(BackendKernels, D1PruneMatchesScalarExactly) {
+  // The streaming finalize+prune kernel: for every backend, every
+  // fanout shape and several bound tightnesses (keep-all, mid, tight),
+  // the appended survivors — keys, gathered states, candidate indices
+  // and the returned count — must match the scalar kernel exactly, and
+  // must equal the brute-force filter of the materialized candidate
+  // set (the retired d1_keys contract this kernel replaces).
   util::Xoshiro256 prng(107);
-  for (const Backend* b : simd_backends()) {
+  for (const Backend* b : backend::available()) {
     // Fanouts straddling the lane widths, incl. short-final-chunk sizes.
     for (std::uint32_t fanout : {1u, 2u, 4u, 8u, 16u, 64u}) {
       const std::size_t count = 53;
@@ -350,21 +509,189 @@ TEST(BackendKernels, D1KeysMatchScalarExactly) {
       std::vector<float> parent(count), child(total);
       for (auto& c : parent) c = static_cast<float>(prng.next_double()) * 30.0f;
       for (auto& c : child) c = static_cast<float>(prng.next_double()) * 10.0f;
-      std::vector<float> cc_want(total), cc_got(total);
-      std::vector<std::uint64_t> k_want(total), k_got(total);
-      scalar()->d1_keys(parent.data(), child.data(), count, fanout, cc_want.data(),
-                        k_want.data());
-      b->d1_keys(parent.data(), child.data(), count, fanout, cc_got.data(),
-                 k_got.data());
-      EXPECT_EQ(k_want, k_got) << b->name << " fanout=" << fanout;
-      for (std::size_t i = 0; i < total; ++i)
-        EXPECT_EQ(std::memcmp(&cc_want[i], &cc_got[i], sizeof(float)), 0)
-            << b->name << " lane " << i << " fanout=" << fanout;
-      // Key semantics: monotone cost in the high word, index in the low.
-      for (std::size_t i = 0; i < total; ++i) {
-        EXPECT_EQ(k_got[i] & 0xFFFFFFFFu, i);
-        EXPECT_EQ(k_got[i] >> 32, backend::monotone_key(cc_got[i]));
+
+      // Brute force: every candidate's finalized cost and key.
+      std::vector<float> cost(total);
+      for (std::size_t i = 0; i < count; ++i)
+        for (std::uint32_t v = 0; v < fanout; ++v)
+          cost[i * fanout + v] = parent[i] + child[i * fanout + v];
+
+      // Bounds: keep-everything, cost-only cuts, and a mid-candidate
+      // full-key cut whose index tie-break is on the line.
+      for (const std::uint64_t bound :
+           {~0ull, (static_cast<std::uint64_t>(backend::monotone_key(18.0f)) << 32) |
+                       0xFFFFFFFFull,
+            (static_cast<std::uint64_t>(backend::monotone_key(6.0f)) << 32) | 1200ull}) {
+        const std::uint32_t cand_base = 1000;
+        // + 7 slack: SIMD backends compress-store whole vectors.
+        std::vector<std::uint64_t> keys(total + 7, ~0ull);
+        const std::size_t got = b->d1_prune(parent.data(), child.data(), count, fanout,
+                                            cand_base, bound, keys.data());
+        std::size_t want = 0;
+        for (std::size_t c = 0; c < total; ++c) {
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(backend::monotone_key(cost[c])) << 32) |
+              (cand_base + c);
+          if (key > bound) continue;
+          ASSERT_LT(want, got) << b->name << " fanout=" << fanout;
+          EXPECT_EQ(keys[want], key)
+              << b->name << " fanout=" << fanout << " survivor " << want;
+          ++want;
+        }
+        EXPECT_EQ(got, want) << b->name << " fanout=" << fanout << " bound=" << bound;
       }
+    }
+  }
+}
+
+TEST(BackendKernels, RowMinsMatchScalarExactly) {
+  util::Xoshiro256 prng(109);
+  for (const Backend* b : backend::available()) {
+    for (std::uint32_t fanout : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const std::size_t leaves = 41;
+      std::vector<float> leaf_cost(leaves), child(leaves * fanout);
+      for (auto& c : leaf_cost) c = static_cast<float>(prng.next_double()) * 30.0f;
+      for (auto& c : child) c = static_cast<float>(prng.next_double()) * 10.0f;
+      // Exercise exact ties inside a row: the min must stay bit-stable.
+      if (fanout > 2) child[3 * fanout + 2] = child[3 * fanout + 1];
+      std::vector<float> got(leaves, -1.0f);
+      b->row_mins(leaf_cost.data(), child.data(), leaves, fanout, got.data());
+      for (std::size_t i = 0; i < leaves; ++i) {
+        float m = child[i * fanout];
+        for (std::uint32_t v = 1; v < fanout; ++v)
+          if (child[i * fanout + v] < m) m = child[i * fanout + v];
+        const float want = leaf_cost[i] + m;
+        EXPECT_EQ(std::memcmp(&want, &got[i], sizeof(float)), 0)
+            << b->name << " fanout=" << fanout << " leaf " << i;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, RegroupEmitMatchesScalarExactly) {
+  // The vectorized d>1 regroup: surviving groups' child rows must land
+  // in the survivor arena exactly as the scalar reference places them
+  // (leaf-major fill order, finalized costs, extended paths), and
+  // pruned groups' arena rows must never be touched.
+  util::Xoshiro256 prng(110);
+  for (const Backend* b : backend::available()) {
+    for (const int d : {2, 3}) {
+      const int k = 3;
+      const std::uint32_t fanout = 8, group_count = 8;
+      const std::uint32_t group_mask = group_count - 1;
+      const std::size_t lpe = 16;  // leaves per entry: 2 per group
+      std::vector<std::uint32_t> child_state(lpe * fanout), leaf_path(lpe);
+      std::vector<float> child_cost(lpe * fanout), leaf_cost(lpe);
+      for (auto& s : child_state) s = static_cast<std::uint32_t>(prng.next_u64());
+      for (auto& c : child_cost) c = static_cast<float>(prng.next_double()) * 10.0f;
+      for (auto& c : leaf_cost) c = static_cast<float>(prng.next_double()) * 30.0f;
+      // Paths: two leaves per group, upper path bits random.
+      for (std::size_t i = 0; i < lpe; ++i)
+        leaf_path[i] = static_cast<std::uint32_t>(i % group_count) |
+                       (static_cast<std::uint32_t>(prng.next_u64() & 0x7u) << k);
+      // Groups 0, 3, 5 pruned; the rest get distinct row bases.
+      const std::uint32_t rows = static_cast<std::uint32_t>(lpe / group_count) * fanout;
+      std::vector<std::int32_t> rowbase(group_count, -1);
+      std::int32_t base = 0;
+      for (std::uint32_t g = 0; g < group_count; ++g) {
+        if (g == 0 || g == 3 || g == 5) continue;
+        rowbase[g] = base;
+        base += static_cast<std::int32_t>(rows);
+      }
+      const std::size_t arena = static_cast<std::size_t>(base) + rows;  // + guard rows
+      std::vector<std::uint32_t> st_want(arena, 0xABABABABu), st_got = st_want;
+      std::vector<float> c_want(arena, -7.0f), c_got = c_want;
+      std::vector<std::uint32_t> p_want(arena, 0xCDCDCDCDu), p_got = p_want;
+      scalar()->regroup_emit(child_state.data(), child_cost.data(), leaf_cost.data(),
+                             leaf_path.data(), lpe, fanout, k, d, group_mask,
+                             rowbase.data(), st_want.data(), c_want.data(),
+                             p_want.data());
+      b->regroup_emit(child_state.data(), child_cost.data(), leaf_cost.data(),
+                      leaf_path.data(), lpe, fanout, k, d, group_mask, rowbase.data(),
+                      st_got.data(), c_got.data(), p_got.data());
+      EXPECT_EQ(st_want, st_got) << b->name << " d=" << d;
+      EXPECT_EQ(p_want, p_got) << b->name << " d=" << d;
+      ASSERT_EQ(c_want.size(), c_got.size());
+      for (std::size_t i = 0; i < c_want.size(); ++i)
+        EXPECT_EQ(std::memcmp(&c_want[i], &c_got[i], sizeof(float)), 0)
+            << b->name << " d=" << d << " row " << i;
+      // Semantics spot-check against first principles, group 1.
+      std::uint32_t fill = 0;
+      for (std::size_t lf = 0; lf < lpe; ++lf) {
+        if ((leaf_path[lf] & group_mask) != 1u) continue;
+        for (std::uint32_t v = 0; v < fanout; ++v) {
+          const std::size_t dst = static_cast<std::size_t>(rowbase[1]) + fill * fanout + v;
+          EXPECT_EQ(st_got[dst], child_state[lf * fanout + v]);
+          const float want = leaf_cost[lf] + child_cost[lf * fanout + v];
+          EXPECT_EQ(std::memcmp(&want, &c_got[dst], sizeof(float)), 0);
+          EXPECT_EQ(p_got[dst], (leaf_path[lf] >> k) | (v << (k * (d - 2))));
+        }
+        ++fill;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, StreamingPruneEqualsFullExpandSelect) {
+  // The admissibility property behind the whole streaming pipeline: on
+  // randomized blocks and beams, running expand blocks through d1_prune
+  // with the running keep-th-best bound (tightened by block-local
+  // compactions, exactly as beam_search does) must keep the same keys,
+  // in the same packed-key order, as materializing every candidate and
+  // running the full B-of-N select. Seeds are logged for replay.
+  constexpr std::uint64_t kMasterSeed = 0xBEADC0DE2026ull;
+  util::Xoshiro256 master(kMasterSeed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t seed = master.next_u64();
+    util::Xoshiro256 prng(seed);
+    const std::uint32_t fanout = 1u << (2 + prng.next_below(3));  // 4/8/16
+    const std::size_t count = 32 + prng.next_below(200);          // leaves
+    const std::size_t total = count * fanout;
+    const int keep = static_cast<int>(std::min<std::size_t>(
+        total, 16u << prng.next_below(4)));  // 16..128
+    std::vector<float> parent(count), child(total);
+    // Clustered, near-sorted parents — the shape real beams have.
+    float walk = 1.0f;
+    for (auto& c : parent) {
+      walk += static_cast<float>(prng.next_double()) * 0.2f;
+      c = walk;
+    }
+    for (auto& c : child) c = static_cast<float>(prng.next_double()) * 4.0f;
+
+    // Reference: materialize + full select (the retired contract).
+    std::vector<float> cost(total);
+    for (std::size_t i = 0; i < count; ++i)
+      for (std::uint32_t v = 0; v < fanout; ++v)
+        cost[i * fanout + v] = parent[i] + child[i * fanout + v];
+    std::vector<std::uint64_t> full(total);
+    backend::find("scalar")->build_keys(cost.data(), total, full.data());
+    std::sort(full.begin(), full.end());
+
+    for (const Backend* b : backend::available()) {
+      const std::size_t block_leaves = 1 + prng.next_below(31);
+      const std::size_t trigger = 2 * static_cast<std::size_t>(keep);
+      std::vector<std::uint64_t> keys(total + 7);  // compress-store slack
+      std::uint64_t bound = ~0ull;
+      std::size_t sc = 0;
+      for (std::size_t L = 0; L < count; L += block_leaves) {
+        const std::size_t n = std::min(block_leaves, count - L);
+        sc += b->d1_prune(parent.data() + L, child.data() + L * fanout, n, fanout,
+                          static_cast<std::uint32_t>(L * fanout), bound,
+                          keys.data() + sc);
+        // The online bound: keep-th best survivor so far, via the
+        // block-local radix refinement (truncation is admissible).
+        if (sc >= trigger && L + n < count) {
+          b->select_keys(keys.data(), sc, static_cast<std::size_t>(keep));
+          sc = static_cast<std::size_t>(keep);
+          bound = keys[keep - 1];  // the full keep-th-best packed key
+        }
+      }
+      ASSERT_GE(sc, static_cast<std::size_t>(keep)) << b->name << " seed=" << seed;
+      b->select_keys(keys.data(), sc, static_cast<std::size_t>(keep));
+      // The kept keys — cost bits AND candidate indices, in packed-key
+      // order — must be exactly the full sort's prefix.
+      for (int j = 0; j < keep; ++j)
+        EXPECT_EQ(keys[j], full[j]) << b->name << " seed=" << seed << " kept " << j;
     }
   }
 }

@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
+
+#include "backend/backend.h"
+#include "util/prng.h"
 
 namespace spinal::detail {
 namespace {
@@ -177,6 +181,69 @@ TEST(BeamSearch, SingleChunkMessage) {
   const BeamSearch<TargetEnv> search;
   const SearchResult r = search.run(env, p);
   EXPECT_EQ(r.chunks, env.target);
+}
+
+/// A synthetic Env with the batched expand_all kernel: hash-mixed
+/// states and pseudo-random non-negative node costs (the streamed
+/// pipeline's admissibility contract). Wrapping the same cost function
+/// with and without the kernel routes one search through the streaming
+/// expand-prune pipeline and the other through the reference
+/// materialize-then-select path — results must be bit-identical.
+struct SyntheticEnv {
+  std::uint32_t salt;
+  std::uint32_t child(std::uint32_t state, std::uint32_t chunk) const noexcept {
+    std::uint32_t x = (state ^ (chunk * 0x9E3779B9u)) + salt;
+    x ^= x >> 16;
+    x *= 0x7FEB352Du;
+    x ^= x >> 15;
+    return x;
+  }
+  float node_cost(int spine_idx, std::uint32_t state) const noexcept {
+    const std::uint32_t h = child(state, static_cast<std::uint32_t>(spine_idx) + 77u);
+    return static_cast<float>(h >> 8) * (1.0f / (1u << 24));  // [0, 1), never -0
+  }
+};
+
+struct BatchedSyntheticEnv : SyntheticEnv {
+  void expand_all(int spine_idx, const std::uint32_t* states, std::size_t count,
+                  int fanout, std::uint32_t* out_states, float* out_costs) const {
+    for (std::size_t i = 0; i < count; ++i)
+      for (int v = 0; v < fanout; ++v) {
+        const std::uint32_t st = child(states[i], static_cast<std::uint32_t>(v));
+        out_states[i * fanout + v] = st;
+        out_costs[i * fanout + v] = node_cost(spine_idx, st);
+      }
+  }
+};
+
+TEST(BeamSearch, StreamedPipelineMatchesReferencePath) {
+  // Across depths, beam widths, chunk sizes and every kernel backend
+  // (the streamed path routes its prune/regroup/selection through the
+  // active table): identical chunks and exact-bit costs.
+  const char* const original = backend::active().name;
+  util::Xoshiro256 prng(77);
+  for (int d = 1; d <= 3; ++d) {
+    for (int k : {2, 3}) {
+      for (int B : {4, 16, 64}) {
+        const int chunks = 10;
+        CodeParams p = params_for(chunks, k, B, d);
+        p.s0 = static_cast<std::uint32_t>(prng.next_u64());
+        const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+        const SearchResult ref =
+            BeamSearch<SyntheticEnv>().run(SyntheticEnv{salt}, p);
+        for (const backend::Backend* b : backend::available()) {
+          ASSERT_TRUE(backend::force(b->name));
+          const SearchResult got =
+              BeamSearch<BatchedSyntheticEnv>().run(BatchedSyntheticEnv{{salt}}, p);
+          EXPECT_EQ(got.chunks, ref.chunks)
+              << "backend=" << b->name << " d=" << d << " k=" << k << " B=" << B;
+          EXPECT_EQ(got.best_cost, ref.best_cost)
+              << "backend=" << b->name << " d=" << d << " k=" << k << " B=" << B;
+        }
+      }
+    }
+  }
+  backend::force(original);
 }
 
 TEST(BeamSearch, DepthCappedToSpineLength) {

@@ -180,6 +180,48 @@ TEST_P(GoldenAllKinds, PuncturedPrefixMatchesScalarReference) {
   expect_identical(dec, "awgn-punctured");
 }
 
+TEST_P(GoldenAllKinds, BubbleD2MatchesScalarReference) {
+  const ScopedBackend scoped(backend_name());
+  // d=2: the streamed multi-leaf path — vectorized regroup_emit rows,
+  // group-minimum pruning, entry-level cutoffs — against the per-node
+  // reference, at a marginal SNR so near-ties cross the prune bound.
+  CodeParams p = base_params(kind());
+  p.n = 64;
+  p.k = 4;
+  p.B = 16;
+  p.d = 2;
+  util::Xoshiro256 prng(32);
+  const SpinalEncoder enc(p, prng.random_bits(p.n));
+  SpinalDecoder dec(p);
+  channel::AwgnChannel ch(6.0, 132);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 3 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp))
+      dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+  expect_identical(dec, "awgn-d2");
+}
+
+TEST_P(GoldenAllKinds, BscBubbleD2MatchesScalarReference) {
+  const ScopedBackend scoped(backend_name());
+  // The BSC metric through the streamed d>1 path: integer Hamming
+  // costs tie constantly, so the deterministic tie-breaks inside the
+  // pruned regroup are fully on the line.
+  CodeParams p = base_params(kind());
+  p.n = 48;
+  p.k = 3;
+  p.B = 8;
+  p.d = 2;
+  p.c = 1;
+  util::Xoshiro256 prng(33);
+  const BscSpinalEncoder enc(p, prng.random_bits(p.n));
+  BscSpinalDecoder dec(p);
+  channel::BscChannel ch(0.1, 133);
+  const PuncturingSchedule sched(p);
+  for (int sp = 0; sp < 10 * sched.subpasses_per_pass(); ++sp)
+    for (const SymbolId& id : sched.subpass(sp)) dec.add_bit(id, ch.transmit(enc.bit(id)));
+  expect_identical(dec, "bsc-d2");
+}
+
 TEST_P(GoldenAllKinds, DeepBubbleMatchesScalarReference) {
   const ScopedBackend scoped(backend_name());
   CodeParams p = base_params(kind());

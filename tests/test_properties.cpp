@@ -311,6 +311,96 @@ TEST(Properties, FuzzRandomParamsRoundTripOnEveryBackend) {
   backend::force(original);
 }
 
+// ---------------------------------------------------------------------
+// Sweep 5: streaming-prune admissibility fuzz. The streamed decode
+// pipeline prunes candidates online against a running B-th-best bound;
+// admissibility says the kept set — and through it the decoded message
+// and the exact path-cost bits — must equal the full expand+select
+// reference on every backend. Unlike the noiseless round-trip fuzz
+// above, these trials run at marginal SNR / crossover with random
+// configurations, so prune decisions constantly straddle near-ties.
+// Assertion messages carry the trial seed for replay.
+// ---------------------------------------------------------------------
+
+TEST(Properties, FuzzStreamingPruneMatchesReferenceOnEveryBackend) {
+  constexpr std::uint64_t kMasterSeed = 0x5EEDFACE2026ull;
+  constexpr int kTrials = 12;
+  util::Xoshiro256 master(kMasterSeed);
+  const char* const original = backend::active().name;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint64_t seed = master.next_u64();
+    util::Xoshiro256 prng(seed);
+
+    CodeParams p;
+    p.k = 2 + static_cast<int>(prng.next_below(3));  // 2..4
+    p.d = p.k <= 3 ? 1 + static_cast<int>(prng.next_below(2)) : 1;
+    p.n = 4 * p.k + static_cast<int>(prng.next_below(40));
+    p.B = 8 << prng.next_below(4);  // 8..64
+    p.hash_kind = static_cast<hash::Kind>(prng.next_below(3));
+    p.salt = static_cast<std::uint32_t>(prng.next_u64());
+    const bool bsc = prng.next_below(2) == 1;
+    p.c = bsc ? 1 : 2 + static_cast<int>(prng.next_below(4));
+    ASSERT_NO_THROW(p.validate()) << "seed=" << seed;
+
+    const util::BitVec msg = prng.random_bits(p.n);
+    const PuncturingSchedule sched(p);
+    const int passes = bsc ? 5 : 2;
+    const int subpasses =
+        1 + static_cast<int>(prng.next_below(
+                static_cast<std::uint32_t>(passes * sched.subpasses_per_pass())));
+
+    const double snr_db = 5.0 + static_cast<double>(prng.next_below(6));
+    util::BitVec ref_message;
+    double ref_cost = 0.0;
+    for (const backend::Backend* b : backend::available()) {
+      ASSERT_TRUE(backend::force(b->name));
+      DecodeResult streamed, reference;
+      // The channel reseeds per backend from the trial seed, so every
+      // backend decodes the identical received sequence.
+      if (bsc) {
+        const BscSpinalEncoder enc(p, msg);
+        BscSpinalDecoder dec(p);
+        channel::BscChannel ch(0.06, static_cast<std::uint64_t>(seed ^ 0xB5Cu));
+        for (int sp = 0; sp < subpasses; ++sp)
+          for (const SymbolId& id : sched.subpass(sp))
+            dec.add_bit(id, ch.transmit(enc.bit(id)));
+        streamed = dec.decode();
+        reference = dec.decode_reference();
+      } else {
+        const SpinalEncoder enc(p, msg);
+        SpinalDecoder dec(p);
+        channel::AwgnChannel ch(snr_db, static_cast<std::uint64_t>(seed ^ 0xA36Eu));
+        for (int sp = 0; sp < subpasses; ++sp)
+          for (const SymbolId& id : sched.subpass(sp))
+            dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+        streamed = dec.decode();
+        reference = dec.decode_reference();
+      }
+      // The streamed pipeline against the per-node reference: same
+      // message, same exact cost bits (kept sets and packed-key order
+      // carried through every prune decision).
+      EXPECT_EQ(streamed.message, reference.message)
+          << "backend=" << b->name << " seed=" << seed << " trial=" << trial
+          << " (k=" << p.k << " d=" << p.d << " B=" << p.B << " n=" << p.n
+          << " hash=" << hash::kind_name(p.hash_kind)
+          << " channel=" << (bsc ? "bsc" : "awgn") << " subpasses=" << subpasses << ")";
+      EXPECT_EQ(streamed.path_cost, reference.path_cost)
+          << "backend=" << b->name << " seed=" << seed << " trial=" << trial;
+      if (b == backend::available().front()) {
+        ref_message = streamed.message;
+        ref_cost = streamed.path_cost;
+      } else {
+        EXPECT_EQ(streamed.message, ref_message)
+            << "backend=" << b->name << " seed=" << seed;
+        EXPECT_EQ(streamed.path_cost, ref_cost)
+            << "backend=" << b->name << " seed=" << seed;
+      }
+    }
+  }
+  backend::force(original);
+}
+
 TEST(Properties, LargerBNeverIncreasesSymbolsNeededNoiseless) {
   // Noiseless channel: every beam width decodes after one pass; beam
   // size cannot change that (sanity anchor for the B knob).

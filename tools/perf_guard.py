@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: compare a quick-mode Google-Benchmark run
+against a checked-in baseline snapshot and fail on real regressions.
+
+Usage:
+    perf_guard.py CURRENT_BENCH_JSON BASELINE_SNAPSHOT_JSON [--tolerance 0.25]
+
+CURRENT is the raw --benchmark_out JSON of the run under test;
+BASELINE is a perf_snapshot.py document checked into the repo
+(bench/perf_baseline_quick.json).
+
+CI machines differ in absolute speed from the machine the baseline was
+recorded on, and differ run to run. A naive absolute comparison would
+flag every slow runner, so the guard normalises by the *median ratio*
+across all shared benchmarks: a uniformly slower machine moves every
+benchmark by the same factor and normalises away, while a genuine
+regression shows up as one benchmark falling more than the tolerance
+below the rest. The tolerance is generous (25% by default) — this
+gate exists to catch 2x cliffs (a kernel knocked off its fast path, a
+debug build leaking into the bench), not 5% drift.
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from perf_snapshot import distill  # one name-normalisation, shared with the snapshot
+
+
+def load_current(path):
+    with open(path) as f:
+        raw = json.load(f)
+    return distill(raw, [])
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drop below the run's median ratio")
+    args = ap.parse_args()
+
+    # Unreadable inputs are hard failures: the CI step that runs this
+    # guard is already gated on the bench-producing step's success, so
+    # a missing/corrupt file here means the producer lied or the repo's
+    # baseline is broken — exactly what a gate must not shrug off.
+    try:
+        current = load_current(args.current)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_guard: FAIL — cannot read current run ({e})", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["points"]
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"perf_guard: FAIL — cannot read baseline ({e})", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(current) & set(baseline))
+    if len(shared) < 3:
+        print(f"perf_guard: only {len(shared)} shared benchmarks; "
+              "need >= 3 for a meaningful median — skipping", file=sys.stderr)
+        return 0
+
+    ratios = {n: current[n] / baseline[n] for n in shared}
+    median = statistics.median(ratios.values())
+    floor = median * (1.0 - args.tolerance)
+
+    print(f"perf_guard: {len(shared)} shared benchmarks, "
+          f"median speed ratio {median:.3f}, floor {floor:.3f}")
+    failures = []
+    for n in shared:
+        flag = ""
+        if ratios[n] < floor:
+            failures.append(n)
+            flag = "  <-- REGRESSION"
+        print(f"  {n:48s} {baseline[n] / 1e3:9.1f}k -> {current[n] / 1e3:9.1f}k "
+              f"(x{ratios[n]:.2f}){flag}")
+
+    if failures:
+        print(f"perf_guard: FAIL — {len(failures)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%} against the run median", file=sys.stderr)
+        return 1
+    print("perf_guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

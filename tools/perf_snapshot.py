@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Distill a Google-Benchmark JSON file into a compact perf snapshot.
+
+Usage:
+    perf_snapshot.py BENCH_JSON [--label LABEL] [--filter SUBSTR ...]
+
+Reads the benchmark JSON that bench_micro_decoder/--benchmark_out
+emits and prints a small JSON document mapping benchmark name to
+items_per_second (message bits per second for the decoder benches).
+When the input contains repetitions, the best repetition is kept —
+on shared CI machines the minimum-time run is the least contaminated
+estimate of the code's actual speed.
+
+The repo-root BENCH_PR*.json trajectory files and the perf-guard
+baseline (bench/perf_baseline_quick.json) are both produced this way.
+"""
+
+import argparse
+import json
+import sys
+
+
+def distill(raw, filters):
+    points = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"].split("/iterations")[0]
+        # Repetition entries carry a "/repeats:N" suffix variant in some
+        # versions; normalise on the family name reported per run.
+        name = name.split("/repeats:")[0]
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        if filters and not any(f in name for f in filters):
+            continue
+        points[name] = max(points.get(name, 0.0), ips)
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--label", default="")
+    ap.add_argument("--filter", action="append", default=[],
+                    help="keep only benchmarks whose name contains this substring")
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        raw = json.load(f)
+
+    points = distill(raw, args.filter)
+    if not points:
+        print("perf_snapshot: no matching benchmarks in input", file=sys.stderr)
+        return 1
+
+    snapshot = {
+        "label": args.label,
+        "unit": "items_per_second",
+        "aggregation": "best repetition",
+        "points": {k: round(v, 1) for k, v in sorted(points.items())},
+    }
+    ctx = raw.get("context", {})
+    if ctx:
+        # Note: GBench's library_build_type describes the *benchmark
+        # harness* library, not the code under test (libspinal is built
+        # Release -O3 by the repo's CMake default) — omitted to avoid
+        # misreading the snapshot's provenance.
+        snapshot["host"] = {
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        }
+    json.dump(snapshot, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
