@@ -1,0 +1,222 @@
+// Aggregate decode throughput of the multi-session runtime: decoded
+// message bits per second vs worker count and session count, the
+// scale-out companion to bench_micro_decoder's single-thread numbers.
+//
+// The workload is a fixed mixed-traffic batch (two AWGN operating
+// points plus a BSC link, heterogeneous CodeParams) submitted to a
+// deterministic-mode DecodeService — deterministic so every worker
+// count decodes the *same* total work and the speedup column measures
+// scheduling, not beam adaptation; the run cross-checks that per-session
+// results are bit-identical across worker counts and fails loudly if
+// not (the TrialRunner guarantee, now for the runtime).
+//
+// Run: ./build/bench/bench_runtime_throughput [--json FILE] [--min-scaling R]
+//   --json FILE        also emit Google-Benchmark-compatible JSON
+//                      (items_per_second = decoded bits/s) for
+//                      tools/perf_snapshot.py / perf_guard.py
+//   --min-scaling R    exit non-zero unless bits/s at the largest
+//                      worker count is >= R x the 1-worker rate on the
+//                      largest session batch. The threshold relaxes
+//                      proportionally when the host has fewer cores
+//                      than workers, and the check is skipped (with a
+//                      note) on a single-core host where no speedup is
+//                      physically possible.
+// Session counts scale with SPINAL_BENCH_TRIALS / SPINAL_BENCH_FULL.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "runtime/decode_service.h"
+#include "sim/bsc_session.h"
+#include "sim/spinal_session.h"
+#include "util/prng.h"
+
+using namespace spinal;
+using namespace spinal::runtime;
+
+namespace {
+
+SessionSpec make_spec(int i) {
+  util::Xoshiro256 prng(0xBE7C0000u + static_cast<std::uint64_t>(i));
+  SessionSpec spec;
+  spec.channel.seed = 0xBE7CC000u + static_cast<std::uint64_t>(i);
+  switch (i % 3) {
+    case 0: {
+      CodeParams p;
+      p.n = 192;
+      p.B = 256;
+      spec.make_session = [p] { return std::make_unique<sim::SpinalSession>(p); };
+      spec.channel.snr_db = 12.0;
+      spec.message = prng.random_bits(p.n);
+      break;
+    }
+    case 1: {
+      CodeParams p;
+      p.n = 128;
+      p.B = 128;
+      spec.make_session = [p] { return std::make_unique<sim::SpinalSession>(p); };
+      spec.channel.snr_db = 8.0;
+      spec.message = prng.random_bits(p.n);
+      break;
+    }
+    default: {
+      CodeParams p;
+      p.n = 128;
+      p.c = 1;
+      p.B = 128;
+      spec.make_session = [p] { return std::make_unique<sim::BscSession>(p); };
+      spec.channel.kind = sim::ChannelKind::kBsc;
+      spec.channel.crossover = 0.04;
+      spec.message = prng.random_bits(p.n);
+      break;
+    }
+  }
+  return spec;
+}
+
+struct Point {
+  int workers;
+  int sessions;
+  long decoded_bits;
+  double wall_s;
+  double bits_per_s;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  double min_scaling = 0.0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--min-scaling") == 0 && a + 1 < argc) {
+      min_scaling = std::atof(argv[++a]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json FILE] [--min-scaling R]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  benchutil::banner("runtime aggregate decode throughput",
+                    "link layer at scale (SS6, SS8.1); scale-out of the "
+                    "kernel speedups");
+  std::vector<int> session_counts = {benchutil::trials(12),
+                                     benchutil::trials(48)};
+  // SPINAL_BENCH_TRIALS overrides both bases to the same value; keep one.
+  if (session_counts[0] == session_counts[1]) session_counts.pop_back();
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+  std::printf("workers,sessions,decoded_bits,wall_s,bits_per_s,speedup_vs_1w\n");
+
+  std::vector<Point> points;
+  bool determinism_ok = true;
+  for (int sessions : session_counts) {
+    std::vector<SessionReport> reference;
+    double base_bps = 0.0;
+    for (int workers : worker_counts) {
+      RuntimeOptions opt;
+      opt.workers = workers;
+      opt.deterministic = true;
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<SessionReport> reports;
+      {
+        DecodeService service(opt);
+        for (int i = 0; i < sessions; ++i) service.submit(make_spec(i));
+        reports = service.drain();
+      }
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      long bits = 0;
+      for (const SessionReport& r : reports)
+        if (r.run.success) bits += r.message_bits;
+      const double bps = wall > 0 ? static_cast<double>(bits) / wall : 0.0;
+      if (workers == worker_counts.front()) {
+        reference = reports;
+        base_bps = bps;
+      } else {
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+          if (reports[i].run.success != reference[i].run.success ||
+              reports[i].run.symbols != reference[i].run.symbols ||
+              reports[i].run.attempts != reference[i].run.attempts) {
+            std::fprintf(stderr,
+                         "DETERMINISM VIOLATION: session %zu differs at "
+                         "workers=%d\n",
+                         i, workers);
+            determinism_ok = false;
+          }
+        }
+      }
+      points.push_back({workers, sessions, bits, wall, bps});
+      std::printf("%d,%d,%ld,%.3f,%.0f,%.2f\n", workers, sessions, bits, wall,
+                  bps, base_bps > 0 ? bps / base_bps : 0.0);
+    }
+  }
+
+  if (json_path) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"context\": {\"num_cpus\": %u, \"mhz_per_cpu\": 0},\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(f,
+                   "    {\"name\": \"BM_RuntimeThroughput/workers:%d/"
+                   "sessions:%d\", \"run_type\": \"iteration\", "
+                   "\"items_per_second\": %.1f}%s\n",
+                   p.workers, p.sessions, p.bits_per_s,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+  if (!determinism_ok) return 1;
+
+  if (min_scaling > 0.0) {
+    // Largest session batch: bits/s at max workers vs 1 worker.
+    const int sessions = session_counts.back();
+    double one = 0.0, best = 0.0;
+    int best_workers = 0;
+    for (const Point& p : points) {
+      if (p.sessions != sessions) continue;
+      if (p.workers == 1) one = p.bits_per_s;
+      if (p.workers >= best_workers) {
+        best_workers = p.workers;
+        best = p.bits_per_s;
+      }
+    }
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+    if (cores == 1) {
+      std::printf("# scaling gate skipped: single-core host (no speedup "
+                  "physically possible); CI runs this gate on multi-core "
+                  "runners\n");
+      return 0;
+    }
+    double required = min_scaling;
+    if (cores < static_cast<unsigned>(best_workers))
+      required = std::max(1.0, min_scaling * static_cast<double>(cores) /
+                                   static_cast<double>(best_workers));
+    const double ratio = one > 0 ? best / one : 0.0;
+    std::printf("# scaling gate: %d workers / 1 worker = %.2fx "
+                "(required >= %.2fx on %u cores)\n",
+                best_workers, ratio, required, cores);
+    if (ratio < required) {
+      std::fprintf(stderr,
+                   "SCALING REGRESSION: %.2fx < required %.2fx\n", ratio,
+                   required);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+// Load-adaptive beam-width policy: the compute/accuracy knob the paper
+// quantifies in Fig 8-6 (smaller B decodes faster at a rate penalty),
+// applied by queue depth. When the job queue backs up, decode attempts
+// run with a geometrically shrunk beam; when the queue is idle, a
+// failed shrunk attempt is immediately retried at full width before any
+// more channel symbols are spent — "De-randomizing Shannon"'s
+// observation that beam width is the natural overload valve, scheduled
+// jointly with symbol arrival as in Li et al. (arXiv:2101.07953).
+
+#include <algorithm>
+#include <cstddef>
+
+namespace spinal::runtime {
+
+struct AdaptiveBeamOptions {
+  bool enabled = true;
+  /// Never shrink below this width (clamped to the session's B).
+  int min_beam = 16;
+  /// Queue depth at or below which the service counts as idle: attempts
+  /// run at full width, and failed shrunk attempts retry at full width.
+  std::size_t idle_depth = 1;
+  /// Each additional this-many queued jobs beyond idle_depth halves B.
+  std::size_t depth_per_halving = 32;
+  /// Retry a failed reduced-beam attempt at full B when the queue has
+  /// drained (costs only compute — the paper's failed-attempt currency —
+  /// and saves the channel symbols a missed decode would burn).
+  bool retry_full_when_idle = true;
+};
+
+/// Beam width for one decode attempt under the current queue depth.
+inline int pick_beam(const AdaptiveBeamOptions& opt, int full_beam,
+                     std::size_t queue_depth) {
+  if (!opt.enabled || queue_depth <= opt.idle_depth) return full_beam;
+  const std::size_t per = std::max<std::size_t>(1, opt.depth_per_halving);
+  const std::size_t halvings = (queue_depth - opt.idle_depth + per - 1) / per;
+  const int shrunk = halvings >= 31 ? 1 : full_beam >> halvings;
+  return std::clamp(shrunk, std::min(opt.min_beam, full_beam), full_beam);
+}
+
+}  // namespace spinal::runtime

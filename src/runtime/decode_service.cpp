@@ -1,0 +1,276 @@
+#include "runtime/decode_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "sim/trial_runner.h"
+
+namespace spinal::runtime {
+
+namespace {
+
+double elapsed_micros(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+/// One admitted session: the spec (owning the message), the live
+/// session/channel pair, and the MessageRun state machine over them.
+/// Advanced by exactly one job at a time; after finish() only `report`
+/// is ever read again (the heavyweight members are released).
+struct DecodeService::SessionState {
+  explicit SessionState(SessionSpec s)
+      : spec(std::move(s)),
+        session(spec.make_session()),
+        channel(spec.channel.make()) {
+    run.emplace(*session, channel, spec.message, spec.engine);
+  }
+
+  SessionSpec spec;
+  std::unique_ptr<sim::RatelessSession> session;
+  sim::ChannelSim channel;
+  std::optional<sim::MessageRun> run;
+  SessionReport report;
+  long symbols_seen = 0;  ///< feed-telemetry watermark
+};
+
+DecodeService::DecodeService(const RuntimeOptions& opt)
+    : opt_(opt),
+      max_in_flight_(opt.max_in_flight > 0
+                         ? opt.max_in_flight
+                         : std::max(64, 4 * (opt.workers > 0
+                                                 ? opt.workers
+                                                 : sim::bench_threads()))),
+      // Sized so pushes from inside workers can never block: session
+      // jobs in the queue are bounded by the admission cap (one job per
+      // session exists at a time) and external tasks by kExtTaskCap, so
+      // occupancy stays strictly below capacity and the queue's
+      // blocking-push path is only ever exercised by misuse, not by the
+      // service itself. Backpressure lives at admission instead.
+      queue_(static_cast<std::size_t>(max_in_flight_) + kExtTaskCap + 64) {
+  const int n = opt.workers > 0 ? opt.workers : sim::bench_threads();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    Worker* w = workers_.back().get();
+    w->thread = std::thread([this, w] { worker_loop(*w); });
+  }
+}
+
+DecodeService::~DecodeService() {
+  {
+    std::unique_lock lock(state_m_);
+    cv_done_.wait(lock, [&] {
+      return completed_ == sessions_.size() && ext_pending_ == 0;
+    });
+  }
+  queue_.close();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+void DecodeService::worker_loop(Worker& w) {
+  WorkerScope scope(this, &w);
+  while (std::optional<Task> task = queue_.pop()) {
+    w.telemetry.record_job();
+    (*task)(scope);
+  }
+}
+
+void DecodeService::push_session_job(std::size_t index) {
+  queue_.push([this, index](WorkerScope& scope) { session_step(scope, index); });
+}
+
+std::size_t DecodeService::submit(SessionSpec spec) {
+  // Build the session (encoder, channel, engine validation) outside the
+  // lock; MessageRun's constructor throws on invalid EngineOptions.
+  auto state = std::make_unique<SessionState>(std::move(spec));
+  std::size_t id;
+  {
+    std::unique_lock lock(state_m_);
+    cv_admit_.wait(lock, [&] { return in_flight_ < max_in_flight_; });
+    id = sessions_.size();
+    sessions_.push_back(std::move(state));
+    ++in_flight_;
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+  }
+  push_session_job(id);
+  return id;
+}
+
+std::optional<std::size_t> DecodeService::try_submit(SessionSpec spec) {
+  // Reserve the admission slot *before* building the session: the whole
+  // point of the non-blocking probe is sustained overload, where
+  // constructing an encoder + decoder + channel just to throw them away
+  // on a refusal would burn exactly the compute the caller is trying to
+  // shed.
+  {
+    std::lock_guard lock(state_m_);
+    if (in_flight_ >= max_in_flight_) return std::nullopt;
+    ++in_flight_;
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+  }
+  std::unique_ptr<SessionState> state;
+  try {
+    state = std::make_unique<SessionState>(std::move(spec));
+  } catch (...) {
+    std::lock_guard lock(state_m_);
+    --in_flight_;
+    cv_admit_.notify_one();
+    throw;
+  }
+  std::size_t id;
+  {
+    std::lock_guard lock(state_m_);
+    id = sessions_.size();
+    sessions_.push_back(std::move(state));
+  }
+  push_session_job(id);
+  return id;
+}
+
+void DecodeService::session_step(WorkerScope& scope, std::size_t index) {
+  SessionState* s;
+  {
+    std::lock_guard lock(state_m_);
+    s = sessions_[index].get();  // the vector may reallocate under submit()
+  }
+  try {
+    if (!s->run->feed_to_attempt()) {  // budget exhausted -> failed run
+      finish_session(scope, *s);
+      return;
+    }
+    const long symbols = s->run->result().symbols;
+    scope.telemetry().record_feed(symbols - s->symbols_seen);
+    s->symbols_seen = symbols;
+
+    const CodeParams* cp = s->session->code_params();
+    int beam = 0;
+    if (!opt_.deterministic && cp) beam = scope.pick_beam(*cp);
+    const bool reduced = cp != nullptr && beam > 0 && beam < cp->B;
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::optional<util::BitVec> candidate =
+        cp ? s->session->try_decode_with(scope.workspace(*cp), beam)
+           : s->session->try_decode();
+    double us = elapsed_micros(t0);
+    scope.telemetry().record_attempt(us, reduced, false);
+    s->report.decode_micros += us;
+    if (reduced) ++s->report.reduced_beam_attempts;
+    s->run->record_attempt(candidate);
+
+    // A shrunk attempt that failed gets one full-width retry on the
+    // same symbols when the queue has drained: compute is free when
+    // idle, channel symbols never are.
+    if (!s->run->finished() && reduced && opt_.adapt.retry_full_when_idle &&
+        scope.idle()) {
+      t0 = std::chrono::steady_clock::now();
+      candidate = s->session->try_decode_with(scope.workspace(*cp), 0);
+      us = elapsed_micros(t0);
+      scope.telemetry().record_attempt(us, false, true);
+      s->report.decode_micros += us;
+      ++s->report.full_beam_retries;
+      s->run->record_attempt(candidate);
+    }
+
+    if (s->run->finished()) {
+      finish_session(scope, *s);
+      return;
+    }
+  } catch (...) {
+    {
+      std::lock_guard lock(state_m_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    finish_session(scope, *s);
+    return;
+  }
+  push_session_job(index);
+}
+
+void DecodeService::finish_session(WorkerScope& scope, SessionState& s) {
+  s.report.run = s.run->result();
+  s.report.message_bits = s.session->message_bits();
+  // Symbols streamed after the last attempt (the give-up tail) have not
+  // hit the feed counter yet.
+  scope.telemetry().record_feed(s.report.run.symbols - s.symbols_seen);
+  s.symbols_seen = s.report.run.symbols;
+  scope.telemetry().record_session_done(s.report.run.success,
+                                        s.report.message_bits);
+  // Release the heavyweight per-session state (decoder symbol stores,
+  // channel RNGs) now rather than at drain — with thousands of
+  // in-flight sessions this is the difference between O(active) and
+  // O(submitted) memory. Only `report` is read after this point.
+  s.run.reset();
+  s.session.reset();
+  {
+    std::lock_guard lock(state_m_);
+    --in_flight_;
+    ++completed_;
+    // Notify under the lock: drain()/~DecodeService may destroy these
+    // condvars as soon as they can observe the updated counters, which
+    // they cannot do before the mutex is released.
+    cv_admit_.notify_one();
+    cv_done_.notify_all();
+  }
+}
+
+std::vector<SessionReport> DecodeService::drain() {
+  std::unique_lock lock(state_m_);
+  cv_done_.wait(lock, [&] {
+    return completed_ == sessions_.size() && ext_pending_ == 0;
+  });
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(e);
+  }
+  std::vector<SessionReport> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s->report);
+  return out;
+}
+
+TelemetrySnapshot DecodeService::telemetry() const {
+  TelemetrySnapshot snap;
+  for (const auto& w : workers_) w->telemetry.merge_into(snap);
+  return snap;
+}
+
+int DecodeService::peak_in_flight() const {
+  std::lock_guard lock(state_m_);
+  return peak_in_flight_;
+}
+
+void DecodeService::post(Task task) {
+  {
+    std::unique_lock lock(state_m_);
+    cv_ext_.wait(lock, [&] { return ext_pending_ < kExtTaskCap; });
+    ++ext_pending_;
+  }
+  queue_.push([this, t = std::move(task)](WorkerScope& scope) {
+    try {
+      t(scope);
+    } catch (...) {
+      std::lock_guard lock(state_m_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(state_m_);
+      --ext_pending_;
+      cv_ext_.notify_one();   // under the lock: see finish_session
+      cv_done_.notify_all();
+    }
+  });
+}
+
+int DecodeService::WorkerScope::pick_beam(const CodeParams& params) const {
+  if (svc_->opt_.deterministic || !svc_->opt_.adapt.enabled) return 0;
+  const int b = runtime::pick_beam(svc_->opt_.adapt, params.B, queue_depth());
+  return b >= params.B ? 0 : b;
+}
+
+}  // namespace spinal::runtime

@@ -1,0 +1,178 @@
+#pragma once
+// The concurrent decode service: multiplexes thousands of rateless
+// sessions onto a small worker pool.
+//
+//   submit(spec) ──► [ MPMC JobQueue ] ──► worker threads
+//                         ▲    │             │ pinned DecodeWorkspaces,
+//                         │    └─ depth ──►  │ keyed by CodeParams
+//                 session jobs repost        │ (heterogeneous links batch
+//                 themselves until done      │  without reallocation)
+//
+// Each session runs as a self-contained state machine (sim::MessageRun):
+// one job streams channel symbols until the engine's attempt policy
+// fires, performs the decode attempt on the worker's pinned workspace,
+// and reposts itself until the message decodes or the give-up bound
+// hits. At most one job per session exists at a time, so sessions need
+// no locking of their own; the queue's mutex provides the
+// happens-before edge between the workers that successively advance a
+// session.
+//
+// Admission control: at most max_in_flight sessions run concurrently —
+// submit() blocks (backpressure), try_submit() refuses. Load
+// adaptation: when the queue backs up, attempts run with a shrunk beam
+// width; when it drains, failed shrunk attempts retry at full width
+// before spending more channel symbols (adaptive.h).
+//
+// Deterministic mode pins every attempt at the configured beam width
+// and disables idle retries; each session's outcome then depends only
+// on its own spec (per-session seeded channel), and drain() returns
+// reports in submission order — bit-identical to a sequential
+// run_message loop at any worker count, the same guarantee the
+// Monte-Carlo TrialRunner gives the experiment sweeps.
+//
+// The service also executes generic decode-plane tasks (post()) — the
+// link-symbol SessionMux (session_mux.h) schedules its per-block decode
+// attempts through the same queue, workers and workspace pools.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "runtime/adaptive.h"
+#include "runtime/job_queue.h"
+#include "runtime/runtime.h"
+#include "runtime/telemetry.h"
+#include "spinal/decoder.h"
+
+namespace spinal::runtime {
+
+struct RuntimeOptions {
+  int workers = 0;        ///< worker threads; 0 = sim::bench_threads()
+  int max_in_flight = 0;  ///< session admission cap; 0 = max(64, 4 * workers)
+  /// Fixed beam width + no idle retries + per-session-only state: makes
+  /// results bit-identical to sequential run_message at any worker count.
+  bool deterministic = false;
+  AdaptiveBeamOptions adapt;  ///< load policy (ignored when deterministic)
+};
+
+class DecodeService {
+ public:
+  class WorkerScope;
+  /// A decode-plane task: runs on some worker with access to its pinned
+  /// workspace pool via the scope. Must not block on queue capacity.
+  using Task = std::function<void(WorkerScope&)>;
+
+  explicit DecodeService(const RuntimeOptions& opt = {});
+  /// Waits for all submitted sessions and posted tasks, then joins.
+  ~DecodeService();
+
+  DecodeService(const DecodeService&) = delete;
+  DecodeService& operator=(const DecodeService&) = delete;
+
+  int workers() const noexcept { return static_cast<int>(workers_.size()); }
+  int max_in_flight() const noexcept { return max_in_flight_; }
+
+  /// Admits one session, blocking while max_in_flight are running
+  /// (backpressure toward the traffic source). Returns the session id:
+  /// a dense index in submission order. Throws std::invalid_argument on
+  /// an invalid spec (e.g. bad EngineOptions).
+  std::size_t submit(SessionSpec spec);
+
+  /// Non-blocking admission probe; std::nullopt when at capacity.
+  std::optional<std::size_t> try_submit(SessionSpec spec);
+
+  /// Waits for every submitted session (and posted task) to finish and
+  /// returns all reports so far, ordered by session id — the ordered
+  /// completion drain. Callable repeatedly; the service stays usable.
+  std::vector<SessionReport> drain();
+
+  /// Merged per-worker counters + decode-latency histogram. Callable
+  /// concurrently with running work (per-worker locks, no quiescence
+  /// required).
+  TelemetrySnapshot telemetry() const;
+
+  std::size_t queue_depth() const { return queue_.depth(); }
+  /// High-water mark of concurrently admitted sessions (observes the
+  /// admission-control contract in tests).
+  int peak_in_flight() const;
+
+  /// Enqueues a generic decode-plane task. Blocks while the external
+  /// task admission cap is reached (so posted floods cannot starve the
+  /// workers' self-reposting session jobs of queue capacity).
+  void post(Task task);
+
+ private:
+  struct Pinned {
+    detail::DecodeWorkspace ws;
+    DecodeResult out;
+  };
+  struct Worker {
+    std::map<ParamsKey, Pinned> pinned;
+    WorkerTelemetry telemetry;
+    std::thread thread;
+  };
+  struct SessionState;
+
+  void worker_loop(Worker& w);
+  void session_step(WorkerScope& scope, std::size_t index);
+  void finish_session(WorkerScope& scope, SessionState& s);
+  void push_session_job(std::size_t index);
+
+  RuntimeOptions opt_;
+  int max_in_flight_;
+  JobQueue<Task> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex state_m_;
+  std::condition_variable cv_admit_;  ///< in_flight_ dropped below the cap
+  std::condition_variable cv_done_;   ///< a session or external task finished
+  std::condition_variable cv_ext_;    ///< ext_pending_ dropped below its cap
+  std::vector<std::unique_ptr<SessionState>> sessions_;
+  int in_flight_ = 0;
+  int peak_in_flight_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t ext_pending_ = 0;
+  std::exception_ptr first_error_;
+
+  static constexpr std::size_t kExtTaskCap = 1024;
+};
+
+/// Worker-side view handed to every task: the pinned per-CodeParams
+/// decode scratch plus the load signals the adaptive policy reads.
+class DecodeService::WorkerScope {
+ public:
+  /// The worker's pinned workspace for @p params (created on first use,
+  /// reused — allocation-free in steady state — afterwards).
+  detail::DecodeWorkspace& workspace(const CodeParams& params) {
+    return pinned(params).ws;
+  }
+  /// A DecodeResult scratch pinned alongside the workspace.
+  DecodeResult& out_scratch(const CodeParams& params) { return pinned(params).out; }
+
+  /// Beam width for an attempt under the current load (0 = configured
+  /// width: deterministic mode, adaptation disabled, or idle queue).
+  int pick_beam(const CodeParams& params) const;
+  std::size_t queue_depth() const { return svc_->queue_.depth(); }
+  bool idle() const {
+    return svc_->queue_.depth() <= svc_->opt_.adapt.idle_depth;
+  }
+  WorkerTelemetry& telemetry() { return w_->telemetry; }
+
+ private:
+  friend class DecodeService;
+  WorkerScope(DecodeService* svc, Worker* w) : svc_(svc), w_(w) {}
+  Pinned& pinned(const CodeParams& params) {
+    return w_->pinned[make_params_key(params)];
+  }
+
+  DecodeService* svc_;
+  Worker* w_;
+};
+
+}  // namespace spinal::runtime

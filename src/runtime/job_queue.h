@@ -1,0 +1,82 @@
+#pragma once
+// Bounded MPMC job queue for the decode runtime: any number of
+// producers (session submitters, the mux's ingest thread, workers
+// reposting continuation jobs) and consumers (the worker pool).
+// Capacity is the backpressure mechanism — push() blocks while full,
+// try_push() is the admission-control probe. Lock + two condvars: the
+// runtime's jobs are whole decode attempts (tens of microseconds to
+// milliseconds), so queue contention is noise next to the work, and a
+// mutex keeps the MPMC semantics — and the happens-before edges the
+// deterministic mode leans on — obviously correct under TSan.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace spinal::runtime {
+
+template <class T>
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : cap_(capacity ? capacity : 1) {}
+
+  /// Blocks while the queue is full. Returns false when the queue was
+  /// closed (the item is dropped).
+  bool push(T item) {
+    std::unique_lock lock(m_);
+    cv_space_.wait(lock, [&] { return q_.size() < cap_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking probe: false when full or closed.
+  bool try_push(T item) {
+    std::lock_guard lock(m_);
+    if (closed_ || q_.size() >= cap_) return false;
+    q_.push_back(std::move(item));
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns std::nullopt once the queue is closed
+  /// *and* drained (pending items are still handed out after close()).
+  std::optional<T> pop() {
+    std::unique_lock lock(m_);
+    cv_items_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  /// Instantaneous depth (for the load-adaptive policy; approximate by
+  /// the time the caller acts on it, exact at the moment of the read).
+  std::size_t depth() const {
+    std::lock_guard lock(m_);
+    return q_.size();
+  }
+
+  void close() {
+    std::lock_guard lock(m_);
+    closed_ = true;
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_items_, cv_space_;
+  std::deque<T> q_;
+  std::size_t cap_;
+  bool closed_ = false;
+};
+
+}  // namespace spinal::runtime

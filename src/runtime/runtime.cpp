@@ -1,0 +1,37 @@
+#include "runtime/runtime.h"
+
+namespace spinal::runtime {
+
+sim::ChannelSim ChannelSpec::make() const {
+  if (kind == sim::ChannelKind::kBsc) return sim::ChannelSim::bsc(crossover, seed);
+  return sim::ChannelSim(kind, snr_db, coherence, seed);
+}
+
+SessionReport run_sequential(const SessionSpec& spec) {
+  const std::unique_ptr<sim::RatelessSession> session = spec.make_session();
+  sim::ChannelSim channel = spec.channel.make();
+  SessionReport report;
+  report.run = sim::run_message(*session, channel, spec.message, spec.engine);
+  report.message_bits = session->message_bits();
+  return report;
+}
+
+ParamsKey make_params_key(const CodeParams& p) noexcept {
+  return ParamsKey{p.n,
+                   p.k,
+                   p.c,
+                   p.B,
+                   p.d,
+                   p.tail_symbols,
+                   p.puncture_ways,
+                   static_cast<int>(p.map),
+                   static_cast<int>(p.hash_kind),
+                   p.beta,
+                   p.power,
+                   p.salt,
+                   p.s0,
+                   p.max_passes,
+                   p.fixed_point_frac_bits};
+}
+
+}  // namespace spinal::runtime

@@ -1,0 +1,134 @@
+#pragma once
+// SessionMux: the link-layer face of the decode runtime (§6). Ingests
+// tagged LinkSymbol streams for many concurrent datagram sessions,
+// applies the engine's attempt/back-off policy per code block at burst
+// pause points, offloads the decode attempts to the DecodeService
+// worker pool (claim_block/complete_block, the LinkReceiver's
+// non-blocking entry points), and emits ACK-bitmap feedback events as
+// blocks decode.
+//
+// Control-plane calls (open/ingest/pause_point/poll_acks) are
+// non-blocking and may come from any thread; one mux-wide mutex guards
+// the session table, and decode attempts never run under it. While a
+// block's decode attempt is in flight its newly arriving symbols are
+// buffered and applied at completion (the symbol store is being read on
+// a worker thread), exactly the receive-while-decoding overlap a
+// half-duplex radio sees between a pause point and its ACK.
+
+#include <complex>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "runtime/decode_service.h"
+#include "sim/engine.h"
+#include "spinal/link.h"
+
+namespace spinal::runtime {
+
+class SessionMux {
+ public:
+  using SessionId = std::size_t;
+
+  struct Options {
+    /// Per-block attempt schedule, in units of symbol-carrying bursts
+    /// (the mux's analogue of the engine's non-empty chunks): attempt
+    /// after every attempt_every such bursts, backed off geometrically
+    /// by attempt_growth. Validated at construction.
+    sim::EngineOptions attempt;
+  };
+
+  struct AckEvent {
+    SessionId session;
+    AckBitmap ack;
+  };
+
+  /// @p service must outlive the mux.
+  explicit SessionMux(DecodeService& service, const Options& opt = {});
+  /// Waits for in-flight decode attempts (their tasks reference the mux).
+  ~SessionMux();
+
+  SessionMux(const SessionMux&) = delete;
+  SessionMux& operator=(const SessionMux&) = delete;
+
+  /// Opens a datagram session of @p block_count code blocks.
+  SessionId open(const CodeParams& params, int block_count);
+
+  /// Ingests one tagged symbol. Symbols for already-ACKed blocks are
+  /// dropped and counted (stale_symbols). Throws std::out_of_range on a
+  /// bad session id or block index.
+  void ingest(SessionId id, const LinkSymbol& symbol,
+              std::complex<float> csi = {1.0f, 0.0f});
+
+  /// Marks a burst boundary (the half-duplex pause, §6): every block
+  /// that received symbols and whose attempt policy fires gets a decode
+  /// job on the worker pool — at most one in flight per block.
+  void pause_point(SessionId id);
+
+  /// Drains pending feedback events (one per newly decoded block).
+  std::vector<AckEvent> poll_acks();
+
+  /// The session's ACK bitmap as decoded so far (non-blocking).
+  AckBitmap current_ack(SessionId id) const;
+
+  bool done(SessionId id) const;
+
+  /// The reassembled datagram once every block decoded.
+  std::optional<std::vector<std::uint8_t>> datagram(SessionId id) const;
+
+  /// Blocks until no decode attempt is in flight (drains the feedback
+  /// path; pair with poll_acks in lock-step drivers and tests).
+  void wait_idle();
+
+  std::uint64_t stale_symbols() const;
+
+ private:
+  struct Block {
+    int fed_bursts = 0;        ///< symbol-carrying bursts so far
+    int next_attempt;          ///< fed_bursts threshold for the next attempt
+    bool got_symbols = false;  ///< since the last pause point
+    bool outstanding = false;  ///< decode job in flight
+    /// Symbols that arrived while a decode was in flight.
+    std::vector<std::pair<LinkSymbol, std::complex<float>>> pending;
+  };
+  struct Sess {
+    Sess(const CodeParams& p, int blocks_n, int first_attempt)
+        : params(p), receiver(p, blocks_n),
+          blocks(static_cast<std::size_t>(blocks_n)) {
+      for (Block& b : blocks) b.next_attempt = first_attempt;
+    }
+    CodeParams params;
+    LinkReceiver receiver;
+    std::vector<Block> blocks;
+  };
+
+  void post_attempt(SessionId id, int block, const SpinalDecoder* dec,
+                    const CodeParams& params);
+  /// Applies one attempt's outcome; returns the re-claimed symbol store
+  /// when the attempt must re-run (symbols arrived mid-decode and the
+  /// block is still undecoded), nullptr when the block is settled.
+  const SpinalDecoder* on_complete(DecodeService::WorkerScope& scope,
+                                   SessionId id, int block,
+                                   const util::BitVec& candidate);
+  /// Releases a block whose decode task died mid-flight (exception),
+  /// keeping outstanding_ consistent so wait_idle() cannot hang.
+  void abandon_block(SessionId id, int block);
+  Sess& at(SessionId id);
+  const Sess& at(SessionId id) const;
+
+  DecodeService* service_;
+  Options opt_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_idle_;
+  std::vector<std::unique_ptr<Sess>> sessions_;
+  std::vector<AckEvent> acks_;
+  int outstanding_ = 0;
+  std::uint64_t stale_ = 0;
+};
+
+}  // namespace spinal::runtime

@@ -1,0 +1,57 @@
+#include "runtime/telemetry.h"
+
+namespace spinal::runtime {
+
+void Counters::merge(const Counters& o) noexcept {
+  jobs += o.jobs;
+  symbols_fed += o.symbols_fed;
+  decode_attempts += o.decode_attempts;
+  reduced_beam_attempts += o.reduced_beam_attempts;
+  full_beam_retries += o.full_beam_retries;
+  sessions_completed += o.sessions_completed;
+  sessions_failed += o.sessions_failed;
+  bits_decoded += o.bits_decoded;
+  stale_symbols += o.stale_symbols;
+}
+
+void WorkerTelemetry::record_job() noexcept {
+  std::lock_guard lock(m_);
+  ++c_.jobs;
+}
+
+void WorkerTelemetry::record_feed(long symbols) noexcept {
+  std::lock_guard lock(m_);
+  c_.symbols_fed += static_cast<std::uint64_t>(symbols);
+}
+
+void WorkerTelemetry::record_attempt(double micros, bool reduced_beam,
+                                     bool full_retry) noexcept {
+  std::lock_guard lock(m_);
+  ++c_.decode_attempts;
+  if (reduced_beam) ++c_.reduced_beam_attempts;
+  if (full_retry) ++c_.full_beam_retries;
+  latency_us_.add(micros);
+}
+
+void WorkerTelemetry::record_session_done(bool success, int message_bits) noexcept {
+  std::lock_guard lock(m_);
+  if (success) {
+    ++c_.sessions_completed;
+    c_.bits_decoded += static_cast<std::uint64_t>(message_bits);
+  } else {
+    ++c_.sessions_failed;
+  }
+}
+
+void WorkerTelemetry::record_stale_symbols(std::uint64_t n) noexcept {
+  std::lock_guard lock(m_);
+  c_.stale_symbols += n;
+}
+
+void WorkerTelemetry::merge_into(TelemetrySnapshot& out) const {
+  std::lock_guard lock(m_);
+  out.counters.merge(c_);
+  out.decode_latency_us.merge(latency_us_);
+}
+
+}  // namespace spinal::runtime

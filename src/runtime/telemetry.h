@@ -1,0 +1,54 @@
+#pragma once
+// Runtime telemetry: throughput counters plus decode-latency histograms
+// (p50/p95/p99 via util::LatencyHistogram's fixed log-spaced bins).
+// Each worker records into its own WorkerTelemetry — no shared hot
+// state — and snapshots merge the per-worker histograms, which the
+// fixed bin layout makes a plain elementwise add.
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/stats.h"
+
+namespace spinal::runtime {
+
+struct Counters {
+  std::uint64_t jobs = 0;                   ///< queue pops executed
+  std::uint64_t symbols_fed = 0;            ///< channel symbols streamed
+  std::uint64_t decode_attempts = 0;        ///< decode invocations (incl. retries)
+  std::uint64_t reduced_beam_attempts = 0;  ///< attempts with B shrunk by load
+  std::uint64_t full_beam_retries = 0;      ///< idle retries of failed shrunk attempts
+  std::uint64_t sessions_completed = 0;     ///< decoded successfully
+  std::uint64_t sessions_failed = 0;        ///< hit the give-up bound
+  std::uint64_t bits_decoded = 0;           ///< message bits of successful sessions
+  std::uint64_t stale_symbols = 0;          ///< mux: symbols for already-ACKed blocks
+
+  void merge(const Counters& o) noexcept;
+};
+
+/// Aggregate view across workers.
+struct TelemetrySnapshot {
+  Counters counters;
+  util::LatencyHistogram decode_latency_us;  ///< per-attempt decode latency
+};
+
+/// One per worker. The lock is uncontended in steady state (only the
+/// owning worker writes; snapshots read rarely) — it exists so live
+/// snapshots are race-free under TSan rather than for throughput.
+class WorkerTelemetry {
+ public:
+  void record_job() noexcept;
+  void record_feed(long symbols) noexcept;
+  void record_attempt(double micros, bool reduced_beam, bool full_retry) noexcept;
+  void record_session_done(bool success, int message_bits) noexcept;
+  void record_stale_symbols(std::uint64_t n) noexcept;
+
+  void merge_into(TelemetrySnapshot& out) const;
+
+ private:
+  mutable std::mutex m_;
+  Counters c_;
+  util::LatencyHistogram latency_us_;
+};
+
+}  // namespace spinal::runtime

@@ -1,8 +1,11 @@
 #pragma once
-// RatelessSession adapter for spinal codes: subpass-granular streaming
-// with optional finer chunking (down to one symbol per chunk) so the
-// engine can attempt decodes "after roughly every received symbol"
-// (Fig 8-10/8-11's aggressive schedule).
+// RatelessSession adapter for spinal codes over the binary symmetric
+// channel (§3.3's trivial c=1 mapping, §4.1's Hamming metric): coded
+// bits ride the real axis of the engine's complex-symbol interface
+// (0.0 / 1.0) and ChannelSim::bsc() flips them. This puts the BSC
+// construction behind the same execution engine — run_message,
+// MessageRun, the experiment sweeps and the decode runtime — as the
+// AWGN/fading sessions, with one chunk per puncturing subpass.
 
 #include <memory>
 
@@ -13,11 +16,9 @@
 
 namespace spinal::sim {
 
-class SpinalSession : public RatelessSession {
+class BscSession : public RatelessSession {
  public:
-  /// @param symbols_per_chunk 0 = one chunk per subpass (default);
-  ///        otherwise chunks carry at most this many symbols.
-  explicit SpinalSession(const CodeParams& params, int symbols_per_chunk = 0);
+  explicit BscSession(const CodeParams& params);
 
   int message_bits() const override { return params_.n; }
   void start(const util::BitVec& message) override;
@@ -34,15 +35,12 @@ class SpinalSession : public RatelessSession {
 
  private:
   CodeParams params_;
-  int symbols_per_chunk_;
   PuncturingSchedule schedule_;
-  std::unique_ptr<SpinalEncoder> encoder_;
-  SpinalDecoder decoder_;
-  DecodeResult scratch_;  // try_decode_with output, recycled per attempt
+  std::unique_ptr<BscSpinalEncoder> encoder_;
+  BscSpinalDecoder decoder_;
+  DecodeResult scratch_;
 
   int subpass_ = 0;
-  std::vector<SymbolId> queue_;      // remaining ids of the current subpass
-  std::size_t queue_pos_ = 0;
   std::vector<SymbolId> chunk_ids_;  // ids of the chunk in flight
 };
 

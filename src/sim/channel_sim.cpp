@@ -1,5 +1,7 @@
 #include "sim/channel_sim.h"
 
+#include <stdexcept>
+
 namespace spinal::sim {
 
 ChannelSim::ChannelSim(ChannelKind kind, double snr_db, int coherence,
@@ -7,12 +9,24 @@ ChannelSim::ChannelSim(ChannelKind kind, double snr_db, int coherence,
     : kind_(kind), snr_db_(snr_db) {
   if (kind == ChannelKind::kAwgn) {
     awgn_ = std::make_unique<channel::AwgnChannel>(snr_db, seed);
+  } else if (kind == ChannelKind::kBsc) {
+    throw std::invalid_argument(
+        "ChannelSim: kBsc takes a crossover probability, not an SNR — "
+        "construct it with ChannelSim::bsc(crossover, seed)");
   } else {
     rayleigh_ = std::make_unique<channel::RayleighChannel>(snr_db, coherence, seed);
   }
 }
 
+ChannelSim ChannelSim::bsc(double crossover, std::uint64_t seed) {
+  ChannelSim sim;
+  sim.kind_ = ChannelKind::kBsc;
+  sim.bsc_ = std::make_unique<channel::BscChannel>(crossover, seed);
+  return sim;
+}
+
 double ChannelSim::noise_variance() const noexcept {
+  if (bsc_) return bsc_->crossover();
   return awgn_ ? awgn_->noise_variance() : rayleigh_->noise_variance();
 }
 
@@ -36,6 +50,12 @@ void ChannelSim::transmit(std::span<std::complex<float>> x,
       }
       break;
     }
+    case ChannelKind::kBsc:
+      for (auto& v : x) {
+        const std::uint8_t bit = v.real() >= 0.5f ? 1 : 0;
+        v = {static_cast<float>(bsc_->transmit(bit)), 0.0f};
+      }
+      break;
   }
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "channel/awgn.h"
+#include "channel/bsc.h"
 #include "channel/rayleigh.h"
 
 namespace spinal::sim {
@@ -22,17 +23,30 @@ enum class ChannelKind {
   /// but no amplitude/quality estimate — Fig 8-5's "no detailed or
   /// accurate fading information" robustness regime.
   kRayleighNoCsi,
+  /// Binary symmetric channel (§4.1): symbols carry one coded bit on
+  /// the real axis (0.0 or 1.0) and each is flipped independently with
+  /// the crossover probability. Built via ChannelSim::bsc().
+  kBsc,
 };
 
 class ChannelSim {
  public:
   /// @param coherence fading coherence time tau in symbols (ignored for AWGN)
+  /// Throws std::invalid_argument for kBsc — use bsc() instead (the BSC
+  /// is parameterised by a crossover probability, not an SNR).
   ChannelSim(ChannelKind kind, double snr_db, int coherence, std::uint64_t seed);
+
+  /// BSC front-end: transmit() treats each symbol as one coded bit on
+  /// the real axis (>= 0.5 reads as 1) and flips it with probability
+  /// @p crossover. Pairs with BscSession (sim/bsc_session.h).
+  static ChannelSim bsc(double crossover, std::uint64_t seed);
 
   ChannelKind kind() const noexcept { return kind_; }
   double snr_db() const noexcept { return snr_db_; }
 
-  /// Total complex noise variance sigma^2 (both models).
+  /// Total complex noise variance sigma^2 (AWGN/Rayleigh); for kBsc the
+  /// crossover probability (the analogous receiver-quality hint — the
+  /// spinal decoder ignores it either way).
   double noise_variance() const noexcept;
 
   /// Applies the channel to @p x in place. For kRayleighCsi the
@@ -42,10 +56,13 @@ class ChannelSim {
                 std::vector<std::complex<float>>& csi_out);
 
  private:
-  ChannelKind kind_;
-  double snr_db_;
+  ChannelSim() = default;  // bsc() factory
+
+  ChannelKind kind_ = ChannelKind::kAwgn;
+  double snr_db_ = 0.0;
   std::unique_ptr<channel::AwgnChannel> awgn_;
   std::unique_ptr<channel::RayleighChannel> rayleigh_;
+  std::unique_ptr<channel::BscChannel> bsc_;
   std::vector<std::complex<float>> scratch_csi_;
 };
 

@@ -1,37 +1,72 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace spinal::sim {
+
+void EngineOptions::validate() const {
+  if (attempt_every < 1)
+    throw std::invalid_argument(
+        "EngineOptions: attempt_every must be >= 1 (got " +
+        std::to_string(attempt_every) + "); smaller values stall the attempt schedule");
+  if (attempt_growth < 1.0)
+    throw std::invalid_argument(
+        "EngineOptions: attempt_growth must be >= 1.0 (got " +
+        std::to_string(attempt_growth) + "); smaller values shrink the attempt schedule");
+}
+
+MessageRun::MessageRun(RatelessSession& session, ChannelSim& channel,
+                       const util::BitVec& message, const EngineOptions& opt)
+    : session_(&session),
+      channel_(&channel),
+      message_(&message),
+      opt_(opt),
+      limit_(session.max_chunks()),
+      next_attempt_(opt.attempt_every) {
+  opt_.validate();
+  session_->start(message);
+  session_->set_noise_hint(channel_->noise_variance());
+}
+
+bool MessageRun::feed_to_attempt() {
+  if (done_) return false;
+  while (chunk_ < limit_) {
+    ++chunk_;
+    std::vector<std::complex<float>> x = session_->next_chunk();
+    ++result_.chunks;
+    if (x.empty()) continue;
+
+    csi_.clear();
+    channel_->transmit(x, csi_);
+    session_->receive_chunk(x, csi_);
+    result_.symbols += static_cast<long>(x.size());
+    ++nonempty_;
+
+    if (nonempty_ < next_attempt_) continue;
+    next_attempt_ = std::max(nonempty_ + opt_.attempt_every,
+                             static_cast<int>(nonempty_ * opt_.attempt_growth));
+    ++result_.attempts;
+    return true;
+  }
+  done_ = true;
+  return false;
+}
+
+void MessageRun::record_attempt(const std::optional<util::BitVec>& candidate) {
+  if (done_) return;
+  if (candidate && *candidate == *message_) {
+    result_.success = true;
+    done_ = true;
+  }
+}
 
 RunResult run_message(RatelessSession& session, ChannelSim& channel,
                       const util::BitVec& message, const EngineOptions& opt) {
-  session.start(message);
-  session.set_noise_hint(channel.noise_variance());
-  RunResult r;
-  int nonempty = 0;
-  int next_attempt = opt.attempt_every;
-
-  const int limit = session.max_chunks();
-  for (int chunk = 0; chunk < limit; ++chunk) {
-    std::vector<std::complex<float>> x = session.next_chunk();
-    ++r.chunks;
-    if (x.empty()) continue;
-
-    std::vector<std::complex<float>> csi;
-    channel.transmit(x, csi);
-    session.receive_chunk(x, csi);
-    r.symbols += static_cast<long>(x.size());
-    ++nonempty;
-
-    if (nonempty < next_attempt) continue;
-    next_attempt = std::max(nonempty + opt.attempt_every,
-                            static_cast<int>(nonempty * opt.attempt_growth));
-    ++r.attempts;
-    if (auto decoded = session.try_decode(); decoded && *decoded == message) {
-      r.success = true;
-      return r;
-    }
-  }
-  return r;
+  MessageRun run(session, channel, message, opt);
+  while (run.feed_to_attempt()) run.record_attempt(session.try_decode());
+  return run.result();
 }
 
 }  // namespace spinal::sim

@@ -3,8 +3,21 @@
 // symbols from the encoder through the channel to the decoder, meters
 // channel usage, and reports when (and with how many symbols) each
 // message decodes.
+//
+// Two entry points share one implementation:
+//   - run_message(): the blocking loop (stream, attempt, repeat) used by
+//     the Monte-Carlo sweeps; and
+//   - MessageRun: the non-blocking stepper behind it, which separates
+//     "feed symbols until a decode attempt is due" from "apply an
+//     attempt's outcome" so a runtime worker pool can interleave
+//     thousands of runs and execute the decode attempts wherever it
+//     likes (src/runtime/decode_service.h). Because run_message is
+//     itself written over MessageRun, a deterministic runtime drive is
+//     bit-identical to the sequential loop by construction.
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "sim/channel_sim.h"
 #include "sim/session.h"
@@ -27,13 +40,69 @@ struct EngineOptions {
   /// small rate penalty (a failed attempt wastes only compute; a late
   /// attempt wastes channel symbols).
   double attempt_growth = 1.0;
+
+  /// Throws std::invalid_argument unless attempt_every >= 1 and
+  /// attempt_growth >= 1.0. Out-of-range values would silently stall
+  /// the attempt schedule (attempt_every <= 0 makes next_attempt never
+  /// advance past the current chunk count; attempt_growth < 1 would
+  /// shrink it), so every engine entry point validates up front.
+  void validate() const;
+};
+
+/// One message's streaming state machine, advanced cooperatively:
+///
+///   MessageRun run(session, channel, message, opt);
+///   while (run.feed_to_attempt())
+///     run.record_attempt(session.try_decode());   // or on a worker
+///   use(run.result());
+///
+/// feed_to_attempt() streams chunks through the channel into the session
+/// until the attempt policy fires; the caller then performs the decode
+/// attempt however it likes (inline, or on a pool worker with pooled
+/// scratch via RatelessSession::try_decode_with) and reports the
+/// candidate back. Holds references only — the caller owns session,
+/// channel and message and must keep them alive for the run's lifetime.
+class MessageRun {
+ public:
+  /// Starts the run (validates @p opt, then session.start + noise hint).
+  MessageRun(RatelessSession& session, ChannelSim& channel,
+             const util::BitVec& message, const EngineOptions& opt = {});
+
+  /// Streams chunks until a decode attempt is due. Returns true when an
+  /// attempt should be performed now; false when the run finished first
+  /// (success already recorded, or the chunk budget ran out).
+  bool feed_to_attempt();
+
+  /// Applies the outcome of the decode attempt requested by the last
+  /// feed_to_attempt(). The engine validates the candidate against the
+  /// transmitted message, standing in for the link-layer CRC of §6 (a
+  /// 16-bit CRC's 2^-16 false-accept rate is negligible at the trial
+  /// counts used here).
+  void record_attempt(const std::optional<util::BitVec>& candidate);
+
+  bool finished() const noexcept { return done_; }
+  const RunResult& result() const noexcept { return result_; }
+  RatelessSession& session() noexcept { return *session_; }
+  const util::BitVec& message() const noexcept { return *message_; }
+
+ private:
+  RatelessSession* session_;
+  ChannelSim* channel_;
+  const util::BitVec* message_;
+  EngineOptions opt_;
+
+  RunResult result_;
+  std::vector<std::complex<float>> csi_;
+  int limit_;
+  int chunk_ = 0;
+  int nonempty_ = 0;
+  int next_attempt_;
+  bool done_ = false;
 };
 
 /// Streams one message through the session/channel until it decodes or
-/// the session's give-up bound is hit. The engine validates candidate
-/// messages against the transmitted message, standing in for the
-/// link-layer CRC of §6 (a 16-bit CRC's 2^-16 false-accept rate is
-/// negligible at the trial counts used here).
+/// the session's give-up bound is hit (the blocking loop over
+/// MessageRun). Throws std::invalid_argument on invalid @p opt.
 RunResult run_message(RatelessSession& session, ChannelSim& channel,
                       const util::BitVec& message, const EngineOptions& opt = {});
 

@@ -12,6 +12,13 @@
 
 #include "util/bitvec.h"
 
+namespace spinal {
+struct CodeParams;
+namespace detail {
+struct DecodeWorkspace;
+}
+}  // namespace spinal
+
 namespace spinal::sim {
 
 class RatelessSession {
@@ -40,6 +47,24 @@ class RatelessSession {
   /// produced one (the engine validates it against the transmitted
   /// message, playing the role of the link-layer CRC).
   virtual std::optional<util::BitVec> try_decode() = 0;
+
+  /// Runtime-worker form of try_decode(): runs the attempt in
+  /// caller-owned scratch @p ws — so a decode service can pin one
+  /// workspace per CodeParams and share it across sessions — optionally
+  /// with a narrower beam (@p beam_width <= 0: the configured width; see
+  /// SpinalDecoder::decode_with). With beam_width <= 0 the candidate is
+  /// bit-identical to try_decode(). The default ignores both and
+  /// delegates, for sessions whose decoders have no external-workspace
+  /// form (raptor, strider).
+  virtual std::optional<util::BitVec> try_decode_with(
+      spinal::detail::DecodeWorkspace& /*ws*/, int /*beam_width*/) {
+    return try_decode();
+  }
+
+  /// The spinal CodeParams behind this session when it is backed by a
+  /// spinal decoder (the decode runtime keys pinned workspaces and the
+  /// adaptive beam policy on it); nullptr for non-spinal sessions.
+  virtual const CodeParams* code_params() const { return nullptr; }
 
   /// Upper bound on chunks before the sender gives up on the message.
   virtual int max_chunks() const = 0;

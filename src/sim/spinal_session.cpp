@@ -53,6 +53,12 @@ std::optional<util::BitVec> SpinalSession::try_decode() {
   return decoder_.decode().message;
 }
 
+std::optional<util::BitVec> SpinalSession::try_decode_with(
+    detail::DecodeWorkspace& ws, int beam_width) {
+  decoder_.decode_with(ws, scratch_, beam_width);
+  return scratch_.message;
+}
+
 int SpinalSession::max_chunks() const {
   const int subpasses = params_.max_passes * schedule_.subpasses_per_pass();
   if (symbols_per_chunk_ <= 0) return subpasses;

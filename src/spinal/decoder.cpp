@@ -193,47 +193,52 @@ DecodeResult SpinalDecoder::decode() const {
   return out;
 }
 
-void SpinalDecoder::decode_into(DecodeResult& out) const {
+void SpinalDecoder::decode_into(DecodeResult& out) const { decode_with(ws_, out); }
+
+void SpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
+                                int beam_width) const {
   // ---- Flatten the AoS symbol store into per-spine SoA arrays ----
   // (once per decode; fixed-point quantisation of y hoisted out of the
   // search inner loop here).
   const int S = params_.spine_length();
-  ws_.soa_off.resize(S + 1);
-  ws_.ord.resize(count_);
-  ws_.y_re.resize(count_);
-  ws_.y_im.resize(count_);
-  ws_.h_re.resize(count_);
-  ws_.h_im.resize(count_);
+  ws.soa_off.resize(S + 1);
+  ws.ord.resize(count_);
+  ws.y_re.resize(count_);
+  ws.y_im.resize(count_);
+  ws.h_re.resize(count_);
+  ws.h_im.resize(count_);
   std::uint32_t off = 0;
   for (int s = 0; s < S; ++s) {
-    ws_.soa_off[s] = off;
+    ws.soa_off[s] = off;
     for (const RxSymbol& r : rx_[s]) {
-      ws_.ord[off] = static_cast<std::uint32_t>(r.ordinal);
+      ws.ord[off] = static_cast<std::uint32_t>(r.ordinal);
       float yr = r.y.real(), yi = r.y.imag();
       if (fx_scale_ > 0.0f) {
         yr = fx_quantise(yr, fx_scale_);
         yi = fx_quantise(yi, fx_scale_);
       }
-      ws_.y_re[off] = yr;
-      ws_.y_im[off] = yi;
-      ws_.h_re[off] = r.h.real();
-      ws_.h_im[off] = r.h.imag();
+      ws.y_re[off] = yr;
+      ws.y_im[off] = yi;
+      ws.h_re[off] = r.h.real();
+      ws.h_im[off] = r.h.imag();
       ++off;
     }
   }
-  ws_.soa_off[S] = off;
+  ws.soa_off[S] = off;
 
+  CodeParams p = params_;
+  if (beam_width > 0 && beam_width < p.B) p.B = beam_width;
   const detail::BeamSearch<AwgnBatchEnv> search;
   const AwgnBatchEnv env{{*this, any_csi_, fx_scale_},
-                         &ws_,
+                         &ws,
                          &backend::active(),
                          fx_scale_ > 0.0f ? fx_table_.data() : constellation_.data(),
                          constellation_.data(),
                          constellation_.mask(),
                          constellation_.c()};
-  search.run(env, params_, ws_.search, ws_.result);
-  chunks_to_message_into(params_, ws_.result.chunks, out.message);
-  out.path_cost = ws_.result.best_cost;
+  search.run(env, p, ws.search, ws.result);
+  chunks_to_message_into(params_, ws.result.chunks, out.message);
+  out.path_cost = ws.result.best_cost;
 }
 
 DecodeResult SpinalDecoder::decode_reference() const {
@@ -322,38 +327,43 @@ DecodeResult BscSpinalDecoder::decode() const {
   return out;
 }
 
-void BscSpinalDecoder::decode_into(DecodeResult& out) const {
+void BscSpinalDecoder::decode_into(DecodeResult& out) const { decode_with(ws_, out); }
+
+void BscSpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
+                                   int beam_width) const {
   // ---- Flatten per-spine bits: ordinals SoA + packed received words ----
   const int S = params_.spine_length();
-  ws_.soa_off.resize(S + 1);
-  ws_.soa_word_off.resize(S + 1);
-  ws_.ord.resize(count_);
+  ws.soa_off.resize(S + 1);
+  ws.soa_word_off.resize(S + 1);
+  ws.ord.resize(count_);
   std::uint32_t off = 0, woff = 0;
   for (int s = 0; s < S; ++s) {
-    ws_.soa_off[s] = off;
-    ws_.soa_word_off[s] = woff;
+    ws.soa_off[s] = off;
+    ws.soa_word_off[s] = woff;
     off += static_cast<std::uint32_t>(rx_[s].size());
     woff += static_cast<std::uint32_t>((rx_[s].size() + 63) / 64);
   }
-  ws_.soa_off[S] = off;
-  ws_.soa_word_off[S] = woff;
-  ws_.rx_bits.assign(woff, 0);
+  ws.soa_off[S] = off;
+  ws.soa_word_off[S] = woff;
+  ws.rx_bits.assign(woff, 0);
   for (int s = 0; s < S; ++s) {
-    std::uint32_t o = ws_.soa_off[s];
-    const std::uint32_t wbase = ws_.soa_word_off[s];
+    std::uint32_t o = ws.soa_off[s];
+    const std::uint32_t wbase = ws.soa_word_off[s];
     std::uint32_t j = 0;
     for (const RxBit& r : rx_[s]) {
-      ws_.ord[o++] = static_cast<std::uint32_t>(r.ordinal);
-      ws_.rx_bits[wbase + j / 64] |= static_cast<std::uint64_t>(r.bit & 1u) << (j % 64);
+      ws.ord[o++] = static_cast<std::uint32_t>(r.ordinal);
+      ws.rx_bits[wbase + j / 64] |= static_cast<std::uint64_t>(r.bit & 1u) << (j % 64);
       ++j;
     }
   }
 
+  CodeParams p = params_;
+  if (beam_width > 0 && beam_width < p.B) p.B = beam_width;
   const detail::BeamSearch<BscBatchEnv> search;
-  const BscBatchEnv env{{*this}, &ws_, &backend::active()};
-  search.run(env, params_, ws_.search, ws_.result);
-  chunks_to_message_into(params_, ws_.result.chunks, out.message);
-  out.path_cost = ws_.result.best_cost;
+  const BscBatchEnv env{{*this}, &ws, &backend::active()};
+  search.run(env, p, ws.search, ws.result);
+  chunks_to_message_into(params_, ws.result.chunks, out.message);
+  out.path_cost = ws.result.best_cost;
 }
 
 DecodeResult BscSpinalDecoder::decode_reference() const {

@@ -93,6 +93,19 @@ class SpinalDecoder {
   /// allocation-free form for repeated attempts on a hot link.
   void decode_into(DecodeResult& out) const;
 
+  /// Like decode_into(), but runs the search in caller-owned scratch
+  /// @p ws instead of the decoder's internal workspace, optionally with
+  /// a narrower beam: @p beam_width in [1, params().B) overrides B for
+  /// this attempt (values <= 0 or >= params().B use the configured
+  /// width). This is the decode runtime's entry point: worker threads
+  /// pin one workspace per CodeParams and share it across thousands of
+  /// sessions, and the load-adaptive policy trades accuracy for compute
+  /// by shrinking the beam under queue pressure (the Fig 8-6 knob).
+  /// Thread-safe for concurrent calls on one decoder with distinct
+  /// workspaces as long as no symbols are added concurrently.
+  void decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
+                   int beam_width = 0) const;
+
   /// The retained scalar reference decode: per-node child() + node_cost()
   /// calls, no batching, no workspace reuse. Exists so the golden
   /// equivalence suite can pin the batched kernel bit-for-bit against
@@ -139,6 +152,10 @@ class BscSpinalDecoder {
 
   /// Allocation-free form of decode() (see SpinalDecoder::decode_into).
   void decode_into(DecodeResult& out) const;
+
+  /// Caller-workspace + beam-override form (see SpinalDecoder::decode_with).
+  void decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
+                   int beam_width = 0) const;
 
   /// Scalar reference decode (see SpinalDecoder::decode_reference).
   DecodeResult decode_reference() const;

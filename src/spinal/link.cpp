@@ -102,6 +102,42 @@ AckBitmap LinkReceiver::make_ack() {
   return ack;
 }
 
+AckBitmap LinkReceiver::current_ack() const {
+  AckBitmap ack;
+  ack.decoded.assign(decoded_.begin(), decoded_.end());
+  return ack;
+}
+
+void LinkReceiver::check_block(int b) const {
+  if (b < 0 || b >= static_cast<int>(decoders_.size()))
+    throw std::out_of_range("LinkReceiver: bad block index");
+}
+
+bool LinkReceiver::block_decoded(int b) const {
+  check_block(b);
+  return decoded_[b];
+}
+
+bool LinkReceiver::block_dirty(int b) const {
+  check_block(b);
+  return dirty_[b] && !decoded_[b];
+}
+
+const SpinalDecoder& LinkReceiver::claim_block(int b) {
+  check_block(b);
+  dirty_[b] = false;
+  return decoders_[b];
+}
+
+bool LinkReceiver::complete_block(int b, const util::BitVec& candidate) {
+  check_block(b);
+  if (decoded_[b]) return false;  // stale completion; block already ACKed
+  if (!util::crc16_check(candidate)) return false;
+  decoded_[b] = true;
+  blocks_[b] = candidate;
+  return true;
+}
+
 std::optional<std::vector<std::uint8_t>> LinkReceiver::datagram() const {
   for (bool d : decoded_)
     if (!d) return std::nullopt;

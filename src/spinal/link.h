@@ -80,10 +80,41 @@ class LinkReceiver {
   /// current ACK bitmap (§6: "the ACK contains one bit per code block").
   AckBitmap make_ack();
 
+  // ---- Non-blocking, mux-driven entry points ----------------------
+  // The decode runtime (runtime/session_mux.h) offloads attempts to a
+  // worker pool instead of running them inline in make_ack(): claim a
+  // dirty block's symbol store, decode it on any thread with caller
+  // scratch (SpinalDecoder::decode_with), then report the candidate
+  // back. None of these calls block or decode.
+
+  /// The bitmap as decoded so far, without attempting anything.
+  AckBitmap current_ack() const;
+
+  bool block_decoded(int b) const;
+
+  /// True when block @p b has received symbols since its last decode
+  /// attempt (or claim) and is still undecoded.
+  bool block_dirty(int b) const;
+
+  /// Claims block @p b for an external decode attempt: clears its dirty
+  /// flag and returns its symbol-store decoder. Until the claim is
+  /// resolved via complete_block(), the caller must not receive() more
+  /// symbols into this block (the decoder's symbol store is being read
+  /// on another thread — the mux buffers arrivals meanwhile).
+  const SpinalDecoder& claim_block(int b);
+
+  /// Reports an external decode candidate for block @p b. Returns true
+  /// when the candidate passes its CRC and the block transitions to
+  /// decoded; false for CRC failures or a block that already decoded
+  /// (a stale completion — ignored, the §6 feedback edge case).
+  bool complete_block(int b, const util::BitVec& candidate);
+
   /// Reassembles the datagram once every block's CRC passes.
   std::optional<std::vector<std::uint8_t>> datagram() const;
 
  private:
+  void check_block(int b) const;
+
   CodeParams params_;
   std::vector<SpinalDecoder> decoders_;
   std::vector<bool> decoded_;

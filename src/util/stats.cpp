@@ -56,4 +56,72 @@ double SampleSet::cdf_at(double x) const {
   return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
 }
 
+// ---------------------------------------------------- LatencyHistogram
+
+int LatencyHistogram::bin_index(double x) noexcept {
+  if (!(x > 0.0)) return 0;  // non-positive / NaN: underflow bin
+  const double pos = (std::log2(x) - kMinExp) * kSubBins;
+  if (pos < 0.0) return 0;
+  if (pos >= kBins) return kBins - 1;
+  return static_cast<int>(pos);
+}
+
+double LatencyHistogram::bin_lo(int i) noexcept {
+  return std::exp2(kMinExp + static_cast<double>(i) / kSubBins);
+}
+
+void LatencyHistogram::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  ++bins_[static_cast<std::size_t>(bin_index(x))];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBins; ++i) bins_[i] += other.bins_[i];
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample (1-based, nearest-rank with ceil).
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBins; ++i) {
+    if (bins_[i] == 0) continue;
+    if (cum + bins_[i] < rank) {
+      cum += bins_[i];
+      continue;
+    }
+    // Log-linear interpolation of the rank's position inside the bin.
+    const double frac = static_cast<double>(rank - cum) /
+                        static_cast<double>(bins_[i]);
+    const double lo = bin_lo(i), hi = bin_lo(i + 1);
+    const double v = lo * std::exp2(std::log2(hi / lo) * frac);  // lo * (hi/lo)^frac
+    return std::clamp(v, min_, max_);
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
 }  // namespace spinal::util

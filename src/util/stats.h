@@ -1,7 +1,10 @@
 #pragma once
-// Lightweight statistics accumulators for the experiment harness.
+// Lightweight statistics accumulators for the experiment harness and
+// the decode runtime's telemetry.
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace spinal::util {
@@ -42,6 +45,47 @@ class SampleSet {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
   void ensure_sorted() const;
+};
+
+/// Streaming latency histogram with *fixed* log-spaced bins: 8 sub-bins
+/// per octave covering [2^-10, 2^22) in whatever unit the caller feeds
+/// (the runtime uses microseconds, so ~1 ms-resolution tails out to
+/// ~70 minutes). The layout is a compile-time constant, so histograms
+/// recorded independently — one per decode worker — merge by elementwise
+/// addition, unlike SampleSet which must retain every sample. Relative
+/// bin width is 2^(1/8) ≈ 9%, the quantile error bound.
+class LatencyHistogram {
+ public:
+  void add(double x) noexcept;
+  /// Elementwise merge (identical fixed layout on both sides).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Quantile q in [0, 1], interpolated log-linearly inside the bin and
+  /// clamped to the exact observed [min, max]; empty histogram returns 0.
+  double quantile(double q) const noexcept;
+
+  static constexpr int bin_count() noexcept { return kBins; }
+
+ private:
+  static constexpr int kSubBins = 8;    // bins per octave
+  static constexpr int kMinExp = -10;   // smallest resolved value: 2^-10
+  static constexpr int kMaxExp = 22;    // everything >= 2^22 lands in the last bin
+  static constexpr int kBins = (kMaxExp - kMinExp) * kSubBins;
+
+  static int bin_index(double x) noexcept;
+  /// Lower edge of bin @p i: 2^(kMinExp + i / kSubBins).
+  static double bin_lo(int i) noexcept;
+
+  std::array<std::uint64_t, kBins> bins_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace spinal::util

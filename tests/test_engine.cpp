@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/bsc_session.h"
 #include "sim/experiment.h"
 #include "sim/spinal_session.h"
 #include "util/math.h"
@@ -106,6 +107,81 @@ TEST(Engine, RayleighWithoutCsiStillDecodes) {
   util::Xoshiro256 prng(7);
   const RunResult r = run_message(session, channel, prng.random_bits(p.n));
   EXPECT_TRUE(r.success);
+}
+
+TEST(Engine, RejectsInvalidOptions) {
+  // Regression: attempt_every <= 0 used to silently stall the attempt
+  // schedule (next_attempt never advanced past the chunk count), and
+  // attempt_growth < 1 shrank it. Both must fail loudly instead.
+  const CodeParams p = fast_params();
+  SpinalSession session(p);
+  ChannelSim channel(ChannelKind::kAwgn, 20.0, 1, 21);
+  util::Xoshiro256 prng(8);
+  const util::BitVec msg = prng.random_bits(p.n);
+
+  EngineOptions bad_every;
+  bad_every.attempt_every = 0;
+  EXPECT_THROW(run_message(session, channel, msg, bad_every), std::invalid_argument);
+  EngineOptions negative_every;
+  negative_every.attempt_every = -3;
+  EXPECT_THROW(run_message(session, channel, msg, negative_every),
+               std::invalid_argument);
+  EngineOptions bad_growth;
+  bad_growth.attempt_growth = 0.99;
+  EXPECT_THROW(run_message(session, channel, msg, bad_growth), std::invalid_argument);
+
+  EngineOptions ok;
+  ok.attempt_every = 2;
+  ok.attempt_growth = 1.5;
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_TRUE(run_message(session, channel, msg, ok).success);
+}
+
+TEST(Engine, MessageRunStepperMatchesRunMessage) {
+  // The non-blocking stepper is the entry point the decode runtime
+  // drives; a hand-rolled feed/attempt loop over it must reproduce
+  // run_message exactly (same channel-noise draws via identical seeds).
+  const CodeParams p = fast_params();
+  util::Xoshiro256 prng(9);
+  const util::BitVec msg = prng.random_bits(p.n);
+  EngineOptions opt;
+  opt.attempt_every = 2;
+  opt.attempt_growth = 1.25;
+
+  SpinalSession s1(p);
+  ChannelSim ch1(ChannelKind::kAwgn, 9.0, 1, 33);
+  const RunResult direct = run_message(s1, ch1, msg, opt);
+
+  SpinalSession s2(p);
+  ChannelSim ch2(ChannelKind::kAwgn, 9.0, 1, 33);
+  MessageRun run(s2, ch2, msg, opt);
+  while (run.feed_to_attempt()) run.record_attempt(s2.try_decode());
+  ASSERT_TRUE(run.finished());
+
+  EXPECT_EQ(direct.success, run.result().success);
+  EXPECT_EQ(direct.symbols, run.result().symbols);
+  EXPECT_EQ(direct.chunks, run.result().chunks);
+  EXPECT_EQ(direct.attempts, run.result().attempts);
+}
+
+TEST(Engine, BscSessionDecodesThroughEngine) {
+  // The BSC construction behind the same engine as AWGN (§3.3/§4.1):
+  // bits ride the real axis and ChannelSim::bsc flips them.
+  CodeParams p = fast_params();
+  p.c = 1;
+  p.max_passes = 32;
+  BscSession session(p);
+  ChannelSim channel = ChannelSim::bsc(0.03, 77);
+  EXPECT_EQ(channel.kind(), ChannelKind::kBsc);
+  EXPECT_DOUBLE_EQ(channel.noise_variance(), 0.03);
+  util::Xoshiro256 prng(10);
+  const RunResult r = run_message(session, channel, prng.random_bits(p.n));
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.symbols, 0);
+}
+
+TEST(Engine, BscChannelKindRequiresFactory) {
+  EXPECT_THROW(ChannelSim(ChannelKind::kBsc, 10.0, 1, 1), std::invalid_argument);
 }
 
 TEST(Experiment, MeasuredRateBelowCapacityAboveHalf) {

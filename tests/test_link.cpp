@@ -138,5 +138,94 @@ TEST(Link, TinyNRejects) {
   EXPECT_THROW(LinkSender(p, random_datagram(10, 8)), std::invalid_argument);
 }
 
+TEST(Link, BurstAfterAllBlocksAckedIsEmpty) {
+  // The mux keeps polling senders it multiplexes; a fully-ACKed sender
+  // must produce nothing (and not trip its give-up logic).
+  const CodeParams p = link_params();
+  LinkSender sender(p, random_datagram(90, 10));  // 3 blocks
+  AckBitmap all;
+  all.decoded = {true, true, true};
+  sender.handle_ack(all);
+  EXPECT_TRUE(sender.done());
+  const long sent_before = sender.symbols_sent();
+  EXPECT_TRUE(sender.next_burst().empty());
+  EXPECT_TRUE(sender.next_burst().empty());
+  EXPECT_EQ(sender.symbols_sent(), sent_before);
+  EXPECT_FALSE(sender.gave_up());
+}
+
+TEST(Link, FeedbackForAlreadyAckedBlockIsIdempotent) {
+  const CodeParams p = link_params();
+  LinkSender sender(p, random_datagram(90, 11));  // 3 blocks
+  AckBitmap partial;
+  partial.decoded = {true, false, false};
+  sender.handle_ack(partial);
+  sender.handle_ack(partial);  // duplicate feedback: no state change
+  for (const LinkSymbol& s : sender.next_burst()) EXPECT_NE(s.block, 0);
+  // An ACK never un-decodes: a later bitmap with the bit cleared (e.g.
+  // a reordered frame) must not resurrect block 0.
+  AckBitmap stale;
+  stale.decoded = {false, false, true};
+  sender.handle_ack(stale);
+  for (const LinkSymbol& s : sender.next_burst()) EXPECT_EQ(s.block, 1);
+}
+
+TEST(Link, MuxEntryPointsClaimAndComplete) {
+  // The non-blocking receiver surface the runtime's SessionMux drives:
+  // claim a dirty block, decode it with caller scratch, report back.
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(20, 12);  // one block
+  LinkSender sender(p, datagram);
+  LinkReceiver receiver(p, sender.block_count());
+
+  EXPECT_FALSE(receiver.block_dirty(0));
+  EXPECT_FALSE(receiver.block_decoded(0));
+  EXPECT_FALSE(receiver.current_ack().all_decoded());
+
+  for (int round = 0; round < 4; ++round)
+    for (const LinkSymbol& s : sender.next_burst()) receiver.receive(s);
+  ASSERT_TRUE(receiver.block_dirty(0));
+
+  const SpinalDecoder& dec = receiver.claim_block(0);
+  EXPECT_FALSE(receiver.block_dirty(0));  // claim consumes dirtiness
+
+  detail::DecodeWorkspace ws;
+  DecodeResult out;
+  dec.decode_with(ws, out);
+  ASSERT_TRUE(receiver.complete_block(0, out.message));
+  EXPECT_TRUE(receiver.block_decoded(0));
+  EXPECT_TRUE(receiver.current_ack().all_decoded());
+  // A stale completion for an already-ACKed block is refused.
+  EXPECT_FALSE(receiver.complete_block(0, out.message));
+  // Garbage candidates fail their CRC.
+  LinkReceiver fresh(p, 1);
+  util::BitVec junk(static_cast<std::size_t>(p.n));
+  EXPECT_FALSE(fresh.complete_block(0, junk));
+  EXPECT_FALSE(fresh.block_decoded(0));
+
+  EXPECT_THROW(receiver.claim_block(7), std::out_of_range);
+  EXPECT_THROW(receiver.complete_block(-1, out.message), std::out_of_range);
+}
+
+TEST(Link, DecodeWithBeamOverrideStillPassesCrc) {
+  // The adaptive runtime shrinks B per attempt; at high SNR a narrowed
+  // search must still find the transmitted block.
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(20, 13);
+  LinkSender sender(p, datagram);
+  LinkReceiver receiver(p, sender.block_count());
+  channel::AwgnChannel channel(20.0, 99);
+  for (int round = 0; round < 8; ++round)
+    for (LinkSymbol s : sender.next_burst()) {
+      s.value = channel.transmit(s.value);
+      receiver.receive(s);
+    }
+  const SpinalDecoder& dec = receiver.claim_block(0);
+  detail::DecodeWorkspace ws;
+  DecodeResult out;
+  dec.decode_with(ws, out, /*beam_width=*/8);
+  EXPECT_TRUE(util::crc16_check(out.message));
+}
+
 }  // namespace
 }  // namespace spinal

@@ -1,0 +1,468 @@
+// Decode-runtime tests (src/runtime/): the deterministic mode's
+// bit-identity against sequential run_message loops at several worker
+// counts over heterogeneous CodeParams and channels, adaptive-beam
+// correctness under load, admission-control backpressure, telemetry
+// consistency, and the link-symbol SessionMux. These suites (plus
+// test_experiment) also run under the ThreadSanitizer CI lane.
+
+#include <future>
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "runtime/adaptive.h"
+#include "runtime/decode_service.h"
+#include "runtime/job_queue.h"
+#include "runtime/session_mux.h"
+#include "sim/bsc_session.h"
+#include "sim/spinal_session.h"
+#include "spinal/link.h"
+#include "util/prng.h"
+
+namespace spinal::runtime {
+namespace {
+
+// ---------------------------------------------------------- fixtures
+
+CodeParams awgn_params() {
+  CodeParams p;
+  p.n = 64;
+  p.B = 64;
+  p.max_passes = 24;
+  return p;
+}
+
+CodeParams narrow_params() {
+  CodeParams p;
+  p.n = 96;
+  p.k = 3;
+  p.B = 32;
+  p.max_passes = 24;
+  return p;
+}
+
+RuntimeOptions det_opts(int workers) {
+  RuntimeOptions opt;
+  opt.workers = workers;
+  opt.deterministic = true;
+  return opt;
+}
+
+RuntimeOptions basic_opts(int workers) {
+  RuntimeOptions opt;
+  opt.workers = workers;
+  return opt;
+}
+
+CodeParams bsc_params() {
+  CodeParams p;
+  p.n = 64;
+  p.c = 1;
+  p.B = 64;
+  p.max_passes = 32;
+  return p;
+}
+
+/// One spec per index, cycling through heterogeneous params × channels
+/// (AWGN at two SNRs, Rayleigh-with-CSI, BSC) with per-session seeds.
+SessionSpec make_spec(int i) {
+  util::Xoshiro256 prng(0x5EED0000u + static_cast<std::uint64_t>(i));
+  SessionSpec spec;
+  spec.channel.seed = 0xC0DE0000u + static_cast<std::uint64_t>(i);
+  switch (i % 4) {
+    case 0: {
+      const CodeParams p = awgn_params();
+      spec.make_session = [p] { return std::make_unique<sim::SpinalSession>(p); };
+      spec.channel.kind = sim::ChannelKind::kAwgn;
+      spec.channel.snr_db = 15.0;
+      spec.message = prng.random_bits(p.n);
+      break;
+    }
+    case 1: {
+      const CodeParams p = narrow_params();
+      spec.make_session = [p] { return std::make_unique<sim::SpinalSession>(p); };
+      spec.channel.kind = sim::ChannelKind::kAwgn;
+      spec.channel.snr_db = 8.0;
+      spec.message = prng.random_bits(p.n);
+      break;
+    }
+    case 2: {
+      const CodeParams p = awgn_params();
+      spec.make_session = [p] { return std::make_unique<sim::SpinalSession>(p); };
+      spec.channel.kind = sim::ChannelKind::kRayleighCsi;
+      spec.channel.snr_db = 18.0;
+      spec.channel.coherence = 10;
+      spec.message = prng.random_bits(p.n);
+      break;
+    }
+    default: {
+      const CodeParams p = bsc_params();
+      spec.make_session = [p] { return std::make_unique<sim::BscSession>(p); };
+      spec.channel.kind = sim::ChannelKind::kBsc;
+      spec.channel.crossover = 0.03;
+      spec.message = prng.random_bits(p.n);
+      break;
+    }
+  }
+  return spec;
+}
+
+// -------------------------------------------------- deterministic mode
+
+TEST(Runtime, DeterministicBitIdenticalToSequential) {
+  constexpr int kSessions = 16;
+  std::vector<SessionReport> reference;
+  for (int i = 0; i < kSessions; ++i)
+    reference.push_back(run_sequential(make_spec(i)));
+
+  for (int workers : {1, 2, 5, 8}) {
+    RuntimeOptions opt;
+    opt.workers = workers;
+    opt.deterministic = true;
+    DecodeService service(opt);
+    for (int i = 0; i < kSessions; ++i) service.submit(make_spec(i));
+    const std::vector<SessionReport> got = service.drain();
+
+    ASSERT_EQ(got.size(), reference.size()) << "workers=" << workers;
+    for (int i = 0; i < kSessions; ++i) {
+      const sim::RunResult& a = reference[static_cast<std::size_t>(i)].run;
+      const sim::RunResult& b = got[static_cast<std::size_t>(i)].run;
+      EXPECT_EQ(a.success, b.success) << "workers=" << workers << " session=" << i;
+      EXPECT_EQ(a.symbols, b.symbols) << "workers=" << workers << " session=" << i;
+      EXPECT_EQ(a.chunks, b.chunks) << "workers=" << workers << " session=" << i;
+      EXPECT_EQ(a.attempts, b.attempts)
+          << "workers=" << workers << " session=" << i;
+      EXPECT_EQ(got[static_cast<std::size_t>(i)].reduced_beam_attempts, 0);
+      EXPECT_EQ(got[static_cast<std::size_t>(i)].full_beam_retries, 0);
+    }
+  }
+}
+
+// ------------------------------------------------------- adaptive mode
+
+TEST(Runtime, AdaptiveModeStillDecodesEveryInBudgetSession) {
+  constexpr int kSessions = 48;
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.adapt.min_beam = 8;
+  opt.adapt.idle_depth = 0;
+  opt.adapt.depth_per_halving = 4;
+  DecodeService service(opt);
+
+  const CodeParams p = awgn_params();
+  for (int i = 0; i < kSessions; ++i) {
+    util::Xoshiro256 prng(0xADA00000u + static_cast<std::uint64_t>(i));
+    SessionSpec spec;
+    spec.make_session = [p] { return std::make_unique<sim::SpinalSession>(p); };
+    spec.channel.snr_db = 18.0;
+    spec.channel.seed = 0xADAC0000u + static_cast<std::uint64_t>(i);
+    spec.message = prng.random_bits(p.n);
+    service.submit(std::move(spec));
+  }
+  const std::vector<SessionReport> got = service.drain();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kSessions));
+  for (int i = 0; i < kSessions; ++i)
+    EXPECT_TRUE(got[static_cast<std::size_t>(i)].run.success) << i;
+
+  // 48 sessions landed on 2 workers before the queue could drain, so
+  // the load policy must have shrunk at least some attempts.
+  const TelemetrySnapshot snap = service.telemetry();
+  EXPECT_GT(snap.counters.reduced_beam_attempts, 0u);
+  EXPECT_EQ(snap.counters.sessions_completed, static_cast<std::uint64_t>(kSessions));
+}
+
+TEST(Adaptive, PickBeamShrinksWithDepthAndFloors) {
+  AdaptiveBeamOptions opt;
+  opt.min_beam = 16;
+  opt.idle_depth = 1;
+  opt.depth_per_halving = 8;
+  EXPECT_EQ(pick_beam(opt, 256, 0), 256);  // idle: full width
+  EXPECT_EQ(pick_beam(opt, 256, 1), 256);
+  EXPECT_EQ(pick_beam(opt, 256, 2), 128);  // first halving step
+  EXPECT_EQ(pick_beam(opt, 256, 9), 128);
+  EXPECT_EQ(pick_beam(opt, 256, 10), 64);
+  int prev = 256;
+  for (std::size_t depth = 0; depth < 400; depth += 7) {
+    const int b = pick_beam(opt, 256, depth);
+    EXPECT_LE(b, prev);  // monotone in depth
+    EXPECT_GE(b, 16);    // floored
+    prev = b;
+  }
+  EXPECT_EQ(pick_beam(opt, 256, 4000), 16);
+  EXPECT_EQ(pick_beam(opt, 8, 4000), 8);  // floor clamps to full width
+  opt.enabled = false;
+  EXPECT_EQ(pick_beam(opt, 256, 4000), 256);
+}
+
+// ------------------------------------------- admission / backpressure
+
+TEST(Runtime, AdmissionCapsSessionsInFlight) {
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.max_in_flight = 3;
+  opt.deterministic = true;
+  DecodeService service(opt);
+  for (int i = 0; i < 12; ++i) service.submit(make_spec(i));
+  const auto got = service.drain();
+  EXPECT_EQ(got.size(), 12u);
+  EXPECT_LE(service.peak_in_flight(), 3);
+}
+
+TEST(Runtime, TrySubmitRefusesAtCapacity) {
+  RuntimeOptions opt;
+  opt.workers = 1;
+  opt.max_in_flight = 1;
+  opt.deterministic = true;
+  DecodeService service(opt);
+
+  // Park the only worker on a task so the admitted session cannot
+  // complete while we probe the admission control.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  service.post([gate](DecodeService::WorkerScope&) { gate.wait(); });
+
+  service.submit(make_spec(0));
+  EXPECT_FALSE(service.try_submit(make_spec(1)).has_value());
+  release.set_value();
+  service.submit(make_spec(1));  // capacity frees once session 0 finishes
+  EXPECT_EQ(service.drain().size(), 2u);
+}
+
+TEST(Runtime, InvalidEngineOptionsRejectedAtSubmit) {
+  DecodeService service(basic_opts(1));
+  SessionSpec spec = make_spec(0);
+  spec.engine.attempt_every = 0;
+  EXPECT_THROW(service.submit(std::move(spec)), std::invalid_argument);
+  SessionSpec spec2 = make_spec(1);
+  spec2.engine.attempt_growth = 0.5;
+  EXPECT_THROW(service.submit(std::move(spec2)), std::invalid_argument);
+}
+
+// -------------------------------------------------- drain + telemetry
+
+TEST(Runtime, DrainIsOrderedAndServiceStaysUsable) {
+  RuntimeOptions opt;
+  opt.workers = 3;
+  opt.deterministic = true;
+  DecodeService service(opt);
+  for (int i = 0; i < 4; ++i) service.submit(make_spec(i));
+  EXPECT_EQ(service.drain().size(), 4u);
+  for (int i = 4; i < 6; ++i) service.submit(make_spec(i));
+  const auto got = service.drain();
+  ASSERT_EQ(got.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    const SessionReport& r = got[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.message_bits, i % 4 == 1 ? 96 : 64) << i;  // submission order kept
+  }
+}
+
+TEST(Runtime, TelemetryCountsAndLatencyQuantilesAreConsistent) {
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.deterministic = true;
+  DecodeService service(opt);
+  for (int i = 0; i < 8; ++i) service.submit(make_spec(i));
+  const auto got = service.drain();
+
+  std::uint64_t attempts = 0;
+  long symbols = 0;
+  for (const SessionReport& r : got) {
+    attempts += static_cast<std::uint64_t>(r.run.attempts);
+    symbols += r.run.symbols;
+    EXPECT_GT(r.decode_micros, 0.0);
+  }
+  const TelemetrySnapshot snap = service.telemetry();
+  EXPECT_EQ(snap.counters.decode_attempts, attempts);
+  EXPECT_EQ(snap.counters.symbols_fed, static_cast<std::uint64_t>(symbols));
+  EXPECT_EQ(snap.counters.sessions_completed + snap.counters.sessions_failed, 8u);
+  EXPECT_EQ(snap.decode_latency_us.count(), attempts);
+  const double p50 = snap.decode_latency_us.quantile(0.50);
+  const double p95 = snap.decode_latency_us.quantile(0.95);
+  const double p99 = snap.decode_latency_us.quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+// ----------------------------------------------------------- JobQueue
+
+TEST(JobQueue, FifoTryPushAndClose) {
+  JobQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: the backpressure probe refuses
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.push(3));
+  q.close();
+  EXPECT_FALSE(q.push(4));      // closed
+  EXPECT_EQ(q.pop(), 2);        // drains pending items after close
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+// --------------------------------------------------------- SessionMux
+
+CodeParams link_params() {
+  CodeParams p;
+  p.n = 256;
+  p.B = 64;
+  p.max_passes = 32;
+  return p;
+}
+
+std::vector<std::uint8_t> random_datagram(std::size_t bytes, std::uint64_t seed) {
+  util::Xoshiro256 prng(seed);
+  std::vector<std::uint8_t> out(bytes);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.next_u64());
+  return out;
+}
+
+/// Drives one datagram through sender -> AWGN -> mux until every block
+/// ACKs (or the sender gives up). Returns the mux session id.
+SessionMux::SessionId drive_datagram(SessionMux& mux, const CodeParams& p,
+                                     const std::vector<std::uint8_t>& datagram,
+                                     double snr_db, std::uint64_t seed) {
+  LinkSender sender(p, datagram);
+  const SessionMux::SessionId id = mux.open(p, sender.block_count());
+  channel::AwgnChannel channel(snr_db, seed);
+  while (!sender.done() && !sender.gave_up()) {
+    for (LinkSymbol s : sender.next_burst()) {
+      s.value = channel.transmit(s.value);
+      mux.ingest(id, s);
+    }
+    mux.pause_point(id);
+    mux.wait_idle();  // lock-step driver: decode completes before the ACK
+    sender.handle_ack(mux.current_ack(id));
+  }
+  return id;
+}
+
+TEST(SessionMux, MultiBlockDatagramRoundTrip) {
+  DecodeService service(det_opts(2));
+  SessionMux mux(service);
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(60, 7);  // 480 bits -> 2 blocks
+  const auto id = drive_datagram(mux, p, datagram, 15.0, 71);
+  ASSERT_TRUE(mux.done(id));
+  auto out = mux.datagram(id);
+  ASSERT_TRUE(out.has_value());
+  out->resize(datagram.size());  // strip block padding
+  EXPECT_EQ(*out, datagram);
+  EXPECT_FALSE(mux.poll_acks().empty());  // feedback events were emitted
+}
+
+TEST(SessionMux, SingleBlockDatagram) {
+  DecodeService service(det_opts(1));
+  SessionMux mux(service);
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(20, 8);  // 160 bits -> one block
+  const auto id = drive_datagram(mux, p, datagram, 15.0, 72);
+  ASSERT_TRUE(mux.done(id));
+  auto out = mux.datagram(id);
+  ASSERT_TRUE(out.has_value());
+  out->resize(datagram.size());
+  EXPECT_EQ(*out, datagram);
+}
+
+TEST(SessionMux, ConcurrentSessionsInterleave) {
+  DecodeService service(det_opts(3));
+  SessionMux mux(service);
+  const CodeParams p = link_params();
+
+  // Three sessions fed round-robin through one mux; all must complete.
+  std::vector<LinkSender> senders;
+  std::vector<SessionMux::SessionId> ids;
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  std::vector<channel::AwgnChannel> channels;
+  for (int s = 0; s < 3; ++s) {
+    datagrams.push_back(random_datagram(40 + 20 * static_cast<std::size_t>(s),
+                                        100 + static_cast<std::uint64_t>(s)));
+    senders.emplace_back(p, datagrams.back());
+    ids.push_back(mux.open(p, senders.back().block_count()));
+    channels.emplace_back(15.0, 200 + static_cast<std::uint64_t>(s));
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int s = 0; s < 3; ++s) {
+      if (senders[s].done() || senders[s].gave_up()) continue;
+      progress = true;
+      for (LinkSymbol sym : senders[s].next_burst()) {
+        sym.value = channels[s].transmit(sym.value);
+        mux.ingest(ids[s], sym);
+      }
+      mux.pause_point(ids[s]);
+    }
+    mux.wait_idle();
+    for (int s = 0; s < 3; ++s)
+      senders[s].handle_ack(mux.current_ack(ids[s]));
+  }
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(mux.done(ids[s])) << s;
+    auto out = mux.datagram(ids[s]);
+    ASSERT_TRUE(out.has_value()) << s;
+    out->resize(datagrams[s].size());
+    EXPECT_EQ(*out, datagrams[s]) << s;
+  }
+}
+
+TEST(SessionMux, StaleSymbolsAfterAckAreDroppedAndCounted) {
+  DecodeService service(det_opts(1));
+  SessionMux mux(service);
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(20, 9);
+  const auto id = drive_datagram(mux, p, datagram, 20.0, 73);
+  ASSERT_TRUE(mux.done(id));
+  const std::uint64_t before = mux.stale_symbols();
+  mux.ingest(id, LinkSymbol{0, {0, 0}, {0.5f, 0.5f}});  // block 0 already ACKed
+  EXPECT_EQ(mux.stale_symbols(), before + 1);
+  EXPECT_TRUE(mux.done(id));  // unchanged
+}
+
+TEST(SessionMux, SymbolsBufferedMidDecodeGetTheirAttempt) {
+  // Regression: symbols that arrive while a block's decode is in flight
+  // are buffered; if the attempt fails, the buffered symbols must be
+  // applied *and decoded* in the same task — a sender that has already
+  // paused for good will never trigger another pause_point.
+  DecodeService service(det_opts(1));
+  SessionMux mux(service);
+  const CodeParams p = link_params();
+  const auto datagram = random_datagram(20, 14);  // one block
+  LinkSender sender(p, datagram);
+  const auto id = mux.open(p, sender.block_count());
+
+  // Park the only worker so the scheduled decode cannot start yet.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  service.post([gate](DecodeService::WorkerScope&) { gate.wait(); });
+
+  // One subpass of clean symbols: far too few for a 256-bit block, so
+  // the first attempt must fail its CRC.
+  for (const LinkSymbol& s : sender.next_burst()) mux.ingest(id, s);
+  mux.pause_point(id);  // claims the block; decode queued behind the gate
+
+  // Two full passes of clean symbols arrive mid-decode: these buffer.
+  for (int burst = 0; burst < 16; ++burst)
+    for (const LinkSymbol& s : sender.next_burst()) mux.ingest(id, s);
+
+  release.set_value();
+  mux.wait_idle();
+  EXPECT_TRUE(mux.done(id));  // decoded without any further pause_point
+  auto out = mux.datagram(id);
+  ASSERT_TRUE(out.has_value());
+  out->resize(datagram.size());
+  EXPECT_EQ(*out, datagram);
+}
+
+TEST(SessionMux, BadIdsThrow) {
+  DecodeService service(basic_opts(1));
+  SessionMux mux(service);
+  EXPECT_THROW(mux.ingest(0, LinkSymbol{0, {0, 0}, {0.f, 0.f}}), std::out_of_range);
+  const auto id = mux.open(link_params(), 2);
+  EXPECT_THROW(mux.ingest(id, LinkSymbol{5, {0, 0}, {0.f, 0.f}}), std::out_of_range);
+  EXPECT_THROW(mux.open(link_params(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spinal::runtime

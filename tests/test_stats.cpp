@@ -1,5 +1,7 @@
 #include "util/stats.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "util/prng.h"
@@ -75,6 +77,96 @@ TEST(SampleSet, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
   EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.0);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, EmptyReturnsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogram, QuantilesWithinBinResolutionOfExact) {
+  // Log-spaced bins with 8 sub-bins per octave: any quantile must land
+  // within one bin width (a factor of 2^(1/8)) of the exact sample
+  // quantile, across several orders of magnitude.
+  Xoshiro256 r(123);
+  LatencyHistogram h;
+  SampleSet exact;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform latencies spanning ~0.1 .. 1e5 "microseconds".
+    const double u = static_cast<double>(r.next_u64() >> 11) / 9007199254740992.0;
+    const double x = std::pow(10.0, -1.0 + 6.0 * u);
+    h.add(x);
+    exact.add(x);
+  }
+  EXPECT_EQ(h.count(), 20000u);
+  const double tol = std::pow(2.0, 1.0 / 8.0) + 1e-9;
+  for (double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    const double approx = h.quantile(q);
+    const double truth = exact.quantile(q);
+    EXPECT_LE(approx / truth, tol) << q;
+    EXPECT_GE(approx / truth, 1.0 / tol) << q;
+  }
+  EXPECT_NEAR(h.mean(), exact.mean(), exact.mean() * 1e-9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedAdds) {
+  Xoshiro256 r(55);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = 1.0 + static_cast<double>(r.next_u64() % 100000);
+    if (i % 3 == 0) {
+      a.add(x);
+    } else {
+      b.add(x);
+    }
+    combined.add(x);
+  }
+  LatencyHistogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_DOUBLE_EQ(merged.min(), combined.min());
+  EXPECT_DOUBLE_EQ(merged.max(), combined.max());
+  EXPECT_DOUBLE_EQ(merged.mean(), combined.mean());
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99})
+    EXPECT_DOUBLE_EQ(merged.quantile(q), combined.quantile(q)) << q;
+  // Merging an empty histogram is a no-op in both directions.
+  LatencyHistogram empty;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), combined.count());
+  empty.merge(combined);
+  EXPECT_EQ(empty.count(), combined.count());
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), combined.quantile(0.5));
+}
+
+TEST(LatencyHistogram, OutOfRangeValuesClampToEdgeBins) {
+  LatencyHistogram h;
+  h.add(1e-9);  // far below the smallest bin
+  h.add(1e12);  // far above the largest
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  // Quantiles stay clamped to the observed range.
+  EXPECT_GE(h.quantile(0.01), 1e-9);
+  EXPECT_LE(h.quantile(0.99), 1e12);
+}
+
+TEST(LatencyHistogram, QuantileIsMonotoneInQ) {
+  Xoshiro256 r(9);
+  LatencyHistogram h;
+  for (int i = 0; i < 3000; ++i)
+    h.add(0.5 + static_cast<double>(r.next_u64() % 10000000));
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << q;
+    prev = v;
+  }
 }
 
 }  // namespace

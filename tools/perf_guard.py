@@ -3,11 +3,16 @@
 against a checked-in baseline snapshot and fail on real regressions.
 
 Usage:
-    perf_guard.py CURRENT_BENCH_JSON BASELINE_SNAPSHOT_JSON [--tolerance 0.25]
+    perf_guard.py CURRENT_BENCH_JSON BASELINE_SNAPSHOT_JSON
+                  [--also EXTRA_BENCH_JSON ...] [--tolerance 0.25]
 
 CURRENT is the raw --benchmark_out JSON of the run under test;
 BASELINE is a perf_snapshot.py document checked into the repo
-(bench/perf_baseline_quick.json).
+(bench/perf_baseline_quick.json). --also merges additional current-run
+JSON files (e.g. bench_runtime_throughput's quick-mode output) into the
+comparison; their points only gate when the baseline carries matching
+names, so machine-shape-dependent benches can ride along for the
+artifact trail before they are baselined.
 
 CI machines differ in absolute speed from the machine the baseline was
 recorded on, and differ run to run. A naive absolute comparison would
@@ -40,6 +45,9 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
     ap.add_argument("baseline")
+    ap.add_argument("--also", action="append", default=[],
+                    help="additional current-run --benchmark_out JSON files "
+                         "to merge (e.g. bench_runtime_throughput quick mode)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drop below the run's median ratio")
     args = ap.parse_args()
@@ -50,6 +58,9 @@ def main():
     # baseline is broken — exactly what a gate must not shrug off.
     try:
         current = load_current(args.current)
+        for path in args.also:
+            for name, ips in load_current(path).items():
+                current[name] = max(current.get(name, 0.0), ips)
     except (OSError, json.JSONDecodeError) as e:
         print(f"perf_guard: FAIL — cannot read current run ({e})", file=sys.stderr)
         return 2

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Distill a Google-Benchmark JSON file into a compact perf snapshot.
+"""Distill Google-Benchmark JSON files into a compact perf snapshot.
 
 Usage:
-    perf_snapshot.py BENCH_JSON [--label LABEL] [--filter SUBSTR ...]
+    perf_snapshot.py BENCH_JSON [BENCH_JSON ...] [--label LABEL] [--filter SUBSTR ...]
 
-Reads the benchmark JSON that bench_micro_decoder/--benchmark_out
-emits and prints a small JSON document mapping benchmark name to
-items_per_second (message bits per second for the decoder benches).
-When the input contains repetitions, the best repetition is kept —
+Reads benchmark JSON in the --benchmark_out format — from
+bench_micro_decoder/codec, and also the compatible quick-mode JSON that
+bench_runtime_throughput emits (items_per_second = aggregate decoded
+bits/s) — and prints a small JSON document mapping benchmark name to
+items_per_second. Multiple inputs merge into one snapshot, so the
+multi-worker scale-out trajectory accumulates next to the single-thread
+one. When an input contains repetitions, the best repetition is kept —
 on shared CI machines the minimum-time run is the least contaminated
 estimate of the code's actual speed.
 
@@ -40,16 +43,21 @@ def distill(raw, filters):
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("bench_json")
+    ap.add_argument("bench_json", nargs="+",
+                    help="one or more --benchmark_out-format JSON files; "
+                         "points merge into a single snapshot")
     ap.add_argument("--label", default="")
     ap.add_argument("--filter", action="append", default=[],
                     help="keep only benchmarks whose name contains this substring")
     args = ap.parse_args()
 
-    with open(args.bench_json) as f:
-        raw = json.load(f)
-
-    points = distill(raw, args.filter)
+    points = {}
+    raw = {}
+    for path in args.bench_json:
+        with open(path) as f:
+            raw = json.load(f)
+        for name, ips in distill(raw, args.filter).items():
+            points[name] = max(points.get(name, 0.0), ips)
     if not points:
         print("perf_snapshot: no matching benchmarks in input", file=sys.stderr)
         return 1
@@ -60,6 +68,7 @@ def main():
         "aggregation": "best repetition",
         "points": {k: round(v, 1) for k, v in sorted(points.items())},
     }
+    # Host context from the last input (all inputs ran on the same box).
     ctx = raw.get("context", {})
     if ctx:
         # Note: GBench's library_build_type describes the *benchmark
