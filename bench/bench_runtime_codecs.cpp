@@ -1,0 +1,255 @@
+// Fig 8-1's rate comparison, re-run through the decode runtime: one
+// deterministic-mode DecodeService pool serves heterogeneous sessions
+// of every codec family at once — spinal (n=256), Raptor/QAM-256,
+// Strider, the 802.11n-style LDPC and the rate-1/5 turbo base code —
+// and the per-codec achieved rates come out of the drained
+// SessionReports instead of per-codec sequential loops. This is the
+// codec-agnostic WorkspaceKey/effort seam's end-to-end demo: five
+// session types, one worker pool, pinned workspaces where the codec
+// supports them.
+//
+// The run doubles as an ordering gate: averaged over the SNR grid,
+// spinal's fraction of capacity must beat every baseline's (the Fig
+// 8-1 middle-panel ordering), and the process exits non-zero if it
+// does not.
+//
+// Run: ./build/bench/bench_runtime_codecs [--json FILE]
+//   --json FILE   also emit Google-Benchmark-compatible JSON
+//                 (items_per_second = decoded bits/s per codec series,
+//                 plus the aggregate pool throughput) for
+//                 tools/perf_snapshot.py
+// Session counts scale with SPINAL_BENCH_TRIALS / SPINAL_BENCH_FULL.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "ldpc/ldpc_session.h"
+#include "raptor/raptor_session.h"
+#include "runtime/decode_service.h"
+#include "sim/spinal_session.h"
+#include "strider/strider_session.h"
+#include "turbo/turbo_session.h"
+#include "util/prng.h"
+
+using namespace spinal;
+using namespace spinal::runtime;
+
+namespace {
+
+constexpr const char* kCodecs[] = {"spinal256", "raptor_qam256", "strider",
+                                   "ldpc_wifi648", "turbo_r15"};
+constexpr int kCodecCount = 5;
+
+/// Per-(codec, snr) tallies across the drained reports.
+struct Tally {
+  long decoded_bits = 0;  ///< message bits of successful sessions
+  long symbols = 0;       ///< channel symbols across all sessions
+  double rate() const {
+    return symbols > 0 ? static_cast<double>(decoded_bits) / symbols : 0.0;
+  }
+};
+
+/// One session spec of codec family @p codec at @p snr_db, trial @p t.
+/// Deterministic per-(codec, snr, trial) seeds keep reruns identical.
+SessionSpec make_spec(int codec, double snr_db, int t,
+                      const std::shared_ptr<const ldpc::LdpcContext>& ctx) {
+  const std::uint64_t tag = static_cast<std::uint64_t>(codec) * 1000 +
+                            static_cast<std::uint64_t>(snr_db * 10) +
+                            static_cast<std::uint64_t>(t) * 100000;
+  util::Xoshiro256 prng(0xF160C000u ^ tag);
+  SessionSpec spec;
+  spec.channel.kind = sim::ChannelKind::kAwgn;
+  spec.channel.snr_db = snr_db;
+  spec.channel.seed = 0xF160CC00u ^ tag;
+  spec.engine.attempt_growth = 1.05;  // cap attempt cost at low SNR
+  switch (codec) {
+    case 0: {  // spinal n=256 (paper config: k=4, B=256, d=1)
+      CodeParams p;
+      p.n = 256;
+      p.B = 256;
+      p.max_passes = 48;
+      spec.make_session = [p] { return std::make_unique<sim::SpinalSession>(p); };
+      spec.message = prng.random_bits(p.n);
+      break;
+    }
+    case 1: {  // Raptor over QAM-256, bench-scaled block
+      raptor::RaptorSessionConfig cfg;
+      cfg.info_bits = 1200;
+      spec.make_session = [cfg] {
+        return std::make_unique<raptor::RaptorSession>(cfg);
+      };
+      spec.message = prng.random_bits(cfg.info_bits);
+      break;
+    }
+    case 2: {  // Strider, 1/4-scale layers for bench speed
+      strider::StriderSessionConfig cfg;
+      cfg.code.layers = 8;
+      cfg.code.layer_bits = 153;
+      spec.make_session = [cfg] {
+        return std::make_unique<strider::StriderSession>(cfg);
+      };
+      spec.message = prng.random_bits(cfg.code.message_bits());
+      break;
+    }
+    case 3: {  // LDPC wifi-648 rate 1/2 over QPSK, chase combining
+      ldpc::LdpcSessionConfig cfg;
+      spec.make_session = [cfg, ctx] {
+        return std::make_unique<ldpc::LdpcSession>(cfg, ctx);
+      };
+      spec.message = prng.random_bits(ctx->encoder.info_bits());
+      break;
+    }
+    default: {  // rate-1/5 turbo over QPSK (Strider's base code alone)
+      turbo::TurboSessionConfig cfg;
+      cfg.info_bits = 1024;
+      spec.make_session = [cfg] {
+        return std::make_unique<turbo::TurboSession>(cfg);
+      };
+      spec.message = prng.random_bits(cfg.info_bits);
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  benchutil::banner("rate comparison through the decode runtime",
+                    "Fig 8-1 series served by one heterogeneous "
+                    "DecodeService pool");
+  const auto snrs = benchutil::snr_grid(5, 25, 10.0, 5.0);
+  const int per_codec = benchutil::trials(2);
+  const int workers = static_cast<int>(
+      std::min(8u, std::max(2u, std::thread::hardware_concurrency())));
+  const auto ldpc_ctx = ldpc::LdpcSession::make_context(ldpc::LdpcSessionConfig{});
+
+  std::map<double, std::vector<Tally>> series;  // snr -> per-codec tallies
+  std::map<double, double> codec_bits_per_s[kCodecCount];
+  long total_bits = 0;
+  double total_wall = 0.0;
+
+  for (double snr : snrs) {
+    RuntimeOptions opt;
+    opt.workers = workers;
+    opt.deterministic = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<SessionReport> reports;
+    {
+      DecodeService service(opt);
+      // Interleave codec families so the pool is heterogeneous at
+      // every moment, not five sequential homogeneous phases.
+      for (int t = 0; t < per_codec; ++t)
+        for (int codec = 0; codec < kCodecCount; ++codec)
+          service.submit(make_spec(codec, snr, t, ldpc_ctx));
+      reports = service.drain();
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::vector<Tally>& tally = series[snr];
+    tally.assign(kCodecCount, Tally{});
+    std::vector<long> codec_bits(kCodecCount, 0);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const int codec = static_cast<int>(i) % kCodecCount;
+      tally[codec].symbols += reports[i].run.symbols;
+      if (reports[i].run.success) {
+        tally[codec].decoded_bits += reports[i].message_bits;
+        codec_bits[codec] += reports[i].message_bits;
+      }
+    }
+    for (int codec = 0; codec < kCodecCount; ++codec) {
+      codec_bits_per_s[codec][snr] =
+          wall > 0 ? static_cast<double>(codec_bits[codec]) / wall : 0.0;
+      total_bits += codec_bits[codec];
+    }
+    total_wall += wall;
+  }
+
+  // ---- rate table (the Fig 8-1 left panel, via the runtime) ----
+  std::printf("snr_db,shannon");
+  for (const char* c : kCodecs) std::printf(",%s", c);
+  std::printf("\n");
+  for (const auto& [snr, tally] : series) {
+    std::printf("%.0f,%.3f", snr, util::awgn_capacity(util::db_to_lin(snr)));
+    for (int codec = 0; codec < kCodecCount; ++codec)
+      std::printf(",%.3f", tally[codec].rate());
+    std::printf("\n");
+  }
+  const double agg_bps =
+      total_wall > 0 ? static_cast<double>(total_bits) / total_wall : 0.0;
+  std::printf("# pool: %d workers, %d sessions/codec/SNR; aggregate decoded "
+              "%ld bits in %.2fs = %.0f bits/s\n",
+              workers, per_codec, total_bits, total_wall, agg_bps);
+
+  // ---- ordering gate: spinal's capacity fraction on top (Fig 8-1
+  // middle panel, averaged over the grid) ----
+  double frac[kCodecCount] = {};
+  for (const auto& [snr, tally] : series)
+    for (int codec = 0; codec < kCodecCount; ++codec)
+      frac[codec] += benchutil::capacity_fraction(tally[codec].rate(), snr);
+  for (double& fr : frac) fr /= static_cast<double>(series.size());
+  std::printf("# fraction of capacity, grid average:");
+  for (int codec = 0; codec < kCodecCount; ++codec)
+    std::printf(" %s=%.3f", kCodecs[codec], frac[codec]);
+  std::printf("\n");
+  bool ordering_ok = true;
+  for (int codec = 1; codec < kCodecCount; ++codec) {
+    if (frac[0] <= frac[codec]) {
+      std::fprintf(stderr,
+                   "ORDERING VIOLATION: spinal capacity fraction %.3f <= "
+                   "%s %.3f\n",
+                   frac[0], kCodecs[codec], frac[codec]);
+      ordering_ok = false;
+    }
+  }
+  if (ordering_ok)
+    std::printf("# ordering check: spinal beats every baseline on fraction "
+                "of capacity (Fig 8-1 reproduced)\n");
+
+  if (json_path) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"context\": {\"num_cpus\": %u, \"mhz_per_cpu\": 0},\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (int codec = 0; codec < kCodecCount; ++codec) {
+      for (const auto& [snr, bps] : codec_bits_per_s[codec])
+        std::fprintf(f,
+                     "    {\"name\": \"BM_RuntimeCodecs/%s/snr:%.0f\", "
+                     "\"run_type\": \"iteration\", "
+                     "\"items_per_second\": %.1f},\n",
+                     kCodecs[codec], snr, bps);
+    }
+    std::fprintf(f,
+                 "    {\"name\": \"BM_RuntimeCodecs/aggregate\", "
+                 "\"run_type\": \"iteration\", \"items_per_second\": %.1f}\n",
+                 agg_bps);
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+  return ordering_ok ? 0 : 1;
+}

@@ -138,10 +138,11 @@ int main(int argc, char** argv) {
               snap.decode_latency_us.quantile(0.95),
               snap.decode_latency_us.quantile(0.99), snap.decode_latency_us.max(),
               static_cast<unsigned long long>(snap.decode_latency_us.count()));
-  std::printf("adaptive beam: %llu reduced-B attempts, %llu full-B idle "
-              "retries, peak in-flight %d\n",
-              static_cast<unsigned long long>(snap.counters.reduced_beam_attempts),
-              static_cast<unsigned long long>(snap.counters.full_beam_retries),
+  std::printf("adaptive effort: %llu reduced attempts, %llu full-effort idle "
+              "retries, %llu unpinned decodes, peak in-flight %d\n",
+              static_cast<unsigned long long>(snap.counters.reduced_effort_attempts),
+              static_cast<unsigned long long>(snap.counters.full_effort_retries),
+              static_cast<unsigned long long>(snap.counters.unpinned_decodes),
               service.peak_in_flight());
 
   const std::size_t failed = static_cast<std::size_t>(

@@ -252,6 +252,14 @@ struct Backend {
   /// candidate set.
   void (*select_keys)(std::uint64_t* keys, std::size_t count, std::size_t keep);
 
+  /// GF(2) dense row combine: dst[w] ^= src[w] for w < words. The
+  /// kernel table's first non-spinal client — Raptor's LT + LDGM
+  /// precode row operations accumulate packed parity rows through it.
+  /// dst and src must not overlap. Pure integer XOR, so every backend
+  /// is trivially bit-identical.
+  void (*xor_rows)(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t words);
+
   /// Batched RNG of §7.1 (domain-separated hash, see SpineHash::rng).
   void rng_n(hash::Kind kind, std::uint32_t salt, const std::uint32_t* states,
              std::size_t count, std::uint32_t index, std::uint32_t* out) const {

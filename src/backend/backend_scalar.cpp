@@ -106,6 +106,10 @@ struct ScalarOps {
     scalar::regroup_emit(child_state, child_cost, leaf_cost, leaf_path, leaves, fanout,
                          k, d, group_mask, group_rowbase, out_state, out_cost, out_path);
   }
+  static void xor_rows(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t words) {
+    scalar::xor_rows(dst, src, words);
+  }
 };
 
 }  // namespace
@@ -127,6 +131,7 @@ const Backend* scalar_backend() noexcept {
       ScalarOps::regroup_emit,
       shared_partition_keys,
       shared_select_keys,
+      ScalarOps::xor_rows,
   };
   return &b;
 }

@@ -32,6 +32,7 @@ const Backend* sse42_backend() noexcept {
       Ops::regroup_emit,
       shared_partition_keys,
       shared_select_keys,
+      Ops::xor_rows,
   };
   return &b;
 }

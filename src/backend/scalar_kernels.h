@@ -370,4 +370,13 @@ static inline void regroup_emit(const std::uint32_t* child_state, const float* c
   }
 }
 
+/// Dense GF(2) row combine (see Backend::xor_rows): dst ^= src over
+/// 64-bit words. Word-at-a-time is the reference semantics; SIMD
+/// backends widen the stride but XOR is exact, so outputs are
+/// bit-identical by construction.
+static inline void xor_rows(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t words) noexcept {
+  for (std::size_t w = 0; w < words; ++w) dst[w] ^= src[w];
+}
+
 }  // namespace spinal::backend::scalar

@@ -692,6 +692,24 @@ static void bsc_gather_bit_v(const std::uint32_t* w, std::size_t count, std::uin
   if (i < count) scalar::bsc_gather_bit(w + i, count - i, j, acc + i);
 }
 
+/// Dense GF(2) row combine, dst ^= src over 64-bit words. XOR is exact
+/// in any lane width, so this is bit-identical to the scalar kernel by
+/// construction. The vector body reinterprets the u64 words as V::W
+/// uint32 lanes only at the load/store boundary (one vector covers
+/// V::W / 2 words); the tail stays on plain u64 scalar ops.
+template <class V>
+static void xor_rows_v(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t words) {
+  constexpr std::size_t kStep = V::W / 2;  // u64 words per vector
+  std::size_t w = 0;
+  for (; w + kStep <= words; w += kStep) {
+    std::uint32_t* d = reinterpret_cast<std::uint32_t*>(dst + w);
+    const std::uint32_t* s = reinterpret_cast<const std::uint32_t*>(src + w);
+    V::storeu(d, V::xor_(V::loadu(d), V::loadu(s)));
+  }
+  for (; w < words; ++w) dst[w] ^= src[w];
+}
+
 /// The Ops policy the fused expand drivers (expand.h) instantiate with.
 template <class V>
 struct SimdOps {
@@ -791,6 +809,10 @@ struct SimdOps {
                            std::uint32_t* out_path) {
     regroup_emit_v<V>(child_state, child_cost, leaf_cost, leaf_path, leaves, fanout, k,
                       d, group_mask, group_rowbase, out_state, out_cost, out_path);
+  }
+  static void xor_rows(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t words) {
+    xor_rows_v<V>(dst, src, words);
   }
 };
 

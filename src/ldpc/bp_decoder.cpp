@@ -30,13 +30,27 @@ BpDecoder::BpDecoder(const ParityMatrix& H, int iterations)
 }
 
 BpResult BpDecoder::decode(std::span<const float> channel_llrs) const {
+  BpWork work;
+  return decode(channel_llrs, iterations_, work);
+}
+
+BpResult BpDecoder::decode(std::span<const float> channel_llrs, int iterations,
+                           BpWork& work) const {
   if (channel_llrs.size() != static_cast<std::size_t>(H_.variables()))
     throw std::invalid_argument("BpDecoder::decode: wrong LLR length");
+  if (iterations <= 0) iterations = iterations_;
 
   const int n_edges = static_cast<int>(edge_var_.size());
-  std::vector<float> check_msg(n_edges, 0.0f);  // check -> variable
-  std::vector<float> var_msg(n_edges);          // variable -> check
-  std::vector<float> posterior(H_.variables());
+  // Every buffer is fully (re)written below, so a recycled BpWork
+  // produces bit-identical messages to fresh allocations.
+  work.check_msg.assign(static_cast<std::size_t>(n_edges), 0.0f);
+  work.var_msg.resize(static_cast<std::size_t>(n_edges));
+  work.posterior.resize(static_cast<std::size_t>(H_.variables()));
+  work.hard.assign(static_cast<std::size_t>(H_.variables()), 0);
+  std::vector<float>& check_msg = work.check_msg;  // check -> variable
+  std::vector<float>& var_msg = work.var_msg;      // variable -> check
+  std::vector<float>& posterior = work.posterior;
+  std::vector<std::uint8_t>& hard = work.hard;
 
   // Initialise variable->check with channel LLRs.
   for (int e = 0; e < n_edges; ++e) var_msg[e] = clamp_llr(channel_llrs[edge_var_[e]]);
@@ -46,9 +60,7 @@ BpResult BpDecoder::decode(std::span<const float> channel_llrs) const {
   result.checks_satisfied = false;
   result.iterations_used = 0;
 
-  std::vector<std::uint8_t> hard(H_.variables(), 0);
-
-  for (int it = 0; it < iterations_; ++it) {
+  for (int it = 0; it < iterations; ++it) {
     result.iterations_used = it + 1;
 
     // Check node update (tanh rule), per check.

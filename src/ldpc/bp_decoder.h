@@ -3,6 +3,7 @@
 // LDPC baseline uses "a belief propagation decoder that uses forty full
 // iterations with a floating point representation", §8).
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -17,13 +18,32 @@ struct BpResult {
   int iterations_used;
 };
 
+/// Caller-owned message-passing scratch, reusable across decodes of any
+/// graph (buffers are resized and fully (re)initialized from the channel
+/// LLRs each call, so reuse cannot change results bit-wise). The decode
+/// runtime pins one per worker per LDPC WorkspaceKey.
+struct BpWork {
+  std::vector<float> check_msg;
+  std::vector<float> var_msg;
+  std::vector<float> posterior;
+  std::vector<std::uint8_t> hard;
+};
+
 class BpDecoder {
  public:
   /// @param iterations  full BP iterations (default 40 as in §8)
   explicit BpDecoder(const ParityMatrix& H, int iterations = 40);
 
+  int iterations() const noexcept { return iterations_; }
+
   /// Decodes from per-variable channel LLRs (log P(0)/P(1)).
   BpResult decode(std::span<const float> channel_llrs) const;
+
+  /// Caller-workspace + iteration-cap form (the runtime's effort knob):
+  /// @p iterations <= 0 runs the configured count, making effort 0
+  /// bit-identical to the plain decode().
+  BpResult decode(std::span<const float> channel_llrs, int iterations,
+                  BpWork& work) const;
 
  private:
   const ParityMatrix& H_;

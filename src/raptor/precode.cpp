@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "backend/backend.h"
 #include "util/prng.h"
 
 namespace spinal::raptor {
@@ -20,6 +21,8 @@ RaptorPrecode::RaptorPrecode(int info_bits, double rate, int left_degree,
   if (left_degree > r_) left_degree = r_;
 
   checks_.resize(r_);
+  row_words_ = (static_cast<std::size_t>(r_) + 63) / 64;
+  rows_.assign(static_cast<std::size_t>(k_) * row_words_, 0);
   util::Xoshiro256 rng(seed ^ (static_cast<std::uint64_t>(info_bits) << 20));
   for (int i = 0; i < k_; ++i) {
     // left_degree distinct checks for info bit i.
@@ -31,7 +34,11 @@ RaptorPrecode::RaptorPrecode(int info_bits, double rate, int left_degree,
       for (int j = 0; j < count; ++j) dup |= (chosen[j] == c);
       if (!dup) chosen[count++] = c;
     }
-    for (int j = 0; j < count; ++j) checks_[chosen[j]].push_back(i);
+    std::uint64_t* row = rows_.data() + static_cast<std::size_t>(i) * row_words_;
+    for (int j = 0; j < count; ++j) {
+      checks_[chosen[j]].push_back(i);
+      row[chosen[j] >> 6] |= 1ull << (chosen[j] & 63);
+    }
   }
   // Close each check with its parity bit.
   for (int j = 0; j < r_; ++j) checks_[j].push_back(k_ + j);
@@ -41,13 +48,17 @@ util::BitVec RaptorPrecode::expand(const util::BitVec& info) const {
   if (info.size() != static_cast<std::size_t>(k_))
     throw std::invalid_argument("RaptorPrecode::expand: wrong info length");
   util::BitVec out(k_ + r_);
-  for (int i = 0; i < k_; ++i) out.set(i, info.get(i));
-  for (int j = 0; j < r_; ++j) {
-    int acc = 0;
-    for (int v : checks_[j])
-      if (v < k_ && info.get(v)) acc ^= 1;
-    out.set(k_ + j, acc);
+  // Parity = XOR of the packed generator rows of the set info bits,
+  // accumulated through the backend's dense row-combine kernel (pure
+  // GF(2), so bit-identical to the old per-check scan on any backend).
+  const backend::Backend& be = backend::active();
+  std::vector<std::uint64_t> parity(row_words_, 0);
+  for (int i = 0; i < k_; ++i) {
+    const bool bit = info.get(i);
+    out.set(i, bit);
+    if (bit) be.xor_rows(parity.data(), rows_.data() + static_cast<std::size_t>(i) * row_words_, row_words_);
   }
+  for (int j = 0; j < r_; ++j) out.set(k_ + j, (parity[j >> 6] >> (j & 63)) & 1);
   return out;
 }
 

@@ -9,6 +9,7 @@
 // of the info bits in check j. The decoder uses the same checks as
 // zero-constraint factor nodes.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +40,12 @@ class RaptorPrecode {
   int k_;
   int r_;
   std::vector<std::vector<int>> checks_;
+  // Packed generator rows for expand(): row i is info bit i's parity
+  // membership as an r_-bit bitmap, so the parity block is the XOR of
+  // the rows of the set info bits — a dense GF(2) row combine served
+  // by the backend kernel table (Backend::xor_rows).
+  std::size_t row_words_;
+  std::vector<std::uint64_t> rows_;
 };
 
 }  // namespace spinal::raptor

@@ -40,7 +40,8 @@ void RaptorDecoder::reset() {
   rx_llr_.clear();
 }
 
-std::optional<util::BitVec> RaptorDecoder::decode() {
+std::optional<util::BitVec> RaptorDecoder::decode(int iterations) {
+  if (iterations <= 0) iterations = iterations_;
   const int m = precode_.intermediate_bits();
   const int n_out = static_cast<int>(rx_index_.size());
   const auto& pc_checks = precode_.checks();
@@ -71,7 +72,7 @@ std::optional<util::BitVec> RaptorDecoder::decode() {
 
   util::BitVec intermediate(m);
 
-  for (int it = 0; it < iterations_; ++it) {
+  for (int it = 0; it < iterations; ++it) {
     // Factor update.
     for (std::size_t f = 0; f < factor_vars.size(); ++f) {
       const int begin = offset[f], end = offset[f + 1];

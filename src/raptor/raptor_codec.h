@@ -50,7 +50,12 @@ class RaptorDecoder {
 
   /// One BP decode attempt. Returns the info-bit estimate; nullopt when
   /// the posterior fails the precode checks (caller may also CRC-check).
-  std::optional<util::BitVec> decode();
+  std::optional<util::BitVec> decode() { return decode(0); }
+
+  /// Iteration-capped form (the runtime's effort knob): @p iterations
+  /// <= 0 runs the configured count, so effort 0 is bit-identical to
+  /// the plain decode().
+  std::optional<util::BitVec> decode(int iterations);
 
   void reset();
 

@@ -63,6 +63,12 @@ std::optional<util::BitVec> RaptorSession::try_decode() {
   return decoder_.decode();
 }
 
+std::optional<util::BitVec> RaptorSession::try_decode_with(
+    sim::CodecWorkspace* /*ws*/, int effort) {
+  if (decoder_.bits_received() < min_bits_to_try_) return std::nullopt;
+  return decoder_.decode(effort);
+}
+
 int RaptorSession::max_chunks() const {
   const long max_bits =
       static_cast<long>(config_.info_bits) * config_.max_passes_equiv;

@@ -4,6 +4,7 @@
 // Coded bits are packed bits_per_symbol at a time into Gray-mapped QAM
 // symbols; the receiver demaps to per-bit LLRs and runs joint BP.
 
+#include <algorithm>
 #include <cstdint>
 
 #include "modem/qam.h"
@@ -31,6 +32,14 @@ class RaptorSession : public sim::RatelessSession {
   void receive_chunk(std::span<const std::complex<float>> y,
                      std::span<const std::complex<float>> csi) override;
   std::optional<util::BitVec> try_decode() override;
+  /// Effort = BP iteration cap. Raptor rebuilds the joint factor graph
+  /// per attempt, so there is no pinnable workspace yet (@p ws is
+  /// ignored; the runtime counts these attempts as unpinned).
+  std::optional<util::BitVec> try_decode_with(sim::CodecWorkspace* ws,
+                                              int effort) override;
+  sim::EffortProfile effort_profile() const override {
+    return {config_.bp_iterations, std::min(4, config_.bp_iterations)};
+  }
   int max_chunks() const override;
   void set_noise_hint(double noise_variance) override { noise_var_ = noise_variance; }
 

@@ -1,41 +1,54 @@
 #pragma once
-// Load-adaptive beam-width policy: the compute/accuracy knob the paper
-// quantifies in Fig 8-6 (smaller B decodes faster at a rate penalty),
-// applied by queue depth. When the job queue backs up, decode attempts
-// run with a geometrically shrunk beam; when the queue is idle, a
-// failed shrunk attempt is immediately retried at full width before any
-// more channel symbols are spent — "De-randomizing Shannon"'s
-// observation that beam width is the natural overload valve, scheduled
-// jointly with symbol arrival as in Li et al. (arXiv:2101.07953).
+// Load-adaptive effort policy: the compute/accuracy knob the paper
+// quantifies in Fig 8-6 (smaller beam width B decodes faster at a rate
+// penalty), generalized across codecs — beam width for spinal, BP
+// iteration cap for LDPC/Raptor, turbo iteration budget for
+// Turbo/Strider — and applied by queue depth. When the job queue backs
+// up, decode attempts run with geometrically shrunk effort; when the
+// queue is idle, a failed shrunk attempt is immediately retried at full
+// effort before any more channel symbols are spent — "De-randomizing
+// Shannon"'s observation that beam width is the natural overload valve,
+// scheduled jointly with symbol arrival as in Li et al.
+// (arXiv:2101.07953). Each session reports its own full/floor pair
+// (sim::EffortProfile); the options here hold only the structural knobs
+// of the policy.
 
 #include <algorithm>
 #include <cstddef>
 
 namespace spinal::runtime {
 
-struct AdaptiveBeamOptions {
+struct AdaptiveEffortOptions {
   bool enabled = true;
-  /// Never shrink below this width (clamped to the session's B).
-  int min_beam = 16;
+  /// Service-wide floor on the effort knob; the effective floor per
+  /// attempt is max(min_effort, the session's EffortProfile floor),
+  /// clamped to its full effort (spinal sessions report floor
+  /// min(16, B), iterative decoders a few iterations).
+  int min_effort = 1;
   /// Queue depth at or below which the service counts as idle: attempts
-  /// run at full width, and failed shrunk attempts retry at full width.
+  /// run at full effort, and failed shrunk attempts retry at full effort.
   std::size_t idle_depth = 1;
-  /// Each additional this-many queued jobs beyond idle_depth halves B.
+  /// Each additional this-many queued jobs beyond idle_depth halves the
+  /// effort.
   std::size_t depth_per_halving = 32;
-  /// Retry a failed reduced-beam attempt at full B when the queue has
-  /// drained (costs only compute — the paper's failed-attempt currency —
-  /// and saves the channel symbols a missed decode would burn).
+  /// Retry a failed reduced-effort attempt at full effort when the queue
+  /// has drained (costs only compute — the paper's failed-attempt
+  /// currency — and saves the channel symbols a missed decode would burn).
   bool retry_full_when_idle = true;
 };
 
-/// Beam width for one decode attempt under the current queue depth.
-inline int pick_beam(const AdaptiveBeamOptions& opt, int full_beam,
-                     std::size_t queue_depth) {
-  if (!opt.enabled || queue_depth <= opt.idle_depth) return full_beam;
+/// Effort for one decode attempt under the current queue depth.
+/// @p full/@p floor come from the session's EffortProfile; full <= 0
+/// (no knob) always yields 0, the "configured effort" sentinel.
+inline int pick_effort(const AdaptiveEffortOptions& opt, int full, int floor,
+                       std::size_t queue_depth) {
+  if (full <= 0) return 0;
+  if (!opt.enabled || queue_depth <= opt.idle_depth) return full;
   const std::size_t per = std::max<std::size_t>(1, opt.depth_per_halving);
   const std::size_t halvings = (queue_depth - opt.idle_depth + per - 1) / per;
-  const int shrunk = halvings >= 31 ? 1 : full_beam >> halvings;
-  return std::clamp(shrunk, std::min(opt.min_beam, full_beam), full_beam);
+  const int shrunk = halvings >= 31 ? 1 : full >> halvings;
+  const int lo = std::clamp(std::max(floor, opt.min_effort), 1, full);
+  return std::clamp(shrunk, lo, full);
 }
 
 }  // namespace spinal::runtime

@@ -148,32 +148,35 @@ void DecodeService::session_step(WorkerScope& scope, std::size_t index) {
     scope.telemetry().record_feed(symbols - s->symbols_seen);
     s->symbols_seen = symbols;
 
-    const CodeParams* cp = s->session->code_params();
-    int beam = 0;
-    if (!opt_.deterministic && cp) beam = scope.pick_beam(*cp);
-    const bool reduced = cp != nullptr && beam > 0 && beam < cp->B;
+    const sim::EffortProfile profile = s->session->effort_profile();
+    int effort = 0;
+    if (!opt_.deterministic) effort = scope.pick_effort(profile);
+    const bool reduced = effort > 0 && effort < profile.full;
+
+    // Resolve the worker-pinned workspace (nullptr: session has none —
+    // the attempt allocates internally, which telemetry counts).
+    sim::CodecWorkspace* ws = scope.workspace(*s->session);
 
     auto t0 = std::chrono::steady_clock::now();
     std::optional<util::BitVec> candidate =
-        cp ? s->session->try_decode_with(scope.workspace(*cp), beam)
-           : s->session->try_decode();
+        s->session->try_decode_with(ws, effort);
     double us = elapsed_micros(t0);
-    scope.telemetry().record_attempt(us, reduced, false);
+    scope.telemetry().record_attempt(us, reduced, false, ws == nullptr);
     s->report.decode_micros += us;
-    if (reduced) ++s->report.reduced_beam_attempts;
+    if (reduced) ++s->report.reduced_effort_attempts;
     s->run->record_attempt(candidate);
 
-    // A shrunk attempt that failed gets one full-width retry on the
+    // A shrunk attempt that failed gets one full-effort retry on the
     // same symbols when the queue has drained: compute is free when
     // idle, channel symbols never are.
     if (!s->run->finished() && reduced && opt_.adapt.retry_full_when_idle &&
         scope.idle()) {
       t0 = std::chrono::steady_clock::now();
-      candidate = s->session->try_decode_with(scope.workspace(*cp), 0);
+      candidate = s->session->try_decode_with(ws, 0);
       us = elapsed_micros(t0);
-      scope.telemetry().record_attempt(us, false, true);
+      scope.telemetry().record_attempt(us, false, true, ws == nullptr);
       s->report.decode_micros += us;
-      ++s->report.full_beam_retries;
+      ++s->report.full_effort_retries;
       s->run->record_attempt(candidate);
     }
 
@@ -267,10 +270,35 @@ void DecodeService::post(Task task) {
   });
 }
 
-int DecodeService::WorkerScope::pick_beam(const CodeParams& params) const {
+sim::CodecWorkspace* DecodeService::WorkerScope::workspace(
+    const sim::RatelessSession& session) {
+  const WorkspaceKey key = session.workspace_key();
+  if (!key.valid()) return nullptr;
+  std::unique_ptr<sim::CodecWorkspace>& slot = w_->pinned[key];
+  if (!slot) slot = session.make_workspace();
+  return slot.get();
+}
+
+int DecodeService::WorkerScope::pick_effort(
+    const sim::EffortProfile& profile) const {
   if (svc_->opt_.deterministic || !svc_->opt_.adapt.enabled) return 0;
-  const int b = runtime::pick_beam(svc_->opt_.adapt, params.B, queue_depth());
-  return b >= params.B ? 0 : b;
+  const int e = runtime::pick_effort(svc_->opt_.adapt, profile.full,
+                                     profile.floor, queue_depth());
+  return e >= profile.full ? 0 : e;
+}
+
+sim::SpinalWorkspace& DecodeService::WorkerScope::spinal_pinned(
+    const CodeParams& params) {
+  std::unique_ptr<sim::CodecWorkspace>& slot =
+      w_->pinned[sim::spinal_workspace_key(params)];
+  if (!slot) slot = std::make_unique<sim::SpinalWorkspace>();
+  // Safe: the "spinal" codec tag is only ever pinned with SpinalWorkspace
+  // (the spinal sessions' make_workspace and this factory agree).
+  return static_cast<sim::SpinalWorkspace&>(*slot);
+}
+
+int DecodeService::WorkerScope::pick_beam(const CodeParams& params) const {
+  return pick_effort(sim::EffortProfile{params.B, std::min(16, params.B)});
 }
 
 }  // namespace spinal::runtime

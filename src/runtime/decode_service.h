@@ -3,29 +3,32 @@
 // sessions onto a small worker pool.
 //
 //   submit(spec) ──► [ MPMC JobQueue ] ──► worker threads
-//                         ▲    │             │ pinned DecodeWorkspaces,
-//                         │    └─ depth ──►  │ keyed by CodeParams
-//                 session jobs repost        │ (heterogeneous links batch
-//                 themselves until done      │  without reallocation)
+//                         ▲    │             │ pinned CodecWorkspaces,
+//                         │    └─ depth ──►  │ keyed by WorkspaceKey
+//                 session jobs repost        │ (codec tag + params: hetero-
+//                 themselves until done      │  geneous codecs batch without
+//                                            │  reallocation)
 //
 // Each session runs as a self-contained state machine (sim::MessageRun):
 // one job streams channel symbols until the engine's attempt policy
-// fires, performs the decode attempt on the worker's pinned workspace,
-// and reposts itself until the message decodes or the give-up bound
-// hits. At most one job per session exists at a time, so sessions need
-// no locking of their own; the queue's mutex provides the
-// happens-before edge between the workers that successively advance a
-// session.
+// fires, performs the decode attempt on the worker's pinned workspace
+// (sessions without one — today Raptor and Strider — run unpinned,
+// which telemetry counts), and reposts itself until the message decodes
+// or the give-up bound hits. At most one job per session exists at a
+// time, so sessions need no locking of their own; the queue's mutex
+// provides the happens-before edge between the workers that
+// successively advance a session.
 //
 // Admission control: at most max_in_flight sessions run concurrently —
 // submit() blocks (backpressure), try_submit() refuses. Load
-// adaptation: when the queue backs up, attempts run with a shrunk beam
-// width; when it drains, failed shrunk attempts retry at full width
-// before spending more channel symbols (adaptive.h).
+// adaptation: when the queue backs up, attempts run with shrunk effort
+// (beam width / BP iterations / turbo iterations, per the session's
+// EffortProfile); when it drains, failed shrunk attempts retry at full
+// effort before spending more channel symbols (adaptive.h).
 //
-// Deterministic mode pins every attempt at the configured beam width
-// and disables idle retries; each session's outcome then depends only
-// on its own spec (per-session seeded channel), and drain() returns
+// Deterministic mode pins every attempt at the configured effort and
+// disables idle retries; each session's outcome then depends only on
+// its own spec (per-session seeded channel), and drain() returns
 // reports in submission order — bit-identical to a sequential
 // run_message loop at any worker count, the same guarantee the
 // Monte-Carlo TrialRunner gives the experiment sweeps.
@@ -48,17 +51,18 @@
 #include "runtime/job_queue.h"
 #include "runtime/runtime.h"
 #include "runtime/telemetry.h"
-#include "spinal/decoder.h"
+#include "sim/spinal_workspace.h"
 
 namespace spinal::runtime {
 
 struct RuntimeOptions {
   int workers = 0;        ///< worker threads; 0 = sim::bench_threads()
   int max_in_flight = 0;  ///< session admission cap; 0 = max(64, 4 * workers)
-  /// Fixed beam width + no idle retries + per-session-only state: makes
-  /// results bit-identical to sequential run_message at any worker count.
+  /// Fixed (configured) effort + no idle retries + per-session-only
+  /// state: makes results bit-identical to sequential run_message at any
+  /// worker count.
   bool deterministic = false;
-  AdaptiveBeamOptions adapt;  ///< load policy (ignored when deterministic)
+  AdaptiveEffortOptions adapt;  ///< load policy (ignored when deterministic)
 };
 
 class DecodeService {
@@ -108,12 +112,8 @@ class DecodeService {
   void post(Task task);
 
  private:
-  struct Pinned {
-    detail::DecodeWorkspace ws;
-    DecodeResult out;
-  };
   struct Worker {
-    std::map<ParamsKey, Pinned> pinned;
+    std::map<WorkspaceKey, std::unique_ptr<sim::CodecWorkspace>> pinned;
     WorkerTelemetry telemetry;
     std::thread thread;
   };
@@ -143,33 +143,44 @@ class DecodeService {
   static constexpr std::size_t kExtTaskCap = 1024;
 };
 
-/// Worker-side view handed to every task: the pinned per-CodeParams
+/// Worker-side view handed to every task: the pinned per-WorkspaceKey
 /// decode scratch plus the load signals the adaptive policy reads.
 class DecodeService::WorkerScope {
  public:
-  /// The worker's pinned workspace for @p params (created on first use,
-  /// reused — allocation-free in steady state — afterwards).
-  detail::DecodeWorkspace& workspace(const CodeParams& params) {
-    return pinned(params).ws;
-  }
-  /// A DecodeResult scratch pinned alongside the workspace.
-  DecodeResult& out_scratch(const CodeParams& params) { return pinned(params).out; }
+  /// The worker's pinned workspace for @p session's workspace_key()
+  /// (created on first use via the session's factory, reused —
+  /// allocation-free in steady state — across all sessions with equal
+  /// keys). Returns nullptr when the session reports no key or no
+  /// factory: the attempt then runs unpinned, which the caller records.
+  sim::CodecWorkspace* workspace(const sim::RatelessSession& session);
 
-  /// Beam width for an attempt under the current load (0 = configured
-  /// width: deterministic mode, adaptation disabled, or idle queue).
-  int pick_beam(const CodeParams& params) const;
+  /// Effort for an attempt under the current load (0 = configured
+  /// effort: deterministic mode, adaptation disabled, idle queue, or a
+  /// session without a knob).
+  int pick_effort(const sim::EffortProfile& profile) const;
+
   std::size_t queue_depth() const { return svc_->queue_.depth(); }
   bool idle() const {
     return svc_->queue_.depth() <= svc_->opt_.adapt.idle_depth;
   }
   WorkerTelemetry& telemetry() { return w_->telemetry; }
 
+  // Spinal-typed conveniences for the link-layer mux, which schedules
+  // raw per-block SpinalDecoder attempts (no RatelessSession) and knows
+  // its codec. Pinned in the same pool under spinal_workspace_key.
+  detail::DecodeWorkspace& workspace(const CodeParams& params) {
+    return spinal_pinned(params).ws;
+  }
+  DecodeResult& out_scratch(const CodeParams& params) {
+    return spinal_pinned(params).out;
+  }
+  /// Beam width for a spinal attempt (0 = configured width).
+  int pick_beam(const CodeParams& params) const;
+
  private:
   friend class DecodeService;
   WorkerScope(DecodeService* svc, Worker* w) : svc_(svc), w_(w) {}
-  Pinned& pinned(const CodeParams& params) {
-    return w_->pinned[make_params_key(params)];
-  }
+  sim::SpinalWorkspace& spinal_pinned(const CodeParams& params);
 
   DecodeService* svc_;
   Worker* w_;

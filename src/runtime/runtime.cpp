@@ -16,22 +16,4 @@ SessionReport run_sequential(const SessionSpec& spec) {
   return report;
 }
 
-ParamsKey make_params_key(const CodeParams& p) noexcept {
-  return ParamsKey{p.n,
-                   p.k,
-                   p.c,
-                   p.B,
-                   p.d,
-                   p.tail_symbols,
-                   p.puncture_ways,
-                   static_cast<int>(p.map),
-                   static_cast<int>(p.hash_kind),
-                   p.beta,
-                   p.power,
-                   p.salt,
-                   p.s0,
-                   p.max_passes,
-                   p.fixed_point_frac_bits};
-}
-
 }  // namespace spinal::runtime

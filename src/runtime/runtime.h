@@ -1,7 +1,7 @@
 #pragma once
 // Shared types for the concurrent multi-session decode runtime
 // (src/runtime/): session/channel specifications, per-session reports,
-// service options, and the CodeParams key under which workers pin
+// service options, and the codec-tagged key under which workers pin
 // reusable decode workspaces.
 //
 // The runtime is the scale-out story for the single-thread kernel work:
@@ -9,8 +9,8 @@
 // radio serving many simultaneous code blocks, so the service
 // multiplexes thousands of rateless sessions onto a small worker pool
 // (decode_service.h) and ingests tagged link-symbol streams
-// (session_mux.h), trading beam width for compute under load
-// (adaptive.h, the Fig 8-6 knob).
+// (session_mux.h), trading per-codec decode effort for compute under
+// load (adaptive.h, the Fig 8-6 knob generalized).
 
 #include <cstdint>
 #include <functional>
@@ -19,7 +19,6 @@
 #include "sim/channel_sim.h"
 #include "sim/engine.h"
 #include "sim/session.h"
-#include "spinal/params.h"
 #include "util/bitvec.h"
 
 namespace spinal::runtime {
@@ -51,9 +50,9 @@ struct SessionSpec {
 struct SessionReport {
   sim::RunResult run;
   int message_bits = 0;
-  double decode_micros = 0.0;     ///< decode time summed over attempts
-  int reduced_beam_attempts = 0;  ///< attempts shrunk by the load policy
-  int full_beam_retries = 0;      ///< idle retries at full width
+  double decode_micros = 0.0;       ///< decode time summed over attempts
+  int reduced_effort_attempts = 0;  ///< attempts shrunk by the load policy
+  int full_effort_retries = 0;      ///< idle retries at full effort
 };
 
 /// The sequential loop the deterministic runtime must reproduce
@@ -61,19 +60,10 @@ struct SessionReport {
 /// seed and engine options). decode_micros is not measured here.
 SessionReport run_sequential(const SessionSpec& spec);
 
-/// All CodeParams fields, totally ordered — the workspace-pool key.
-/// Distinct params (heterogeneous links) get distinct pinned
+/// The workspace-pool key: sim::WorkspaceKey, the codec-tagged
+/// (codec, serialized params) pair every session reports. Distinct keys
+/// (heterogeneous links, different codecs) get distinct pinned
 /// workspaces, so steady-state decodes stay allocation-free per key.
-struct ParamsKey {
-  int n, k, c, B, d, tail_symbols, puncture_ways;
-  int map, hash_kind;
-  double beta, power;
-  std::uint32_t salt, s0;
-  int max_passes, fixed_point_frac_bits;
-
-  auto operator<=>(const ParamsKey&) const = default;
-};
-
-ParamsKey make_params_key(const CodeParams& p) noexcept;
+using WorkspaceKey = sim::WorkspaceKey;
 
 }  // namespace spinal::runtime

@@ -6,8 +6,9 @@ void Counters::merge(const Counters& o) noexcept {
   jobs += o.jobs;
   symbols_fed += o.symbols_fed;
   decode_attempts += o.decode_attempts;
-  reduced_beam_attempts += o.reduced_beam_attempts;
-  full_beam_retries += o.full_beam_retries;
+  reduced_effort_attempts += o.reduced_effort_attempts;
+  full_effort_retries += o.full_effort_retries;
+  unpinned_decodes += o.unpinned_decodes;
   sessions_completed += o.sessions_completed;
   sessions_failed += o.sessions_failed;
   bits_decoded += o.bits_decoded;
@@ -24,12 +25,13 @@ void WorkerTelemetry::record_feed(long symbols) noexcept {
   c_.symbols_fed += static_cast<std::uint64_t>(symbols);
 }
 
-void WorkerTelemetry::record_attempt(double micros, bool reduced_beam,
-                                     bool full_retry) noexcept {
+void WorkerTelemetry::record_attempt(double micros, bool reduced_effort,
+                                     bool full_retry, bool unpinned) noexcept {
   std::lock_guard lock(m_);
   ++c_.decode_attempts;
-  if (reduced_beam) ++c_.reduced_beam_attempts;
-  if (full_retry) ++c_.full_beam_retries;
+  if (reduced_effort) ++c_.reduced_effort_attempts;
+  if (full_retry) ++c_.full_effort_retries;
+  if (unpinned) ++c_.unpinned_decodes;
   latency_us_.add(micros);
 }
 

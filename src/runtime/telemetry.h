@@ -13,15 +13,20 @@
 namespace spinal::runtime {
 
 struct Counters {
-  std::uint64_t jobs = 0;                   ///< queue pops executed
-  std::uint64_t symbols_fed = 0;            ///< channel symbols streamed
-  std::uint64_t decode_attempts = 0;        ///< decode invocations (incl. retries)
-  std::uint64_t reduced_beam_attempts = 0;  ///< attempts with B shrunk by load
-  std::uint64_t full_beam_retries = 0;      ///< idle retries of failed shrunk attempts
-  std::uint64_t sessions_completed = 0;     ///< decoded successfully
-  std::uint64_t sessions_failed = 0;        ///< hit the give-up bound
-  std::uint64_t bits_decoded = 0;           ///< message bits of successful sessions
-  std::uint64_t stale_symbols = 0;          ///< mux: symbols for already-ACKed blocks
+  std::uint64_t jobs = 0;                     ///< queue pops executed
+  std::uint64_t symbols_fed = 0;              ///< channel symbols streamed
+  std::uint64_t decode_attempts = 0;          ///< decode invocations (incl. retries)
+  std::uint64_t reduced_effort_attempts = 0;  ///< attempts shrunk by load
+  std::uint64_t full_effort_retries = 0;      ///< idle retries of failed shrunk attempts
+  /// Attempts that ran without a worker-pinned workspace (the session
+  /// reports no WorkspaceKey — Raptor/Strider allocate inside the
+  /// decode). Visible in snapshots so the pinning gap per codec is
+  /// measurable until each codec pins its scratch.
+  std::uint64_t unpinned_decodes = 0;
+  std::uint64_t sessions_completed = 0;  ///< decoded successfully
+  std::uint64_t sessions_failed = 0;     ///< hit the give-up bound
+  std::uint64_t bits_decoded = 0;        ///< message bits of successful sessions
+  std::uint64_t stale_symbols = 0;       ///< mux: symbols for already-ACKed blocks
 
   void merge(const Counters& o) noexcept;
 };
@@ -39,7 +44,8 @@ class WorkerTelemetry {
  public:
   void record_job() noexcept;
   void record_feed(long symbols) noexcept;
-  void record_attempt(double micros, bool reduced_beam, bool full_retry) noexcept;
+  void record_attempt(double micros, bool reduced_effort, bool full_retry,
+                      bool unpinned = false) noexcept;
   void record_session_done(bool success, int message_bits) noexcept;
   void record_stale_symbols(std::uint64_t n) noexcept;
 

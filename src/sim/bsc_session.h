@@ -7,9 +7,11 @@
 // MessageRun, the experiment sweeps and the decode runtime — as the
 // AWGN/fading sessions, with one chunk per puncturing subpass.
 
+#include <algorithm>
 #include <memory>
 
 #include "sim/session.h"
+#include "sim/spinal_workspace.h"
 #include "spinal/decoder.h"
 #include "spinal/encoder.h"
 #include "spinal/schedule.h"
@@ -26,9 +28,18 @@ class BscSession : public RatelessSession {
   void receive_chunk(std::span<const std::complex<float>> y,
                      std::span<const std::complex<float>> csi) override;
   std::optional<util::BitVec> try_decode() override;
-  std::optional<util::BitVec> try_decode_with(detail::DecodeWorkspace& ws,
-                                              int beam_width) override;
-  const CodeParams* code_params() const override { return &params_; }
+  /// Effort = beam width. A null @p ws falls back to try_decode().
+  std::optional<util::BitVec> try_decode_with(CodecWorkspace* ws,
+                                              int effort) override;
+  WorkspaceKey workspace_key() const override {
+    return spinal_workspace_key(params_);
+  }
+  std::unique_ptr<CodecWorkspace> make_workspace() const override {
+    return std::make_unique<SpinalWorkspace>();
+  }
+  EffortProfile effort_profile() const override {
+    return {params_.B, std::min(16, params_.B)};
+  }
   int max_chunks() const override;
 
   const CodeParams& params() const noexcept { return params_; }
@@ -38,7 +49,6 @@ class BscSession : public RatelessSession {
   PuncturingSchedule schedule_;
   std::unique_ptr<BscSpinalEncoder> encoder_;
   BscSpinalDecoder decoder_;
-  DecodeResult scratch_;
 
   int subpass_ = 0;
   std::vector<SymbolId> chunk_ids_;  // ids of the chunk in flight

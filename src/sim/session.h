@@ -4,22 +4,59 @@
 // channel to the decoder and collect identical statistics for all codes
 // (§8.1: "All codes run through the same engine", with "no sharing of
 // information between the transmitter and receiver components").
+//
+// The decode runtime drives sessions through the same interface, so the
+// codec-facing seam is deliberately type-erased: a session may expose a
+// reusable decode workspace (CodecWorkspace + WorkspaceKey, pinned per
+// worker by the runtime) and a generic integer "effort" knob — beam
+// width for spinal, BP iteration cap for LDPC/Raptor, turbo iteration
+// budget for Turbo/Strider — that the load-adaptive policy trades for
+// compute under overload (the Fig 8-6 knob, generalized).
 
 #include <complex>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "util/bitvec.h"
 
-namespace spinal {
-struct CodeParams;
-namespace detail {
-struct DecodeWorkspace;
-}
-}  // namespace spinal
-
 namespace spinal::sim {
+
+/// Type-erased per-worker decode scratch. Concrete sessions downcast to
+/// their own derived type; the contract is that two sessions reporting
+/// equal WorkspaceKeys produce (and accept) the same concrete type, so a
+/// runtime worker can pin one workspace per key and share it across all
+/// sessions of that codec/parameter combination.
+class CodecWorkspace {
+ public:
+  virtual ~CodecWorkspace() = default;
+};
+
+/// Codec-tagged key under which the runtime pins workspaces. `codec`
+/// names the family ("spinal", "ldpc", ...); `params` serializes every
+/// parameter the workspace layout depends on, so distinct parameter
+/// sets (heterogeneous links) never share scratch. A default-constructed
+/// (invalid) key means the session has no pinnable workspace — its
+/// decode attempts run unpinned, which the runtime's telemetry counts.
+struct WorkspaceKey {
+  std::string codec;
+  std::string params;
+
+  bool valid() const noexcept { return !codec.empty(); }
+  auto operator<=>(const WorkspaceKey&) const = default;
+};
+
+/// The session's compute/accuracy knob: `full` is the configured effort
+/// (spinal beam width B, LDPC/Raptor BP iterations, turbo iterations),
+/// `floor` the lowest value at which an attempt is still worth running.
+/// full == 0 means the session has no knob and every attempt runs at
+/// the configured setting.
+struct EffortProfile {
+  int full = 0;
+  int floor = 1;
+};
 
 class RatelessSession {
  public:
@@ -48,23 +85,32 @@ class RatelessSession {
   /// message, playing the role of the link-layer CRC).
   virtual std::optional<util::BitVec> try_decode() = 0;
 
-  /// Runtime-worker form of try_decode(): runs the attempt in
-  /// caller-owned scratch @p ws — so a decode service can pin one
-  /// workspace per CodeParams and share it across sessions — optionally
-  /// with a narrower beam (@p beam_width <= 0: the configured width; see
-  /// SpinalDecoder::decode_with). With beam_width <= 0 the candidate is
-  /// bit-identical to try_decode(). The default ignores both and
-  /// delegates, for sessions whose decoders have no external-workspace
-  /// form (raptor, strider).
-  virtual std::optional<util::BitVec> try_decode_with(
-      spinal::detail::DecodeWorkspace& /*ws*/, int /*beam_width*/) {
+  /// Runtime-worker form of try_decode(): runs the attempt with
+  /// caller-owned pinned scratch @p ws — a workspace built by
+  /// make_workspace() of any session with an equal workspace_key(), or
+  /// nullptr when none is pinned — at @p effort (<= 0: the configured
+  /// full effort). With effort <= 0 the candidate is bit-identical to
+  /// try_decode() regardless of @p ws, which is what deterministic-mode
+  /// runtime/sequential equivalence rests on. The default ignores both
+  /// and delegates, for sessions with neither a pinnable workspace nor
+  /// an effort knob.
+  virtual std::optional<util::BitVec> try_decode_with(CodecWorkspace* /*ws*/,
+                                                      int /*effort*/) {
     return try_decode();
   }
 
-  /// The spinal CodeParams behind this session when it is backed by a
-  /// spinal decoder (the decode runtime keys pinned workspaces and the
-  /// adaptive beam policy on it); nullptr for non-spinal sessions.
-  virtual const CodeParams* code_params() const { return nullptr; }
+  /// The key under which the runtime pins this session's workspace; an
+  /// invalid (default) key means attempts run unpinned.
+  virtual WorkspaceKey workspace_key() const { return {}; }
+
+  /// Builds a fresh workspace matching workspace_key(); nullptr when
+  /// the session has none.
+  virtual std::unique_ptr<CodecWorkspace> make_workspace() const {
+    return nullptr;
+  }
+
+  /// The effort knob this session's decoder exposes (full == 0: none).
+  virtual EffortProfile effort_profile() const { return {}; }
 
   /// Upper bound on chunks before the sender gives up on the message.
   virtual int max_chunks() const = 0;

@@ -53,10 +53,12 @@ std::optional<util::BitVec> SpinalSession::try_decode() {
   return decoder_.decode().message;
 }
 
-std::optional<util::BitVec> SpinalSession::try_decode_with(
-    detail::DecodeWorkspace& ws, int beam_width) {
-  decoder_.decode_with(ws, scratch_, beam_width);
-  return scratch_.message;
+std::optional<util::BitVec> SpinalSession::try_decode_with(CodecWorkspace* ws,
+                                                           int effort) {
+  auto* sw = static_cast<SpinalWorkspace*>(ws);
+  if (sw == nullptr) return try_decode();
+  decoder_.decode_with(sw->ws, sw->out, effort);
+  return sw->out.message;
 }
 
 int SpinalSession::max_chunks() const {

@@ -4,9 +4,11 @@
 // engine can attempt decodes "after roughly every received symbol"
 // (Fig 8-10/8-11's aggressive schedule).
 
+#include <algorithm>
 #include <memory>
 
 #include "sim/session.h"
+#include "sim/spinal_workspace.h"
 #include "spinal/decoder.h"
 #include "spinal/encoder.h"
 #include "spinal/schedule.h"
@@ -25,9 +27,19 @@ class SpinalSession : public RatelessSession {
   void receive_chunk(std::span<const std::complex<float>> y,
                      std::span<const std::complex<float>> csi) override;
   std::optional<util::BitVec> try_decode() override;
-  std::optional<util::BitVec> try_decode_with(detail::DecodeWorkspace& ws,
-                                              int beam_width) override;
-  const CodeParams* code_params() const override { return &params_; }
+  /// Effort = beam width. A null @p ws falls back to try_decode() (the
+  /// decoder's internal workspace, configured width).
+  std::optional<util::BitVec> try_decode_with(CodecWorkspace* ws,
+                                              int effort) override;
+  WorkspaceKey workspace_key() const override {
+    return spinal_workspace_key(params_);
+  }
+  std::unique_ptr<CodecWorkspace> make_workspace() const override {
+    return std::make_unique<SpinalWorkspace>();
+  }
+  EffortProfile effort_profile() const override {
+    return {params_.B, std::min(16, params_.B)};
+  }
   int max_chunks() const override;
 
   const CodeParams& params() const noexcept { return params_; }
@@ -38,7 +50,6 @@ class SpinalSession : public RatelessSession {
   PuncturingSchedule schedule_;
   std::unique_ptr<SpinalEncoder> encoder_;
   SpinalDecoder decoder_;
-  DecodeResult scratch_;  // try_decode_with output, recycled per attempt
 
   int subpass_ = 0;
   std::vector<SymbolId> queue_;      // remaining ids of the current subpass

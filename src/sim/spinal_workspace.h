@@ -1,0 +1,53 @@
+#pragma once
+// The concrete CodecWorkspace of every spinal-decoder-backed session
+// (AWGN/fading SpinalSession, BscSession, and the link-layer mux's raw
+// block decodes): the beam-search DecodeWorkspace plus a DecodeResult
+// scratch, pinned together per worker so steady-state attempts stay
+// allocation-free. All spinal sessions key their workspaces under
+// codec "spinal" with every CodeParams field serialized into the params
+// string — equal keys guarantee interchangeable workspace layouts.
+
+#include <string>
+
+#include "sim/session.h"
+#include "spinal/decoder.h"
+#include "spinal/params.h"
+
+namespace spinal::sim {
+
+struct SpinalWorkspace final : CodecWorkspace {
+  detail::DecodeWorkspace ws;
+  DecodeResult out;
+};
+
+/// The WorkspaceKey all spinal sessions (and the mux) pin under.
+inline WorkspaceKey spinal_workspace_key(const CodeParams& p) {
+  std::string s;
+  s.reserve(128);
+  const auto add_i = [&s](long long v) {
+    s += std::to_string(v);
+    s += ';';
+  };
+  const auto add_d = [&s](double v) {
+    s += std::to_string(v);
+    s += ';';
+  };
+  add_i(p.n);
+  add_i(p.k);
+  add_i(p.c);
+  add_i(p.B);
+  add_i(p.d);
+  add_i(p.tail_symbols);
+  add_i(p.puncture_ways);
+  add_i(static_cast<int>(p.map));
+  add_i(static_cast<int>(p.hash_kind));
+  add_d(p.beta);
+  add_d(p.power);
+  add_i(p.salt);
+  add_i(p.s0);
+  add_i(p.max_passes);
+  add_i(p.fixed_point_frac_bits);
+  return WorkspaceKey{"spinal", std::move(s)};
+}
+
+}  // namespace spinal::sim

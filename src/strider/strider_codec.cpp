@@ -167,7 +167,7 @@ void StriderDecoder::add_symbols(std::span<const std::complex<float>> y,
   }
 }
 
-bool StriderDecoder::try_layer(int layer) {
+bool StriderDecoder::try_layer(int layer, int turbo_iterations) {
   const int P = static_cast<int>(rx_.size());
   if (P == 0) return false;
 
@@ -210,7 +210,7 @@ bool StriderDecoder::try_layer(int layer) {
   }
 
   llrs.resize(static_cast<std::size_t>(turbo_.coded_bits()));
-  const util::BitVec decoded = turbo_.decode(llrs);
+  const util::BitVec decoded = turbo_.decode(llrs, turbo_iterations);
   if (!util::crc32_check(decoded)) return false;
 
   // CRC ok: record payload and cancel this layer from every pass.
@@ -230,13 +230,13 @@ bool StriderDecoder::try_layer(int layer) {
   return true;
 }
 
-std::optional<util::BitVec> StriderDecoder::decode() {
+std::optional<util::BitVec> StriderDecoder::decode(int turbo_iterations) {
   bool progress = true;
   while (progress) {
     progress = false;
     for (int k = 0; k < config_.layers; ++k) {
       if (layer_done_[k]) continue;
-      if (try_layer(k)) progress = true;
+      if (try_layer(k, turbo_iterations)) progress = true;
     }
   }
 

@@ -98,8 +98,10 @@ class StriderDecoder {
   void set_noise_variance(double nv) noexcept { noise_var_ = nv; }
 
   /// Runs SIC sweeps over everything received. Returns the message when
-  /// every layer's CRC checks out.
-  std::optional<util::BitVec> decode();
+  /// every layer's CRC checks out. @p turbo_iterations caps the
+  /// per-layer turbo decode (the runtime's effort knob); <= 0 runs the
+  /// configured count, bit-identical to the uncapped call.
+  std::optional<util::BitVec> decode(int turbo_iterations = 0);
 
   void reset();
 
@@ -126,7 +128,7 @@ class StriderDecoder {
   std::vector<std::vector<std::complex<float>>> layer_symbol_cache_;
 
   std::complex<float> coefficient(int pass, int layer) const;
-  bool try_layer(int layer);
+  bool try_layer(int layer, int turbo_iterations);
 };
 
 }  // namespace spinal::strider

@@ -36,6 +36,11 @@ void StriderSession::receive_chunk(std::span<const std::complex<float>> y,
 
 std::optional<util::BitVec> StriderSession::try_decode() { return decoder_.decode(); }
 
+std::optional<util::BitVec> StriderSession::try_decode_with(
+    sim::CodecWorkspace* /*ws*/, int effort) {
+  return decoder_.decode(effort);
+}
+
 int StriderSession::max_chunks() const {
   const int per_pass_chunks = config_.punctured ? config_.subpasses : 1;
   return config_.code.max_passes * per_pass_chunks;

@@ -5,6 +5,8 @@
 // and decode attempts may happen after each fraction, producing the
 // finer-grained achievable rates of Fig 8-1.
 
+#include <algorithm>
+
 #include "sim/session.h"
 #include "strider/strider_codec.h"
 
@@ -26,6 +28,16 @@ class StriderSession : public sim::RatelessSession {
   void receive_chunk(std::span<const std::complex<float>> y,
                      std::span<const std::complex<float>> csi) override;
   std::optional<util::BitVec> try_decode() override;
+  /// Effort = per-layer turbo iteration cap. The SIC decoder's state
+  /// (residuals, decoded-layer caches) lives in the session, so there is
+  /// no pinnable workspace yet (@p ws is ignored; the runtime counts
+  /// these attempts as unpinned).
+  std::optional<util::BitVec> try_decode_with(sim::CodecWorkspace* ws,
+                                              int effort) override;
+  sim::EffortProfile effort_profile() const override {
+    return {config_.code.turbo_iterations,
+            std::min(2, config_.code.turbo_iterations)};
+  }
   int max_chunks() const override;
   void set_noise_hint(double noise_variance) override {
     decoder_.set_noise_variance(noise_variance);

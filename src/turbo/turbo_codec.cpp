@@ -38,9 +38,11 @@ util::BitVec TurboCodec::encode(const util::BitVec& info) const {
   return out;
 }
 
-util::BitVec TurboCodec::decode(std::span<const float> llrs) const {
+util::BitVec TurboCodec::decode(std::span<const float> llrs,
+                                int iterations) const {
   if (llrs.size() != static_cast<std::size_t>(coded_bits()))
     throw std::invalid_argument("TurboCodec::decode: wrong LLR length");
+  if (iterations <= 0) iterations = iterations_;
 
   const int K = k_;
   const int M = Rsc::kMemory;
@@ -79,7 +81,7 @@ util::BitVec TurboCodec::decode(std::span<const float> llrs) const {
   std::vector<float> post1, post2;
   std::vector<float> extrinsic1(K), extrinsic2(K);
 
-  for (int it = 0; it < iterations_; ++it) {
+  for (int it = 0; it < iterations; ++it) {
     BcjrInput in1{std::span<const float>(sys1), std::span<const float>(par1a),
                   std::span<const float>(par1b), std::span<const float>(apriori1),
                   /*terminated=*/true};

@@ -33,7 +33,14 @@ class TurboCodec {
 
   /// Iterative max-log-MAP decode from per-coded-bit LLRs
   /// (log P(0)/P(1), encode() layout). Returns the hard decision.
-  util::BitVec decode(std::span<const float> llrs) const;
+  util::BitVec decode(std::span<const float> llrs) const {
+    return decode(llrs, iterations_);
+  }
+
+  /// Iteration-capped form (the runtime's effort knob): @p iterations
+  /// <= 0 means the configured count, so effort 0 is bit-identical to
+  /// the plain decode().
+  util::BitVec decode(std::span<const float> llrs, int iterations) const;
 
  private:
   int k_;

@@ -1,0 +1,68 @@
+#include "turbo/turbo_session.h"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace spinal::turbo {
+
+TurboSession::TurboSession(const TurboSessionConfig& cfg)
+    : config_(cfg),
+      codec_(cfg.info_bits, cfg.iterations, cfg.interleaver_seed),
+      qam_(cfg.bits_per_symbol) {
+  if (cfg.max_rounds < 1)
+    throw std::invalid_argument("TurboSession: max_rounds must be >= 1");
+}
+
+void TurboSession::start(const util::BitVec& message) {
+  tx_symbols_ = qam_.modulate(codec_.encode(message));
+  llr_.assign(static_cast<std::size_t>(codec_.coded_bits()), 0.0f);
+  any_rx_ = false;
+}
+
+std::vector<std::complex<float>> TurboSession::next_chunk() {
+  // One whole coded block per chunk; retransmission rounds chase-combine.
+  return tx_symbols_;
+}
+
+void TurboSession::receive_chunk(std::span<const std::complex<float>> y,
+                                 std::span<const std::complex<float>> csi) {
+  std::vector<float> llrs;
+  llrs.reserve(y.size() * static_cast<std::size_t>(config_.bits_per_symbol));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    std::complex<float> yi = y[i];
+    if (!csi.empty()) {
+      const float mag2 = std::norm(csi[i]);
+      if (mag2 > 1e-12f) {
+        yi = y[i] * std::conj(csi[i]) / mag2;
+        std::vector<float> tmp;
+        qam_.demap_soft(yi, noise_var_ / mag2, tmp);
+        for (float l : tmp) llrs.push_back(l);
+        continue;
+      }
+    }
+    qam_.demap_soft(yi, noise_var_, llrs);
+  }
+  const std::size_t n = llr_.size();
+  for (std::size_t b = 0; b < llrs.size() && b < n; ++b) llr_[b] += llrs[b];
+  any_rx_ = true;
+}
+
+std::optional<util::BitVec> TurboSession::decode_attempt(int effort) {
+  if (!any_rx_) return std::nullopt;
+  // The turbo decoder always yields a hard decision; the engine's
+  // validation against the transmitted message plays the link-layer CRC
+  // (as it does for spinal's candidates).
+  return codec_.decode(llr_, effort);
+}
+
+std::optional<util::BitVec> TurboSession::try_decode() {
+  return decode_attempt(0);
+}
+
+std::optional<util::BitVec> TurboSession::try_decode_with(
+    sim::CodecWorkspace* /*ws*/, int effort) {
+  return decode_attempt(effort);
+}
+
+}  // namespace spinal::turbo

@@ -76,6 +76,7 @@ TEST(BackendRegistry, NamesAreUniqueAndLanesSane) {
     EXPECT_NE(b->regroup_emit, nullptr) << b->name;
     EXPECT_NE(b->partition_keys, nullptr) << b->name;
     EXPECT_NE(b->select_keys, nullptr) << b->name;
+    EXPECT_NE(b->xor_rows, nullptr) << b->name;
   }
   for (std::size_t i = 0; i < names.size(); ++i)
     for (std::size_t j = i + 1; j < names.size(); ++j)
@@ -728,6 +729,33 @@ TEST(BackendKernels, SelectKeysMatchesFullSortReference) {
         }
         EXPECT_TRUE(ok) << b->name << " n=" << n << " keep=" << keep;
       }
+    }
+  }
+}
+
+TEST(BackendKernels, XorRowsMatchesScalarExactly) {
+  // The dense GF(2) row combine (Raptor's precode client): dst ^= src
+  // must match the scalar word loop on every backend, at word counts
+  // straddling the vector strides (AVX2 covers 4 u64 words per step,
+  // SSE/NEON 2) including 0 and odd tails, and must accumulate — a
+  // second combine with the same row must cancel it.
+  util::Xoshiro256 prng(113);
+  for (const Backend* b : simd_backends()) {
+    for (std::size_t words : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{3}, std::size_t{4}, std::size_t{5},
+                              std::size_t{7}, std::size_t{8}, std::size_t{9},
+                              std::size_t{31}, std::size_t{64}, std::size_t{257}}) {
+      std::vector<std::uint64_t> src(words), want(words), got(words);
+      for (auto& wd : src) wd = prng.next_u64();
+      for (std::size_t i = 0; i < words; ++i) want[i] = got[i] = prng.next_u64();
+      scalar()->xor_rows(want.data(), src.data(), words);
+      b->xor_rows(got.data(), src.data(), words);
+      EXPECT_EQ(want, got) << b->name << " words=" << words;
+      // Involution: XORing the same row again restores the original.
+      std::vector<std::uint64_t> round = got;
+      b->xor_rows(round.data(), src.data(), words);
+      scalar()->xor_rows(want.data(), src.data(), words);
+      EXPECT_EQ(round, want) << b->name << " words=" << words << " (involution)";
     }
   }
 }

@@ -11,6 +11,8 @@
 #include "backend/backend.h"
 #include "channel/awgn.h"
 #include "channel/bsc.h"
+#include "raptor/precode.h"
+#include "raptor/raptor_session.h"
 #include "sim/channel_sim.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
@@ -396,6 +398,67 @@ TEST(Properties, FuzzStreamingPruneMatchesReferenceOnEveryBackend) {
         EXPECT_EQ(streamed.path_cost, ref_cost)
             << "backend=" << b->name << " seed=" << seed;
       }
+    }
+  }
+  backend::force(original);
+}
+
+// ---------------------------------------------------------------------
+// Sweep 6: Raptor precode / LT round-trip on every kernel backend. The
+// precode's expand() routes its parity accumulation through the
+// backend xor_rows kernel; GF(2) exactness means every backend must
+// produce the identical intermediate block, and a full seeded Raptor
+// session round-trip at high SNR must succeed (and match) regardless
+// of which backend is forced. Assertion messages carry the seed.
+// ---------------------------------------------------------------------
+
+TEST(Properties, RaptorPrecodeAndRoundTripAgreeOnEveryBackend) {
+  constexpr std::uint64_t kMasterSeed = 0x4A97042026ull;
+  const char* const original = backend::active().name;
+
+  // Part 1: expand() bit-identity across backends, at sizes whose
+  // parity word counts straddle the vector strides (r ~ k/19).
+  for (const int info_bits : {40, 150, 400, 1300, 5000}) {
+    util::Xoshiro256 prng(kMasterSeed ^ static_cast<std::uint64_t>(info_bits));
+    const raptor::RaptorPrecode pre(info_bits, 0.95, 4, prng.next_u64());
+    const util::BitVec info = prng.random_bits(info_bits);
+    util::BitVec first;
+    for (const backend::Backend* b : backend::available()) {
+      ASSERT_TRUE(backend::force(b->name));
+      const util::BitVec block = pre.expand(info);
+      ASSERT_EQ(static_cast<int>(block.size()), pre.intermediate_bits());
+      // Every check XORs to zero over a valid block, by construction.
+      for (const auto& check : pre.checks()) {
+        int acc = 0;
+        for (int v : check) acc ^= block.get(v) ? 1 : 0;
+        EXPECT_EQ(acc, 0) << b->name << " k=" << info_bits;
+      }
+      if (b == backend::available().front()) {
+        first = block;
+      } else {
+        EXPECT_TRUE(block == first) << b->name << " k=" << info_bits;
+      }
+    }
+  }
+
+  // Part 2: seeded LT round trip through the session layer at high
+  // SNR, identical run shape (symbols, chunks, attempts) per backend.
+  raptor::RaptorSessionConfig cfg;
+  cfg.info_bits = 400;
+  cfg.chunk_symbols = 24;
+  util::Xoshiro256 prng(kMasterSeed);
+  const util::BitVec msg = prng.random_bits(cfg.info_bits);
+  long first_symbols = -1;
+  for (const backend::Backend* b : backend::available()) {
+    ASSERT_TRUE(backend::force(b->name));
+    raptor::RaptorSession session(cfg);
+    sim::ChannelSim channel(sim::ChannelKind::kAwgn, 22.0, 1, 0x4A97);
+    const sim::RunResult r = run_message(session, channel, msg);
+    EXPECT_TRUE(r.success) << b->name;
+    if (first_symbols < 0) {
+      first_symbols = r.symbols;
+    } else {
+      EXPECT_EQ(r.symbols, first_symbols) << b->name;
     }
   }
   backend::force(original);

@@ -1,8 +1,10 @@
 // Decode-runtime tests (src/runtime/): the deterministic mode's
 // bit-identity against sequential run_message loops at several worker
-// counts over heterogeneous CodeParams and channels, adaptive-beam
-// correctness under load, admission-control backpressure, telemetry
-// consistency, and the link-symbol SessionMux. These suites (plus
+// counts — over heterogeneous spinal CodeParams and channels AND over
+// the non-spinal codec families (Strider, Raptor, LDPC, Turbo) —
+// adaptive-effort correctness under load, admission-control
+// backpressure, telemetry consistency (including the unpinned-decode
+// counter), and the link-symbol SessionMux. These suites (plus
 // test_experiment) also run under the ThreadSanitizer CI lane.
 
 #include <future>
@@ -10,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "channel/awgn.h"
+#include "ldpc/ldpc_session.h"
+#include "raptor/raptor_session.h"
 #include "runtime/adaptive.h"
 #include "runtime/decode_service.h"
 #include "runtime/job_queue.h"
@@ -17,6 +21,8 @@
 #include "sim/bsc_session.h"
 #include "sim/spinal_session.h"
 #include "spinal/link.h"
+#include "strider/strider_session.h"
+#include "turbo/turbo_session.h"
 #include "util/prng.h"
 
 namespace spinal::runtime {
@@ -132,10 +138,128 @@ TEST(Runtime, DeterministicBitIdenticalToSequential) {
       EXPECT_EQ(a.chunks, b.chunks) << "workers=" << workers << " session=" << i;
       EXPECT_EQ(a.attempts, b.attempts)
           << "workers=" << workers << " session=" << i;
-      EXPECT_EQ(got[static_cast<std::size_t>(i)].reduced_beam_attempts, 0);
-      EXPECT_EQ(got[static_cast<std::size_t>(i)].full_beam_retries, 0);
+      EXPECT_EQ(got[static_cast<std::size_t>(i)].reduced_effort_attempts, 0);
+      EXPECT_EQ(got[static_cast<std::size_t>(i)].full_effort_retries, 0);
     }
   }
+}
+
+// ------------------------------------------ non-spinal codec families
+
+/// Shared heavy LDPC state: built once for the whole test binary so
+/// spec factories stay cheap (and to exercise cross-thread sharing).
+std::shared_ptr<const ldpc::LdpcContext> shared_ldpc_context() {
+  static const std::shared_ptr<const ldpc::LdpcContext> ctx = [] {
+    ldpc::LdpcSessionConfig cfg;
+    cfg.bp_iterations = 30;
+    return ldpc::LdpcSession::make_context(cfg);
+  }();
+  return ctx;
+}
+
+/// One spec per index, cycling Strider / Raptor / LDPC / Turbo with
+/// per-session seeds — every family the runtime serves beyond spinal.
+SessionSpec make_codec_spec(int i) {
+  util::Xoshiro256 prng(0xC0DEC000u + static_cast<std::uint64_t>(i));
+  SessionSpec spec;
+  spec.channel.kind = sim::ChannelKind::kAwgn;
+  spec.channel.seed = 0xC0DEC100u + static_cast<std::uint64_t>(i);
+  switch (i % 4) {
+    case 0: {  // Strider: small config (test_strider scale), SIC + turbo
+      strider::StriderSessionConfig cfg;
+      cfg.code.layers = 4;
+      cfg.code.layer_bits = 60;
+      cfg.code.turbo_iterations = 4;
+      spec.make_session = [cfg] {
+        return std::make_unique<strider::StriderSession>(cfg);
+      };
+      spec.channel.snr_db = 10.0;
+      spec.message = prng.random_bits(cfg.code.message_bits());
+      break;
+    }
+    case 1: {  // Raptor over QAM-256: LT + precode joint BP
+      raptor::RaptorSessionConfig cfg;
+      cfg.info_bits = 400;
+      cfg.chunk_symbols = 24;
+      cfg.bp_iterations = 30;
+      spec.make_session = [cfg] {
+        return std::make_unique<raptor::RaptorSession>(cfg);
+      };
+      spec.channel.snr_db = 22.0;
+      spec.message = prng.random_bits(cfg.info_bits);
+      break;
+    }
+    case 2: {  // LDPC: fixed-rate codeword rounds, chase combining
+      ldpc::LdpcSessionConfig cfg;
+      cfg.bp_iterations = 30;
+      auto ctx = shared_ldpc_context();
+      spec.make_session = [cfg, ctx] {
+        return std::make_unique<ldpc::LdpcSession>(cfg, ctx);
+      };
+      spec.channel.snr_db = 5.0;
+      spec.message = prng.random_bits(ctx->encoder.info_bits());
+      break;
+    }
+    default: {  // Turbo: rate-1/5 base code, whole-block rounds
+      turbo::TurboSessionConfig cfg;
+      cfg.info_bits = 256;
+      cfg.iterations = 4;
+      spec.make_session = [cfg] {
+        return std::make_unique<turbo::TurboSession>(cfg);
+      };
+      spec.channel.snr_db = 2.0;
+      spec.message = prng.random_bits(cfg.info_bits);
+      break;
+    }
+  }
+  return spec;
+}
+
+TEST(Runtime, CodecSessionsDeterministicBitIdenticalToSequential) {
+  constexpr int kSessions = 8;  // two of each family
+  std::vector<SessionReport> reference;
+  bool any_success = false;
+  for (int i = 0; i < kSessions; ++i) {
+    reference.push_back(run_sequential(make_codec_spec(i)));
+    any_success |= reference.back().run.success;
+  }
+  EXPECT_TRUE(any_success);  // the grid is easy enough that some decode
+
+  for (int workers : {1, 2, 5}) {
+    DecodeService service(det_opts(workers));
+    for (int i = 0; i < kSessions; ++i) service.submit(make_codec_spec(i));
+    const std::vector<SessionReport> got = service.drain();
+
+    ASSERT_EQ(got.size(), reference.size()) << "workers=" << workers;
+    for (int i = 0; i < kSessions; ++i) {
+      const sim::RunResult& a = reference[static_cast<std::size_t>(i)].run;
+      const sim::RunResult& b = got[static_cast<std::size_t>(i)].run;
+      EXPECT_EQ(a.success, b.success) << "workers=" << workers << " session=" << i;
+      EXPECT_EQ(a.symbols, b.symbols) << "workers=" << workers << " session=" << i;
+      EXPECT_EQ(a.chunks, b.chunks) << "workers=" << workers << " session=" << i;
+      EXPECT_EQ(a.attempts, b.attempts)
+          << "workers=" << workers << " session=" << i;
+    }
+  }
+}
+
+TEST(Runtime, UnpinnedDecodesAreCountedPerCodec) {
+  // Raptor and Strider report no workspace key, so their attempts run
+  // unpinned and the telemetry must say so; spinal and LDPC pin, so a
+  // fleet of only those two families must count zero.
+  DecodeService unpinned(det_opts(2));
+  unpinned.submit(make_codec_spec(0));  // strider
+  unpinned.submit(make_codec_spec(1));  // raptor
+  ASSERT_EQ(unpinned.drain().size(), 2u);
+  EXPECT_GT(unpinned.telemetry().counters.unpinned_decodes, 0u);
+
+  DecodeService pinned(det_opts(2));
+  pinned.submit(make_spec(0));        // spinal AWGN
+  pinned.submit(make_codec_spec(2));  // ldpc
+  ASSERT_EQ(pinned.drain().size(), 2u);
+  const TelemetrySnapshot snap = pinned.telemetry();
+  EXPECT_GT(snap.counters.decode_attempts, 0u);
+  EXPECT_EQ(snap.counters.unpinned_decodes, 0u);
 }
 
 // ------------------------------------------------------- adaptive mode
@@ -144,7 +268,7 @@ TEST(Runtime, AdaptiveModeStillDecodesEveryInBudgetSession) {
   constexpr int kSessions = 48;
   RuntimeOptions opt;
   opt.workers = 2;
-  opt.adapt.min_beam = 8;
+  opt.adapt.min_effort = 8;
   opt.adapt.idle_depth = 0;
   opt.adapt.depth_per_halving = 4;
   DecodeService service(opt);
@@ -167,31 +291,37 @@ TEST(Runtime, AdaptiveModeStillDecodesEveryInBudgetSession) {
   // 48 sessions landed on 2 workers before the queue could drain, so
   // the load policy must have shrunk at least some attempts.
   const TelemetrySnapshot snap = service.telemetry();
-  EXPECT_GT(snap.counters.reduced_beam_attempts, 0u);
+  EXPECT_GT(snap.counters.reduced_effort_attempts, 0u);
   EXPECT_EQ(snap.counters.sessions_completed, static_cast<std::uint64_t>(kSessions));
 }
 
-TEST(Adaptive, PickBeamShrinksWithDepthAndFloors) {
-  AdaptiveBeamOptions opt;
-  opt.min_beam = 16;
+TEST(Adaptive, PickEffortShrinksWithDepthAndFloors) {
+  AdaptiveEffortOptions opt;
   opt.idle_depth = 1;
   opt.depth_per_halving = 8;
-  EXPECT_EQ(pick_beam(opt, 256, 0), 256);  // idle: full width
-  EXPECT_EQ(pick_beam(opt, 256, 1), 256);
-  EXPECT_EQ(pick_beam(opt, 256, 2), 128);  // first halving step
-  EXPECT_EQ(pick_beam(opt, 256, 9), 128);
-  EXPECT_EQ(pick_beam(opt, 256, 10), 64);
+  // Session floor 16 (spinal's min-beam profile for B >= 16).
+  EXPECT_EQ(pick_effort(opt, 256, 16, 0), 256);  // idle: full effort
+  EXPECT_EQ(pick_effort(opt, 256, 16, 1), 256);
+  EXPECT_EQ(pick_effort(opt, 256, 16, 2), 128);  // first halving step
+  EXPECT_EQ(pick_effort(opt, 256, 16, 9), 128);
+  EXPECT_EQ(pick_effort(opt, 256, 16, 10), 64);
   int prev = 256;
   for (std::size_t depth = 0; depth < 400; depth += 7) {
-    const int b = pick_beam(opt, 256, depth);
-    EXPECT_LE(b, prev);  // monotone in depth
-    EXPECT_GE(b, 16);    // floored
-    prev = b;
+    const int e = pick_effort(opt, 256, 16, depth);
+    EXPECT_LE(e, prev);  // monotone in depth
+    EXPECT_GE(e, 16);    // floored
+    prev = e;
   }
-  EXPECT_EQ(pick_beam(opt, 256, 4000), 16);
-  EXPECT_EQ(pick_beam(opt, 8, 4000), 8);  // floor clamps to full width
+  EXPECT_EQ(pick_effort(opt, 256, 16, 4000), 16);
+  EXPECT_EQ(pick_effort(opt, 8, 16, 4000), 8);  // floor clamps to full
+  // The option-side floor is raise-only, against the session floor.
+  opt.min_effort = 32;
+  EXPECT_EQ(pick_effort(opt, 256, 1, 4000), 32);
+  // A codec with no effort knob reports full = 0 and always gets the
+  // "configured" sentinel back.
+  EXPECT_EQ(pick_effort(opt, 0, 1, 4000), 0);
   opt.enabled = false;
-  EXPECT_EQ(pick_beam(opt, 256, 4000), 256);
+  EXPECT_EQ(pick_effort(opt, 256, 16, 4000), 256);
 }
 
 // ------------------------------------------- admission / backpressure

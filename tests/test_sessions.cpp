@@ -162,7 +162,8 @@ TEST(Sessions, TryDecodeWithExternalWorkspaceMatchesTryDecode) {
   const util::BitVec msg = prng.random_bits(p.n);
   s.start(msg);
   s.set_noise_hint(ch.noise_variance());
-  spinal::detail::DecodeWorkspace ws;
+  ASSERT_TRUE(s.workspace_key().valid());
+  const auto ws = s.make_workspace();
   for (int chunk = 0; chunk < 6; ++chunk) {
     auto x = s.next_chunk();
     if (x.empty()) continue;
@@ -170,20 +171,21 @@ TEST(Sessions, TryDecodeWithExternalWorkspaceMatchesTryDecode) {
     ch.transmit(x, csi);
     s.receive_chunk(x, csi);
     const auto internal = s.try_decode();
-    const auto external = s.try_decode_with(ws, 0);
+    const auto external = s.try_decode_with(ws.get(), 0);
     ASSERT_TRUE(internal.has_value());
     ASSERT_TRUE(external.has_value());
     EXPECT_TRUE(*internal == *external) << chunk;
   }
-  // A session without an externally-driven decoder falls back to
-  // try_decode via the base default.
+  // An unpinnable session (no workspace key) ignores the workspace and
+  // decodes all the same — the null-ws call is the sequential path.
   raptor::RaptorSessionConfig cfg;
   cfg.info_bits = 400;
   raptor::RaptorSession rs(cfg);
+  EXPECT_FALSE(rs.workspace_key().valid());
+  EXPECT_EQ(rs.make_workspace(), nullptr);
   util::Xoshiro256 prng2(15);
   rs.start(prng2.random_bits(cfg.info_bits));
-  EXPECT_FALSE(rs.try_decode_with(ws, 0).has_value());
-  EXPECT_EQ(rs.code_params(), nullptr);
+  EXPECT_FALSE(rs.try_decode_with(nullptr, 0).has_value());
 }
 
 TEST(Sessions, BscChunksFollowTheSchedule) {
@@ -197,8 +199,8 @@ TEST(Sessions, BscChunksFollowTheSchedule) {
   for (int i = 1; i < 8; ++i) EXPECT_EQ(s.next_chunk().size(), 8u) << i;
   EXPECT_EQ(s.next_chunk().size(), 10u);  // pass 2 begins
   EXPECT_EQ(s.max_chunks(), p.max_passes * 8);
-  ASSERT_NE(s.code_params(), nullptr);
-  EXPECT_EQ(s.code_params()->n, p.n);
+  EXPECT_TRUE(s.workspace_key().valid());
+  EXPECT_EQ(s.effort_profile().full, p.B);
 }
 
 TEST(Sessions, BscChunksCarryBits) {
