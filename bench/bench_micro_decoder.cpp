@@ -75,8 +75,31 @@ BENCHMARK(BM_DecodeAwgn)
     ->Args({256, 4, 64, 1, 2})    // narrower beam
     ->Args({1024, 4, 256, 1, 2})  // long block
     ->Args({96, 3, 64, 2, 2})     // deep bubble d=2
+    ->Args({256, 4, 256, 2, 2})   // d=2 at the reference geometry
     ->Args({256, 4, 256, 1, 8})   // symbol-heavy (8 passes)
     ->ArgNames({"n", "k", "B", "d", "passes"});
+
+/// The quantized narrow-metric path (spinal/cost_model.h) at the
+/// tracked reference geometry. args: precision (1 = u16, 2 = u8),
+/// d. The u16 d=1 point is the tracked quantized reference; its ratio
+/// against BM_DecodeAwgn's f32 reference from the *same run* is the
+/// perf-gate number (same-day, same-binary comparison).
+void BM_DecodeAwgnQuant(benchmark::State& state) {
+  CodeParams p = make_params(256, 4, 256, static_cast<int>(state.range(1)));
+  p.cost_precision = static_cast<CostPrecision>(state.range(0));
+  SpinalDecoder dec(p);
+  feed_awgn(p, dec, 2);
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+}
+BENCHMARK(BM_DecodeAwgnQuant)
+    ->Args({1, 1})  // u16, d=1: tracked quantized reference
+    ->Args({2, 1})  // u8, d=1
+    ->Args({1, 2})  // u16, d=2
+    ->ArgNames({"prec", "d"});
 
 void BM_DecodeAwgnCsi(benchmark::State& state) {
   const CodeParams p = make_params(256, 4, static_cast<int>(state.range(0)), 1);
@@ -140,6 +163,21 @@ void BM_DecodeAwgnBackend(benchmark::State& state, const backend::Backend* b) {
   backend::force(prev);
 }
 
+void BM_DecodeAwgnQuantBackend(benchmark::State& state, const backend::Backend* b) {
+  const std::string prev = backend::active().name;
+  backend::force(b->name);
+  CodeParams p = make_params(256, 4, 256, 1);  // quantized reference point
+  p.cost_precision = CostPrecision::kU16;
+  SpinalDecoder dec(p);
+  feed_awgn(p, dec, 2);
+  for (auto _ : state) {
+    auto r = dec.decode();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * p.n);
+  backend::force(prev);
+}
+
 void BM_DecodeBscBackend(benchmark::State& state, const backend::Backend* b) {
   const std::string prev = backend::active().name;
   backend::force(b->name);
@@ -160,12 +198,17 @@ void BM_DecodeBscBackend(benchmark::State& state, const backend::Backend* b) {
 int main(int argc, char** argv) {
   for (const backend::Backend* b : backend::available()) {
     const std::string awgn = "BM_DecodeAwgn/backend:" + std::string(b->name);
+    const std::string quant = "BM_DecodeAwgnQuant/backend:" + std::string(b->name);
     const std::string bsc = "BM_DecodeBsc/backend:" + std::string(b->name);
     benchmark::RegisterBenchmark(awgn.c_str(), BM_DecodeAwgnBackend, b);
+    benchmark::RegisterBenchmark(quant.c_str(), BM_DecodeAwgnQuantBackend, b);
     benchmark::RegisterBenchmark(bsc.c_str(), BM_DecodeBscBackend, b);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Stamped into the JSON context so perf snapshots record which kernel
+  // backend the default (non-forced) cases actually ran.
+  benchmark::AddCustomContext("spinal_backend", backend::active().name);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -70,6 +70,27 @@ void BM_HashChildren(benchmark::State& state) {
 }
 BENCHMARK(BM_HashChildren)->Arg(0)->Arg(1)->Arg(2)->ArgName("kind");
 
+// The serial spine walk s_{t+1} = h(s_t, m_t): chains:1 measures the
+// raw dependency-chain latency that bounds single-message encoding,
+// chains:2 and chains:4 measure how much of the core's mix throughput
+// interleaving independent chains recovers (SpineHash::spine_walk_n).
+void BM_SpineWalkN(benchmark::State& state) {
+  const hash::SpineHash h(hash::Kind::kOneAtATime, 42);
+  const std::size_t chains = static_cast<std::size_t>(state.range(0));
+  const std::size_t length = 4096;
+  std::vector<std::uint32_t> seeds(chains), data(chains * length),
+      out(chains * length);
+  for (std::size_t j = 0; j < chains; ++j) seeds[j] = static_cast<std::uint32_t>(j) + 1;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint32_t>(i) * 2654435761u;
+  for (auto _ : state) {
+    h.spine_walk_n(seeds.data(), chains, data.data(), length, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * chains * length);
+}
+BENCHMARK(BM_SpineWalkN)->Arg(1)->Arg(2)->Arg(4)->ArgName("chains");
+
 void BM_RngPremixed(benchmark::State& state) {
   const hash::SpineHash h(hash::Kind::kOneAtATime, 42);
   const std::size_t n = 4096;
@@ -116,6 +137,75 @@ void BM_HashChildrenBackend(benchmark::State& state, const backend::Backend* b,
   state.SetItemsProcessed(state.iterations() * n * fanout);
 }
 
+// ---- Expand-lane cases: the f32 and quantized-u16 full-expansion
+// kernels at the decoder's reference geometry (B=256, 2^k=16 children,
+// 3 symbols on the level, c=6), so the quantized win is measurable at
+// the kernel level, separate from selection and decode plumbing.
+
+constexpr std::size_t kExpLeaves = 256;
+constexpr std::uint32_t kExpFanout = 16;
+constexpr std::uint32_t kExpNsym = 3;
+constexpr int kExpCbits = 6;
+
+void BM_ExpandF32Backend(benchmark::State& state, const backend::Backend* b) {
+  const std::size_t total = kExpLeaves * kExpFanout;
+  const std::uint32_t tsize = 1u << kExpCbits;
+  std::vector<std::uint32_t> states(kExpLeaves), ord(kExpNsym);
+  std::vector<float> y_re(kExpNsym), y_im(kExpNsym), table(tsize);
+  for (std::size_t i = 0; i < kExpLeaves; ++i)
+    states[i] = static_cast<std::uint32_t>(i) * 2654435761u;
+  for (std::uint32_t s = 0; s < kExpNsym; ++s) {
+    ord[s] = s;
+    y_re[s] = 0.25f * static_cast<float>(s) - 0.3f;
+    y_im[s] = 0.1f * static_cast<float>(s) + 0.2f;
+  }
+  for (std::uint32_t i = 0; i < tsize; ++i)
+    table[i] = static_cast<float>(i) - 0.5f * static_cast<float>(tsize - 1);
+  std::vector<std::uint32_t> rng(total), premix(total), out_states(total);
+  std::vector<float> out_costs(total);
+  const backend::AwgnLevel level{
+      hash::Kind::kOneAtATime, 42,          ord.data(),  kExpNsym,
+      y_re.data(),             y_im.data(), nullptr,     nullptr,
+      /*use_csi=*/false,       0.0f,        table.data(), table.data(),
+      tsize - 1,               kExpCbits,   rng.data(),  premix.data(),
+      nullptr,                 nullptr};
+  for (auto _ : state) {
+    b->awgn_expand_all(level, states.data(), kExpLeaves, kExpFanout,
+                       out_states.data(), out_costs.data());
+    benchmark::DoNotOptimize(out_costs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+
+void BM_ExpandU16Backend(benchmark::State& state, const backend::Backend* b) {
+  const std::size_t total = kExpLeaves * kExpFanout;
+  const std::uint32_t qstride = 1u << (2 * kExpCbits);
+  std::vector<std::uint32_t> states(kExpLeaves), ord(kExpNsym);
+  for (std::size_t i = 0; i < kExpLeaves; ++i)
+    states[i] = static_cast<std::uint32_t>(i) * 2654435761u;
+  // Synthetic metric rows (+1 u16 of gather tail slack, the
+  // AwgnLevelQ::qtab contract) and their suffix-minima floors.
+  std::vector<std::uint16_t> qtab(kExpNsym * qstride + 1, 0);
+  std::vector<std::uint16_t> min_rest(kExpNsym + 1, 0);
+  for (std::uint32_t s = 0; s < kExpNsym; ++s) {
+    ord[s] = s;
+    for (std::uint32_t w = 0; w < qstride; ++w)
+      qtab[s * qstride + w] = static_cast<std::uint16_t>((w * 37u + s) & 1023u);
+  }
+  std::vector<std::uint32_t> rng(total), premix(total), acc(total), out_states(total);
+  std::vector<std::uint16_t> out_costs(total);
+  const backend::AwgnLevelQ level{
+      hash::Kind::kOneAtATime, 42,         ord.data(),      kExpNsym,
+      qtab.data(),             qstride,    qstride - 1,     min_rest.data(),
+      rng.data(),              premix.data(), acc.data(),   nullptr};
+  for (auto _ : state) {
+    b->awgn_expand_all_u16(level, states.data(), kExpLeaves, kExpFanout,
+                           out_states.data(), out_costs.data());
+    benchmark::DoNotOptimize(out_costs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,9 +220,16 @@ int main(int argc, char** argv) {
       benchmark::RegisterBenchmark(hn.c_str(), BM_HashNBackend, b, kind);
       benchmark::RegisterBenchmark(hc.c_str(), BM_HashChildrenBackend, b, kind);
     }
+    const std::string ef = "BM_ExpandF32/backend:" + std::string(b->name);
+    const std::string eq = "BM_ExpandU16/backend:" + std::string(b->name);
+    benchmark::RegisterBenchmark(ef.c_str(), BM_ExpandF32Backend, b);
+    benchmark::RegisterBenchmark(eq.c_str(), BM_ExpandU16Backend, b);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Stamped into the JSON context so perf snapshots record which kernel
+  // backend the default (non-forced) cases actually ran.
+  benchmark::AddCustomContext("spinal_backend", backend::active().name);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

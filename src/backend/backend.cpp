@@ -96,6 +96,51 @@ inline void sort_keys_prefix(std::uint64_t* keys, std::size_t n) {
   }
 }
 
+/// u32 twin of partition_le for the quantized path's narrow keys.
+inline std::size_t partition_le_u32(std::uint32_t* keys, std::size_t lo, std::size_t hi,
+                                    int shift, std::uint32_t T) {
+  std::size_t m = lo;
+  for (std::size_t j = lo; j < hi; ++j) {
+    const std::uint32_t x = keys[j];
+    keys[j] = keys[m];
+    keys[m] = x;
+    m += ((x >> shift) & 0xFF) <= T;
+  }
+  return m;
+}
+
+/// Ascending LSD radix sort of u32 keys[0, n). Unlike the u64 variant,
+/// the passes cover every differing byte — the full u32 key orders as
+/// (cost, candidate) directly, so there are no equal-key runs to fix
+/// afterwards (candidate indices are unique).
+inline void sort_keys_prefix_u32(std::uint32_t* keys, std::size_t n) {
+  constexpr std::size_t kScratch = 4096;
+  if (n < 2) return;
+  if (n > kScratch) {
+    std::sort(keys, keys + n);
+    return;
+  }
+  std::uint32_t k0 = keys[0], diff = 0;
+  for (std::size_t i = 1; i < n; ++i) diff |= keys[i] ^ k0;
+  std::uint32_t tmp[kScratch];
+  std::uint32_t* src = keys;
+  std::uint32_t* dst = tmp;
+  for (int shift = 0; shift < 32; shift += 8) {
+    if (((diff >> shift) & 0xFF) == 0) continue;  // constant byte
+    std::uint16_t off[256] = {};
+    for (std::size_t i = 0; i < n; ++i) ++off[(src[i] >> shift) & 0xFF];
+    std::uint16_t sum = 0;
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint16_t c = off[b];
+      off[b] = sum;
+      sum = static_cast<std::uint16_t>(sum + c);
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[off[(src[i] >> shift) & 0xFF]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != keys) std::memcpy(keys, src, n * sizeof(std::uint32_t));
+}
+
 }  // namespace
 
 void shared_partition_keys(std::uint64_t* keys, std::size_t count, std::size_t keep) {
@@ -184,6 +229,119 @@ void shared_select_keys(std::uint64_t* keys, std::size_t count, std::size_t keep
   if (keep == 0 || keep >= count) return;
   shared_partition_keys(keys, count, keep);
   sort_keys_prefix(keys, keep);
+}
+
+void shared_partition_keys_u32(std::uint32_t* keys, std::size_t count, std::size_t keep) {
+  if (keep == 0 || keep >= count) return;
+  // Radix select over the quantized path's 4-byte keys. Keys are
+  // unique ((cost << 16) | candidate with distinct candidate indices),
+  // so the kept set matches nth_element exactly.
+  //
+  // This runs hotter than the u64 variant relative to its kernels (the
+  // integer expand is cheaper than the f32 one, so selection is a
+  // bigger slice of the decode), so the rounds are leaner: the varying
+  // bytes are found by ONE up-front diff scan instead of one per round
+  // (a round's ambiguous block only ever varies in a subset of the
+  // parent's bytes), and each round is histogram + one three-way
+  // scatter pass — byte < T compacts in place (the write cursor can't
+  // pass the read index), byte == T spills to a scratch block copied
+  // back right behind it, byte > T is dropped — instead of histogram +
+  // two branchless partition passes.
+  std::size_t lo = 0, hi = count;  // ambiguous block
+  std::size_t need = keep;         // how many of [lo, hi) are kept
+  std::uint32_t diff;
+  {
+    const std::uint32_t k0 = keys[0];
+    std::uint32_t d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      d0 |= keys[i] ^ k0;
+      d1 |= keys[i + 1] ^ k0;
+      d2 |= keys[i + 2] ^ k0;
+      d3 |= keys[i + 3] ^ k0;
+    }
+    for (; i < count; ++i) d0 |= keys[i] ^ k0;
+    diff = d0 | d1 | d2 | d3;
+  }
+  if (diff == 0) return;  // unreachable with unique keys; defensive
+  int shift = (31 - std::countl_zero(diff)) & ~7;
+
+  constexpr std::size_t kEqScratch = 4096;
+  std::uint32_t eqbuf[kEqScratch];
+
+  while (need > 0 && need < hi - lo) {
+    // Histogram of the block's byte at `shift`. Large blocks use 4
+    // interleaved tables (clustered keys hammer one bucket; a single
+    // table serialises on the store-to-load dependence), small blocks
+    // a single one (zeroing 4 KiB would outweigh the scan).
+    std::uint32_t cnt[4][256];
+    std::uint32_t* const c0 = cnt[0];
+    std::size_t i;
+    if (hi - lo >= 1024) {
+      std::memset(cnt, 0, sizeof(cnt));
+      i = lo;
+      for (; i + 4 <= hi; i += 4) {
+        ++cnt[0][(keys[i] >> shift) & 0xFF];
+        ++cnt[1][(keys[i + 1] >> shift) & 0xFF];
+        ++cnt[2][(keys[i + 2] >> shift) & 0xFF];
+        ++cnt[3][(keys[i + 3] >> shift) & 0xFF];
+      }
+      for (; i < hi; ++i) ++cnt[0][(keys[i] >> shift) & 0xFF];
+      for (unsigned b = 0; b < 256; ++b) c0[b] += cnt[1][b] + cnt[2][b] + cnt[3][b];
+    } else {
+      std::memset(c0, 0, sizeof(cnt[0]));
+      for (i = lo; i < hi; ++i) ++c0[(keys[i] >> shift) & 0xFF];
+    }
+
+    // Threshold byte T: its bucket straddles the keep boundary.
+    std::size_t acc = 0;
+    unsigned T = 0;
+    for (;; ++T) {
+      const std::size_t c = c0[T];
+      if (acc + c > need) break;
+      acc += c;
+    }
+    const std::size_t eqc = c0[T];
+
+    if (acc != 0 || eqc != hi - lo) {  // byte constant in block: descend only
+      if (eqc <= kEqScratch) {
+        std::size_t m = lo, eq = 0;
+        for (std::size_t j = lo; j < hi; ++j) {
+          const std::uint32_t x = keys[j];
+          const unsigned b = (x >> shift) & 0xFF;
+          keys[m] = x;
+          m += b < T;
+          eqbuf[eq] = x;
+          eq += b == T;
+        }
+        std::memcpy(keys + m, eqbuf, eq * sizeof(std::uint32_t));
+        need -= m - lo;
+        lo = m;
+        hi = m + eq;
+      } else {  // == T block outgrew the scratch: in-place two-pass split
+        const std::size_t le = partition_le_u32(keys, lo, hi, shift, T);
+        const std::size_t lt =
+            T ? partition_le_u32(keys, lo, le, shift, T - 1) : lo;
+        need -= lt - lo;
+        lo = lt;
+        hi = le;
+      }
+    }
+
+    if (shift == 0) break;  // all-equal block; unreachable with unique keys
+    const std::uint32_t below = diff & ((1u << shift) - 1u);
+    if (below == 0) break;
+    shift = (31 - std::countl_zero(below)) & ~7;
+  }
+}
+
+void shared_select_keys_u32(std::uint32_t* keys, std::size_t count, std::size_t keep) {
+  if (keep == 0) return;
+  // keep >= count degenerates to a full ascending sort — the quantized
+  // finalize leans on this instead of std::sort (the radix passes beat
+  // introsort's mispredicts on a few hundred clustered keys).
+  if (keep < count) shared_partition_keys_u32(keys, count, keep);
+  sort_keys_prefix_u32(keys, std::min(keep, count));
 }
 
 namespace {

@@ -69,6 +69,7 @@ struct ExpandScratch {
   std::vector<std::uint64_t> acc_bits;   ///< per-child coded-bit accumulator (BSC)
   std::vector<float> acc;                ///< per-child metric accumulator (streaming AWGN)
   std::vector<std::uint32_t> idx;        ///< partial-prune survivor child indices
+  std::vector<std::uint32_t> acc_q;      ///< quantized per-child metric accumulator
 };
 
 /// Everything the fused AWGN expansion kernel needs for one spine level:
@@ -98,6 +99,55 @@ struct AwgnLevel {
   float* acc_scratch;          ///< per-child metric accumulator
   std::uint32_t* idx_scratch;  ///< partial-cost survivor child indices
 };
+
+/// Everything the *quantized* (u16/u8 grid, see spinal/cost_model.h)
+/// AWGN expansion kernels need for one spine level. The channel metric
+/// is fully pre-tabulated: qtab row s holds the combined re+im integer
+/// metric of symbol s for every 2^(2c) constellation index pair, so a
+/// kernel's per-child work per symbol is one RNG draw, one gather
+/// (qtab[w & qmask]) and one add. Entries are clamped to the
+/// precision's cap (<= 65535) and a path cost is min(sum, 65535)
+/// everywhere — exactly a u16 saturating-add chain, carried in u32
+/// lanes so survivor compaction reuses the u32 compress stores.
+struct AwgnLevelQ {
+  hash::Kind kind;
+  std::uint32_t salt;
+  const std::uint32_t* ord;  ///< symbol ordinals, nsym entries
+  std::uint32_t nsym;
+  const std::uint16_t* qtab;      ///< nsym rows of qstride combined metrics
+                                  ///< (u16 entries — 8 KiB per row at c=6, so
+                                  ///< a level's rows sit in L1; the table must
+                                  ///< carry one u16 of tail slack for the
+                                  ///< 32-bit SIMD gather of the last entry)
+  std::uint32_t qstride;          ///< 1 << (2*cbits)
+  std::uint32_t qmask;            ///< qstride - 1 (index = rng_word & qmask)
+  const std::uint16_t* min_rest;  ///< nsym+1 suffix sums of per-row minima
+                                  ///< (min_rest[s] = sat sum of rows >= s,
+                                  ///< min_rest[nsym] = 0): admissible
+                                  ///< remaining-symbol floors for pruning
+  std::uint32_t* rng_scratch;     ///< per-child RNG draws
+  std::uint32_t* premix_scratch;  ///< shared pre-mix, or nullptr
+  std::uint32_t* acc_scratch;     ///< per-child quantized metric accumulator
+  std::uint32_t* idx_scratch;     ///< partial-cost survivor child indices
+};
+
+/// Packs a quantized cost (<= 65535) and candidate index (< 65536 —
+/// the quantized path requires B*2^k <= 65536) into the u32 selection
+/// key the *_u16 kernels and partition/select_keys_u32 operate on.
+/// Integer costs are their own monotone key, so unlike the f32 path
+/// there is no bit trick to undo: cost = key >> 16, cand = key & 0xFFFF.
+inline std::uint32_t quant_key(std::uint32_t cost, std::uint32_t cand) noexcept {
+  return (cost << 16) | cand;
+}
+
+/// Saturating u16 add on u32 carriers: min(a + b, 65535). With
+/// non-negative operands a chain of these equals min(plain sum, 65535),
+/// so kernels may accumulate in plain u32 and clamp once at the end —
+/// bit-identical to a per-step saturating u16 chain.
+inline std::uint32_t quant_sat_add(std::uint32_t a, std::uint32_t b) noexcept {
+  const std::uint32_t s = a + b;
+  return s > 65535u ? 65535u : s;
+}
 
 /// One spine level of the BSC kernel: ordinals plus the received bits
 /// packed 64 per word (bit j of word j/64), and caller-sized scratch.
@@ -259,6 +309,70 @@ struct Backend {
   /// is trivially bit-identical.
   void (*xor_rows)(std::uint64_t* dst, const std::uint64_t* src,
                    std::size_t words);
+
+  // --- Quantized (u16/u8-grid) kernel family ---------------------------
+  // Integer mirrors of the AWGN expand/prune/regroup contract above.
+  // Costs are u16-saturating (min(sum, 65535) everywhere), selection
+  // keys are u32 quant_key(cost, cand) values, and every kernel is pure
+  // integer — bit-identical across backends by construction, which is
+  // the conformance contract test_backend and the forced-u16 golden
+  // runs enforce (quantized vs f32 is gated statistically instead, see
+  // spinal/cost_model.h).
+
+  /// Quantized awgn_expand_all: out_costs[c] = min(sum of per-symbol
+  /// table metrics, 65535) per child, u16. Needs level.rng_scratch and
+  /// level.acc_scratch sized count*fanout (premix_scratch when the hash
+  /// kind factors and nsym > 1).
+  void (*awgn_expand_all_u16)(const AwgnLevelQ& level, const std::uint32_t* states,
+                              std::size_t count, std::uint32_t fanout,
+                              std::uint32_t* out_states, std::uint16_t* out_costs);
+
+  /// Quantized streaming fused expand+prune, the integer twin of
+  /// awgn_expand_prune: same pipeline (hash children, sweep symbol 0,
+  /// compress partial-cost survivors, finish the remaining sweeps on
+  /// survivors only), same survivor-key append contract with u32 keys
+  /// (7 slots of slack). Two integer-only extras sharpen the admissible
+  /// bounds: whole rows skip *before any hashing* when
+  /// quant_key(parent + min_rest[0], 0) > bound_key, and the partial
+  /// compress adds min_rest[1] (the guaranteed remaining-symbol floor)
+  /// to each lane's partial cost. Pass bound_key = UINT32_MAX to keep
+  /// everything.
+  std::size_t (*awgn_expand_prune_u16)(const AwgnLevelQ& level,
+                                       const std::uint32_t* states,
+                                       const std::uint16_t* parent_cost,
+                                       std::size_t count, std::uint32_t fanout,
+                                       std::uint32_t cand_base, std::uint32_t bound_key,
+                                       std::uint32_t* out_states,
+                                       std::uint32_t* out_keys);
+
+  /// Quantized d1_prune: cost = min(parent + child, 65535), key =
+  /// quant_key(cost, cand_base + c), append iff key <= bound_key.
+  /// Same row short-circuit and slack contract as d1_prune.
+  std::size_t (*d1_prune_u16)(const std::uint16_t* parent_cost,
+                              const std::uint16_t* child_cost, std::size_t count,
+                              std::uint32_t fanout, std::uint32_t cand_base,
+                              std::uint32_t bound_key, std::uint32_t* out_keys);
+
+  /// Quantized row_mins: out[i] = min(leaf_cost[i] + min_v child, 65535).
+  void (*row_mins_u16)(const std::uint16_t* leaf_cost, const std::uint16_t* child_cost,
+                       std::size_t leaves, std::uint32_t fanout, std::uint16_t* out);
+
+  /// Quantized regroup_emit: identical move/order contract to
+  /// regroup_emit with out_cost[dst+v] = min(leaf + child, 65535).
+  void (*regroup_emit_u16)(const std::uint32_t* child_state,
+                           const std::uint16_t* child_cost, const std::uint16_t* leaf_cost,
+                           const std::uint32_t* leaf_path, std::size_t leaves,
+                           std::uint32_t fanout, int k, int d, std::uint32_t group_mask,
+                           const std::int32_t* group_rowbase, std::uint32_t* out_state,
+                           std::uint16_t* out_cost, std::uint32_t* out_path);
+
+  /// partition_keys over u32 quantized keys (same set-only contract).
+  void (*partition_keys_u32)(std::uint32_t* keys, std::size_t count, std::size_t keep);
+
+  /// select_keys over u32 quantized keys: keep smallest ascending in
+  /// [0, keep). u32 keys order exactly by (cost, cand), so ascending
+  /// key order *is* the deterministic tie-broken candidate order.
+  void (*select_keys_u32)(std::uint32_t* keys, std::size_t count, std::size_t keep);
 
   /// Batched RNG of §7.1 (domain-separated hash, see SpineHash::rng).
   void rng_n(hash::Kind kind, std::uint32_t salt, const std::uint32_t* states,

@@ -33,6 +33,13 @@ const Backend* avx2_backend() noexcept {
       shared_partition_keys,
       shared_select_keys,
       Ops::xor_rows,
+      awgn_expand_all_u16_t<Ops>,
+      awgn_expand_prune_u16_t<Ops>,
+      Ops::d1_prune_u16,
+      Ops::row_mins_u16,
+      Ops::regroup_emit_u16,
+      shared_partition_keys_u32,
+      shared_select_keys_u32,
   };
   return &b;
 }

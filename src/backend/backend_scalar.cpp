@@ -110,6 +110,67 @@ struct ScalarOps {
                        std::size_t words) {
     scalar::xor_rows(dst, src, words);
   }
+
+  // --- quantized (u16 path metric) policy hooks ---
+  static void awgn_q_sweep(hash::Kind kind, std::uint32_t salt, bool premixed,
+                           const std::uint32_t* lanes, std::size_t count,
+                           std::uint32_t data, const std::uint16_t* qtab,
+                           std::uint32_t qmask, std::uint32_t* w, std::uint32_t* acc) {
+    scalar::awgn_q_sweep(kind, salt, premixed, lanes, count, data, qtab, qmask, w, acc);
+  }
+  static void awgn_q_sweep0(hash::Kind kind, std::uint32_t salt, bool premixed,
+                            const std::uint32_t* lanes, std::size_t count,
+                            std::uint32_t data, const std::uint16_t* qtab,
+                            std::uint32_t qmask, std::uint32_t* w, std::uint32_t* acc) {
+    scalar::awgn_q_sweep0(kind, salt, premixed, lanes, count, data, qtab, qmask, w, acc);
+  }
+  static std::size_t d1_prune_u16(const std::uint16_t* parent_cost,
+                                  const std::uint16_t* child_cost, std::size_t count,
+                                  std::uint32_t fanout, std::uint32_t cand_base,
+                                  std::uint32_t bound_key, std::uint32_t* out_keys) {
+    return scalar::d1_prune_u16(parent_cost, child_cost, count, fanout, cand_base,
+                                bound_key, out_keys);
+  }
+  static std::size_t d1_finalize_q(const std::uint16_t* parent_cost,
+                                   const std::uint32_t* acc, std::size_t count,
+                                   std::uint32_t fanout, std::uint32_t cand_base,
+                                   std::uint32_t bound_key, std::uint32_t* out_keys) {
+    return scalar::d1_finalize_q(parent_cost, acc, count, fanout, cand_base, bound_key,
+                                 out_keys);
+  }
+  static std::size_t partial_compress_u16(const std::uint16_t* parent_cost,
+                                          std::uint32_t* acc, std::size_t count,
+                                          std::uint32_t fanout, std::uint32_t row_floor,
+                                          std::uint32_t lane_rest,
+                                          std::uint32_t bound_key, std::uint32_t* lanes,
+                                          std::uint32_t* idx_out) {
+    return scalar::partial_compress_u16(parent_cost, acc, count, fanout, row_floor,
+                                        lane_rest, bound_key, lanes, idx_out);
+  }
+  static std::size_t final_prune_u16(const std::uint32_t* parent32,
+                                     const std::uint32_t* acc, const std::uint32_t* idx,
+                                     std::size_t n, int log2_fanout,
+                                     std::uint32_t cand_base, std::uint32_t bound_key,
+                                     std::uint32_t* out_keys) {
+    return scalar::final_prune_u16(parent32, acc, idx, n, log2_fanout, cand_base,
+                                   bound_key, out_keys);
+  }
+  static void row_mins_u16(const std::uint16_t* leaf_cost, const std::uint16_t* child_cost,
+                           std::size_t leaves, std::uint32_t fanout, std::uint16_t* out) {
+    scalar::row_mins_u16(leaf_cost, child_cost, leaves, fanout, out);
+  }
+  static void regroup_emit_u16(const std::uint32_t* child_state,
+                               const std::uint16_t* child_cost,
+                               const std::uint16_t* leaf_cost,
+                               const std::uint32_t* leaf_path, std::size_t leaves,
+                               std::uint32_t fanout, int k, int d,
+                               std::uint32_t group_mask, const std::int32_t* group_rowbase,
+                               std::uint32_t* out_state, std::uint16_t* out_cost,
+                               std::uint32_t* out_path) {
+    scalar::regroup_emit_u16(child_state, child_cost, leaf_cost, leaf_path, leaves,
+                             fanout, k, d, group_mask, group_rowbase, out_state, out_cost,
+                             out_path);
+  }
 };
 
 }  // namespace
@@ -132,6 +193,13 @@ const Backend* scalar_backend() noexcept {
       shared_partition_keys,
       shared_select_keys,
       ScalarOps::xor_rows,
+      awgn_expand_all_u16_t<ScalarOps>,
+      awgn_expand_prune_u16_t<ScalarOps>,
+      ScalarOps::d1_prune_u16,
+      ScalarOps::row_mins_u16,
+      ScalarOps::regroup_emit_u16,
+      shared_partition_keys_u32,
+      shared_select_keys_u32,
   };
   return &b;
 }

@@ -31,4 +31,10 @@ void shared_build_keys(const float* costs, std::size_t count, std::uint64_t* key
 void shared_partition_keys(std::uint64_t* keys, std::size_t count, std::size_t keep);
 void shared_select_keys(std::uint64_t* keys, std::size_t count, std::size_t keep);
 
+// uint32 variants for the quantized path's narrow packed keys
+// (cost << 16 | candidate). Same contract; the full u32 orders as
+// (cost, candidate) directly, so the select needs no tie-run fixup.
+void shared_partition_keys_u32(std::uint32_t* keys, std::size_t count, std::size_t keep);
+void shared_select_keys_u32(std::uint32_t* keys, std::size_t count, std::size_t keep);
+
 }  // namespace spinal::backend

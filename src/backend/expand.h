@@ -151,6 +151,100 @@ std::size_t awgn_expand_prune_t(const AwgnLevel& L, const std::uint32_t* states,
                           bound_key, out_keys);
 }
 
+/// Quantized awgn_expand_all (see Backend::awgn_expand_all_u16): the
+/// metric is one pre-tabulated gather per symbol per child, accumulated
+/// in u32 lanes and clamped to the u16 saturation point once at the
+/// end (≡ a per-step saturating chain; see AwgnLevelQ).
+template <class Ops>
+void awgn_expand_all_u16_t(const AwgnLevelQ& L, const std::uint32_t* states,
+                           std::size_t count, std::uint32_t fanout,
+                           std::uint32_t* out_states, std::uint16_t* out_costs) {
+  Ops::hash_children(L.kind, L.salt, states, count, fanout, out_states);
+  const std::size_t total = count * static_cast<std::size_t>(fanout);
+  if (L.nsym == 0 || total == 0) {
+    for (std::size_t i = 0; i < total; ++i) out_costs[i] = 0;
+    return;
+  }
+  std::uint32_t* const w = L.rng_scratch;
+  std::uint32_t* const acc = L.acc_scratch;
+
+  const bool premixed =
+      L.kind == hash::Kind::kOneAtATime && L.nsym > 1 && L.premix_scratch != nullptr;
+  if (premixed) Ops::premix_n(L.salt, out_states, total, L.premix_scratch);
+
+  for (std::uint32_t s = 0; s < L.nsym; ++s) {
+    const std::uint32_t data = L.ord[s] ^ 0x80000000u;  // RNG domain separation
+    const std::uint16_t* const row = L.qtab + s * static_cast<std::size_t>(L.qstride);
+    if (s == 0) {
+      Ops::awgn_q_sweep0(L.kind, L.salt, premixed,
+                         premixed ? L.premix_scratch : out_states, total, data, row,
+                         L.qmask, w, acc);
+    } else {
+      Ops::awgn_q_sweep(L.kind, L.salt, premixed,
+                        premixed ? L.premix_scratch : out_states, total, data, row,
+                        L.qmask, w, acc);
+    }
+  }
+  for (std::size_t i = 0; i < total; ++i)
+    out_costs[i] = static_cast<std::uint16_t>(acc[i] > 65535u ? 65535u : acc[i]);
+}
+
+/// Quantized fused streaming expansion+prune (see
+/// Backend::awgn_expand_prune_u16). Same phase structure as
+/// awgn_expand_prune_t with two integer-only sharpenings: the level's
+/// pre-tabulated metric floors gate whole rows before any hashing
+/// (min_rest[0]) and tighten the partial-cost filter (min_rest[1]).
+template <class Ops>
+std::size_t awgn_expand_prune_u16_t(const AwgnLevelQ& L, const std::uint32_t* states,
+                                    const std::uint16_t* parent_cost, std::size_t count,
+                                    std::uint32_t fanout, std::uint32_t cand_base,
+                                    std::uint32_t bound_key, std::uint32_t* out_states,
+                                    std::uint32_t* out_keys) {
+  const std::size_t total = count * static_cast<std::size_t>(fanout);
+  std::uint32_t* const acc = L.acc_scratch;
+  if (L.nsym == 0 || total == 0) {
+    Ops::hash_children(L.kind, L.salt, states, count, fanout, out_states);
+    for (std::size_t i = 0; i < total; ++i) acc[i] = 0;
+    return Ops::d1_finalize_q(parent_cost, acc, count, fanout, cand_base, bound_key,
+                              out_keys);
+  }
+  std::uint32_t* const w = L.rng_scratch;
+
+  const bool premixed = L.kind == hash::Kind::kOneAtATime && L.nsym > 1;
+  std::uint32_t* const lanes = L.premix_scratch;
+  Ops::hash_children_premix(L.kind, L.salt, premixed, states, count, fanout,
+                            out_states, lanes);
+
+  Ops::awgn_q_sweep0(L.kind, L.salt, premixed, lanes, total, L.ord[0] ^ 0x80000000u,
+                     L.qtab, L.qmask, w, acc);
+  if (L.nsym == 1 || bound_key == 0xFFFFFFFFu) {
+    for (std::uint32_t s = 1; s < L.nsym; ++s)
+      Ops::awgn_q_sweep(L.kind, L.salt, premixed, lanes, total,
+                        L.ord[s] ^ 0x80000000u,
+                        L.qtab + s * static_cast<std::size_t>(L.qstride), L.qmask, w,
+                        acc);
+    return Ops::d1_finalize_q(parent_cost, acc, count, fanout, cand_base, bound_key,
+                              out_keys);
+  }
+
+  // Partial-cost prune with the remaining-symbol floors folded in.
+  const std::size_t n = Ops::partial_compress_u16(
+      parent_cost, acc, count, fanout, L.min_rest[0], L.min_rest[1], bound_key, lanes,
+      L.idx_scratch);
+  for (std::uint32_t s = 1; s < L.nsym; ++s)
+    Ops::awgn_q_sweep(L.kind, L.salt, premixed, lanes, n, L.ord[s] ^ 0x80000000u,
+                      L.qtab + s * static_cast<std::size_t>(L.qstride), L.qmask, w,
+                      acc);
+  int log2_fanout = 0;
+  while ((1u << log2_fanout) < fanout) ++log2_fanout;
+  // Widen the block's parent costs once so the final gather is a plain
+  // 32-bit gather on every backend; w is free after the last sweep.
+  std::uint32_t* const parent32 = w;
+  for (std::size_t i = 0; i < count; ++i) parent32[i] = parent_cost[i];
+  return Ops::final_prune_u16(parent32, acc, L.idx_scratch, n, log2_fanout, cand_base,
+                              bound_key, out_keys);
+}
+
 template <class Ops>
 void bsc_expand_all_t(const BscLevel& L, const std::uint32_t* states, std::size_t count,
                       std::uint32_t fanout, std::uint32_t* out_states, float* out_costs) {

@@ -379,4 +379,210 @@ static inline void xor_rows(std::uint64_t* dst, const std::uint64_t* src,
   for (std::size_t w = 0; w < words; ++w) dst[w] ^= src[w];
 }
 
+// --- Quantized (u16/u8-grid) kernels ----------------------------------
+// Integer mirrors of the float kernels above. The channel metric is a
+// pre-tabulated combined re+im integer (AwgnLevelQ::qtab), so one
+// symbol's per-child work is a gather plus an add; costs are
+// min(sum, 65535) everywhere (quant_sat_add chains ≡ plain u32 sums
+// clamped once, since every table entry is <= 65535 and nsym is
+// bounded far below 2^16). All pure integer: SIMD lanes are trivially
+// bit-identical, so these loops are both the reference semantics and
+// the conformance oracle for the *_u16 backend entries.
+
+static inline std::uint32_t quant_clamp(std::uint32_t sum) noexcept {
+  return sum > 65535u ? 65535u : sum;
+}
+
+/// acc[i] += qtab[w[i] & qmask] — the quantized metric accumulation.
+static inline void awgn_q_accum(const std::uint32_t* w, std::size_t count,
+                                const std::uint16_t* qtab, std::uint32_t qmask,
+                                std::uint32_t* acc) noexcept {
+  const std::uint16_t* const __restrict t = qtab;
+  std::uint32_t* const __restrict oc = acc;
+  for (std::size_t i = 0; i < count; ++i) oc[i] += t[w[i] & qmask];
+}
+
+/// Store form of awgn_q_accum for the first symbol.
+static inline void awgn_q_accum0(const std::uint32_t* w, std::size_t count,
+                                 const std::uint16_t* qtab, std::uint32_t qmask,
+                                 std::uint32_t* acc) noexcept {
+  const std::uint16_t* const __restrict t = qtab;
+  std::uint32_t* const __restrict oc = acc;
+  for (std::size_t i = 0; i < count; ++i) oc[i] = t[w[i] & qmask];
+}
+
+/// One symbol's RNG draw + quantized metric accumulation (split passes
+/// so both loops auto-vectorize, exactly as awgn_sweep).
+static inline void awgn_q_sweep(hash::Kind kind, std::uint32_t salt, bool premixed,
+                                const std::uint32_t* lanes, std::size_t count,
+                                std::uint32_t data, const std::uint16_t* qtab,
+                                std::uint32_t qmask, std::uint32_t* w,
+                                std::uint32_t* acc) noexcept {
+  if (premixed)
+    hash_premixed_n(lanes, count, data, w);
+  else
+    hash_n(kind, salt, lanes, count, data, w);
+  awgn_q_accum(w, count, qtab, qmask, acc);
+}
+
+/// First-symbol variant of awgn_q_sweep (stores instead of accumulating).
+static inline void awgn_q_sweep0(hash::Kind kind, std::uint32_t salt, bool premixed,
+                                 const std::uint32_t* lanes, std::size_t count,
+                                 std::uint32_t data, const std::uint16_t* qtab,
+                                 std::uint32_t qmask, std::uint32_t* w,
+                                 std::uint32_t* acc) noexcept {
+  if (premixed)
+    hash_premixed_n(lanes, count, data, w);
+  else
+    hash_n(kind, salt, lanes, count, data, w);
+  awgn_q_accum0(w, count, qtab, qmask, acc);
+}
+
+/// Quantized d1_prune (see Backend::d1_prune_u16): u16 child metrics,
+/// u32 quant_key appends, same branchless-append and row-skip shapes.
+static inline std::size_t d1_prune_u16(const std::uint16_t* parent_cost,
+                                       const std::uint16_t* child_cost,
+                                       std::size_t count, std::uint32_t fanout,
+                                       std::uint32_t cand_base, std::uint32_t bound_key,
+                                       std::uint32_t* out_keys) noexcept {
+  std::size_t sc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t pc = parent_cost[i];
+    // Saturating adds are monotone: every child key >= quant_key(pc, 0).
+    if ((pc << 16) > bound_key) continue;
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; ++v) {
+      const std::uint32_t cost = quant_clamp(pc + child_cost[row + v]);
+      const std::uint32_t key =
+          (cost << 16) | (cand_base + static_cast<std::uint32_t>(row + v));
+      out_keys[sc] = key;
+      sc += key <= bound_key;
+    }
+  }
+  return sc;
+}
+
+/// Full-width quantized finalize over the uncompressed u32 accumulator
+/// (the fused pipeline's keep-everything / single-symbol exit, where no
+/// partial compress ran): cost = clamp(parent + acc[c]) per candidate.
+static inline std::size_t d1_finalize_q(const std::uint16_t* parent_cost,
+                                        const std::uint32_t* acc, std::size_t count,
+                                        std::uint32_t fanout, std::uint32_t cand_base,
+                                        std::uint32_t bound_key,
+                                        std::uint32_t* out_keys) noexcept {
+  std::size_t sc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t pc = parent_cost[i];
+    if ((pc << 16) > bound_key) continue;
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; ++v) {
+      const std::uint32_t cost = quant_clamp(pc + acc[row + v]);
+      const std::uint32_t key =
+          (cost << 16) | (cand_base + static_cast<std::uint32_t>(row + v));
+      out_keys[sc] = key;
+      sc += key <= bound_key;
+    }
+  }
+  return sc;
+}
+
+/// Quantized partial-cost survivor compression (see
+/// Backend::awgn_expand_prune_u16). Sharper than the float twin thanks
+/// to the pre-tabulated metric floors: rows skip before any metric
+/// work when even parent + row_floor (the guaranteed whole-level
+/// minimum, min_rest[0]) exceeds the bound, and each lane's partial
+/// key adds lane_rest (min_rest[1], the floor of the unswept symbols).
+/// Both floors are admissible — the final cost can only be larger.
+static inline std::size_t partial_compress_u16(const std::uint16_t* parent_cost,
+                                               std::uint32_t* acc, std::size_t count,
+                                               std::uint32_t fanout,
+                                               std::uint32_t row_floor,
+                                               std::uint32_t lane_rest,
+                                               std::uint32_t bound_key,
+                                               std::uint32_t* lanes,
+                                               std::uint32_t* idx_out) noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t pc = parent_cost[i];
+    if ((quant_clamp(pc + row_floor) << 16) > bound_key) continue;
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; ++v) {
+      const std::size_t c = row + v;
+      acc[n] = acc[c];
+      lanes[n] = lanes[c];
+      idx_out[n] = static_cast<std::uint32_t>(c);
+      const std::uint32_t pkey = (quant_clamp(pc + acc[n] + lane_rest) << 16) |
+                                 static_cast<std::uint32_t>(c);
+      n += pkey <= bound_key;
+    }
+  }
+  return n;
+}
+
+/// Quantized final key build over compressed survivor lanes.
+/// @p parent32 is the block's parent costs widened to u32 by the
+/// driver (so SIMD backends gather with plain 32-bit gathers).
+static inline std::size_t final_prune_u16(const std::uint32_t* parent32,
+                                          const std::uint32_t* acc,
+                                          const std::uint32_t* idx, std::size_t n,
+                                          int log2_fanout, std::uint32_t cand_base,
+                                          std::uint32_t bound_key,
+                                          std::uint32_t* out_keys) noexcept {
+  std::size_t sc = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t cost = quant_clamp(parent32[idx[j] >> log2_fanout] + acc[j]);
+    const std::uint32_t key = (cost << 16) | (cand_base + idx[j]);
+    out_keys[sc] = key;
+    sc += key <= bound_key;
+  }
+  return sc;
+}
+
+/// Quantized row_mins: unsigned min is order-free and the saturating
+/// fold is monotone, so clamp(leaf + min_v row) equals the running
+/// min over clamped per-child costs exactly.
+static inline void row_mins_u16(const std::uint16_t* leaf_cost,
+                                const std::uint16_t* child_cost, std::size_t leaves,
+                                std::uint32_t fanout, std::uint16_t* out) noexcept {
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    std::uint32_t m = child_cost[row];
+    for (std::uint32_t v = 1; v < fanout; ++v)
+      if (child_cost[row + v] < m) m = child_cost[row + v];
+    out[i] = static_cast<std::uint16_t>(quant_clamp(leaf_cost[i] + m));
+  }
+}
+
+/// Quantized regroup_emit: same move/order contract as regroup_emit
+/// with saturating cost folds.
+static inline void regroup_emit_u16(const std::uint32_t* child_state,
+                                    const std::uint16_t* child_cost,
+                                    const std::uint16_t* leaf_cost,
+                                    const std::uint32_t* leaf_path, std::size_t leaves,
+                                    std::uint32_t fanout, int k, int d,
+                                    std::uint32_t group_mask,
+                                    const std::int32_t* group_rowbase,
+                                    std::uint32_t* out_state, std::uint16_t* out_cost,
+                                    std::uint32_t* out_path) noexcept {
+  std::uint32_t next[256];  // group_count <= 2^k <= 256 (CodeParams)
+  const std::uint32_t group_count = group_mask + 1;
+  for (std::uint32_t g = 0; g < group_count; ++g)
+    next[g] = group_rowbase[g] < 0 ? 0 : static_cast<std::uint32_t>(group_rowbase[g]);
+  const int shift = k * (d - 2);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::uint32_t g = leaf_path[i] & group_mask;
+    if (group_rowbase[g] < 0) continue;
+    const std::uint32_t pc = leaf_cost[i];
+    const std::uint32_t pbase = leaf_path[i] >> k;
+    const std::size_t src = i * static_cast<std::size_t>(fanout);
+    const std::size_t dst = next[g];
+    next[g] += fanout;
+    for (std::uint32_t v = 0; v < fanout; ++v) {
+      out_state[dst + v] = child_state[src + v];
+      out_cost[dst + v] = static_cast<std::uint16_t>(quant_clamp(pc + child_cost[src + v]));
+      out_path[dst + v] = pbase | (v << shift);
+    }
+  }
+}
+
 }  // namespace spinal::backend::scalar

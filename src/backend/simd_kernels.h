@@ -125,18 +125,25 @@ static inline typename V::U salsa20_pair_v(typename V::U state, typename V::U da
 
 // The one-at-a-time mix is a serial ~15-op dependency chain per vector;
 // a single-vector loop is latency-bound, not throughput-bound. The hot
-// batched mixes below therefore run two independent chains per
-// iteration — the compiler does not interleave across iterations on
-// its own, and the hash mixes dominate the fused expansion kernel.
+// batched mixes below therefore run *four* independent chains per
+// iteration (software-pipelined: each chain's ~15 serial ops overlap
+// the other three's) — the compiler does not interleave across
+// iterations on its own, and the hash mixes dominate the fused
+// expansion kernel. Four chains ≈ the latency·throughput product of
+// the add/shift/xor units on current cores; two left them half idle.
 
 template <class V>
 static void premix_n_v(std::uint32_t salt, const std::uint32_t* states,
                        std::size_t count, std::uint32_t* out) {
   const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
   std::size_t i = 0;
-  for (; i + 2 * V::W <= count; i += 2 * V::W) {
+  for (; i + 4 * V::W <= count; i += 4 * V::W) {
     V::storeu(out + i, oaat_word_v<V>(seedv, V::loadu(states + i)));
     V::storeu(out + i + V::W, oaat_word_v<V>(seedv, V::loadu(states + i + V::W)));
+    V::storeu(out + i + 2 * V::W,
+              oaat_word_v<V>(seedv, V::loadu(states + i + 2 * V::W)));
+    V::storeu(out + i + 3 * V::W,
+              oaat_word_v<V>(seedv, V::loadu(states + i + 3 * V::W)));
   }
   for (; i + V::W <= count; i += V::W)
     V::storeu(out + i, oaat_word_v<V>(seedv, V::loadu(states + i)));
@@ -148,9 +155,13 @@ static void hash_premixed_n_v(const std::uint32_t* premixed, std::size_t count,
                               std::uint32_t data, std::uint32_t* out) {
   const typename V::U datav = V::set1(data);
   std::size_t i = 0;
-  for (; i + 2 * V::W <= count; i += 2 * V::W) {
+  for (; i + 4 * V::W <= count; i += 4 * V::W) {
     V::storeu(out + i, oaat_word_v<V>(V::loadu(premixed + i), datav));
     V::storeu(out + i + V::W, oaat_word_v<V>(V::loadu(premixed + i + V::W), datav));
+    V::storeu(out + i + 2 * V::W,
+              oaat_word_v<V>(V::loadu(premixed + i + 2 * V::W), datav));
+    V::storeu(out + i + 3 * V::W,
+              oaat_word_v<V>(V::loadu(premixed + i + 3 * V::W), datav));
   }
   for (; i + V::W <= count; i += V::W)
     V::storeu(out + i, oaat_word_v<V>(V::loadu(premixed + i), datav));
@@ -165,12 +176,18 @@ static void hash_n_v(hash::Kind kind, std::uint32_t salt, const std::uint32_t* s
     case hash::Kind::kOneAtATime: {
       const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
       const typename V::U datav = V::set1(data);
-      for (; i + 2 * V::W <= count; i += 2 * V::W) {
+      for (; i + 4 * V::W <= count; i += 4 * V::W) {
         V::storeu(out + i,
                   oaat_word_v<V>(oaat_word_v<V>(seedv, V::loadu(states + i)), datav));
         V::storeu(out + i + V::W,
                   oaat_word_v<V>(oaat_word_v<V>(seedv, V::loadu(states + i + V::W)),
                                  datav));
+        V::storeu(out + i + 2 * V::W,
+                  oaat_word_v<V>(
+                      oaat_word_v<V>(seedv, V::loadu(states + i + 2 * V::W)), datav));
+        V::storeu(out + i + 3 * V::W,
+                  oaat_word_v<V>(
+                      oaat_word_v<V>(seedv, V::loadu(states + i + 3 * V::W)), datav));
       }
       for (; i + V::W <= count; i += V::W)
         V::storeu(out + i,
@@ -361,11 +378,15 @@ static void awgn_sweep_impl_v(hash::Kind kind, std::uint32_t salt, bool premixed
   };
   std::size_t i = 0;
   if (premixed) {
-    for (; i + 2 * V::W <= count; i += 2 * V::W) {
+    for (; i + 4 * V::W <= count; i += 4 * V::W) {
       const typename V::U w0 = oaat_word_v<V>(V::loadu(lanes + i), datav);
       const typename V::U w1 = oaat_word_v<V>(V::loadu(lanes + i + V::W), datav);
+      const typename V::U w2 = oaat_word_v<V>(V::loadu(lanes + i + 2 * V::W), datav);
+      const typename V::U w3 = oaat_word_v<V>(V::loadu(lanes + i + 3 * V::W), datav);
       emit(i, metric(w0));
       emit(i + V::W, metric(w1));
+      emit(i + 2 * V::W, metric(w2));
+      emit(i + 3 * V::W, metric(w3));
     }
   }
   for (; i + V::W <= count; i += V::W) {
@@ -710,6 +731,292 @@ static void xor_rows_v(std::uint64_t* dst, const std::uint64_t* src,
   for (; w < words; ++w) dst[w] ^= src[w];
 }
 
+// ------------------------------------------------- quantized kernels
+// Integer mirrors of the float kernels for the u16/u8-grid path (see
+// AwgnLevelQ in backend.h). Pure integer lanes: bit-identity to the
+// scalar quantized kernels holds by construction. The metric is one
+// pre-tabulated gather + one add per child per symbol — half the
+// gathers and a third of the arithmetic of the float metric, which is
+// where the quantized path's throughput comes from (the hash chains
+// are shared with the float path and equally interleaved).
+
+/// Fused RNG draw + quantized table metric for one symbol (see
+/// scalar::awgn_q_sweep). Four vectors per iteration in the hot
+/// premixed shape, matching the float sweep's chain interleave.
+template <class V, bool kStore>
+static void awgn_q_sweep_impl_v(hash::Kind kind, std::uint32_t salt, bool premixed,
+                                const std::uint32_t* lanes, std::size_t count,
+                                std::uint32_t data, const std::uint16_t* qtab,
+                                std::uint32_t qmask, std::uint32_t* w_scratch,
+                                std::uint32_t* acc) {
+  const typename V::U datav = V::set1(data);
+  const typename V::U qmaskv = V::set1(qmask);
+  const typename V::U seedv = V::set1(scalar::oaat_seed(salt));
+  const auto metric = [&](typename V::U w) {
+    return V::gather_u16(qtab, V::and_(w, qmaskv));
+  };
+  const auto emit = [&](std::size_t at, typename V::U m) {
+    if constexpr (kStore)
+      V::storeu(acc + at, m);
+    else
+      V::storeu(acc + at, V::add(V::loadu(acc + at), m));
+  };
+  std::size_t i = 0;
+  if (premixed) {
+    for (; i + 4 * V::W <= count; i += 4 * V::W) {
+      const typename V::U w0 = oaat_word_v<V>(V::loadu(lanes + i), datav);
+      const typename V::U w1 = oaat_word_v<V>(V::loadu(lanes + i + V::W), datav);
+      const typename V::U w2 = oaat_word_v<V>(V::loadu(lanes + i + 2 * V::W), datav);
+      const typename V::U w3 = oaat_word_v<V>(V::loadu(lanes + i + 3 * V::W), datav);
+      emit(i, metric(w0));
+      emit(i + V::W, metric(w1));
+      emit(i + 2 * V::W, metric(w2));
+      emit(i + 3 * V::W, metric(w3));
+    }
+  }
+  for (; i + V::W <= count; i += V::W) {
+    typename V::U w;
+    if (premixed)
+      w = oaat_word_v<V>(V::loadu(lanes + i), datav);
+    else if (kind == hash::Kind::kOneAtATime)
+      w = oaat_word_v<V>(oaat_word_v<V>(seedv, V::loadu(lanes + i)), datav);
+    else if (kind == hash::Kind::kLookup3)
+      w = lookup3_pair_v<V>(V::loadu(lanes + i), datav, salt);
+    else
+      w = salsa20_pair_v<V>(V::loadu(lanes + i), datav, salt);
+    emit(i, metric(w));
+  }
+  if (i < count) {
+    if constexpr (kStore)
+      scalar::awgn_q_sweep0(kind, salt, premixed, lanes + i, count - i, data, qtab,
+                            qmask, w_scratch + i, acc + i);
+    else
+      scalar::awgn_q_sweep(kind, salt, premixed, lanes + i, count - i, data, qtab,
+                           qmask, w_scratch + i, acc + i);
+  }
+}
+
+/// Quantized d1_prune (see Backend::d1_prune_u16): u16 child metrics
+/// widen into u32 lanes, the clamped cost packs with the candidate
+/// index into a single u32 key, and the bound filter is one unsigned
+/// compare (no 64-bit two-word compare as in the float path).
+template <class V>
+static std::size_t d1_prune_u16_v(const std::uint16_t* parent_cost,
+                                  const std::uint16_t* child_cost, std::size_t count,
+                                  std::uint32_t fanout, std::uint32_t cand_base,
+                                  std::uint32_t bound_key, std::uint32_t* out_keys) {
+  if (fanout < V::W || fanout % V::W != 0)
+    return scalar::d1_prune_u16(parent_cost, child_cost, count, fanout, cand_base,
+                                bound_key, out_keys);
+  constexpr unsigned kFull = (1u << V::W) - 1u;
+  const typename V::U boundv = V::set1(bound_key);
+  const typename V::U capv = V::set1(65535u);
+  const typename V::U iota = V::iota();
+  std::size_t sc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t pc = parent_cost[i];
+    if ((pc << 16) > bound_key) continue;  // children cost >= pc
+    const typename V::U pcv = V::set1(pc);
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; v += static_cast<std::uint32_t>(V::W)) {
+      const std::size_t idx = row + v;
+      const typename V::U cost =
+          V::min_u32(V::add(pcv, V::widen_load_u16(child_cost + idx)), capv);
+      const typename V::U key = V::or_(
+          V::shl(cost, 16),
+          V::add(V::set1(cand_base + static_cast<std::uint32_t>(idx)), iota));
+      const unsigned keep = kFull & ~V::gtu_mask(key, boundv);
+      if (keep == 0) continue;  // the hot case once the bound bites
+      sc += V::compress_store_u32(out_keys + sc, key, keep);
+    }
+  }
+  return sc;
+}
+
+/// Full-width quantized finalize over the u32 accumulator (see
+/// scalar::d1_finalize_q).
+template <class V>
+static std::size_t d1_finalize_q_v(const std::uint16_t* parent_cost,
+                                   const std::uint32_t* acc, std::size_t count,
+                                   std::uint32_t fanout, std::uint32_t cand_base,
+                                   std::uint32_t bound_key, std::uint32_t* out_keys) {
+  if (fanout < V::W || fanout % V::W != 0)
+    return scalar::d1_finalize_q(parent_cost, acc, count, fanout, cand_base, bound_key,
+                                 out_keys);
+  constexpr unsigned kFull = (1u << V::W) - 1u;
+  const typename V::U boundv = V::set1(bound_key);
+  const typename V::U capv = V::set1(65535u);
+  const typename V::U iota = V::iota();
+  std::size_t sc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t pc = parent_cost[i];
+    if ((pc << 16) > bound_key) continue;
+    const typename V::U pcv = V::set1(pc);
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; v += static_cast<std::uint32_t>(V::W)) {
+      const std::size_t idx = row + v;
+      const typename V::U cost = V::min_u32(V::add(pcv, V::loadu(acc + idx)), capv);
+      const typename V::U key = V::or_(
+          V::shl(cost, 16),
+          V::add(V::set1(cand_base + static_cast<std::uint32_t>(idx)), iota));
+      const unsigned keep = kFull & ~V::gtu_mask(key, boundv);
+      if (keep == 0) continue;
+      sc += V::compress_store_u32(out_keys + sc, key, keep);
+    }
+  }
+  return sc;
+}
+
+/// Quantized partial-cost survivor compression (see
+/// scalar::partial_compress_u16). The accumulator already lives in u32
+/// lanes, so — unlike the float path — the in-place compress needs no
+/// float/uint aliasing and runs on every ISA with the branchless
+/// whole-vector store; narrow ISAs still prefer scalar extraction.
+template <class V>
+static std::size_t partial_compress_u16_v(const std::uint16_t* parent_cost,
+                                          std::uint32_t* acc, std::size_t count,
+                                          std::uint32_t fanout, std::uint32_t row_floor,
+                                          std::uint32_t lane_rest,
+                                          std::uint32_t bound_key, std::uint32_t* lanes,
+                                          std::uint32_t* idx_out) {
+  if constexpr (!V::kFastCompress)
+    return scalar::partial_compress_u16(parent_cost, acc, count, fanout, row_floor,
+                                        lane_rest, bound_key, lanes, idx_out);
+  else if (fanout < V::W || fanout % V::W != 0)
+    return scalar::partial_compress_u16(parent_cost, acc, count, fanout, row_floor,
+                                        lane_rest, bound_key, lanes, idx_out);
+  constexpr unsigned kFull = (1u << V::W) - 1u;
+  const typename V::U boundv = V::set1(bound_key);
+  const typename V::U capv = V::set1(65535u);
+  const typename V::U iota = V::iota();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t pc = parent_cost[i];
+    if ((scalar::quant_clamp(pc + row_floor) << 16) > bound_key) continue;
+    const typename V::U prest = V::set1(pc + lane_rest);
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    for (std::uint32_t v = 0; v < fanout; v += static_cast<std::uint32_t>(V::W)) {
+      const std::size_t c = row + v;
+      const typename V::U a = V::loadu(acc + c);
+      const typename V::U iv = V::add(V::set1(static_cast<std::uint32_t>(c)), iota);
+      const typename V::U pkey =
+          V::or_(V::shl(V::min_u32(V::add(prest, a), capv), 16), iv);
+      const unsigned keep = kFull & ~V::gtu_mask(pkey, boundv);
+      if (keep == 0) continue;
+      const typename V::U lv = V::loadu(lanes + c);
+      V::compress_store_u32(acc + n, a, keep);
+      V::compress_store_u32(lanes + n, lv, keep);
+      n += V::compress_store_u32(idx_out + n, iv, keep);
+    }
+  }
+  return n;
+}
+
+/// Quantized final key build over the compressed survivor lanes (see
+/// scalar::final_prune_u16; parent costs pre-widened to u32 by the
+/// driver so the per-lane gather is a plain 32-bit gather).
+template <class V>
+static std::size_t final_prune_u16_v(const std::uint32_t* parent32,
+                                     const std::uint32_t* acc, const std::uint32_t* idx,
+                                     std::size_t n, int log2_fanout,
+                                     std::uint32_t cand_base, std::uint32_t bound_key,
+                                     std::uint32_t* out_keys) {
+  constexpr unsigned kFull = (1u << V::W) - 1u;
+  const typename V::U boundv = V::set1(bound_key);
+  const typename V::U capv = V::set1(65535u);
+  const typename V::U basev = V::set1(cand_base);
+  std::size_t sc = 0;
+  std::size_t j = 0;
+  for (; j + V::W <= n; j += V::W) {
+    const typename V::U idxv = V::loadu(idx + j);
+    const typename V::U pc = V::gather_u32(parent32, V::shr(idxv, log2_fanout));
+    const typename V::U cost = V::min_u32(V::add(pc, V::loadu(acc + j)), capv);
+    const typename V::U key = V::or_(V::shl(cost, 16), V::add(basev, idxv));
+    const unsigned keep = kFull & ~V::gtu_mask(key, boundv);
+    if (keep == 0) continue;
+    sc += V::compress_store_u32(out_keys + sc, key, keep);
+  }
+  if (j < n)
+    sc += scalar::final_prune_u16(parent32, acc + j, idx + j, n - j, log2_fanout,
+                                  cand_base, bound_key, out_keys + sc);
+  return sc;
+}
+
+/// Quantized row_mins (see Backend::row_mins_u16): u16 rows widen into
+/// u32 lanes for the min fold (unsigned min is order-free), then the
+/// fold buffer reduces scalar and folds the leaf cost saturating.
+template <class V>
+static void row_mins_u16_v(const std::uint16_t* leaf_cost,
+                           const std::uint16_t* child_cost, std::size_t leaves,
+                           std::uint32_t fanout, std::uint16_t* out) {
+  if (fanout < V::W || fanout % V::W != 0) {
+    scalar::row_mins_u16(leaf_cost, child_cost, leaves, fanout, out);
+    return;
+  }
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::size_t row = i * static_cast<std::size_t>(fanout);
+    typename V::U acc = V::widen_load_u16(child_cost + row);
+    for (std::uint32_t v = static_cast<std::uint32_t>(V::W); v < fanout;
+         v += static_cast<std::uint32_t>(V::W))
+      acc = V::min_u32(acc, V::widen_load_u16(child_cost + row + v));
+    std::uint32_t buf[V::W];
+    V::storeu(buf, acc);
+    std::uint32_t m = buf[0];
+    for (unsigned l = 1; l < V::W; ++l)
+      if (buf[l] < m) m = buf[l];
+    out[i] = static_cast<std::uint16_t>(scalar::quant_clamp(leaf_cost[i] + m));
+  }
+}
+
+/// Quantized regroup_emit (see Backend::regroup_emit_u16): same whole-
+/// row moves as the float kernel; costs widen, saturate-fold with the
+/// leaf cost in u32 lanes, and narrow back to the u16 survivor arena.
+template <class V>
+static void regroup_emit_u16_v(const std::uint32_t* child_state,
+                               const std::uint16_t* child_cost,
+                               const std::uint16_t* leaf_cost,
+                               const std::uint32_t* leaf_path, std::size_t leaves,
+                               std::uint32_t fanout, int k, int d,
+                               std::uint32_t group_mask,
+                               const std::int32_t* group_rowbase,
+                               std::uint32_t* out_state, std::uint16_t* out_cost,
+                               std::uint32_t* out_path) {
+  constexpr std::uint32_t kMaxFanout = 256;
+  if (fanout < V::W || fanout % V::W != 0 || fanout > kMaxFanout || group_mask >= 256) {
+    scalar::regroup_emit_u16(child_state, child_cost, leaf_cost, leaf_path, leaves,
+                             fanout, k, d, group_mask, group_rowbase, out_state,
+                             out_cost, out_path);
+    return;
+  }
+  const int shift = k * (d - 2);
+  typename V::U vvec[kMaxFanout / V::W];  // v << shift, per vector step
+  const std::uint32_t steps = fanout / static_cast<std::uint32_t>(V::W);
+  for (std::uint32_t s = 0; s < steps; ++s)
+    vvec[s] = V::shl(V::add(V::set1(s * static_cast<std::uint32_t>(V::W)), V::iota()),
+                     shift);
+  const typename V::U capv = V::set1(65535u);
+  std::uint32_t next[256];
+  for (std::uint32_t g = 0; g <= group_mask; ++g)
+    next[g] = group_rowbase[g] < 0 ? 0 : static_cast<std::uint32_t>(group_rowbase[g]);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::uint32_t g = leaf_path[i] & group_mask;
+    if (group_rowbase[g] < 0) continue;
+    const typename V::U pcv = V::set1(leaf_cost[i]);
+    const typename V::U pbase = V::set1(leaf_path[i] >> k);
+    const std::size_t src = i * static_cast<std::size_t>(fanout);
+    const std::size_t dst = next[g];
+    next[g] += fanout;
+    for (std::uint32_t s = 0; s < steps; ++s) {
+      const std::size_t o = s * V::W;
+      V::storeu(out_state + dst + o, V::loadu(child_state + src + o));
+      V::narrow_store_u16(
+          out_cost + dst + o,
+          V::min_u32(V::add(pcv, V::widen_load_u16(child_cost + src + o)), capv));
+      V::storeu(out_path + dst + o, V::or_(pbase, vvec[s]));
+    }
+  }
+}
+
 /// The Ops policy the fused expand drivers (expand.h) instantiate with.
 template <class V>
 struct SimdOps {
@@ -813,6 +1120,69 @@ struct SimdOps {
   static void xor_rows(std::uint64_t* dst, const std::uint64_t* src,
                        std::size_t words) {
     xor_rows_v<V>(dst, src, words);
+  }
+  static void awgn_q_sweep(hash::Kind kind, std::uint32_t salt, bool premixed,
+                           const std::uint32_t* lanes, std::size_t count,
+                           std::uint32_t data, const std::uint16_t* qtab,
+                           std::uint32_t qmask, std::uint32_t* w, std::uint32_t* acc) {
+    awgn_q_sweep_impl_v<V, false>(kind, salt, premixed, lanes, count, data, qtab,
+                                  qmask, w, acc);
+  }
+  static void awgn_q_sweep0(hash::Kind kind, std::uint32_t salt, bool premixed,
+                            const std::uint32_t* lanes, std::size_t count,
+                            std::uint32_t data, const std::uint16_t* qtab,
+                            std::uint32_t qmask, std::uint32_t* w, std::uint32_t* acc) {
+    awgn_q_sweep_impl_v<V, true>(kind, salt, premixed, lanes, count, data, qtab, qmask,
+                                 w, acc);
+  }
+  static std::size_t d1_prune_u16(const std::uint16_t* parent_cost,
+                                  const std::uint16_t* child_cost, std::size_t count,
+                                  std::uint32_t fanout, std::uint32_t cand_base,
+                                  std::uint32_t bound_key, std::uint32_t* out_keys) {
+    return d1_prune_u16_v<V>(parent_cost, child_cost, count, fanout, cand_base,
+                             bound_key, out_keys);
+  }
+  static std::size_t d1_finalize_q(const std::uint16_t* parent_cost,
+                                   const std::uint32_t* acc, std::size_t count,
+                                   std::uint32_t fanout, std::uint32_t cand_base,
+                                   std::uint32_t bound_key, std::uint32_t* out_keys) {
+    return d1_finalize_q_v<V>(parent_cost, acc, count, fanout, cand_base, bound_key,
+                              out_keys);
+  }
+  static std::size_t partial_compress_u16(const std::uint16_t* parent_cost,
+                                          std::uint32_t* acc, std::size_t count,
+                                          std::uint32_t fanout, std::uint32_t row_floor,
+                                          std::uint32_t lane_rest,
+                                          std::uint32_t bound_key, std::uint32_t* lanes,
+                                          std::uint32_t* idx_out) {
+    return partial_compress_u16_v<V>(parent_cost, acc, count, fanout, row_floor,
+                                     lane_rest, bound_key, lanes, idx_out);
+  }
+  static std::size_t final_prune_u16(const std::uint32_t* parent32,
+                                     const std::uint32_t* acc, const std::uint32_t* idx,
+                                     std::size_t n, int log2_fanout,
+                                     std::uint32_t cand_base, std::uint32_t bound_key,
+                                     std::uint32_t* out_keys) {
+    return final_prune_u16_v<V>(parent32, acc, idx, n, log2_fanout, cand_base,
+                                bound_key, out_keys);
+  }
+  static void row_mins_u16(const std::uint16_t* leaf_cost,
+                           const std::uint16_t* child_cost, std::size_t leaves,
+                           std::uint32_t fanout, std::uint16_t* out) {
+    row_mins_u16_v<V>(leaf_cost, child_cost, leaves, fanout, out);
+  }
+  static void regroup_emit_u16(const std::uint32_t* child_state,
+                               const std::uint16_t* child_cost,
+                               const std::uint16_t* leaf_cost,
+                               const std::uint32_t* leaf_path, std::size_t leaves,
+                               std::uint32_t fanout, int k, int d,
+                               std::uint32_t group_mask,
+                               const std::int32_t* group_rowbase,
+                               std::uint32_t* out_state, std::uint16_t* out_cost,
+                               std::uint32_t* out_path) {
+    regroup_emit_u16_v<V>(child_state, child_cost, leaf_cost, leaf_path, leaves,
+                          fanout, k, d, group_mask, group_rowbase, out_state, out_cost,
+                          out_path);
   }
 };
 

@@ -98,6 +98,27 @@ struct VecNeon {
     return vld1q_f32(v);
   }
 
+  static U gather_u32(const std::uint32_t* t, U idx) {
+    std::uint32_t v[4] = {t[vgetq_lane_u32(idx, 0)], t[vgetq_lane_u32(idx, 1)],
+                          t[vgetq_lane_u32(idx, 2)], t[vgetq_lane_u32(idx, 3)]};
+    return vld1q_u32(v);
+  }
+
+  /// Gather of u16 table entries, zero-extended to u32 lanes.
+  static U gather_u16(const std::uint16_t* t, U idx) {
+    std::uint32_t v[4] = {t[vgetq_lane_u32(idx, 0)], t[vgetq_lane_u32(idx, 1)],
+                          t[vgetq_lane_u32(idx, 2)], t[vgetq_lane_u32(idx, 3)]};
+    return vld1q_u32(v);
+  }
+
+  static U min_u32(U a, U b) { return vminq_u32(a, b); }
+
+  /// Zero-extends W uint16 values to uint32 lanes.
+  static U widen_load_u16(const std::uint16_t* p) { return vmovl_u16(vld1_u16(p)); }
+
+  /// Truncating narrow store of W uint32 lanes (each <= 65535) to uint16.
+  static void narrow_store_u16(std::uint16_t* p, U v) { vst1_u16(p, vmovn_u32(v)); }
+
   /// acc[0..3] |= (w & 1) << j, widening the four uint32 lanes to
   /// uint64 in two halves.
   static void gather_bits(std::uint64_t* acc, U w, std::uint32_t j) {

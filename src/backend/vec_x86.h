@@ -103,6 +103,32 @@ struct Vec128 {
     return _mm_setr_ps(t[i[0]], t[i[1]], t[i[2]], t[i[3]]);
   }
 
+  static U gather_u32(const std::uint32_t* t, U idx) {
+    alignas(16) std::uint32_t i[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(i), idx);
+    return _mm_setr_epi32(static_cast<int>(t[i[0]]), static_cast<int>(t[i[1]]),
+                          static_cast<int>(t[i[2]]), static_cast<int>(t[i[3]]));
+  }
+
+  /// Gather of u16 table entries, zero-extended to u32 lanes.
+  static U gather_u16(const std::uint16_t* t, U idx) {
+    alignas(16) std::uint32_t i[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(i), idx);
+    return _mm_setr_epi32(t[i[0]], t[i[1]], t[i[2]], t[i[3]]);
+  }
+
+  static U min_u32(U a, U b) { return _mm_min_epu32(a, b); }
+
+  /// Zero-extends W uint16 values to uint32 lanes.
+  static U widen_load_u16(const std::uint16_t* p) {
+    return _mm_cvtepu16_epi32(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+  }
+
+  /// Truncating narrow store of W uint32 lanes (each <= 65535) to uint16.
+  static void narrow_store_u16(std::uint16_t* p, U v) {
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(p), _mm_packus_epi32(v, v));
+  }
+
   /// acc[0..3] |= (w & 1) << j, widening the four uint32 lanes to
   /// uint64.
   static void gather_bits(std::uint64_t* acc, U w, std::uint32_t j) {
@@ -190,6 +216,38 @@ struct Vec256 {
   }
 
   static F gather(const float* t, U idx) { return _mm256_i32gather_ps(t, idx, 4); }
+
+  static U gather_u32(const std::uint32_t* t, U idx) {
+    return _mm256_i32gather_epi32(reinterpret_cast<const int*>(t), idx, 4);
+  }
+
+  /// Gather of u16 table entries, zero-extended to u32 lanes. The
+  /// 32-bit gather at scale 2 reads two bytes past entry idx, so the
+  /// table owner must pad one u16 of slack after the last entry
+  /// (AwgnLevelQ::qtab's contract).
+  static U gather_u16(const std::uint16_t* t, U idx) {
+    const __m256i wide =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(t), idx, 2);
+    return _mm256_and_si256(wide, _mm256_set1_epi32(0xFFFF));
+  }
+
+  static U min_u32(U a, U b) { return _mm256_min_epu32(a, b); }
+
+  /// Zero-extends W uint16 values to uint32 lanes.
+  static U widen_load_u16(const std::uint16_t* p) {
+    return _mm256_cvtepu16_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+
+  /// Truncating narrow store of W uint32 lanes (each <= 65535) to
+  /// uint16. PACKUSDW packs per 128-bit half, so the halves are put
+  /// back in lane order with a 64-bit permute before the low half
+  /// stores.
+  static void narrow_store_u16(std::uint16_t* p, U v) {
+    const __m256i packed =
+        _mm256_permute4x64_epi64(_mm256_packus_epi32(v, v), 0xD8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p),
+                     _mm256_castsi256_si128(packed));
+  }
 
   /// Appends the surviving lanes' (m << 32 | idx) keys to dst in lane
   /// order (lane l survives when bit l of keep_mask is set); returns

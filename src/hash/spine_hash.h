@@ -88,6 +88,21 @@ class SpineHash {
     hash_premixed_n(premixed, count, index ^ 0x80000000u, out);
   }
 
+  /// Walks @p chains independent spine chains in one interleaved sweep.
+  /// For chain j < chains, with s_0 = seeds[j]:
+  ///   s_{t+1} = h(s_t, data[j * length + t]),
+  ///   out[j * length + t] = s_{t+1}      for t < length.
+  /// Bit-identical to walking each chain with operator(). A single
+  /// chain is latency-bound — every mix of h waits on the previous
+  /// one — so for one-at-a-time the chains are software-pipelined in
+  /// groups of four: each step issues all chains' state pre-mixes,
+  /// then all data mixes (the premix/data split hash_children also
+  /// exploits), and the independent dependency chains overlap in the
+  /// pipeline instead of serialising.
+  void spine_walk_n(const std::uint32_t* seeds, std::size_t chains,
+                    const std::uint32_t* data, std::size_t length,
+                    std::uint32_t* out) const noexcept;
+
  private:
   Kind kind_;
   std::uint32_t salt_;

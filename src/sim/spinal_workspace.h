@@ -10,6 +10,7 @@
 #include <string>
 
 #include "sim/session.h"
+#include "spinal/cost_model.h"
 #include "spinal/decoder.h"
 #include "spinal/params.h"
 
@@ -47,6 +48,9 @@ inline WorkspaceKey spinal_workspace_key(const CodeParams& p) {
   add_i(p.s0);
   add_i(p.max_passes);
   add_i(p.fixed_point_frac_bits);
+  // Narrow-metric decodes size quantized search buffers the f32 path
+  // never touches — distinct precisions must not share a workspace.
+  add_i(static_cast<int>(resolve_cost_precision(p.cost_precision)));
   return WorkspaceKey{"spinal", std::move(s)};
 }
 

@@ -107,6 +107,16 @@ struct SearchWorkspace {
   std::vector<float> group_min;           ///< d>1: per-entry group minima
   std::vector<std::int32_t> group_rowbase;  ///< d>1: group -> arena rows, -1 pruned
 
+  // ---- Quantized (u16 path metric) streamed pipeline ----
+  // The narrow-precision twin of the buffers above: u16 costs, u32
+  // packed (cost << 16 | candidate) survivor keys. Only touched when
+  // the Env routes a decode through the quantized kernels, so the f32
+  // path's steady-state footprint is unchanged.
+  std::vector<std::uint16_t> leaf_cost_q, next_cost_q, child_cost_q, surv_cost_q,
+      row_min_q;
+  std::vector<std::uint32_t> keys_q;       ///< survivor keys (cost << 16 | cand)
+  std::vector<std::uint32_t> group_min_q;  ///< d>1: per-entry group minima
+
   // ---- Reference (per-node Env) path: materialized candidate set ----
   std::vector<std::uint32_t> cand_state, cand_path;
   std::vector<float> cand_cost, cand_min;
@@ -144,6 +154,30 @@ concept FusedPruneSearchEnv = requires(const Env& e, const std::uint32_t* st,
   } -> std::convertible_to<std::size_t>;
 };
 
+/// An Env may additionally expose the quantized (u16 path metric)
+/// kernel family. quantized() is a *runtime* switch: the Env checks
+/// per-decode eligibility (precision knob, channel kind, geometry
+/// bounds) and the search falls back to the f32 pipeline when it
+/// returns false. Quantized path costs ride a 2^-quant_scale() metric
+/// grid with saturation at 65535 and per-level renormalization (see
+/// spinal/cost_model.h); the kernels are pure integer, so results are
+/// bit-identical across backends but only statistically equivalent to
+/// the f32 reference.
+template <class Env>
+concept QuantizedSearchEnv = requires(const Env& e, const std::uint32_t* st,
+                                      const std::uint16_t* pc, std::uint32_t* os,
+                                      std::uint16_t* oc, std::uint32_t* ok) {
+  { e.quantized() } -> std::convertible_to<bool>;
+  { e.quant_scale() } -> std::convertible_to<float>;
+  { e.node_cost_q(0, std::uint32_t{0}) } -> std::convertible_to<std::uint32_t>;
+  { e.level_floor_q(0) } -> std::convertible_to<std::uint32_t>;
+  e.expand_all_q(0, st, std::size_t{0}, 0, os, oc);
+  {
+    e.expand_prune_q(0, st, pc, std::size_t{0}, 0, std::uint32_t{0}, std::uint32_t{0},
+                     os, ok)
+  } -> std::convertible_to<std::size_t>;
+};
+
 template <class Env>
 class BeamSearch {
  public:
@@ -164,6 +198,12 @@ class BeamSearch {
   /// path — both produce bit-identical results.
   void run(const Env& env, const CodeParams& p, SearchWorkspace& ws,
            SearchResult& out) const {
+    if constexpr (QuantizedSearchEnv<Env>) {
+      if (env.quantized()) {
+        run_streamed_q(env, p, ws, out);
+        return;
+      }
+    }
     if constexpr (BatchedSearchEnv<Env>)
       run_streamed(env, p, ws, out);
     else
@@ -211,18 +251,14 @@ class BeamSearch {
     ws.entry_arena.assign(1, 0);  // arena node of each beam entry
   }
 
-  /// ---- Shared epilogue: global best leaf, then backtrack (§4.4: tail
-  /// symbols make the lowest-cost candidate the right one to validate).
-  static void backtrack(const CodeParams& p, int d, int leaves_per_entry,
-                        std::uint32_t group_mask, SearchWorkspace& ws,
-                        SearchResult& out) {
+  /// Chunk reconstruction for the winning leaf @p best: leaf path plus
+  /// arena walk. Shared by the f32 and quantized epilogues (which pick
+  /// the winner from their own cost representations).
+  static void backtrack_chunks(const CodeParams& p, int d, int leaves_per_entry,
+                               std::uint32_t group_mask, const SearchWorkspace& ws,
+                               std::size_t best, SearchResult& out) {
     const int S = p.spine_length();
     const int k = p.k;
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < ws.leaf_cost.size(); ++i)
-      if (ws.leaf_cost[i] < ws.leaf_cost[best]) best = i;
-
-    out.best_cost = ws.leaf_cost[best];
     out.chunks.assign(S, 0);
 
     // Leaf path covers chunks S-d+1 .. S-1 (slots 0 .. d-2).
@@ -237,6 +273,32 @@ class BeamSearch {
       out.chunks[chunk_idx--] = ws.arena[node].chunk;
       node = ws.arena[node].parent;
     }
+  }
+
+  /// ---- Shared epilogue: global best leaf, then backtrack (§4.4: tail
+  /// symbols make the lowest-cost candidate the right one to validate).
+  static void backtrack(const CodeParams& p, int d, int leaves_per_entry,
+                        std::uint32_t group_mask, SearchWorkspace& ws,
+                        SearchResult& out) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ws.leaf_cost.size(); ++i)
+      if (ws.leaf_cost[i] < ws.leaf_cost[best]) best = i;
+    out.best_cost = ws.leaf_cost[best];
+    backtrack_chunks(p, d, leaves_per_entry, group_mask, ws, best, out);
+  }
+
+  /// Quantized epilogue: winner by u16 leaf cost; the reported cost
+  /// folds the accumulated renormalization offset back in and rescales
+  /// to the f32 metric's units so callers compare like with like.
+  static void backtrack_q(const CodeParams& p, int d, int leaves_per_entry,
+                          std::uint32_t group_mask, std::uint64_t offset, float scale,
+                          SearchWorkspace& ws, SearchResult& out) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ws.leaf_cost_q.size(); ++i)
+      if (ws.leaf_cost_q[i] < ws.leaf_cost_q[best]) best = i;
+    out.best_cost =
+        static_cast<double>(offset + ws.leaf_cost_q[best]) / static_cast<double>(scale);
+    backtrack_chunks(p, d, leaves_per_entry, group_mask, ws, best, out);
   }
 
   /// Sorts the final survivor keys of one level into the kept order the
@@ -272,6 +334,295 @@ class BeamSearch {
     std::uint64_t mx = 0;
     for (std::size_t j = 0; j < sc; ++j) mx = std::max(mx, ws.keys[j]);
     bound_key = mx;
+  }
+
+  /// u32-key twin of finalize_keys for the quantized pipeline. The
+  /// full u32 key orders as (cost, candidate) directly, so plain sort
+  /// and the u32 radix select agree bit-for-bit. Unlike the f32 twin
+  /// there is no std::sort small-side branch: select_keys_u32 with
+  /// keep == count IS a full radix sort, and its sequential passes
+  /// beat introsort's mispredicts on clustered integer keys.
+  static void finalize_keys_q(const backend::Backend* be, SearchWorkspace& ws,
+                              std::size_t sc, int keep, int cand_total) {
+    if (keep >= cand_total) return;  // no pruning: candidate order is the contract
+    be->select_keys_u32(ws.keys_q.data(), sc,
+                        std::min(static_cast<std::size_t>(keep), sc));
+  }
+
+  /// u32-key twin of tighten.
+  static void tighten_q(const backend::Backend* be, SearchWorkspace& ws, int keep,
+                        std::size_t& sc, std::uint32_t& bound_key) {
+    if (sc <= static_cast<std::size_t>(keep)) return;
+    be->partition_keys_u32(ws.keys_q.data(), sc, static_cast<std::size_t>(keep));
+    sc = static_cast<std::size_t>(keep);
+    std::uint32_t mx = 0;
+    for (std::size_t j = 0; j < sc; ++j) mx = std::max(mx, ws.keys_q[j]);
+    bound_key = mx;
+  }
+
+  /// Quantized prologue: u16 saturating path metrics, otherwise the
+  /// same single-root walk as build_prologue.
+  static void build_prologue_q(const Env& env, const CodeParams& p, int d,
+                               SearchWorkspace& ws)
+    requires QuantizedSearchEnv<Env>
+  {
+    const int k = p.k;
+    ws.leaf_state.assign(1, p.s0);
+    ws.leaf_cost_q.assign(1, 0);
+    ws.leaf_path.assign(1, 0);
+    for (int lvl = 0; lvl <= d - 2; ++lvl) {
+      const int fanout = 1 << p.chunk_bits(lvl);
+      const std::size_t n = ws.leaf_state.size();
+      ws.next_state.resize(n * fanout);
+      ws.next_cost_q.resize(n * fanout);
+      ws.next_path.resize(n * fanout);
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (int v = 0; v < fanout; ++v, ++w) {
+          const std::uint32_t st =
+              env.child(ws.leaf_state[i], static_cast<std::uint32_t>(v));
+          ws.next_state[w] = st;
+          ws.next_cost_q[w] = static_cast<std::uint16_t>(
+              backend::quant_sat_add(ws.leaf_cost_q[i], env.node_cost_q(lvl, st)));
+          ws.next_path[w] = ws.leaf_path[i] | (static_cast<std::uint32_t>(v) << (k * lvl));
+        }
+      }
+      ws.leaf_state.swap(ws.next_state);
+      ws.leaf_cost_q.swap(ws.next_cost_q);
+      ws.leaf_path.swap(ws.next_path);
+    }
+    ws.arena.clear();
+    ws.arena.push_back({-1, 0});
+    ws.entry_arena.assign(1, 0);
+  }
+
+  /// ---- Quantized streaming expand–prune pipeline ----
+  /// Same step structure as run_streamed with the narrow-metric types
+  /// swapped in: u16 path costs, u32 (cost << 16 | candidate) packed
+  /// keys (a single unsigned compare where the f32 path compares
+  /// 64-bit keys), and per-level renormalization — after each level's
+  /// writeback the minimum kept cost is subtracted from every survivor
+  /// and accumulated into a u64 offset, so the u16 lanes only ever
+  /// carry each level's spread, not the whole path sum. Eligibility
+  /// (cand_total <= 65536 so candidate indices fit the key's low half)
+  /// is the Env's contract via quantized().
+  void run_streamed_q(const Env& env, const CodeParams& p, SearchWorkspace& ws,
+                      SearchResult& out) const
+    requires QuantizedSearchEnv<Env>
+  {
+    const int S = p.spine_length();
+    const int d = std::min(p.d, S);
+    const int k = p.k;
+    const int B = p.B;
+
+    const backend::Backend* be = &backend::active();
+    if constexpr (BackendSearchEnv<Env>) be = &env.search_backend();
+
+    build_prologue_q(env, p, d, ws);
+    int leaves_per_entry = static_cast<int>(ws.leaf_state.size());
+
+    const std::uint32_t group_mask = (k < 32) ? ((1u << k) - 1u) : ~0u;
+    const bool use_paths = d > 1;
+    bool leaves_sorted = false;
+    std::uint64_t offset = 0;  // renormalization: subtracted cost, f32-exact in u64
+
+    for (int t = 0; t <= S - d; ++t) {
+      const int e = t + d - 1;
+      const int fanout = 1 << p.chunk_bits(e);
+      const int group_count = 1 << p.chunk_bits(t);
+      const int entries = static_cast<int>(ws.entry_arena.size());
+      const int rows = leaves_per_entry * fanout / group_count;
+      const int cand_total = entries * group_count;
+      const std::size_t total_leaves = ws.leaf_state.size();
+
+      const int keep = std::min(B, cand_total);
+      // Laxer refinement cadence than the f32 pipeline's 2*keep: every
+      // tighten re-scans the kept prefix, and with the cheap integer
+      // expand the re-scan costs a bigger fraction of the level than
+      // the slightly looser bound gives back in extra survivors
+      // (bound-timing only moves work, never the kept set, so this is
+      // a pure tuning knob).
+      const std::size_t trigger = 3 * static_cast<std::size_t>(keep);
+      std::uint32_t bound_key = ~0u;  // keep-all until seeded
+      std::size_t sc = 0;
+      ws.keys_q.resize(static_cast<std::size_t>(cand_total) + 8);
+
+      // The level's admissible per-child floor (the min_rest[0] suffix
+      // minimum): every child of a leaf costs at least leaf +
+      // lvl_floor, so the sorted-prefix cutoffs below skip whole
+      // leaves *before hashing them* — an integer-only sharpening the
+      // f32 pipeline (leaf cost alone) does not have. The spine-hash
+      // chains are the latency wall, so rows gated here are the
+      // cheapest rows of all.
+      const std::uint32_t lvl_floor = env.level_floor_q(e);
+
+      if (d == 1) {
+        const std::size_t block_leaves =
+            std::max<std::size_t>(1, kBlockChildren / static_cast<std::size_t>(fanout));
+        ws.child_state.resize(static_cast<std::size_t>(cand_total));
+
+        std::size_t L = 0;
+        while (L < total_leaves) {
+          std::size_t end = std::min(total_leaves, L + block_leaves);
+          if (leaves_sorted) {
+            const auto leaf_floor = [&](std::size_t l) {
+              return backend::quant_sat_add(ws.leaf_cost_q[l], lvl_floor) << 16;
+            };
+            if (leaf_floor(L) > bound_key) break;
+            while (end > L + 1 && leaf_floor(end - 1) > bound_key) --end;
+          }
+          const std::size_t nblk = end - L;
+          sc += env.expand_prune_q(
+              e, ws.leaf_state.data() + L, ws.leaf_cost_q.data() + L, nblk, fanout,
+              static_cast<std::uint32_t>(L) * fanout, bound_key,
+              ws.child_state.data() + L * static_cast<std::size_t>(fanout),
+              ws.keys_q.data() + sc);
+          L = end;
+          if (sc >= trigger && L < total_leaves) tighten_q(be, ws, keep, sc, bound_key);
+        }
+
+        finalize_keys_q(be, ws, sc, keep, cand_total);
+
+        ws.next_entry_arena.resize(keep);
+        ws.next_state.resize(keep);
+        ws.next_cost_q.resize(keep);
+        for (int j = 0; j < keep; ++j) {
+          const std::uint32_t key = ws.keys_q[j];
+          const int cand = static_cast<int>(key & 0xFFFFu);
+          const int en = cand / group_count;
+          const std::uint32_t g = static_cast<std::uint32_t>(cand % group_count);
+          ws.arena.push_back({ws.entry_arena[en], g});
+          ws.next_entry_arena[j] = static_cast<std::int32_t>(ws.arena.size() - 1);
+          ws.next_state[j] = ws.child_state[cand];
+          ws.next_cost_q[j] = static_cast<std::uint16_t>(key >> 16);
+        }
+      } else {
+        const int lpe = leaves_per_entry;
+        const std::size_t entry_children = static_cast<std::size_t>(lpe) * fanout;
+        const int block_entries =
+            std::max<int>(1, static_cast<int>(kBlockChildren / entry_children));
+        const std::size_t arena_rows =
+            static_cast<std::size_t>(cand_total) * static_cast<std::size_t>(rows);
+        ws.surv_state.resize(arena_rows);
+        ws.surv_cost_q.resize(arena_rows);
+        ws.surv_path.resize(arena_rows);
+        ws.child_state.resize(static_cast<std::size_t>(block_entries) * entry_children);
+        ws.child_cost_q.resize(static_cast<std::size_t>(block_entries) * entry_children);
+        ws.row_min_q.resize(static_cast<std::size_t>(block_entries) * lpe);
+        ws.group_min_q.resize(group_count);
+        ws.group_rowbase.resize(group_count);
+
+        int en0 = 0;
+        bool cutoff = false;
+        while (en0 < entries && !cutoff) {
+          int eb = std::min(block_entries, entries - en0);
+          if (leaves_sorted && bound_key != ~0u) {
+            int ok = 0;
+            for (; ok < eb; ++ok) {
+              const std::uint16_t* lc =
+                  ws.leaf_cost_q.data() + static_cast<std::size_t>(en0 + ok) * lpe;
+              std::uint16_t emin = lc[0];
+              for (int l = 1; l < lpe; ++l)
+                if (lc[l] < emin) emin = lc[l];
+              if ((backend::quant_sat_add(emin, lvl_floor) << 16) > bound_key) {
+                cutoff = true;
+                break;
+              }
+            }
+            if (ok == 0) break;
+            eb = ok;
+          }
+          env.expand_all_q(e, ws.leaf_state.data() + static_cast<std::size_t>(en0) * lpe,
+                           static_cast<std::size_t>(eb) * lpe, fanout,
+                           ws.child_state.data(), ws.child_cost_q.data());
+          be->row_mins_u16(ws.leaf_cost_q.data() + static_cast<std::size_t>(en0) * lpe,
+                           ws.child_cost_q.data(), static_cast<std::size_t>(eb) * lpe,
+                           static_cast<std::uint32_t>(fanout), ws.row_min_q.data());
+          for (int i = 0; i < eb; ++i) {
+            const int en = en0 + i;
+            const std::uint32_t* lp =
+                ws.leaf_path.data() + static_cast<std::size_t>(en) * lpe;
+            const std::uint16_t* rm =
+                ws.row_min_q.data() + static_cast<std::size_t>(i) * lpe;
+            for (int g = 0; g < group_count; ++g) ws.group_min_q[g] = ~0u;
+            for (int lf = 0; lf < lpe; ++lf) {
+              const std::uint32_t g = lp[lf] & group_mask;
+              if (rm[lf] < ws.group_min_q[g]) ws.group_min_q[g] = rm[lf];
+            }
+            for (int g = 0; g < group_count; ++g) {
+              const std::uint32_t cand = static_cast<std::uint32_t>(en) * group_count +
+                                         static_cast<std::uint32_t>(g);
+              const std::uint32_t key = backend::quant_key(ws.group_min_q[g], cand);
+              if (key > bound_key) {
+                ws.group_rowbase[g] = -1;
+                continue;
+              }
+              ws.keys_q[sc++] = key;
+              ws.group_rowbase[g] =
+                  static_cast<std::int32_t>(cand * static_cast<std::uint32_t>(rows));
+            }
+            be->regroup_emit_u16(
+                ws.child_state.data() + static_cast<std::size_t>(i) * entry_children,
+                ws.child_cost_q.data() + static_cast<std::size_t>(i) * entry_children,
+                ws.leaf_cost_q.data() + static_cast<std::size_t>(en) * lpe, lp,
+                static_cast<std::size_t>(lpe), static_cast<std::uint32_t>(fanout), k, d,
+                group_mask, ws.group_rowbase.data(), ws.surv_state.data(),
+                ws.surv_cost_q.data(), ws.surv_path.data());
+          }
+          en0 += eb;
+          if (sc >= trigger && en0 < entries && !cutoff)
+            tighten_q(be, ws, keep, sc, bound_key);
+        }
+
+        finalize_keys_q(be, ws, sc, keep, cand_total);
+
+        ws.next_entry_arena.resize(keep);
+        ws.next_state.resize(static_cast<std::size_t>(keep) * rows);
+        ws.next_cost_q.resize(static_cast<std::size_t>(keep) * rows);
+        ws.next_path.resize(static_cast<std::size_t>(keep) * rows);
+        for (int j = 0; j < keep; ++j) {
+          const std::uint32_t key = ws.keys_q[j];
+          const int cand = static_cast<int>(key & 0xFFFFu);
+          const int en = cand / group_count;
+          const std::uint32_t g = static_cast<std::uint32_t>(cand % group_count);
+          ws.arena.push_back({ws.entry_arena[en], g});
+          ws.next_entry_arena[j] = static_cast<std::int32_t>(ws.arena.size() - 1);
+          const std::size_t src = static_cast<std::size_t>(cand) * rows;
+          const std::size_t dst = static_cast<std::size_t>(j) * rows;
+          for (int l = 0; l < rows; ++l) {
+            ws.next_state[dst + l] = ws.surv_state[src + l];
+            ws.next_cost_q[dst + l] = ws.surv_cost_q[src + l];
+            ws.next_path[dst + l] = ws.surv_path[src + l];
+          }
+        }
+      }
+
+      // Per-level renormalization: shift every kept cost down by the
+      // level minimum so the u16 lanes track each level's spread, not
+      // the monotonically growing path sum. Pure subtraction of the
+      // common minimum preserves every comparison (and the arena /
+      // tie-break structure) exactly; the offset restores absolute
+      // cost at the epilogue.
+      {
+        std::uint16_t mn = 0xFFFF;
+        for (const std::uint16_t c : ws.next_cost_q)
+          if (c < mn) mn = c;
+        if (mn != 0) {
+          for (std::uint16_t& c : ws.next_cost_q)
+            c = static_cast<std::uint16_t>(c - mn);
+          offset += mn;
+        }
+      }
+
+      ws.entry_arena.swap(ws.next_entry_arena);
+      ws.leaf_state.swap(ws.next_state);
+      ws.leaf_cost_q.swap(ws.next_cost_q);
+      if (use_paths) ws.leaf_path.swap(ws.next_path);
+      leaves_per_entry = rows;
+      leaves_sorted = keep < cand_total;
+    }
+
+    backtrack_q(p, d, leaves_per_entry, group_mask, offset, env.quant_scale(), ws, out);
   }
 
   /// ---- Streaming expand–prune pipeline (batched Envs) ----

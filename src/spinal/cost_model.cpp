@@ -1,8 +1,41 @@
 #include "spinal/cost_model.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace spinal {
+
+namespace {
+
+// -1 = no override, otherwise a CostPrecision value. Read once so a
+// decode loop never re-parses the environment (same contract as
+// SPINAL_BACKEND resolution in backend.cpp).
+int env_precision_override() noexcept {
+  static const int cached = [] {
+    const char* env = std::getenv("SPINAL_COST_PRECISION");
+    if (!env || !*env) return -1;
+    if (!std::strcmp(env, "f32") || !std::strcmp(env, "float")) {
+      return static_cast<int>(CostPrecision::kFloat32);
+    }
+    if (!std::strcmp(env, "u16")) return static_cast<int>(CostPrecision::kU16);
+    if (!std::strcmp(env, "u8")) return static_cast<int>(CostPrecision::kU8);
+    std::fprintf(stderr,
+                 "spinal: unknown SPINAL_COST_PRECISION '%s' "
+                 "(expected f32, u16 or u8); using configured precision\n",
+                 env);
+    return -1;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+CostPrecision resolve_cost_precision(CostPrecision configured) noexcept {
+  const int env = env_precision_override();
+  return env < 0 ? configured : static_cast<CostPrecision>(env);
+}
 
 double DecodeCost::branch_evals_per_bit() const noexcept {
   if (steps <= 0 || bits_per_step <= 0) return 0.0;

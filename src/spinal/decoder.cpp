@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "spinal/cost_model.h"
+
 namespace spinal {
 namespace {
 
@@ -31,6 +33,37 @@ util::BitVec chunks_to_message(const CodeParams& p,
 /// three stay bit-identical.
 inline float fx_quantise(float v, float scale) noexcept {
   return std::nearbyintf(v * scale) / scale;
+}
+
+/// Builds one symbol's quantized combined metric row
+/// (spinal/cost_model.h): row[w] = min(round(S*(yr-xr)^2) +
+/// round(S*(yi-xi)^2), cap) for every 2c-bit RNG word, per-dimension
+/// coordinates from @p table — exactly the table the f32 kernels read,
+/// so fixed-point mode composes. Returns the row minimum, which
+/// factors per dimension
+/// (min_w min(cap, qre+qim) == min(cap, min qre + min qim)).
+/// Runs once per *received symbol* (add_symbol), not per decode
+/// attempt; baseline scalar code shared by every backend, so the
+/// quantized kernels' inputs are bit-identical by construction.
+std::uint16_t build_quant_row(float yr, float yi, const float* table,
+                              std::uint32_t mask, int c, float qs, std::uint32_t cap,
+                              std::uint16_t* row) {
+  std::uint32_t qre[64], qim[64];  // dim <= 64: eligibility caps 2c at 12
+  const std::uint32_t dim = mask + 1;
+  std::uint32_t minre = ~0u, minim = ~0u;
+  for (std::uint32_t j = 0; j < dim; ++j) {
+    const float dr = yr - table[j];
+    const float di = yi - table[j];
+    qre[j] = static_cast<std::uint32_t>(std::lrintf(dr * dr * qs));
+    qim[j] = static_cast<std::uint32_t>(std::lrintf(di * di * qs));
+    minre = std::min(minre, qre[j]);
+    minim = std::min(minim, qim[j]);
+  }
+  const std::uint32_t qstride = dim * dim;
+  for (std::uint32_t w = 0; w < qstride; ++w)
+    row[w] = static_cast<std::uint16_t>(
+        std::min(qre[w & mask] + qim[(w >> c) & mask], cap));
+  return static_cast<std::uint16_t>(std::min(minre + minim, cap));
 }
 
 }  // namespace
@@ -159,6 +192,88 @@ struct AwgnBatchEnv : AwgnEnv {
                                  static_cast<std::uint32_t>(fanout), cand_base,
                                  bound_key, out_states, out_keys);
   }
+
+  // ---- Quantized (u16 path metric) kernel family ----
+  // Active only when decode_with resolved the precision knob to a
+  // narrow type AND the decode is eligible (AWGN without CSI, 2c <= 12
+  // so the combined metric table stays cache-resident, B·2^k <= 65536
+  // so candidate indices fit the u32 packed key's low half). The
+  // search checks quantized() per run and silently stays on the f32
+  // pipeline otherwise.
+  bool q_on = false;              ///< this decode runs the quantized pipeline
+  float q_scale_v = 0.0f;         ///< metric grid scale (2^6 u16, 2^3 u8)
+  std::uint32_t q_stride = 0;     ///< combined metric row length, 2^(2c)
+  std::uint32_t q_mask = 0;       ///< q_stride - 1
+
+  bool quantized() const noexcept { return q_on; }
+  float quant_scale() const noexcept { return q_scale_v; }
+
+  /// Scalar per-node metric on the quantized grid (prologue levels and
+  /// the scalar-quantized pinning reference): the saturating-add chain
+  /// over the symbol rows, identical to the kernels' accumulate+clamp.
+  std::uint32_t node_cost_q(int spine_idx, std::uint32_t state) const noexcept {
+    const std::uint32_t begin = ws->soa_off[spine_idx];
+    const std::uint32_t nsym = ws->soa_off[spine_idx + 1] - begin;
+    const std::uint16_t* rows = dec.qtab_[spine_idx].data();
+    std::uint32_t acc = 0;
+    for (std::uint32_t i = 0; i < nsym; ++i) {
+      const std::uint32_t w = dec.hash_.rng(state, ws->ord[begin + i]);
+      acc = backend::quant_sat_add(
+          acc, rows[static_cast<std::size_t>(i) * q_stride + (w & q_mask)]);
+    }
+    return acc;
+  }
+
+  /// The level's admissible per-child cost floor: min_rest[0], the
+  /// saturated sum of this level's per-symbol row minima (0 for levels
+  /// with no received symbols). The search adds it to sorted parent
+  /// costs to cut leaves before they are ever hashed.
+  std::uint32_t level_floor_q(int spine_idx) const noexcept {
+    return ws->qmin_rest[ws->soa_off[spine_idx] + static_cast<std::uint32_t>(spine_idx)];
+  }
+
+  backend::AwgnLevelQ level_q(int spine_idx, std::size_t total, bool want_idx) const {
+    const std::uint32_t begin = ws->soa_off[spine_idx];
+    const std::uint32_t nsym = ws->soa_off[spine_idx + 1] - begin;
+    backend::ExpandScratch& sc = ws->expand;
+    sc.rng_words.resize(total);
+    sc.premix.resize(total);
+    sc.acc_q.resize(total);
+    if (want_idx) sc.idx.resize(total);
+    return backend::AwgnLevelQ{dec.hash_.kind(),
+                               dec.hash_.salt(),
+                               ws->ord.data() + begin,
+                               nsym,
+                               dec.qtab_[spine_idx].data(),
+                               q_stride,
+                               q_mask,
+                               ws->qmin_rest.data() + begin + spine_idx,
+                               sc.rng_words.data(),
+                               sc.premix.data(),
+                               sc.acc_q.data(),
+                               want_idx ? sc.idx.data() : nullptr};
+  }
+
+  void expand_all_q(int spine_idx, const std::uint32_t* states, std::size_t count,
+                    int fanout, std::uint32_t* out_states,
+                    std::uint16_t* out_costs) const {
+    const std::size_t total = count * static_cast<std::size_t>(fanout);
+    const backend::AwgnLevelQ level = level_q(spine_idx, total, false);
+    be->awgn_expand_all_u16(level, states, count, static_cast<std::uint32_t>(fanout),
+                            out_states, out_costs);
+  }
+
+  std::size_t expand_prune_q(int spine_idx, const std::uint32_t* states,
+                             const std::uint16_t* parent_cost, std::size_t count,
+                             int fanout, std::uint32_t cand_base,
+                             std::uint32_t bound_key, std::uint32_t* out_states,
+                             std::uint32_t* out_keys) const {
+    const std::size_t total = count * static_cast<std::size_t>(fanout);
+    const backend::AwgnLevelQ level = level_q(spine_idx, total, true);
+    return be->awgn_expand_prune_u16(level, states, parent_cost, count,
+                                     static_cast<std::uint32_t>(fanout), cand_base,
+                                     bound_key, out_states, out_keys);
+  }
 };
 
 SpinalDecoder::SpinalDecoder(const CodeParams& params)
@@ -171,6 +286,23 @@ SpinalDecoder::SpinalDecoder(const CodeParams& params)
     fx_table_.resize(constellation_.table().size());
     for (std::size_t i = 0; i < fx_table_.size(); ++i)
       fx_table_[i] = fx_quantise(constellation_.table()[i], fx_scale_);
+  }
+  // Quantized-path eligibility that is a construction-time fact:
+  // precision knob (env override included), metric-table size (2c <=
+  // 12 keeps the combined row at 16 KiB), candidate-index width
+  // (B·2^k <= 65536 so indices fit the u32 packed key's low half; a
+  // per-attempt beam override only shrinks B). CSI symbols can still
+  // veto at decode time.
+  resolved_precision_ = resolve_cost_precision(params_.cost_precision);
+  q_build_ = resolved_precision_ != CostPrecision::kFloat32 && 2 * params_.c <= 12 &&
+             (static_cast<std::uint64_t>(params_.B) << params_.k) <= 65536u;
+  if (q_build_) {
+    q_scale_ = cost_quant_scale(resolved_precision_);
+    q_cap_ = cost_quant_cap(resolved_precision_);
+    const std::uint32_t dim = constellation_.mask() + 1u;
+    q_stride_ = dim * dim;
+    qtab_.resize(rx_.size());
+    qrow_min_.resize(rx_.size());
   }
 }
 
@@ -185,6 +317,27 @@ void SpinalDecoder::add_symbol(SymbolId id, std::complex<float> y,
   rx_[id.spine_index].push_back({id.ordinal, y, csi});
   if (csi != std::complex<float>{1.0f, 0.0f}) any_csi_ = true;
   ++count_;
+  if (q_build_ && !any_csi_) {
+    // Metric-row precompute on arrival (amortized across every decode
+    // attempt on this symbol set). Uses the same quantised y and table
+    // the f32 kernels see, so fixed-point mode composes.
+    float yr = y.real(), yi = y.imag();
+    if (fx_scale_ > 0.0f) {
+      yr = fx_quantise(yr, fx_scale_);
+      yi = fx_quantise(yi, fx_scale_);
+    }
+    const float* table = fx_scale_ > 0.0f ? fx_table_.data() : constellation_.data();
+    // Rows append behind a one-u16 sentinel: the 32-bit SIMD gather of
+    // a row's last entry reads two bytes past it (AwgnLevelQ::qtab
+    // contract), so the table always keeps one zero entry of slack.
+    std::vector<std::uint16_t>& rows = qtab_[id.spine_index];
+    const std::size_t off = rows.empty() ? 0 : rows.size() - 1;
+    rows.resize(off + q_stride_ + 1);
+    rows.back() = 0;
+    qrow_min_[id.spine_index].push_back(
+        build_quant_row(yr, yi, table, constellation_.mask(), constellation_.c(),
+                        q_scale_, q_cap_, rows.data() + off));
+  }
 }
 
 DecodeResult SpinalDecoder::decode() const {
@@ -228,14 +381,41 @@ void SpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
 
   CodeParams p = params_;
   if (beam_width > 0 && beam_width < p.B) p.B = beam_width;
+
+  // ---- Quantized-path eligibility (see AwgnBatchEnv) ----
+  // Construction already resolved the precision knob and built the
+  // metric rows on symbol arrival; CSI symbols veto here. Ineligible
+  // decodes silently take the f32 pipeline, which stays the golden
+  // reference. Only each level's remaining-cost floors (suffix sums of
+  // the precomputed row minima) are rebuilt per attempt.
+  const bool quantized = q_build_ && !any_csi_;
+  if (quantized) {
+    ws.qmin_rest.resize(count_ + static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s) {
+      const std::uint32_t begin = ws.soa_off[s];
+      const std::uint32_t nsym = ws.soa_off[s + 1] - begin;
+      std::uint16_t* mr = ws.qmin_rest.data() + begin + s;
+      std::uint32_t rest = 0;
+      mr[nsym] = 0;
+      for (std::uint32_t j = nsym; j-- > 0;) {
+        rest = backend::quant_sat_add(rest, qrow_min_[s][j]);
+        mr[j] = static_cast<std::uint16_t>(rest);
+      }
+    }
+  }
+
   const detail::BeamSearch<AwgnBatchEnv> search;
-  const AwgnBatchEnv env{{*this, any_csi_, fx_scale_},
-                         &ws,
-                         &backend::active(),
-                         fx_scale_ > 0.0f ? fx_table_.data() : constellation_.data(),
-                         constellation_.data(),
-                         constellation_.mask(),
-                         constellation_.c()};
+  AwgnBatchEnv env{{*this, any_csi_, fx_scale_},
+                   &ws,
+                   &backend::active(),
+                   fx_scale_ > 0.0f ? fx_table_.data() : constellation_.data(),
+                   constellation_.data(),
+                   constellation_.mask(),
+                   constellation_.c()};
+  env.q_on = quantized;
+  env.q_scale_v = q_scale_;
+  env.q_stride = q_stride_;
+  env.q_mask = q_stride_ - 1u;
   search.run(env, p, ws.search, ws.result);
   chunks_to_message_into(params_, ws.result.chunks, out.message);
   out.path_cost = ws.result.best_cost;
@@ -250,6 +430,8 @@ DecodeResult SpinalDecoder::decode_reference() const {
 
 void SpinalDecoder::reset() {
   for (auto& v : rx_) v.clear();
+  for (auto& v : qtab_) v.clear();
+  for (auto& v : qrow_min_) v.clear();
   count_ = 0;
   any_csi_ = false;
 }

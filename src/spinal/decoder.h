@@ -61,6 +61,13 @@ struct DecodeWorkspace {
   std::vector<std::uint32_t> soa_word_off;
   std::vector<std::uint64_t> rx_bits;
 
+  // Quantized decode path (CostPrecision != kFloat32, see
+  // spinal/cost_model.h): each level's admissible remaining-cost
+  // floors (nsym+1 suffix sums of per-symbol row minima; level s's
+  // slice starts at soa_off[s] + s). The metric rows themselves live
+  // on the decoder (built once per received symbol, not per attempt).
+  std::vector<std::uint16_t> qmin_rest;
+
   /// Scratch the backend expansion kernels use (RNG draws, shared hash
   /// pre-mix / compacted lanes, metric accumulator, BSC bit
   /// accumulator, partial-prune survivor indices); sized here, in
@@ -85,6 +92,15 @@ class SpinalDecoder {
   void add_symbol(SymbolId id, std::complex<float> y, std::complex<float> csi);
 
   std::size_t symbols_received() const noexcept { return count_; }
+
+  /// The cost representation decode() will actually use for the
+  /// symbols received so far: the constructor-resolved precision knob
+  /// (SPINAL_COST_PRECISION included), downgraded to kFloat32 when the
+  /// decode is ineligible — non-eligible geometry, or CSI symbols
+  /// received (see CodeParams::cost_precision).
+  CostPrecision active_precision() const noexcept {
+    return (q_build_ && !any_csi_) ? resolved_precision_ : CostPrecision::kFloat32;
+  }
 
   /// Runs the bubble search over everything received so far.
   DecodeResult decode() const;
@@ -130,6 +146,22 @@ class SpinalDecoder {
   std::vector<std::vector<RxSymbol>> rx_;  // per spine index
   std::size_t count_ = 0;
   bool any_csi_ = false;
+
+  // Quantized-path state (spinal/cost_model.h). The precision knob
+  // (including the SPINAL_COST_PRECISION override) is resolved at
+  // construction; when it lands on a narrow type and the geometry is
+  // eligible, add_symbol builds the symbol's combined 2^(2c)-entry
+  // metric row up front — one table build per received symbol, shared
+  // by every subsequent decode attempt, mirroring the SoA flatten's
+  // receiver-side precompute.
+  CostPrecision resolved_precision_ = CostPrecision::kFloat32;
+  bool q_build_ = false;        // build metric rows on arrival
+  float q_scale_ = 0.0f;        // metric grid scale (2^4 u16, 2^3 u8)
+  std::uint32_t q_cap_ = 0;     // per-symbol metric clamp
+  std::uint32_t q_stride_ = 0;  // combined row length, 2^(2c)
+  std::vector<std::vector<std::uint16_t>> qtab_;     // per spine: nsym rows (+1 gather sentinel)
+  std::vector<std::vector<std::uint16_t>> qrow_min_;  // per spine: row minima
+
   mutable detail::DecodeWorkspace ws_;
 
   friend struct AwgnEnv;

@@ -12,6 +12,18 @@
 
 namespace spinal {
 
+/// Decoder path-metric representation (see spinal/cost_model.h for the
+/// scaling/offset scheme). kFloat32 is the golden reference and the
+/// default; the narrow precisions route eligible decodes through the
+/// quantized integer kernel family (backend/: *_u16 entries), which is
+/// bit-identical across backends but only statistically equivalent to
+/// the float path (BLER-delta gated, not bit-identity gated).
+enum class CostPrecision {
+  kFloat32,  ///< IEEE single cost lanes (golden reference, default)
+  kU16,      ///< 16-bit saturating path metrics, 2^-4 metric grid
+  kU8,       ///< 8-bit per-symbol metric grid (2^-3, clamp 255) on 16-bit paths
+};
+
 struct CodeParams {
   int n = 256;   ///< message bits per code block
   int k = 4;     ///< message bits hashed per spine step (rate cap: 8k with puncturing)
@@ -37,6 +49,13 @@ struct CodeParams {
   /// branch costs to this many fractional bits (e.g. 6 models a Q*.6
   /// FPGA datapath). 0 = full floating point (default).
   int fixed_point_frac_bits = 0;
+
+  /// Decoder path-metric representation. Narrow precisions are a
+  /// decoder-side speed knob only — the wire format never changes —
+  /// and apply when the decode is eligible (AWGN, no CSI, 2c <= 12,
+  /// B << k <= 65536); ineligible decodes silently fall back to f32.
+  /// Overridable at runtime via SPINAL_COST_PRECISION (cost_model.h).
+  CostPrecision cost_precision = CostPrecision::kFloat32;
 
   /// Number of spine values n/k (rounded up; a short final chunk is
   /// zero-padded and the decoder only explores its real bits).

@@ -760,6 +760,335 @@ TEST(BackendKernels, XorRowsMatchesScalarExactly) {
   }
 }
 
+// ------------------------------------------- quantized (u16) kernels
+
+/// Builds a randomized quantized level table: nsym rows of 2^(2*cbits)
+/// u16 metrics (+1 u16 of gather tail slack, the AwgnLevelQ::qtab
+/// contract) with a few near-cap entries so saturating adds clamp.
+std::vector<std::uint16_t> random_qtab(util::Xoshiro256& prng, std::uint32_t nsym,
+                                       std::uint32_t qstride) {
+  std::vector<std::uint16_t> t(static_cast<std::size_t>(nsym) * qstride + 1, 0);
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const std::uint32_t r = static_cast<std::uint32_t>(prng.next_u64());
+    t[i] = static_cast<std::uint16_t>((r & 0xFFu) == 0 ? 60000u + (r % 5000u)
+                                                       : r % 2048u);
+  }
+  return t;
+}
+
+/// True admissible suffix floors: min_rest[s] = saturating sum of the
+/// minima of rows s.., min_rest[nsym] = 0.
+std::vector<std::uint16_t> suffix_floors(const std::vector<std::uint16_t>& qtab,
+                                         std::uint32_t nsym, std::uint32_t qstride) {
+  std::vector<std::uint16_t> floors(nsym + 1, 0);
+  for (std::uint32_t s = nsym; s-- > 0;) {
+    std::uint32_t m = 65535;
+    for (std::uint32_t w = 0; w < qstride; ++w)
+      m = std::min(m, static_cast<std::uint32_t>(qtab[s * qstride + w]));
+    floors[s] = static_cast<std::uint16_t>(
+        std::min(65535u, m + static_cast<std::uint32_t>(floors[s + 1])));
+  }
+  return floors;
+}
+
+TEST(BackendKernels, QuantizedExpandAllMatchesBruteForce) {
+  // awgn_expand_all_u16 on every backend must equal the from-scratch
+  // definition: child state = h(state, v); cost = clamp(sum over
+  // symbols of qtab[s][rng(child, ord[s]) & qmask]). This pins the
+  // SIMD gather/saturation path bit-exactly, not just scalar-vs-SIMD.
+  util::Xoshiro256 prng(120);
+  for (const Backend* b : backend::available()) {
+    for (hash::Kind kind : kKinds) {
+      const int cbits = 3;  // small grid keeps brute force cheap
+      const std::uint32_t qstride = 1u << (2 * cbits);
+      const std::uint32_t nsym = 3, fanout = 8;
+      const std::size_t count = 37;  // not a lane multiple
+      const std::size_t total = count * fanout;
+      const auto states = random_words(prng, count);
+      const auto ord = random_words(prng, nsym);
+      const auto qtab = random_qtab(prng, nsym, qstride);
+      const auto floors = suffix_floors(qtab, nsym, qstride);
+      const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+
+      std::vector<std::uint32_t> rng_sc(total), premix_sc(total), acc_sc(total);
+      const backend::AwgnLevelQ level{kind,          salt,
+                                      ord.data(),    nsym,
+                                      qtab.data(),   qstride,
+                                      qstride - 1,   floors.data(),
+                                      rng_sc.data(), premix_sc.data(),
+                                      acc_sc.data(), nullptr};
+      std::vector<std::uint32_t> out_states(total);
+      std::vector<std::uint16_t> out_costs(total);
+      b->awgn_expand_all_u16(level, states.data(), count, fanout, out_states.data(),
+                             out_costs.data());
+
+      const hash::SpineHash h(kind, salt);
+      for (std::size_t i = 0; i < count; ++i)
+        for (std::uint32_t v = 0; v < fanout; ++v) {
+          const std::uint32_t child = h(states[i], v);
+          std::uint32_t acc = 0;
+          for (std::uint32_t s = 0; s < nsym; ++s)
+            acc += qtab[s * qstride + (h.rng(child, ord[s]) & (qstride - 1))];
+          const std::size_t c = i * fanout + v;
+          ASSERT_EQ(out_states[c], child)
+              << b->name << " kind=" << hash::kind_name(kind) << " c=" << c;
+          ASSERT_EQ(out_costs[c], static_cast<std::uint16_t>(std::min(acc, 65535u)))
+              << b->name << " kind=" << hash::kind_name(kind) << " c=" << c;
+        }
+    }
+  }
+}
+
+TEST(BackendKernels, QuantizedD1PruneMatchesBruteForce) {
+  util::Xoshiro256 prng(121);
+  for (const Backend* b : backend::available()) {
+    for (std::uint32_t fanout : {1u, 2u, 4u, 8u, 16u, 64u}) {
+      const std::size_t count = 53;
+      const std::size_t total = count * fanout;
+      std::vector<std::uint16_t> parent(count), child(total);
+      for (auto& c : parent)
+        c = static_cast<std::uint16_t>(prng.next_u64() % 3000u);
+      for (auto& c : child)
+        c = static_cast<std::uint16_t>((prng.next_u64() & 0x3Fu) == 0
+                                           ? 65000u
+                                           : prng.next_u64() % 1000u);
+      for (const std::uint32_t bound :
+           {~0u, backend::quant_key(2500, 0xFFFF), backend::quant_key(900, 1200)}) {
+        const std::uint32_t cand_base = 1000;
+        std::vector<std::uint32_t> keys(total + 7, ~0u);
+        const std::size_t got = b->d1_prune_u16(parent.data(), child.data(), count,
+                                                fanout, cand_base, bound, keys.data());
+        std::size_t want = 0;
+        for (std::size_t c = 0; c < total; ++c) {
+          const std::uint32_t cost = std::min(
+              65535u, static_cast<std::uint32_t>(parent[c / fanout]) + child[c]);
+          const std::uint32_t key =
+              backend::quant_key(cost, cand_base + static_cast<std::uint32_t>(c));
+          if (key > bound) continue;
+          ASSERT_LT(want, got) << b->name << " fanout=" << fanout;
+          EXPECT_EQ(keys[want], key)
+              << b->name << " fanout=" << fanout << " survivor " << want;
+          ++want;
+        }
+        EXPECT_EQ(got, want) << b->name << " fanout=" << fanout << " bound=" << bound;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, QuantizedExpandPruneMatchesSplitPipeline) {
+  // The fused integer streaming kernel must append exactly the keys of
+  // awgn_expand_all_u16 + d1_prune_u16, for every backend x hash kind
+  // x bound tightness — including bounds tight enough to trip the
+  // min_rest row-skip and partial-floor sharpenings, which may only
+  // ever skip work, never change the survivor set.
+  util::Xoshiro256 prng(122);
+  for (const Backend* b : backend::available()) {
+    for (hash::Kind kind : kKinds) {
+      const int cbits = 3;
+      const std::uint32_t qstride = 1u << (2 * cbits);
+      const std::uint32_t nsym = 3, fanout = 8;
+      const std::size_t count = 37;
+      const std::size_t total = count * fanout;
+      const auto states = random_words(prng, count);
+      const auto ord = random_words(prng, nsym);
+      const auto qtab = random_qtab(prng, nsym, qstride);
+      const auto floors = suffix_floors(qtab, nsym, qstride);
+      const std::uint32_t salt = static_cast<std::uint32_t>(prng.next_u64());
+      std::vector<std::uint16_t> parent(count);
+      for (auto& c : parent)
+        c = static_cast<std::uint16_t>(prng.next_u64() % 2000u);
+
+      std::vector<std::uint32_t> rng_sc(total), premix_sc(total), acc_sc(total),
+          idx_sc(total);
+      auto make_level = [&] {
+        return backend::AwgnLevelQ{kind,          salt,
+                                   ord.data(),    nsym,
+                                   qtab.data(),   qstride,
+                                   qstride - 1,   floors.data(),
+                                   rng_sc.data(), premix_sc.data(),
+                                   acc_sc.data(), idx_sc.data()};
+      };
+
+      const backend::AwgnLevelQ ls = make_level();
+      std::vector<std::uint32_t> st_split(total);
+      std::vector<std::uint16_t> costs(total);
+      b->awgn_expand_all_u16(ls, states.data(), count, fanout, st_split.data(),
+                             costs.data());
+
+      for (int bsel = 0; bsel < 3; ++bsel) {
+        std::uint32_t bound = ~0u;
+        if (bsel > 0) {
+          std::vector<std::uint32_t> fin(total);
+          for (std::size_t i = 0; i < count; ++i)
+            for (std::uint32_t v = 0; v < fanout; ++v)
+              fin[i * fanout + v] = std::min(
+                  65535u, static_cast<std::uint32_t>(parent[i]) + costs[i * fanout + v]);
+          std::sort(fin.begin(), fin.end());
+          bound = backend::quant_key(fin[bsel == 1 ? total / 4 : 3 * total / 4], 0x4FF);
+        }
+        std::vector<std::uint32_t> k_split(total + 7, ~0u), k_fused(total + 7, ~1u);
+        const std::size_t n_split = b->d1_prune_u16(parent.data(), costs.data(), count,
+                                                    fanout, 100, bound, k_split.data());
+        const backend::AwgnLevelQ lf = make_level();
+        std::vector<std::uint32_t> st_fused(total, ~0u);
+        const std::size_t n_fused =
+            b->awgn_expand_prune_u16(lf, states.data(), parent.data(), count, fanout,
+                                     100, bound, st_fused.data(), k_fused.data());
+        EXPECT_EQ(n_split, n_fused)
+            << b->name << " kind=" << hash::kind_name(kind) << " bsel=" << bsel;
+        EXPECT_EQ(st_split, st_fused) << b->name << " bsel=" << bsel;
+        for (std::size_t j = 0; j < std::min(n_split, n_fused); ++j)
+          EXPECT_EQ(k_split[j], k_fused[j])
+              << b->name << " kind=" << hash::kind_name(kind) << " bsel=" << bsel
+              << " survivor " << j;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, QuantizedRowMinsMatchBruteForce) {
+  util::Xoshiro256 prng(123);
+  for (const Backend* b : backend::available()) {
+    for (std::uint32_t fanout : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const std::size_t leaves = 41;
+      std::vector<std::uint16_t> leaf_cost(leaves), child(leaves * fanout);
+      for (auto& c : leaf_cost)
+        c = static_cast<std::uint16_t>(prng.next_u64() % 60000u);
+      for (auto& c : child) c = static_cast<std::uint16_t>(prng.next_u64() % 9000u);
+      if (fanout > 2) child[3 * fanout + 2] = child[3 * fanout + 1];  // exact tie
+      std::vector<std::uint16_t> got(leaves, 0xAAAA);
+      b->row_mins_u16(leaf_cost.data(), child.data(), leaves, fanout, got.data());
+      for (std::size_t i = 0; i < leaves; ++i) {
+        std::uint32_t m = child[i * fanout];
+        for (std::uint32_t v = 1; v < fanout; ++v)
+          m = std::min(m, static_cast<std::uint32_t>(child[i * fanout + v]));
+        EXPECT_EQ(got[i], static_cast<std::uint16_t>(
+                              std::min(65535u, static_cast<std::uint32_t>(leaf_cost[i]) + m)))
+            << b->name << " fanout=" << fanout << " leaf " << i;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, QuantizedRegroupEmitMatchesScalarExactly) {
+  // The u16 twin of RegroupEmitMatchesScalarExactly: same move/order
+  // contract, saturating finalized costs, untouched pruned rows.
+  util::Xoshiro256 prng(124);
+  for (const Backend* b : backend::available()) {
+    for (const int d : {2, 3}) {
+      const int k = 3;
+      const std::uint32_t fanout = 8, group_count = 8;
+      const std::uint32_t group_mask = group_count - 1;
+      const std::size_t lpe = 16;
+      std::vector<std::uint32_t> child_state(lpe * fanout), leaf_path(lpe);
+      std::vector<std::uint16_t> child_cost(lpe * fanout), leaf_cost(lpe);
+      for (auto& s : child_state) s = static_cast<std::uint32_t>(prng.next_u64());
+      for (auto& c : child_cost) c = static_cast<std::uint16_t>(prng.next_u64() % 9000u);
+      for (auto& c : leaf_cost)
+        c = static_cast<std::uint16_t>((prng.next_u64() & 7u) == 0
+                                           ? 64000u  // force saturation rows
+                                           : prng.next_u64() % 30000u);
+      for (std::size_t i = 0; i < lpe; ++i)
+        leaf_path[i] = static_cast<std::uint32_t>(i % group_count) |
+                       (static_cast<std::uint32_t>(prng.next_u64() & 0x7u) << k);
+      const std::uint32_t rows = static_cast<std::uint32_t>(lpe / group_count) * fanout;
+      std::vector<std::int32_t> rowbase(group_count, -1);
+      std::int32_t base = 0;
+      for (std::uint32_t g = 0; g < group_count; ++g) {
+        if (g == 0 || g == 3 || g == 5) continue;
+        rowbase[g] = base;
+        base += static_cast<std::int32_t>(rows);
+      }
+      const std::size_t arena = static_cast<std::size_t>(base) + rows;
+      std::vector<std::uint32_t> st_want(arena, 0xABABABABu), st_got = st_want;
+      std::vector<std::uint16_t> c_want(arena, 0x7777), c_got = c_want;
+      std::vector<std::uint32_t> p_want(arena, 0xCDCDCDCDu), p_got = p_want;
+      scalar()->regroup_emit_u16(child_state.data(), child_cost.data(),
+                                 leaf_cost.data(), leaf_path.data(), lpe, fanout, k, d,
+                                 group_mask, rowbase.data(), st_want.data(),
+                                 c_want.data(), p_want.data());
+      b->regroup_emit_u16(child_state.data(), child_cost.data(), leaf_cost.data(),
+                          leaf_path.data(), lpe, fanout, k, d, group_mask,
+                          rowbase.data(), st_got.data(), c_got.data(), p_got.data());
+      EXPECT_EQ(st_want, st_got) << b->name << " d=" << d;
+      EXPECT_EQ(p_want, p_got) << b->name << " d=" << d;
+      EXPECT_EQ(c_want, c_got) << b->name << " d=" << d;
+      // Semantics spot-check against first principles, group 1.
+      std::uint32_t fill = 0;
+      for (std::size_t lf = 0; lf < lpe; ++lf) {
+        if ((leaf_path[lf] & group_mask) != 1u) continue;
+        for (std::uint32_t v = 0; v < fanout; ++v) {
+          const std::size_t dst = static_cast<std::size_t>(rowbase[1]) + fill * fanout + v;
+          EXPECT_EQ(st_got[dst], child_state[lf * fanout + v]);
+          EXPECT_EQ(c_got[dst],
+                    static_cast<std::uint16_t>(std::min(
+                        65535u, static_cast<std::uint32_t>(leaf_cost[lf]) +
+                                    child_cost[lf * fanout + v])));
+          EXPECT_EQ(p_got[dst], (leaf_path[lf] >> k) | (v << (k * (d - 2))));
+        }
+        ++fill;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, PartitionKeysU32KeepsTheSelectSet) {
+  // Set-only contract of the u32 refinement used by the quantized
+  // selection: the keep smallest keys land in [0, keep) in some order.
+  util::Xoshiro256 prng(125);
+  for (const Backend* b : backend::available()) {
+    for (std::size_t n : {std::size_t{2}, std::size_t{300}, std::size_t{4096},
+                          std::size_t{9000}}) {
+      std::vector<std::uint32_t> keys(n);
+      // Clustered costs in the high half, dense candidate ids below —
+      // the shape the quantized beam produces after renormalization.
+      std::uint32_t walk = 40;
+      for (std::size_t i = 0; i < n; ++i) {
+        walk += static_cast<std::uint32_t>(prng.next_u64() % 3u);
+        keys[i] = backend::quant_key(walk % 700u, static_cast<std::uint32_t>(i) & 0xFFFF);
+      }
+      std::vector<std::uint32_t> sorted = keys;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t keep : {std::size_t{1}, n / 2, n - 1}) {
+        if (keep == 0) continue;
+        std::vector<std::uint32_t> work = keys;
+        b->partition_keys_u32(work.data(), n, keep);
+        std::sort(work.begin(), work.begin() + keep);
+        for (std::size_t i = 0; i < keep; ++i)
+          EXPECT_EQ(work[i], sorted[i]) << b->name << " n=" << n << " keep=" << keep;
+      }
+    }
+  }
+}
+
+TEST(BackendKernels, SelectKeysU32MatchesFullSortReference) {
+  // Full contract: smallest keep keys ascending in [0, keep) — which
+  // for packed (cost << 16 | cand) keys *is* the deterministic
+  // tie-broken candidate order. Also covers keep >= count (the
+  // quantized finalize uses that as its full sort).
+  util::Xoshiro256 prng(126);
+  for (const Backend* b : backend::available()) {
+    for (std::size_t n :
+         {std::size_t{1}, std::size_t{37}, std::size_t{512}, std::size_t{5000}}) {
+      std::vector<std::uint32_t> keys(n);
+      for (std::size_t i = 0; i < n; ++i)
+        keys[i] = backend::quant_key(
+            static_cast<std::uint32_t>(prng.next_u64() % 900u),
+            static_cast<std::uint32_t>(i) & 0xFFFF);
+      std::vector<std::uint32_t> sorted = keys;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t keep : {std::size_t{1}, n / 2, n - 1, n, n + 20}) {
+        if (keep == 0) continue;
+        std::vector<std::uint32_t> work = keys;
+        b->select_keys_u32(work.data(), n, keep);
+        for (std::size_t i = 0; i < std::min(keep, n); ++i)
+          EXPECT_EQ(work[i], sorted[i]) << b->name << " n=" << n << " keep=" << keep;
+      }
+    }
+  }
+}
+
 TEST(BackendKernels, MonotoneKeyOrdersLikeFloat) {
   const float vals[] = {-3.5f, -0.0f, 0.0f, 1e-30f, 0.25f, 1.0f, 1e30f};
   for (float a : vals)

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "backend/backend.h"
 #include "channel/awgn.h"
+#include "spinal/cost_model.h"
 #include "spinal/decoder.h"
 #include "spinal/encoder.h"
 #include "util/prng.h"
@@ -106,6 +110,92 @@ TEST(FixedPoint, WorksWithFadingCsi) {
     for (const SymbolId& id : sched.subpass(sp))
       dec.add_symbol(id, noise.transmit(h * enc.symbol(id)), h);
   EXPECT_EQ(dec.decode().message, msg);
+}
+
+// ---- CostPrecision: the narrow-metric decode grid (u16/u8 saturating
+// path metrics, spinal/cost_model.h) — the software twin of the
+// hardware fixed-point knob above, applied to the path-metric
+// representation instead of the datapath inputs.
+
+TEST(CostPrecision, SchemeConstantsMatchTheDocumentedGrid) {
+  EXPECT_EQ(cost_quant_scale(CostPrecision::kU16), 16.0f);  // 2^4
+  EXPECT_EQ(cost_quant_scale(CostPrecision::kU8), 8.0f);    // 2^3
+  EXPECT_EQ(cost_quant_cap(CostPrecision::kU16), 65535u);
+  EXPECT_EQ(cost_quant_cap(CostPrecision::kU8), 255u);
+  // No env override in-process: resolution is the configured knob.
+  if (!std::getenv("SPINAL_COST_PRECISION")) {
+    for (CostPrecision c :
+         {CostPrecision::kFloat32, CostPrecision::kU16, CostPrecision::kU8})
+      EXPECT_EQ(resolve_cost_precision(c), c);
+  }
+}
+
+TEST(CostPrecision, SaturatingAddClampsAtU16Cap) {
+  EXPECT_EQ(backend::quant_sat_add(0, 0), 0u);
+  EXPECT_EQ(backend::quant_sat_add(65534, 1), 65535u);
+  EXPECT_EQ(backend::quant_sat_add(65535, 65535), 65535u);
+  EXPECT_EQ(backend::quant_key(3, 7), (3u << 16) | 7u);
+}
+
+TEST(CostPrecision, U16DecodesLikeFloatAtOperatingSnr) {
+  CodeParams p;
+  p.n = 192;
+  p.B = 64;
+  util::Xoshiro256 prng(11);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+  for (double snr : {5.0, 12.0}) {
+    for (CostPrecision prec : {CostPrecision::kU16, CostPrecision::kU8}) {
+      CodeParams pq = p;
+      pq.cost_precision = prec;
+      SpinalDecoder dec(pq);
+      feed(pq, enc, dec, snr, 3, 0xF7);
+      EXPECT_EQ(dec.decode().message, msg)
+          << "snr=" << snr << " prec=" << static_cast<int>(prec);
+    }
+  }
+}
+
+TEST(CostPrecision, RescaledPathCostTracksTheFloatCost) {
+  // The quantized winner's path cost is reported rescaled back to the
+  // f32 metric's units ((offset + best) / scale): same channel
+  // realisation, so it must land near the float decode's cost — the
+  // grid changes the metric by at most the accumulated rounding.
+  CodeParams p;
+  p.n = 64;
+  p.B = 64;
+  util::Xoshiro256 prng(12);
+  const util::BitVec msg = prng.random_bits(p.n);
+  const SpinalEncoder enc(p, msg);
+  CodeParams pq = p;
+  pq.cost_precision = CostPrecision::kU16;
+  SpinalDecoder dec_f(p), dec_q(pq);
+  feed(p, enc, dec_f, 10.0, 2, 0xF8);
+  feed(pq, enc, dec_q, 10.0, 2, 0xF8);
+  const double cf = dec_f.decode().path_cost;
+  const double cq = dec_q.decode().path_cost;
+  if (dec_q.active_precision() == CostPrecision::kU16 &&
+      dec_f.active_precision() == CostPrecision::kFloat32) {
+    EXPECT_NE(cf, cq);  // the knob is not a silent no-op
+  }
+  EXPECT_NEAR(cq, cf, 0.25 * cf + 1.0);
+}
+
+TEST(CostPrecision, IneligibleGeometryFallsBackToFloat) {
+  // B * 2^k > 65536 overflows the packed u32 (cost << 16 | cand) key,
+  // so the decoder must resolve to the f32 path.
+  CodeParams p;
+  p.n = 64;
+  p.B = 8192;
+  p.k = 4;  // B << k = 131072 > 65536
+  p.cost_precision = CostPrecision::kU16;
+  SpinalDecoder dec(p);
+  EXPECT_EQ(dec.active_precision(), CostPrecision::kFloat32);
+
+  CodeParams ok = p;
+  ok.B = 256;  // 4096 candidates: eligible
+  SpinalDecoder dec2(ok);
+  EXPECT_EQ(dec2.active_precision(), resolve_cost_precision(CostPrecision::kU16));
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "sim/engine.h"
 #include "sim/experiment.h"
 #include "sim/spinal_session.h"
+#include "spinal/cost_model.h"
 #include "spinal/decoder.h"
 #include "spinal/encoder.h"
 #include "util/prng.h"
@@ -358,6 +359,7 @@ TEST(Properties, FuzzStreamingPruneMatchesReferenceOnEveryBackend) {
     for (const backend::Backend* b : backend::available()) {
       ASSERT_TRUE(backend::force(b->name));
       DecodeResult streamed, reference;
+      bool compare_reference = false;
       // The channel reseeds per backend from the trial seed, so every
       // backend decodes the identical received sequence.
       if (bsc) {
@@ -369,6 +371,7 @@ TEST(Properties, FuzzStreamingPruneMatchesReferenceOnEveryBackend) {
             dec.add_bit(id, ch.transmit(enc.bit(id)));
         streamed = dec.decode();
         reference = dec.decode_reference();
+        compare_reference = true;
       } else {
         const SpinalEncoder enc(p, msg);
         SpinalDecoder dec(p);
@@ -378,17 +381,24 @@ TEST(Properties, FuzzStreamingPruneMatchesReferenceOnEveryBackend) {
             dec.add_symbol(id, ch.transmit(enc.symbol(id)));
         streamed = dec.decode();
         reference = dec.decode_reference();
+        // Under a narrow-precision override (the CI quantized lane)
+        // decode() runs the integer path, which is only statistically
+        // equivalent to the f32 per-node reference — the cross-backend
+        // identity checks below are the oracle then.
+        compare_reference = dec.active_precision() == CostPrecision::kFloat32;
       }
       // The streamed pipeline against the per-node reference: same
       // message, same exact cost bits (kept sets and packed-key order
       // carried through every prune decision).
-      EXPECT_EQ(streamed.message, reference.message)
-          << "backend=" << b->name << " seed=" << seed << " trial=" << trial
-          << " (k=" << p.k << " d=" << p.d << " B=" << p.B << " n=" << p.n
-          << " hash=" << hash::kind_name(p.hash_kind)
-          << " channel=" << (bsc ? "bsc" : "awgn") << " subpasses=" << subpasses << ")";
-      EXPECT_EQ(streamed.path_cost, reference.path_cost)
-          << "backend=" << b->name << " seed=" << seed << " trial=" << trial;
+      if (compare_reference) {
+        EXPECT_EQ(streamed.message, reference.message)
+            << "backend=" << b->name << " seed=" << seed << " trial=" << trial
+            << " (k=" << p.k << " d=" << p.d << " B=" << p.B << " n=" << p.n
+            << " hash=" << hash::kind_name(p.hash_kind)
+            << " channel=" << (bsc ? "bsc" : "awgn") << " subpasses=" << subpasses << ")";
+        EXPECT_EQ(streamed.path_cost, reference.path_cost)
+            << "backend=" << b->name << " seed=" << seed << " trial=" << trial;
+      }
       if (b == backend::available().front()) {
         ref_message = streamed.message;
         ref_cost = streamed.path_cost;
@@ -464,9 +474,67 @@ TEST(Properties, RaptorPrecodeAndRoundTripAgreeOnEveryBackend) {
   backend::force(original);
 }
 
+// ---------------------------------------------------------------------
+// Sweep 7: quantized-path coding performance. The narrow-metric
+// decode (CostPrecision::kU16/kU8, spinal/cost_model.h) trades the
+// f32 metric for a 2^-4 / 2^-3 integer grid; it is NOT bit-identical
+// to the float path, so its accuracy contract is statistical: over a
+// seeded batch of marginal-SNR blocks, the block-error rate may not
+// degrade materially. This is the gate that lets the quantized
+// kernels ship as a speed knob rather than a different code.
+// ---------------------------------------------------------------------
+
+TEST(Properties, QuantizedBlerMatchesFloatWithinDelta) {
+  CodeParams base;
+  base.n = 64;
+  base.k = 4;
+  base.B = 16;  // small beam at marginal SNR: real pruning pressure
+  const PuncturingSchedule sched(base);
+  constexpr int kTrials = 150;
+  constexpr double kSnrDb = 5.0;  // marginal: f32 itself fails a chunk of blocks
+  constexpr int kSubpasses = 2 * 8;
+
+  auto bler = [&](CostPrecision prec) {
+    CodeParams p = base;
+    p.cost_precision = prec;
+    int errors = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      // Same seeds across precisions: each trial decodes the identical
+      // received block, so the comparison is paired, not two samples.
+      util::Xoshiro256 prng(0xB1E52026ull + static_cast<std::uint64_t>(trial));
+      const util::BitVec msg = prng.random_bits(p.n);
+      const SpinalEncoder enc(p, msg);
+      SpinalDecoder dec(p);
+      channel::AwgnChannel ch(kSnrDb, 0xC0FFEEull + static_cast<std::uint64_t>(trial));
+      for (int sp = 0; sp < kSubpasses; ++sp)
+        for (const SymbolId& id : sched.subpass(sp))
+          dec.add_symbol(id, ch.transmit(enc.symbol(id)));
+      if (dec.decode().message != msg) ++errors;
+    }
+    return static_cast<double>(errors) / kTrials;
+  };
+
+  const double f32 = bler(CostPrecision::kFloat32);
+  const double u16 = bler(CostPrecision::kU16);
+  const double u8 = bler(CostPrecision::kU8);
+  // The regime must be marginal enough to be informative.
+  EXPECT_GT(f32, 0.02) << "SNR too benign to measure a BLER delta";
+  EXPECT_LT(f32, 0.80) << "SNR too harsh to measure a BLER delta";
+  // u16's 2^-4 grid is finer than the channel noise at any operating
+  // SNR: its BLER must track f32 tightly. u8's coarse clamp-at-255
+  // grid gets a looser budget (it is the "saturation allows" tier).
+  EXPECT_NEAR(u16, f32, 0.05) << "f32=" << f32 << " u16=" << u16;
+  EXPECT_NEAR(u8, f32, 0.12) << "f32=" << f32 << " u8=" << u8;
+}
+
 TEST(Properties, LargerBNeverIncreasesSymbolsNeededNoiseless) {
   // Noiseless channel: every beam width decodes after one pass; beam
-  // size cannot change that (sanity anchor for the B knob).
+  // size cannot change that (sanity anchor for the B knob). A float-
+  // path property: on the quantized metric grid, distinct-but-close
+  // constellation points can tie at cost 0, and a B=1 greedy walk may
+  // take the wrong tied branch — so skip under a narrow override.
+  if (resolve_cost_precision(CostPrecision::kFloat32) != CostPrecision::kFloat32)
+    GTEST_SKIP() << "SPINAL_COST_PRECISION override forces the integer grid";
   for (int B : {1, 4, 16, 64}) {
     CodeParams p;
     p.n = 64;

@@ -5,6 +5,7 @@ against a checked-in baseline snapshot and fail on real regressions.
 Usage:
     perf_guard.py CURRENT_BENCH_JSON BASELINE_SNAPSHOT_JSON
                   [--also EXTRA_BENCH_JSON ...] [--tolerance 0.25]
+                  [--expect-ratio NUM_BENCH DEN_BENCH MIN ...]
 
 CURRENT is the raw --benchmark_out JSON of the run under test;
 BASELINE is a perf_snapshot.py document checked into the repo
@@ -23,6 +24,16 @@ regression shows up as one benchmark falling more than the tolerance
 below the rest. The tolerance is generous (25% by default) — this
 gate exists to catch 2x cliffs (a kernel knocked off its fast path, a
 debug build leaking into the bench), not 5% drift.
+
+--expect-ratio gates a *within-run* speed ratio: current[NUM] /
+current[DEN] must be >= MIN. Both points come from the same binary and
+the same run, so machine speed cancels exactly — this is how the
+quantized narrow-metric path's speedup over the f32 reference
+(BM_DecodeAwgnQuant/prec:1/d:1 vs BM_DecodeAwgn/n:256/k:4/B:256/d:1)
+is enforced without trusting cross-machine absolutes. Since PR 7 the
+baseline also carries the d=2 reference-geometry point and the
+quantized (u16/u8) decode points, so those gate through the median
+check like everything else.
 """
 
 import argparse
@@ -50,6 +61,10 @@ def main():
                          "to merge (e.g. bench_runtime_throughput quick mode)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drop below the run's median ratio")
+    ap.add_argument("--expect-ratio", nargs=3, action="append", default=[],
+                    metavar=("NUM_BENCH", "DEN_BENCH", "MIN"),
+                    help="require current[NUM]/current[DEN] >= MIN "
+                         "(a within-run ratio: machine speed cancels)")
     args = ap.parse_args()
 
     # Unreadable inputs are hard failures: the CI step that runs this
@@ -92,9 +107,29 @@ def main():
         print(f"  {n:48s} {baseline[n] / 1e3:9.1f}k -> {current[n] / 1e3:9.1f}k "
               f"(x{ratios[n]:.2f}){flag}")
 
+    ratio_failures = []
+    for num, den, min_s in args.expect_ratio:
+        if num not in current or den not in current:
+            # A missing point means the producing bench didn't run the
+            # case — that's a broken producer, not a soft skip.
+            print(f"perf_guard: FAIL — --expect-ratio point missing from "
+                  f"current run ({num if num not in current else den})",
+                  file=sys.stderr)
+            return 2
+        ratio = current[num] / current[den]
+        ok = ratio >= float(min_s)
+        print(f"  ratio {num} / {den} = x{ratio:.2f} "
+              f"(require >= x{float(min_s):.2f}){'' if ok else '  <-- BELOW FLOOR'}")
+        if not ok:
+            ratio_failures.append(num)
+
     if failures:
         print(f"perf_guard: FAIL — {len(failures)} benchmark(s) regressed more than "
               f"{args.tolerance:.0%} against the run median", file=sys.stderr)
+        return 1
+    if ratio_failures:
+        print(f"perf_guard: FAIL — {len(ratio_failures)} within-run speed "
+              "ratio(s) below the required floor", file=sys.stderr)
         return 1
     print("perf_guard: OK")
     return 0

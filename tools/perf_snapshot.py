@@ -22,6 +22,42 @@ import argparse
 import json
 import sys
 
+# The ISA flag subset that decides which spinal kernel backends can run
+# (x86 names from "flags", AArch64 names from "Features"). Stamping
+# these — not the full several-hundred-entry flag soup — makes two
+# snapshots comparable at a glance: same flags, same candidate backends.
+KERNEL_ISA_FLAGS = {
+    "sse4_2", "avx", "avx2", "avx512f", "fma", "bmi2",  # x86
+    "asimd", "neon",                                    # arm
+}
+
+
+def cpu_identity():
+    """Best-effort CPU model + kernel-relevant ISA flags (Linux only).
+
+    Google Benchmark's JSON context carries core count and clock but not
+    the CPU model string or feature flags, and perf numbers without
+    those are unanchored — a 160k bits/s point means something different
+    on an AVX2 Xeon than on a NEON Graviton. Returns (None, None) when
+    /proc/cpuinfo is unavailable (non-Linux); the snapshot then simply
+    omits the fields rather than guessing.
+    """
+    model, flags = None, None
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                key, _, val = line.partition(":")
+                key = key.strip()
+                if model is None and key in ("model name", "Processor", "cpu model"):
+                    model = val.strip()
+                if flags is None and key in ("flags", "Features"):
+                    flags = sorted(KERNEL_ISA_FLAGS & set(val.split()))
+                if model is not None and flags is not None:
+                    break
+    except OSError:
+        pass
+    return model, flags
+
 
 def distill(raw, filters):
     points = {}
@@ -79,6 +115,17 @@ def main():
             "num_cpus": ctx.get("num_cpus"),
             "mhz_per_cpu": ctx.get("mhz_per_cpu"),
         }
+        model, flags = cpu_identity()
+        if model:
+            snapshot["host"]["cpu_model"] = model
+        if flags:
+            snapshot["host"]["isa_flags"] = flags
+        # The bench binaries stamp backend::active().name into their
+        # JSON context (AddCustomContext) — the kernel backend the
+        # default cases actually ran, after SPINAL_BACKEND / runtime
+        # detection resolved.
+        if ctx.get("spinal_backend"):
+            snapshot["host"]["spinal_backend"] = ctx["spinal_backend"]
     json.dump(snapshot, sys.stdout, indent=2)
     print()
     return 0
