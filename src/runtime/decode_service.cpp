@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 #include "sim/trial_runner.h"
@@ -36,6 +38,9 @@ struct DecodeService::SessionState {
   std::optional<sim::MessageRun> run;
   SessionReport report;
   long symbols_seen = 0;  ///< feed-telemetry watermark
+  /// Interned batch_key() tag (kNoTag: never batched). Set once at
+  /// admission, immutable after — jobs carry it into the queue.
+  std::int32_t batch_tag = JobQueue<QueueJob>::kNoTag;
 };
 
 DecodeService::DecodeService(const RuntimeOptions& opt)
@@ -71,28 +76,108 @@ DecodeService::~DecodeService() {
   queue_.close();
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
+  // An error drain() never collected must not vanish silently: the
+  // caller skipped the rethrow point, so the last-resort channel is a
+  // loud stderr line at teardown.
+  if (first_error_) {
+    try {
+      std::rethrow_exception(first_error_);
+    } catch (const std::exception& e) {
+      std::fprintf(
+          stderr,
+          "DecodeService: swallowing undrained error at destruction: %s\n",
+          e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "DecodeService: swallowing undrained non-std exception at "
+                   "destruction\n");
+    }
+  }
 }
 
 void DecodeService::worker_loop(Worker& w) {
   WorkerScope scope(this, &w);
-  while (std::optional<Task> task = queue_.pop()) {
-    w.telemetry.record_job();
-    (*task)(scope);
+  const std::size_t max_batch =
+      opt_.batch.max_batch > 1 ? static_cast<std::size_t>(opt_.batch.max_batch)
+                               : 1;
+  const std::size_t window =
+      opt_.batch.window > 0 ? static_cast<std::size_t>(opt_.batch.window) : 0;
+  std::vector<QueueJob> batch;
+  std::vector<std::size_t> indices;
+  while (queue_.pop_batch(batch, max_batch, window)) {
+    if (batch.size() == 1) {
+      w.telemetry.record_job();
+      QueueJob& j = batch.front();
+      if (j.session != QueueJob::kNoSession)
+        session_step(scope, j.session);
+      else
+        j.task(scope);
+      continue;
+    }
+    // A multi-entry claim is same-tag by construction, and session tags
+    // never collide with task tags (task hints intern under a "task/"
+    // codec prefix) — so the batch is homogeneous.
+    w.telemetry.record_jobs(batch.size());
+    if (batch.front().session != QueueJob::kNoSession) {
+      indices.clear();
+      for (QueueJob& j : batch) indices.push_back(j.session);
+      session_step_batch(scope, indices);
+    } else {
+      for (QueueJob& j : batch) j.task(scope);
+    }
   }
 }
 
 void DecodeService::push_session_job(std::size_t index) {
-  queue_.push([this, index](WorkerScope& scope) { session_step(scope, index); });
+  SessionState* s;
+  {
+    std::lock_guard lock(state_m_);
+    s = sessions_[index].get();  // the vector may reallocate under submit()
+  }
+  QueueJob job;
+  job.session = index;
+  if (queue_.push(std::move(job), s->batch_tag)) return;
+  session_job_refused(*s);
+}
+
+/// The queue refused a session's job: it was closed with the session
+/// still mid-run. Silently returning would leak the session — no job
+/// ever finishes it, so drain() deadlocks waiting on completed_.
+/// Record the error and finish the session as failed instead.
+void DecodeService::session_job_refused(SessionState& s) {
+  {
+    std::lock_guard lock(state_m_);
+    if (!first_error_)
+      first_error_ = std::make_exception_ptr(std::runtime_error(
+          "DecodeService: job queue closed with session in flight"));
+  }
+  s.report.run = s.run->result();
+  s.report.run.success = false;
+  s.report.message_bits = s.session->message_bits();
+  s.run.reset();
+  s.session.reset();
+  release_session_slot();
+}
+
+std::int32_t DecodeService::intern_tag_locked(const sim::WorkspaceKey& key) {
+  if (!key.valid()) return JobQueue<QueueJob>::kNoTag;
+  const auto [it, inserted] =
+      batch_tags_.try_emplace(key, static_cast<std::int32_t>(batch_tags_.size()));
+  return it->second;
 }
 
 std::size_t DecodeService::submit(SessionSpec spec) {
   // Build the session (encoder, channel, engine validation) outside the
   // lock; MessageRun's constructor throws on invalid EngineOptions.
   auto state = std::make_unique<SessionState>(std::move(spec));
+  const sim::WorkspaceKey bkey = opt_.batch.max_batch > 1
+                                     ? state->session->batch_key()
+                                     : sim::WorkspaceKey{};
   std::size_t id;
   {
     std::unique_lock lock(state_m_);
     cv_admit_.wait(lock, [&] { return in_flight_ < max_in_flight_; });
+    state->batch_tag = intern_tag_locked(bkey);
     id = sessions_.size();
     sessions_.push_back(std::move(state));
     ++in_flight_;
@@ -112,7 +197,6 @@ std::optional<std::size_t> DecodeService::try_submit(SessionSpec spec) {
     std::lock_guard lock(state_m_);
     if (in_flight_ >= max_in_flight_) return std::nullopt;
     ++in_flight_;
-    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
   }
   std::unique_ptr<SessionState> state;
   try {
@@ -123,9 +207,20 @@ std::optional<std::size_t> DecodeService::try_submit(SessionSpec spec) {
     cv_admit_.notify_one();
     throw;
   }
+  const sim::WorkspaceKey bkey = opt_.batch.max_batch > 1
+                                     ? state->session->batch_key()
+                                     : sim::WorkspaceKey{};
   std::size_t id;
   {
     std::lock_guard lock(state_m_);
+    // The high-water mark moves only once the session is actually
+    // admitted: the reservation above is rolled back if construction
+    // throws, and a peak that counted such a phantom would overstate
+    // concurrency the service never ran. (A concurrent submitter's peak
+    // update can still observe another caller's transient reservation;
+    // the mark is a bound on reservations, exact over admissions.)
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+    state->batch_tag = intern_tag_locked(bkey);
     id = sessions_.size();
     sessions_.push_back(std::move(state));
   }
@@ -185,17 +280,141 @@ void DecodeService::session_step(WorkerScope& scope, std::size_t index) {
       return;
     }
   } catch (...) {
-    {
-      std::lock_guard lock(state_m_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    finish_session(scope, *s);
+    fail_session(scope, *s, std::current_exception());
     return;
   }
   push_session_job(index);
 }
 
-void DecodeService::finish_session(WorkerScope& scope, SessionState& s) {
+void DecodeService::session_step_batch(WorkerScope& scope,
+                                       const std::vector<std::size_t>& indices) {
+  std::vector<SessionState*> states;
+  states.reserve(indices.size());
+  {
+    std::lock_guard lock(state_m_);
+    for (const std::size_t index : indices)
+      states.push_back(sessions_[index].get());
+  }
+
+  // Phase 1 — stream each session to its attempt point individually
+  // (feeds are per-session work; only the decode attempt batches). The
+  // accounting batches too: one feed-telemetry record and one deferred
+  // slot release cover the whole claim.
+  std::vector<SessionState*> live;
+  std::vector<std::size_t> live_idx;
+  live.reserve(states.size());
+  live_idx.reserve(states.size());
+  std::size_t released = 0;
+  long fed = 0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    SessionState* s = states[i];
+    try {
+      if (!s->run->feed_to_attempt()) {  // budget exhausted -> failed run
+        finish_session(scope, *s, /*release_slot=*/false);
+        ++released;
+        continue;
+      }
+      const long symbols = s->run->result().symbols;
+      fed += symbols - s->symbols_seen;
+      s->symbols_seen = symbols;
+      live.push_back(s);
+      live_idx.push_back(indices[i]);
+    } catch (...) {
+      fail_session(scope, *s, std::current_exception(), /*release_slot=*/false);
+      ++released;
+    }
+  }
+  if (fed > 0) scope.telemetry().record_feed(fed);
+  if (live.empty()) {
+    release_session_slots(released);
+    return;
+  }
+
+  // Phase 2 — one fused decode attempt over every live session. Equal
+  // batch tags mean equal specs where it matters (profile, workspace
+  // key), so the batch shares one effort pick, one workspace resolve
+  // and one latency clock pair — exactly the per-job overhead the
+  // batching exists to amortize.
+  SessionState* lead = live.front();
+  const sim::EffortProfile profile = lead->session->effort_profile();
+  int effort = 0;
+  if (!opt_.deterministic) effort = scope.pick_effort(profile);
+  const bool reduced = effort > 0 && effort < profile.full;
+  sim::CodecWorkspace* ws = scope.workspace(*lead->session);
+
+  std::vector<std::optional<util::BitVec>> candidates(live.size());
+  std::vector<sim::BatchDecodeJob> jobs(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i)
+    jobs[i] = {live[i]->session.get(), effort, &candidates[i]};
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    lead->session->try_decode_batch(ws, jobs);
+  } catch (...) {
+    // A torn batched attempt taints every block in it: which blocks hold
+    // valid candidates is unknowable, so all of them fail loudly rather
+    // than any continuing on garbage.
+    const std::exception_ptr err = std::current_exception();
+    for (SessionState* s : live)
+      fail_session(scope, *s, err, /*release_slot=*/false);
+    release_session_slots(released + live.size());
+    return;
+  }
+  const double per = elapsed_micros(t0) / static_cast<double>(live.size());
+  scope.telemetry().record_attempts(live.size(), per, reduced, ws == nullptr);
+
+  // Phase 3 — per-session accounting and continuation, same shape as
+  // the solo step (latency attributed evenly across the batch). The
+  // still-running sessions are collected and reposted as one queue
+  // transaction at the end: paying a lock + notify per continuation
+  // would hand back a large slice of the overhead the batch just saved.
+  std::vector<SessionState*> repost;
+  std::vector<QueueJob> repost_jobs;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    SessionState* s = live[i];
+    try {
+      s->report.decode_micros += per;
+      if (reduced) ++s->report.reduced_effort_attempts;
+      s->run->record_attempt(candidates[i]);
+
+      if (!s->run->finished() && reduced && opt_.adapt.retry_full_when_idle &&
+          scope.idle()) {
+        const auto t1 = std::chrono::steady_clock::now();
+        const std::optional<util::BitVec> cand =
+            s->session->try_decode_with(ws, 0);
+        const double us = elapsed_micros(t1);
+        scope.telemetry().record_attempt(us, false, true, ws == nullptr);
+        s->report.decode_micros += us;
+        ++s->report.full_effort_retries;
+        s->run->record_attempt(cand);
+      }
+
+      if (s->run->finished()) {
+        finish_session(scope, *s, /*release_slot=*/false);
+        ++released;
+        continue;
+      }
+    } catch (...) {
+      fail_session(scope, *s, std::current_exception(), /*release_slot=*/false);
+      ++released;
+      continue;
+    }
+    repost.push_back(s);
+    QueueJob job;
+    job.session = live_idx[i];
+    repost_jobs.push_back(std::move(job));
+  }
+  // All sessions in the batch carry the same interned tag (same-tag by
+  // construction of the claim), so one shared tag covers the repost.
+  if (!repost_jobs.empty() &&
+      !queue_.push_many(repost_jobs, repost.front()->batch_tag)) {
+    // session_job_refused releases each refused session's slot itself.
+    for (SessionState* s : repost) session_job_refused(*s);
+  }
+  release_session_slots(released);
+}
+
+void DecodeService::finish_session(WorkerScope& scope, SessionState& s,
+                                   bool release_slot) {
   s.report.run = s.run->result();
   s.report.message_bits = s.session->message_bits();
   // Symbols streamed after the last attempt (the give-up tail) have not
@@ -210,16 +429,48 @@ void DecodeService::finish_session(WorkerScope& scope, SessionState& s) {
   // O(submitted) memory. Only `report` is read after this point.
   s.run.reset();
   s.session.reset();
+  if (release_slot) release_session_slot();
+}
+
+void DecodeService::fail_session(WorkerScope& scope, SessionState& s,
+                                 std::exception_ptr err, bool release_slot) {
   {
     std::lock_guard lock(state_m_);
-    --in_flight_;
-    ++completed_;
-    // Notify under the lock: drain()/~DecodeService may destroy these
-    // condvars as soon as they can observe the updated counters, which
-    // they cannot do before the mutex is released.
-    cv_admit_.notify_one();
-    cv_done_.notify_all();
+    if (!first_error_) first_error_ = err;
   }
+  // The throwing step may have torn the MessageRun mid-feed or
+  // mid-attempt, so its success flag cannot be trusted — take the
+  // counters for the report but mark the run failed explicitly.
+  s.report.run = s.run->result();
+  s.report.run.success = false;
+  s.report.message_bits = s.session->message_bits();
+  scope.telemetry().record_feed(s.report.run.symbols - s.symbols_seen);
+  s.symbols_seen = s.report.run.symbols;
+  scope.telemetry().record_session_done(false, s.report.message_bits);
+  s.run.reset();
+  s.session.reset();
+  if (release_slot) release_session_slot();
+}
+
+void DecodeService::release_session_slot() { release_session_slots(1); }
+
+void DecodeService::release_session_slots(std::size_t n) {
+  if (n == 0) return;
+  std::lock_guard lock(state_m_);
+  in_flight_ -= static_cast<int>(n);
+  completed_ += n;
+  // Notify under the lock: drain()/~DecodeService may destroy these
+  // condvars as soon as they can observe the updated counters, which
+  // they cannot do before the mutex is released. cv_done_ only fires
+  // when its predicate can actually hold — waking the drain thread on
+  // every completion just makes it contend this mutex against the
+  // workers, once per session.
+  if (n > 1)
+    cv_admit_.notify_all();
+  else
+    cv_admit_.notify_one();
+  if (completed_ == sessions_.size() && ext_pending_ == 0)
+    cv_done_.notify_all();
 }
 
 std::vector<SessionReport> DecodeService::drain() {
@@ -249,12 +500,30 @@ int DecodeService::peak_in_flight() const {
 }
 
 void DecodeService::post(Task task) {
+  post_impl(std::move(task), JobQueue<QueueJob>::kNoTag);
+}
+
+void DecodeService::post(Task task, const sim::WorkspaceKey& aggregate_hint) {
+  std::int32_t tag = JobQueue<QueueJob>::kNoTag;
+  if (aggregate_hint.valid() && opt_.batch.max_batch > 1) {
+    std::lock_guard lock(state_m_);
+    // The "task/" codec prefix keeps hinted tasks in a tag space
+    // disjoint from session batch keys, so a batched dequeue can never
+    // mix tasks into a session batch.
+    tag = intern_tag_locked(
+        WorkspaceKey{"task/" + aggregate_hint.codec, aggregate_hint.params});
+  }
+  post_impl(std::move(task), tag);
+}
+
+void DecodeService::post_impl(Task task, std::int32_t tag) {
   {
     std::unique_lock lock(state_m_);
     cv_ext_.wait(lock, [&] { return ext_pending_ < kExtTaskCap; });
     ++ext_pending_;
   }
-  queue_.push([this, t = std::move(task)](WorkerScope& scope) {
+  QueueJob job;
+  job.task = [this, t = std::move(task)](WorkerScope& scope) {
     try {
       t(scope);
     } catch (...) {
@@ -264,10 +533,21 @@ void DecodeService::post(Task task) {
     {
       std::lock_guard lock(state_m_);
       --ext_pending_;
-      cv_ext_.notify_one();   // under the lock: see finish_session
-      cv_done_.notify_all();
+      cv_ext_.notify_one();  // under the lock: see finish_session
+      if (completed_ == sessions_.size() && ext_pending_ == 0)
+        cv_done_.notify_all();
     }
-  });
+  };
+  if (queue_.push(std::move(job), tag)) return;
+  // Closed queue: the task will never run — undo the pending count so
+  // drain()/teardown don't wait on it, and surface the loss.
+  std::lock_guard lock(state_m_);
+  --ext_pending_;
+  if (!first_error_)
+    first_error_ = std::make_exception_ptr(std::runtime_error(
+        "DecodeService: job queue closed with task pending"));
+  cv_ext_.notify_one();
+  cv_done_.notify_all();
 }
 
 sim::CodecWorkspace* DecodeService::WorkerScope::workspace(

@@ -39,6 +39,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -63,6 +64,17 @@ struct RuntimeOptions {
   /// worker count.
   bool deterministic = false;
   AdaptiveEffortOptions adapt;  ///< load policy (ignored when deterministic)
+  /// Cross-session batch aggregation: a worker's dequeue claims up to
+  /// max_batch already-queued jobs sharing a batch_key() — scanning at
+  /// most `window` queue entries — and decodes them as one batched pass
+  /// (sessions' try_decode_batch). Aggregation is opportunistic at
+  /// dequeue only, so it never adds queueing latency; max_batch <= 1
+  /// disables it. Stays on in deterministic mode: each batched block is
+  /// bit-identical to its solo decode by construction.
+  struct BatchOptions {
+    int max_batch = 16;
+    int window = 64;
+  } batch;
 };
 
 class DecodeService {
@@ -111,6 +123,12 @@ class DecodeService {
   /// workers' self-reposting session jobs of queue capacity).
   void post(Task task);
 
+  /// post() with a batch-aggregation hint: tasks posted under equal
+  /// (valid) hints may be claimed by one dequeue and run back-to-back on
+  /// one worker — same workspace, hot caches — instead of each paying a
+  /// queue hop. Hinted tasks never aggregate with session jobs.
+  void post(Task task, const sim::WorkspaceKey& aggregate_hint);
+
  private:
   struct Worker {
     std::map<WorkspaceKey, std::unique_ptr<sim::CodecWorkspace>> pinned;
@@ -119,14 +137,42 @@ class DecodeService {
   };
   struct SessionState;
 
+  /// One queue entry: a session step (session != kNoSession; the Task is
+  /// empty) or an external task. Session steps travel as bare indices so
+  /// a batched dequeue can regroup them into one session_step_batch.
+  struct QueueJob {
+    static constexpr std::size_t kNoSession = static_cast<std::size_t>(-1);
+    Task task;
+    std::size_t session = kNoSession;
+  };
+
   void worker_loop(Worker& w);
   void session_step(WorkerScope& scope, std::size_t index);
-  void finish_session(WorkerScope& scope, SessionState& s);
+  void session_step_batch(WorkerScope& scope,
+                          const std::vector<std::size_t>& indices);
+  /// @p release_slot false defers the admission-slot release to a bulk
+  /// release_session_slots() call at the end of a batch step (one lock
+  /// for the whole batch instead of one per finishing session).
+  void finish_session(WorkerScope& scope, SessionState& s,
+                      bool release_slot = true);
+  /// Error-path twin of finish_session: records @p err as the drain()
+  /// error, marks the report failed explicitly (a throwing step may have
+  /// left the MessageRun mid-feed, so its success flag is not re-derived
+  /// from the torn run) and releases the session.
+  void fail_session(WorkerScope& scope, SessionState& s,
+                    std::exception_ptr err, bool release_slot = true);
+  void release_session_slot();
+  void release_session_slots(std::size_t n);
   void push_session_job(std::size_t index);
+  void session_job_refused(SessionState& s);
+  void post_impl(Task task, std::int32_t tag);
+  /// Interns @p key into the dense batch-tag space JobQueue aggregates
+  /// on; kNoTag for invalid keys. Caller holds state_m_.
+  std::int32_t intern_tag_locked(const sim::WorkspaceKey& key);
 
   RuntimeOptions opt_;
   int max_in_flight_;
-  JobQueue<Task> queue_;
+  JobQueue<QueueJob> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   mutable std::mutex state_m_;
@@ -134,6 +180,7 @@ class DecodeService {
   std::condition_variable cv_done_;   ///< a session or external task finished
   std::condition_variable cv_ext_;    ///< ext_pending_ dropped below its cap
   std::vector<std::unique_ptr<SessionState>> sessions_;
+  std::map<sim::WorkspaceKey, std::int32_t> batch_tags_;  ///< key interning
   int in_flight_ = 0;
   int peak_in_flight_ = 0;
   std::size_t completed_ = 0;
@@ -141,6 +188,15 @@ class DecodeService {
   std::exception_ptr first_error_;
 
   static constexpr std::size_t kExtTaskCap = 1024;
+
+  friend struct DecodeServiceTestHook;
+};
+
+/// White-box seam for the runtime regression tests: lets a test force
+/// failure modes (a queue closed with work outstanding) that no public
+/// API path reaches deterministically.
+struct DecodeServiceTestHook {
+  static void close_queue(DecodeService& s) { s.queue_.close(); }
 };
 
 /// Worker-side view handed to every task: the pinned per-WorkspaceKey

@@ -8,37 +8,68 @@
 // milliseconds), so queue contention is noise next to the work, and a
 // mutex keeps the MPMC semantics — and the happens-before edges the
 // deterministic mode leans on — obviously correct under TSan.
+//
+// Entries carry an optional aggregation tag (an interned batch key):
+// pop_batch() claims the oldest entry plus any same-tag entries within
+// a bounded scan window, so a consumer can serve jobs that share decode
+// state as one batch without ever waiting for a batch to fill.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace spinal::runtime {
 
 template <class T>
 class JobQueue {
  public:
+  /// Tag of entries that must never be batched together.
+  static constexpr std::int32_t kNoTag = -1;
+
   explicit JobQueue(std::size_t capacity) : cap_(capacity ? capacity : 1) {}
 
   /// Blocks while the queue is full. Returns false when the queue was
   /// closed (the item is dropped).
-  bool push(T item) {
+  bool push(T item, std::int32_t tag = kNoTag) {
     std::unique_lock lock(m_);
     cv_space_.wait(lock, [&] { return q_.size() < cap_ || closed_; });
     if (closed_) return false;
-    q_.push_back(std::move(item));
+    q_.push_back({std::move(item), tag});
     cv_items_.notify_one();
     return true;
   }
 
+  /// Pushes every item under one lock acquisition with a single shared
+  /// tag — the continuation-repost companion to pop_batch(): a worker
+  /// that just served a batch reposts the still-running sessions as one
+  /// queue transaction instead of paying a lock + notify per job.
+  /// Blocks while there is not room for all items. Returns false when
+  /// the queue was closed (all items are dropped); never partially
+  /// pushes.
+  bool push_many(std::vector<T>& items, std::int32_t tag = kNoTag) {
+    if (items.empty()) return true;
+    std::unique_lock lock(m_);
+    cv_space_.wait(
+        lock, [&] { return q_.size() + items.size() <= cap_ || closed_; });
+    if (closed_) return false;
+    for (T& item : items) q_.push_back({std::move(item), tag});
+    if (items.size() > 1)
+      cv_items_.notify_all();
+    else
+      cv_items_.notify_one();
+    return true;
+  }
+
   /// Non-blocking probe: false when full or closed.
-  bool try_push(T item) {
+  bool try_push(T item, std::int32_t tag = kNoTag) {
     std::lock_guard lock(m_);
     if (closed_ || q_.size() >= cap_) return false;
-    q_.push_back(std::move(item));
+    q_.push_back({std::move(item), tag});
     cv_items_.notify_one();
     return true;
   }
@@ -49,10 +80,48 @@ class JobQueue {
     std::unique_lock lock(m_);
     cv_items_.wait(lock, [&] { return !q_.empty() || closed_; });
     if (q_.empty()) return std::nullopt;
-    T item = std::move(q_.front());
+    T item = std::move(q_.front().item);
     q_.pop_front();
     cv_space_.notify_one();
     return item;
+  }
+
+  /// Batch-aggregating pop: blocks like pop() for the first item, then
+  /// — when that item carries a tag and @p max_batch > 1 — claims up to
+  /// max_batch-1 more same-tag entries from among the next @p window
+  /// queued entries, preserving their relative order. Never waits for a
+  /// batch to fill: aggregation is purely opportunistic over what is
+  /// already queued, so batching adds no queueing latency, and the scan
+  /// window bounds both the dequeue cost and how far entries can be
+  /// reordered past ones left behind. Returns false (out left empty)
+  /// once closed and drained.
+  bool pop_batch(std::vector<T>& out, std::size_t max_batch,
+                 std::size_t window) {
+    out.clear();
+    std::unique_lock lock(m_);
+    cv_items_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    const std::int32_t tag = q_.front().tag;
+    out.push_back(std::move(q_.front().item));
+    q_.pop_front();
+    if (tag != kNoTag && max_batch > 1) {
+      std::size_t scanned = 0;
+      for (auto it = q_.begin();
+           it != q_.end() && out.size() < max_batch && scanned < window;
+           ++scanned) {
+        if (it->tag == tag) {
+          out.push_back(std::move(it->item));
+          it = q_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (out.size() > 1)
+      cv_space_.notify_all();
+    else
+      cv_space_.notify_one();
+    return true;
   }
 
   /// Instantaneous depth (for the load-adaptive policy; approximate by
@@ -72,9 +141,14 @@ class JobQueue {
   std::size_t capacity() const noexcept { return cap_; }
 
  private:
+  struct Slot {
+    T item;
+    std::int32_t tag;
+  };
+
   mutable std::mutex m_;
   std::condition_variable cv_items_, cv_space_;
-  std::deque<T> q_;
+  std::deque<Slot> q_;
   std::size_t cap_;
   bool closed_ = false;
 };

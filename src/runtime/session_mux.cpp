@@ -98,28 +98,33 @@ void SessionMux::pause_point(SessionId id) {
 
 void SessionMux::post_attempt(SessionId id, int block, const SpinalDecoder* dec,
                               const CodeParams& params) {
-  service_->post([this, id, block, dec,
-                  params](DecodeService::WorkerScope& scope) {
-    // Decode until the symbol store stops changing under us: symbols
-    // that arrive mid-decode were part of the window the attempt policy
-    // already charged for, so a failed attempt re-runs immediately once
-    // they are applied (on_complete re-claims and returns the store).
-    const SpinalDecoder* d = dec;
-    try {
-      while (d != nullptr) {
-        DecodeResult& out = scope.out_scratch(params);
-        const int beam = scope.pick_beam(params);
-        const auto t0 = std::chrono::steady_clock::now();
-        d->decode_with(scope.workspace(params), out, beam);
-        scope.telemetry().record_attempt(elapsed_micros(t0),
-                                         beam > 0 && beam < params.B, false);
-        d = on_complete(scope, id, block, out.message);
-      }
-    } catch (...) {
-      abandon_block(id, block);  // keep outstanding_ consistent so
-      throw;                     // wait_idle()/~SessionMux cannot hang;
-    }                            // the service records the exception
-  });
+  // Aggregate-hinted post: attempts for blocks sharing CodeParams may be
+  // claimed together and run back-to-back on one worker (same pinned
+  // workspace, hot kernel state) instead of each paying a queue hop.
+  service_->post(
+      [this, id, block, dec, params](DecodeService::WorkerScope& scope) {
+        // Decode until the symbol store stops changing under us: symbols
+        // that arrive mid-decode were part of the window the attempt
+        // policy already charged for, so a failed attempt re-runs
+        // immediately once they are applied (on_complete re-claims and
+        // returns the store).
+        const SpinalDecoder* d = dec;
+        try {
+          while (d != nullptr) {
+            DecodeResult& out = scope.out_scratch(params);
+            const int beam = scope.pick_beam(params);
+            const auto t0 = std::chrono::steady_clock::now();
+            d->decode_with(scope.workspace(params), out, beam);
+            scope.telemetry().record_attempt(
+                elapsed_micros(t0), beam > 0 && beam < params.B, false);
+            d = on_complete(scope, id, block, out.message);
+          }
+        } catch (...) {
+          abandon_block(id, block);  // keep outstanding_ consistent so
+          throw;                     // wait_idle()/~SessionMux cannot hang;
+        }                            // the service records the exception
+      },
+      sim::spinal_workspace_key(params));
 }
 
 const SpinalDecoder* SessionMux::on_complete(DecodeService::WorkerScope& scope,

@@ -20,6 +20,11 @@ void WorkerTelemetry::record_job() noexcept {
   ++c_.jobs;
 }
 
+void WorkerTelemetry::record_jobs(std::uint64_t n) noexcept {
+  std::lock_guard lock(m_);
+  c_.jobs += n;
+}
+
 void WorkerTelemetry::record_feed(long symbols) noexcept {
   std::lock_guard lock(m_);
   c_.symbols_fed += static_cast<std::uint64_t>(symbols);
@@ -33,6 +38,17 @@ void WorkerTelemetry::record_attempt(double micros, bool reduced_effort,
   if (full_retry) ++c_.full_effort_retries;
   if (unpinned) ++c_.unpinned_decodes;
   latency_us_.add(micros);
+}
+
+void WorkerTelemetry::record_attempts(std::uint64_t n, double micros,
+                                      bool reduced_effort,
+                                      bool unpinned) noexcept {
+  if (n == 0) return;
+  std::lock_guard lock(m_);
+  c_.decode_attempts += n;
+  if (reduced_effort) c_.reduced_effort_attempts += n;
+  if (unpinned) c_.unpinned_decodes += n;
+  latency_us_.add_n(micros, n);
 }
 
 void WorkerTelemetry::record_session_done(bool success, int message_bits) noexcept {

@@ -43,9 +43,15 @@ struct TelemetrySnapshot {
 class WorkerTelemetry {
  public:
   void record_job() noexcept;
+  /// @p n jobs popped as one batch: one lock acquisition for the lot.
+  void record_jobs(std::uint64_t n) noexcept;
   void record_feed(long symbols) noexcept;
   void record_attempt(double micros, bool reduced_effort, bool full_retry,
                       bool unpinned = false) noexcept;
+  /// @p n batched attempts sharing one latency attribution (the fused
+  /// decode's wall time split evenly): one lock, one histogram update.
+  void record_attempts(std::uint64_t n, double micros, bool reduced_effort,
+                       bool unpinned) noexcept;
   void record_session_done(bool success, int message_bits) noexcept;
   void record_stale_symbols(std::uint64_t n) noexcept;
 

@@ -31,8 +31,15 @@ class BscSession : public RatelessSession {
   /// Effort = beam width. A null @p ws falls back to try_decode().
   std::optional<util::BitVec> try_decode_with(CodecWorkspace* ws,
                                               int effort) override;
+  /// Multi-session decode via BscSpinalDecoder::decode_batch_with (see
+  /// SpinalSession::try_decode_batch).
+  void try_decode_batch(CodecWorkspace* ws,
+                        std::span<BatchDecodeJob> jobs) override;
   WorkspaceKey workspace_key() const override {
     return spinal_workspace_key(params_);
+  }
+  WorkspaceKey batch_key() const override {
+    return spinal_batch_key(params_, "spinal.bsc");
   }
   std::unique_ptr<CodecWorkspace> make_workspace() const override {
     return std::make_unique<SpinalWorkspace>();

@@ -58,6 +58,17 @@ struct EffortProfile {
   int floor = 1;
 };
 
+class RatelessSession;
+
+/// One session's slot in a cross-session batched decode attempt
+/// (try_decode_batch): the session to decode, the effort to run it at
+/// (same semantics as try_decode_with) and where to write its candidate.
+struct BatchDecodeJob {
+  RatelessSession* session = nullptr;
+  int effort = 0;
+  std::optional<util::BitVec>* candidate = nullptr;
+};
+
 class RatelessSession {
  public:
   virtual ~RatelessSession() = default;
@@ -98,6 +109,27 @@ class RatelessSession {
                                                       int /*effort*/) {
     return try_decode();
   }
+
+  /// Runs one decode attempt for every job in @p jobs in a single
+  /// batched pass over @p ws. The runtime only forms batches whose
+  /// sessions all report this session's (equal, valid) batch_key(), and
+  /// always dispatches on jobs.front().session; each job's candidate
+  /// must be bit-identical to the same-effort try_decode_with call run
+  /// alone. The default runs the jobs sequentially, so codecs without a
+  /// multi-block decode entry point get batching as a no-op.
+  virtual void try_decode_batch(CodecWorkspace* ws,
+                                std::span<BatchDecodeJob> jobs) {
+    for (BatchDecodeJob& j : jobs)
+      *j.candidate = j.session->try_decode_with(ws, j.effort);
+  }
+
+  /// The key under which the runtime aggregates this session's decode
+  /// jobs into batched attempts (try_decode_batch). Must be at least as
+  /// fine as workspace_key() — sessions with equal batch keys must be
+  /// safely batchable together, which can require distinguishing codecs
+  /// that deliberately share workspace layouts. Invalid (default) key:
+  /// this session's jobs are never batched.
+  virtual WorkspaceKey batch_key() const { return {}; }
 
   /// The key under which the runtime pins this session's workspace; an
   /// invalid (default) key means attempts run unpinned.

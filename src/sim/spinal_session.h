@@ -31,8 +31,16 @@ class SpinalSession : public RatelessSession {
   /// decoder's internal workspace, configured width).
   std::optional<util::BitVec> try_decode_with(CodecWorkspace* ws,
                                               int effort) override;
+  /// Level-synchronous multi-session decode via
+  /// SpinalDecoder::decode_batch_with; bit-identical per job to the solo
+  /// try_decode_with path.
+  void try_decode_batch(CodecWorkspace* ws,
+                        std::span<BatchDecodeJob> jobs) override;
   WorkspaceKey workspace_key() const override {
     return spinal_workspace_key(params_);
+  }
+  WorkspaceKey batch_key() const override {
+    return spinal_batch_key(params_, "spinal.awgn");
   }
   std::unique_ptr<CodecWorkspace> make_workspace() const override {
     return std::make_unique<SpinalWorkspace>();

@@ -19,6 +19,9 @@ namespace spinal::sim {
 struct SpinalWorkspace final : CodecWorkspace {
   detail::DecodeWorkspace ws;
   DecodeResult out;
+  /// Per-block result slots of batched decodes (try_decode_batch);
+  /// sized to the batch, reused across batches.
+  std::vector<DecodeResult> batch_out;
 };
 
 /// The WorkspaceKey all spinal sessions (and the mux) pin under.
@@ -52,6 +55,17 @@ inline WorkspaceKey spinal_workspace_key(const CodeParams& p) {
   // never touches — distinct precisions must not share a workspace.
   add_i(static_cast<int>(resolve_cost_precision(p.cost_precision)));
   return WorkspaceKey{"spinal", std::move(s)};
+}
+
+/// Batch-aggregation key of a spinal session: the workspace key refined
+/// by channel flavor ("spinal.awgn" / "spinal.bsc"). AWGN and BSC
+/// sessions deliberately share spinal_workspace_key so a worker pins one
+/// scratch for both, but their BlockJob types differ — batches must not
+/// mix them.
+inline WorkspaceKey spinal_batch_key(const CodeParams& p, const char* flavor) {
+  WorkspaceKey key = spinal_workspace_key(p);
+  key.codec = flavor;
+  return key;
 }
 
 }  // namespace spinal::sim

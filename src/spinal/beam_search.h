@@ -178,6 +178,27 @@ concept QuantizedSearchEnv = requires(const Env& e, const std::uint32_t* st,
   } -> std::convertible_to<std::size_t>;
 };
 
+/// Cross-level state of one in-flight streamed search, externalized so
+/// a caller can drive several searches level-by-level in lockstep
+/// (SpinalDecoder::decode_batch_with interleaves the blocks of a
+/// cross-session batch this way). BeamSearch::begin initializes it,
+/// each BeamSearch::step advances one level over the same workspace,
+/// BeamSearch::end runs the epilogue. The sequential run() is itself
+/// begin + step loop + end, so any interleaving of independent cursors
+/// executes exactly the sequential per-level code per search —
+/// bit-identity across batch compositions holds by construction, not
+/// just by test.
+struct SearchCursor {
+  const backend::Backend* be = nullptr;
+  int d = 1;                  ///< effective bubble depth, min(p.d, S)
+  int leaves_per_entry = 1;
+  std::uint32_t group_mask = 0;
+  bool use_paths = false;
+  bool leaves_sorted = false;
+  bool quantized = false;     ///< this search runs the u16 pipeline
+  std::uint64_t offset = 0;   ///< quantized renormalization offset
+};
+
 template <class Env>
 class BeamSearch {
  public:
@@ -198,16 +219,75 @@ class BeamSearch {
   /// path — both produce bit-identical results.
   void run(const Env& env, const CodeParams& p, SearchWorkspace& ws,
            SearchResult& out) const {
-    if constexpr (QuantizedSearchEnv<Env>) {
-      if (env.quantized()) {
-        run_streamed_q(env, p, ws, out);
-        return;
-      }
-    }
     if constexpr (BatchedSearchEnv<Env>)
       run_streamed(env, p, ws, out);
     else
       run_reference(env, p, ws, out);
+  }
+
+  /// Number of step() calls a full streamed search takes.
+  static int steps(const CodeParams& p) noexcept {
+    const int S = p.spine_length();
+    return S - std::min(p.d, S) + 1;
+  }
+
+  /// Starts a streamed search: prologue plus cursor init. Selects the
+  /// quantized pipeline per search (Env::quantized() eligibility),
+  /// exactly as run() would.
+  void begin(const Env& env, const CodeParams& p, SearchWorkspace& ws,
+             SearchCursor& cur) const
+    requires BatchedSearchEnv<Env>
+  {
+    const int S = p.spine_length();
+    cur.d = std::min(p.d, S);
+    cur.be = &backend::active();
+    if constexpr (BackendSearchEnv<Env>) cur.be = &env.search_backend();
+    cur.group_mask = (p.k < 32) ? ((1u << p.k) - 1u) : ~0u;
+    cur.use_paths = cur.d > 1;
+    cur.leaves_sorted = false;
+    cur.quantized = false;
+    cur.offset = 0;
+    if constexpr (QuantizedSearchEnv<Env>) {
+      if (env.quantized()) {
+        cur.quantized = true;
+        build_prologue_q(env, p, cur.d, ws);
+        cur.leaves_per_entry = static_cast<int>(ws.leaf_state.size());
+        return;
+      }
+    }
+    build_prologue(env, p, cur.d, ws);
+    cur.leaves_per_entry = static_cast<int>(ws.leaf_state.size());
+  }
+
+  /// Advances one level (step @p t of steps(p), in order). Steps of
+  /// distinct searches may interleave arbitrarily — each search only
+  /// touches its own workspace and cursor.
+  void step(const Env& env, const CodeParams& p, SearchWorkspace& ws,
+            SearchCursor& cur, int t) const
+    requires BatchedSearchEnv<Env>
+  {
+    if constexpr (QuantizedSearchEnv<Env>) {
+      if (cur.quantized) {
+        step_streamed_q(env, p, ws, cur, t);
+        return;
+      }
+    }
+    step_streamed(env, p, ws, cur, t);
+  }
+
+  /// Epilogue: picks the winning leaf and backtracks into @p out.
+  void end(const Env& env, const CodeParams& p, SearchWorkspace& ws,
+           SearchCursor& cur, SearchResult& out) const
+    requires BatchedSearchEnv<Env>
+  {
+    if constexpr (QuantizedSearchEnv<Env>) {
+      if (cur.quantized) {
+        backtrack_q(p, cur.d, cur.leaves_per_entry, cur.group_mask, cur.offset,
+                    env.quant_scale(), ws, out);
+        return;
+      }
+    }
+    backtrack(p, cur.d, cur.leaves_per_entry, cur.group_mask, ws, out);
   }
 
  private:
@@ -396,37 +476,30 @@ class BeamSearch {
     ws.entry_arena.assign(1, 0);
   }
 
-  /// ---- Quantized streaming expand–prune pipeline ----
-  /// Same step structure as run_streamed with the narrow-metric types
+  /// ---- Quantized streaming expand–prune level step ----
+  /// Same step structure as step_streamed with the narrow-metric types
   /// swapped in: u16 path costs, u32 (cost << 16 | candidate) packed
   /// keys (a single unsigned compare where the f32 path compares
   /// 64-bit keys), and per-level renormalization — after each level's
   /// writeback the minimum kept cost is subtracted from every survivor
-  /// and accumulated into a u64 offset, so the u16 lanes only ever
-  /// carry each level's spread, not the whole path sum. Eligibility
-  /// (cand_total <= 65536 so candidate indices fit the key's low half)
-  /// is the Env's contract via quantized().
-  void run_streamed_q(const Env& env, const CodeParams& p, SearchWorkspace& ws,
-                      SearchResult& out) const
+  /// and accumulated into a u64 offset on the cursor, so the u16 lanes
+  /// only ever carry each level's spread, not the whole path sum.
+  /// Eligibility (cand_total <= 65536 so candidate indices fit the
+  /// key's low half) is the Env's contract via quantized().
+  void step_streamed_q(const Env& env, const CodeParams& p, SearchWorkspace& ws,
+                       SearchCursor& cur, int t) const
     requires QuantizedSearchEnv<Env>
   {
-    const int S = p.spine_length();
-    const int d = std::min(p.d, S);
+    const int d = cur.d;
     const int k = p.k;
     const int B = p.B;
+    const backend::Backend* be = cur.be;
+    const std::uint32_t group_mask = cur.group_mask;
+    const bool use_paths = cur.use_paths;
+    const bool leaves_sorted = cur.leaves_sorted;
+    const int leaves_per_entry = cur.leaves_per_entry;
 
-    const backend::Backend* be = &backend::active();
-    if constexpr (BackendSearchEnv<Env>) be = &env.search_backend();
-
-    build_prologue_q(env, p, d, ws);
-    int leaves_per_entry = static_cast<int>(ws.leaf_state.size());
-
-    const std::uint32_t group_mask = (k < 32) ? ((1u << k) - 1u) : ~0u;
-    const bool use_paths = d > 1;
-    bool leaves_sorted = false;
-    std::uint64_t offset = 0;  // renormalization: subtracted cost, f32-exact in u64
-
-    for (int t = 0; t <= S - d; ++t) {
+    {
       const int e = t + d - 1;
       const int fanout = 1 << p.chunk_bits(e);
       const int group_count = 1 << p.chunk_bits(t);
@@ -610,7 +683,7 @@ class BeamSearch {
         if (mn != 0) {
           for (std::uint16_t& c : ws.next_cost_q)
             c = static_cast<std::uint16_t>(c - mn);
-          offset += mn;
+          cur.offset += mn;
         }
       }
 
@@ -618,38 +691,46 @@ class BeamSearch {
       ws.leaf_state.swap(ws.next_state);
       ws.leaf_cost_q.swap(ws.next_cost_q);
       if (use_paths) ws.leaf_path.swap(ws.next_path);
-      leaves_per_entry = rows;
-      leaves_sorted = keep < cand_total;
+      cur.leaves_per_entry = rows;
+      cur.leaves_sorted = keep < cand_total;
     }
-
-    backtrack_q(p, d, leaves_per_entry, group_mask, offset, env.quant_scale(), ws, out);
   }
 
   /// ---- Streaming expand–prune pipeline (batched Envs) ----
+  /// The cursor API (begin / steps × step / end) driven sequentially;
+  /// the quantized pipeline dispatch happens inside begin and step.
   void run_streamed(const Env& env, const CodeParams& p, SearchWorkspace& ws,
                     SearchResult& out) const
     requires BatchedSearchEnv<Env>
   {
-    const int S = p.spine_length();
-    const int d = std::min(p.d, S);
+    SearchCursor cur;
+    begin(env, p, ws, cur);
+    const int n = steps(p);
+    for (int t = 0; t < n; ++t) step(env, p, ws, cur, t);
+    end(env, p, ws, cur, out);
+  }
+
+  /// One level of the f32 streamed pipeline: the body of the historical
+  /// run_streamed main loop, with the cross-level state read from and
+  /// written back to the cursor. Kept beams come out cost-sorted
+  /// whenever the level could prune (keep < cand_total) — only then may
+  /// trailing leaves/entries be cut off wholesale on the parent cost
+  /// alone.
+  void step_streamed(const Env& env, const CodeParams& p, SearchWorkspace& ws,
+                     SearchCursor& cur, int t) const
+    requires BatchedSearchEnv<Env>
+  {
+    const int d = cur.d;
     const int k = p.k;
     const int B = p.B;
+    const backend::Backend* be = cur.be;
+    const std::uint32_t group_mask = cur.group_mask;
+    const bool use_paths = cur.use_paths;
+    const bool leaves_sorted = cur.leaves_sorted;
+    const int leaves_per_entry = cur.leaves_per_entry;
 
-    const backend::Backend* be = &backend::active();
-    if constexpr (BackendSearchEnv<Env>) be = &env.search_backend();
-
-    build_prologue(env, p, d, ws);
-    int leaves_per_entry = static_cast<int>(ws.leaf_state.size());
-
-    const std::uint32_t group_mask = (k < 32) ? ((1u << k) - 1u) : ~0u;
-    const bool use_paths = d > 1;
-    // Kept beams come out cost-sorted whenever the level could prune
-    // (keep < cand_total) — only then may trailing leaves/entries be
-    // cut off wholesale on the parent cost alone.
-    bool leaves_sorted = false;
-
-    // ---- Main loop: steps t = 0 .. S-d, expansion chunk e = t+d-1 ----
-    for (int t = 0; t <= S - d; ++t) {
+    // ---- One step t of 0 .. S-d, expansion chunk e = t+d-1 ----
+    {
       const int e = t + d - 1;                    // chunk evaluated this step
       const int fanout = 1 << p.chunk_bits(e);    // children per expanded leaf
       const int group_count = 1 << p.chunk_bits(t);  // candidate subtrees per entry
@@ -855,11 +936,9 @@ class BeamSearch {
       ws.leaf_state.swap(ws.next_state);
       ws.leaf_cost.swap(ws.next_cost);
       if (use_paths) ws.leaf_path.swap(ws.next_path);
-      leaves_per_entry = rows;
-      leaves_sorted = keep < cand_total;
+      cur.leaves_per_entry = rows;
+      cur.leaves_sorted = keep < cand_total;
     }
-
-    backtrack(p, d, leaves_per_entry, group_mask, ws, out);
   }
 
   /// ---- Retained reference path (per-node Envs): materialize every

@@ -348,8 +348,7 @@ DecodeResult SpinalDecoder::decode() const {
 
 void SpinalDecoder::decode_into(DecodeResult& out) const { decode_with(ws_, out); }
 
-void SpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
-                                int beam_width) const {
+void SpinalDecoder::flatten_soa(detail::DecodeWorkspace& ws) const {
   // ---- Flatten the AoS symbol store into per-spine SoA arrays ----
   // (once per decode; fixed-point quantisation of y hoisted out of the
   // search inner loop here).
@@ -379,17 +378,13 @@ void SpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
   }
   ws.soa_off[S] = off;
 
-  CodeParams p = params_;
-  if (beam_width > 0 && beam_width < p.B) p.B = beam_width;
-
   // ---- Quantized-path eligibility (see AwgnBatchEnv) ----
   // Construction already resolved the precision knob and built the
   // metric rows on symbol arrival; CSI symbols veto here. Ineligible
   // decodes silently take the f32 pipeline, which stays the golden
   // reference. Only each level's remaining-cost floors (suffix sums of
   // the precomputed row minima) are rebuilt per attempt.
-  const bool quantized = q_build_ && !any_csi_;
-  if (quantized) {
+  if (q_build_ && !any_csi_) {
     ws.qmin_rest.resize(count_ + static_cast<std::size_t>(S));
     for (int s = 0; s < S; ++s) {
       const std::uint32_t begin = ws.soa_off[s];
@@ -403,8 +398,9 @@ void SpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
       }
     }
   }
+}
 
-  const detail::BeamSearch<AwgnBatchEnv> search;
+AwgnBatchEnv SpinalDecoder::batch_env(detail::DecodeWorkspace& ws) const {
   AwgnBatchEnv env{{*this, any_csi_, fx_scale_},
                    &ws,
                    &backend::active(),
@@ -412,13 +408,70 @@ void SpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
                    constellation_.data(),
                    constellation_.mask(),
                    constellation_.c()};
-  env.q_on = quantized;
+  env.q_on = q_build_ && !any_csi_;
   env.q_scale_v = q_scale_;
   env.q_stride = q_stride_;
   env.q_mask = q_stride_ - 1u;
+  return env;
+}
+
+void SpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
+                                int beam_width) const {
+  flatten_soa(ws);
+  CodeParams p = params_;
+  if (beam_width > 0 && beam_width < p.B) p.B = beam_width;
+  const detail::BeamSearch<AwgnBatchEnv> search;
+  const AwgnBatchEnv env = batch_env(ws);
   search.run(env, p, ws.search, ws.result);
   chunks_to_message_into(params_, ws.result.chunks, out.message);
   out.path_cost = ws.result.best_cost;
+}
+
+void SpinalDecoder::decode_batch_with(detail::DecodeWorkspace& ws,
+                                      std::span<const BlockJob> jobs) {
+  if (jobs.empty()) return;
+  if (jobs.size() == 1) {
+    jobs[0].decoder->decode_with(ws, *jobs[0].out, jobs[0].beam_width);
+    return;
+  }
+  while (ws.batch.size() < jobs.size())
+    ws.batch.push_back(std::make_unique<detail::DecodeWorkspace>());
+
+  // Per-block search state. The block count is small (a service batch),
+  // so these little control arrays are the only per-call allocations;
+  // all decode-sized scratch lives in the reused sub-workspaces.
+  const detail::BeamSearch<AwgnBatchEnv> search;
+  std::vector<AwgnBatchEnv> envs;
+  envs.reserve(jobs.size());
+  std::vector<CodeParams> ps(jobs.size());
+  std::vector<detail::SearchCursor> curs(jobs.size());
+  int max_steps = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SpinalDecoder& dec = *jobs[i].decoder;
+    detail::DecodeWorkspace& bws = *ws.batch[i];
+    dec.flatten_soa(bws);
+    ps[i] = dec.params_;
+    if (jobs[i].beam_width > 0 && jobs[i].beam_width < ps[i].B)
+      ps[i].B = jobs[i].beam_width;
+    envs.push_back(dec.batch_env(bws));
+    search.begin(envs[i], ps[i], bws.search, curs[i]);
+    max_steps = std::max(max_steps, detail::BeamSearch<AwgnBatchEnv>::steps(ps[i]));
+  }
+  // Level-synchronous interleave: at step t every live block advances
+  // one level back-to-back, so the expand/prune kernel family sweeps
+  // sum(B_i) lanes' worth of work per level while each block's
+  // selection stays per-block exact (its own workspace + cursor).
+  for (int t = 0; t < max_steps; ++t)
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (t < detail::BeamSearch<AwgnBatchEnv>::steps(ps[i]))
+        search.step(envs[i], ps[i], ws.batch[i]->search, curs[i], t);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    detail::DecodeWorkspace& bws = *ws.batch[i];
+    search.end(envs[i], ps[i], bws.search, curs[i], bws.result);
+    chunks_to_message_into(jobs[i].decoder->params_, bws.result.chunks,
+                           jobs[i].out->message);
+    jobs[i].out->path_cost = bws.result.best_cost;
+  }
 }
 
 DecodeResult SpinalDecoder::decode_reference() const {
@@ -511,8 +564,7 @@ DecodeResult BscSpinalDecoder::decode() const {
 
 void BscSpinalDecoder::decode_into(DecodeResult& out) const { decode_with(ws_, out); }
 
-void BscSpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
-                                   int beam_width) const {
+void BscSpinalDecoder::flatten_soa(detail::DecodeWorkspace& ws) const {
   // ---- Flatten per-spine bits: ordinals SoA + packed received words ----
   const int S = params_.spine_length();
   ws.soa_off.resize(S + 1);
@@ -538,14 +590,63 @@ void BscSpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& ou
       ++j;
     }
   }
+}
 
+BscBatchEnv BscSpinalDecoder::batch_env(detail::DecodeWorkspace& ws) const {
+  return BscBatchEnv{{*this}, &ws, &backend::active()};
+}
+
+void BscSpinalDecoder::decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
+                                   int beam_width) const {
+  flatten_soa(ws);
   CodeParams p = params_;
   if (beam_width > 0 && beam_width < p.B) p.B = beam_width;
   const detail::BeamSearch<BscBatchEnv> search;
-  const BscBatchEnv env{{*this}, &ws, &backend::active()};
+  const BscBatchEnv env = batch_env(ws);
   search.run(env, p, ws.search, ws.result);
   chunks_to_message_into(params_, ws.result.chunks, out.message);
   out.path_cost = ws.result.best_cost;
+}
+
+void BscSpinalDecoder::decode_batch_with(detail::DecodeWorkspace& ws,
+                                         std::span<const BlockJob> jobs) {
+  if (jobs.empty()) return;
+  if (jobs.size() == 1) {
+    jobs[0].decoder->decode_with(ws, *jobs[0].out, jobs[0].beam_width);
+    return;
+  }
+  while (ws.batch.size() < jobs.size())
+    ws.batch.push_back(std::make_unique<detail::DecodeWorkspace>());
+
+  const detail::BeamSearch<BscBatchEnv> search;
+  std::vector<BscBatchEnv> envs;
+  envs.reserve(jobs.size());
+  std::vector<CodeParams> ps(jobs.size());
+  std::vector<detail::SearchCursor> curs(jobs.size());
+  int max_steps = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const BscSpinalDecoder& dec = *jobs[i].decoder;
+    detail::DecodeWorkspace& bws = *ws.batch[i];
+    dec.flatten_soa(bws);
+    ps[i] = dec.params_;
+    if (jobs[i].beam_width > 0 && jobs[i].beam_width < ps[i].B)
+      ps[i].B = jobs[i].beam_width;
+    envs.push_back(dec.batch_env(bws));
+    search.begin(envs[i], ps[i], bws.search, curs[i]);
+    max_steps = std::max(max_steps, detail::BeamSearch<BscBatchEnv>::steps(ps[i]));
+  }
+  // Level-synchronous interleave (see SpinalDecoder::decode_batch_with).
+  for (int t = 0; t < max_steps; ++t)
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (t < detail::BeamSearch<BscBatchEnv>::steps(ps[i]))
+        search.step(envs[i], ps[i], ws.batch[i]->search, curs[i], t);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    detail::DecodeWorkspace& bws = *ws.batch[i];
+    search.end(envs[i], ps[i], bws.search, curs[i], bws.result);
+    chunks_to_message_into(jobs[i].decoder->params_, bws.result.chunks,
+                           jobs[i].out->message);
+    jobs[i].out->path_cost = bws.result.best_cost;
+  }
 }
 
 DecodeResult BscSpinalDecoder::decode_reference() const {

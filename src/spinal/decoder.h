@@ -23,7 +23,9 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "backend/backend.h"
@@ -73,9 +75,20 @@ struct DecodeWorkspace {
   /// accumulator, partial-prune survivor indices); sized here, in
   /// baseline code, before each kernel call.
   backend::ExpandScratch expand;
+
+  /// Per-block sub-workspaces of the cross-session batch decode entry
+  /// (decode_batch_with): slot i carries block i's search scratch and
+  /// SoA symbol image. Grown on demand and reused across batches, so a
+  /// pinned workspace stays allocation-free once it has served its
+  /// high-water batch size. Empty for workspaces that only ever decode
+  /// one block at a time.
+  std::vector<std::unique_ptr<DecodeWorkspace>> batch;
 };
 
 }  // namespace detail
+
+struct AwgnBatchEnv;
+struct BscBatchEnv;
 
 class SpinalDecoder {
  public:
@@ -122,6 +135,32 @@ class SpinalDecoder {
   void decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
                    int beam_width = 0) const;
 
+  /// One block of a cross-session batched decode (decode_batch_with):
+  /// the decoder holding the block's received symbols, the result slot,
+  /// and an optional per-block beam override (same semantics as
+  /// decode_with's @p beam_width).
+  struct BlockJob {
+    const SpinalDecoder* decoder = nullptr;
+    DecodeResult* out = nullptr;
+    int beam_width = 0;
+  };
+
+  /// Decodes every block in @p jobs in one pass over @p ws, advancing
+  /// the blocks' beam searches level-synchronously (beam_search.h's
+  /// SearchCursor API) so a worker serving many small-B sessions runs
+  /// the whole batch back-to-back through hot kernel/workspace state
+  /// instead of paying per-block scheduling overhead. Each block's
+  /// result is bit-identical to jobs[i].decoder->decode_with(...) run
+  /// alone — the interleave executes exactly the sequential per-level
+  /// code per block (blocks never share search state; mixed beam
+  /// widths, symbol counts and cost precisions are fine). Blocks decode
+  /// in per-block sub-workspaces (@p ws.batch), so @p ws may serve any
+  /// mix of batched and single-block decodes. Thread-safety matches
+  /// decode_with: no decoder in @p jobs may receive symbols
+  /// concurrently, and @p ws must be caller-owned.
+  static void decode_batch_with(detail::DecodeWorkspace& ws,
+                                std::span<const BlockJob> jobs);
+
   /// The retained scalar reference decode: per-node child() + node_cost()
   /// calls, no batching, no workspace reuse. Exists so the golden
   /// equivalence suite can pin the batched kernel bit-for-bit against
@@ -164,6 +203,14 @@ class SpinalDecoder {
 
   mutable detail::DecodeWorkspace ws_;
 
+  /// Flattens the AoS symbol store into @p ws's per-spine SoA arrays
+  /// and (when the quantized path is eligible) rebuilds the per-level
+  /// remaining-cost floors — everything decode_with does before the
+  /// search proper, shared with decode_batch_with.
+  void flatten_soa(detail::DecodeWorkspace& ws) const;
+  /// Builds the batched search environment over a flattened @p ws.
+  AwgnBatchEnv batch_env(detail::DecodeWorkspace& ws) const;
+
   friend struct AwgnEnv;
   friend struct AwgnBatchEnv;
 };
@@ -189,6 +236,18 @@ class BscSpinalDecoder {
   void decode_with(detail::DecodeWorkspace& ws, DecodeResult& out,
                    int beam_width = 0) const;
 
+  /// One block of a BSC batched decode (see SpinalDecoder::BlockJob).
+  struct BlockJob {
+    const BscSpinalDecoder* decoder = nullptr;
+    DecodeResult* out = nullptr;
+    int beam_width = 0;
+  };
+
+  /// Level-synchronous multi-block decode (see
+  /// SpinalDecoder::decode_batch_with).
+  static void decode_batch_with(detail::DecodeWorkspace& ws,
+                                std::span<const BlockJob> jobs);
+
   /// Scalar reference decode (see SpinalDecoder::decode_reference).
   DecodeResult decode_reference() const;
 
@@ -205,6 +264,12 @@ class BscSpinalDecoder {
   std::vector<std::vector<RxBit>> rx_;
   std::size_t count_ = 0;
   mutable detail::DecodeWorkspace ws_;
+
+  /// Per-spine bit flatten + packed received words (see
+  /// SpinalDecoder::flatten_soa).
+  void flatten_soa(detail::DecodeWorkspace& ws) const;
+  /// Builds the batched search environment over a flattened @p ws.
+  BscBatchEnv batch_env(detail::DecodeWorkspace& ws) const;
 
   friend struct BscEnv;
   friend struct BscBatchEnv;

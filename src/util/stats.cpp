@@ -82,6 +82,19 @@ void LatencyHistogram::add(double x) noexcept {
   ++bins_[static_cast<std::size_t>(bin_index(x))];
 }
 
+void LatencyHistogram::add_n(double x, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += n;
+  sum_ += x * static_cast<double>(n);
+  bins_[static_cast<std::size_t>(bin_index(x))] += n;
+}
+
 void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
   if (other.count_ == 0) return;
   if (count_ == 0) {

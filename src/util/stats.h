@@ -57,6 +57,10 @@ class SampleSet {
 class LatencyHistogram {
  public:
   void add(double x) noexcept;
+  /// Records @p n observations of the same value under one bin update —
+  /// the batched-decode runtime attributes a batch's latency evenly
+  /// across its jobs, so the n samples really are identical.
+  void add_n(double x, std::uint64_t n) noexcept;
   /// Elementwise merge (identical fixed layout on both sides).
   void merge(const LatencyHistogram& other) noexcept;
 

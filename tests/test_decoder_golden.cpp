@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <tuple>
@@ -391,6 +392,199 @@ TEST(QuantGoldenFallback, FloatPrecisionStaysGoldenReference) {
       dec.add_symbol(id, ch.transmit(enc.symbol(id)));
   EXPECT_EQ(dec.active_precision(), CostPrecision::kFloat32);
   expect_identical(dec, "f32-golden");
+}
+
+// ---- Cross-block batched decode (decode_batch_with). The contract is
+// per-block bit-identity against the solo decode_with path over every
+// batch composition a runtime worker can form: mixed beam widths, mixed
+// params (n/k/d, hash kind), mixed cost precisions (f32 blocks
+// interleaved with quantized u16 blocks), per-block beam overrides,
+// every backend, every batch size, and one shared workspace reused
+// across successive batches of different sizes and orders — the
+// pinned-workspace usage pattern of DecodeService.
+
+struct BatchBlockSpec {
+  CodeParams p;
+  int passes;
+  std::uint64_t seed;
+  int beam;  // per-block beam override handed to BlockJob
+};
+
+std::vector<std::unique_ptr<SpinalDecoder>> build_awgn_blocks(
+    const std::vector<BatchBlockSpec>& specs) {
+  std::vector<std::unique_ptr<SpinalDecoder>> decs;
+  for (const BatchBlockSpec& bs : specs) {
+    util::Xoshiro256 prng(bs.seed);
+    const SpinalEncoder enc(bs.p, prng.random_bits(bs.p.n));
+    auto dec = std::make_unique<SpinalDecoder>(bs.p);
+    channel::AwgnChannel ch(6.0, bs.seed + 100);  // marginal SNR: near-ties
+    const PuncturingSchedule sched(bs.p);
+    for (int sp = 0; sp < bs.passes * sched.subpasses_per_pass(); ++sp)
+      for (const SymbolId& id : sched.subpass(sp))
+        dec->add_symbol(id, ch.transmit(enc.symbol(id)));
+    decs.push_back(std::move(dec));
+  }
+  return decs;
+}
+
+TEST(BatchGolden, AwgnMixedBatchBitIdenticalToSoloAcrossBackends) {
+  std::vector<BatchBlockSpec> specs;
+  {  // plain f32 baseline block
+    specs.push_back({base_params(hash::Kind::kOneAtATime), 3, 200, 0});
+  }
+  {  // different n/k/d/hash: distinct step count and leaf geometry
+    CodeParams p = base_params(hash::Kind::kLookup3);
+    p.B = 8;
+    p.n = 60;
+    p.k = 3;
+    p.d = 2;
+    specs.push_back({p, 2, 201, 0});
+  }
+  {  // quantized u16 block interleaved with the f32 ones
+    CodeParams p = base_params(hash::Kind::kOneAtATime);
+    p.cost_precision = CostPrecision::kU16;
+    specs.push_back({p, 3, 202, 0});
+  }
+  {  // second quantized block at another width: two independent
+     // renormalization offsets advance through the interleave
+    CodeParams p = base_params(hash::Kind::kOneAtATime);
+    p.B = 64;
+    p.cost_precision = CostPrecision::kU16;
+    specs.push_back({p, 2, 204, 0});
+  }
+  {  // beam override narrower than the configured width
+    CodeParams p = base_params(hash::Kind::kOneAtATime);
+    p.B = 32;
+    specs.push_back({p, 4, 203, 12});
+  }
+  const auto decs = build_awgn_blocks(specs);
+
+  for (const backend::Backend* b : backend::available()) {
+    const ScopedBackend scoped(b->name);
+    std::vector<DecodeResult> want(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      detail::DecodeWorkspace solo;
+      decs[i]->decode_with(solo, want[i], specs[i].beam);
+    }
+
+    detail::DecodeWorkspace shared;
+    for (std::size_t size = 1; size <= specs.size(); ++size) {
+      std::vector<DecodeResult> got(size);
+      std::vector<SpinalDecoder::BlockJob> jobs(size);
+      for (std::size_t i = 0; i < size; ++i)
+        jobs[i] = {decs[i].get(), &got[i], specs[i].beam};
+      SpinalDecoder::decode_batch_with(shared, jobs);
+      for (std::size_t i = 0; i < size; ++i) {
+        EXPECT_EQ(got[i].message, want[i].message)
+            << b->name << " size=" << size << " block=" << i;
+        EXPECT_EQ(got[i].path_cost, want[i].path_cost)
+            << b->name << " size=" << size << " block=" << i;  // exact bits
+      }
+    }
+
+    // Reversed composition through the now-warm shared workspace: block
+    // order and sub-workspace pairing must not matter.
+    std::vector<DecodeResult> got(specs.size());
+    std::vector<SpinalDecoder::BlockJob> jobs(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const std::size_t j = specs.size() - 1 - i;
+      jobs[i] = {decs[j].get(), &got[i], specs[j].beam};
+    }
+    SpinalDecoder::decode_batch_with(shared, jobs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const std::size_t j = specs.size() - 1 - i;
+      EXPECT_EQ(got[i].message, want[j].message) << b->name << " rev block=" << i;
+      EXPECT_EQ(got[i].path_cost, want[j].path_cost) << b->name << " rev block=" << i;
+    }
+  }
+}
+
+TEST(BatchGolden, BscMixedBatchBitIdenticalToSoloAcrossBackends) {
+  struct Spec {
+    CodeParams p;
+    int passes;
+    std::uint64_t seed;
+  };
+  std::vector<Spec> specs;
+  {
+    CodeParams p = base_params(hash::Kind::kOneAtATime);
+    p.c = 1;
+    specs.push_back({p, 8, 300});
+  }
+  {  // deep packed-word accumulators (multi-block bit words)
+    CodeParams p = base_params(hash::Kind::kOneAtATime);
+    p.c = 1;
+    p.B = 8;
+    p.n = 32;
+    specs.push_back({p, 40, 301});
+  }
+  {  // d=2: integer Hamming ties through the interleaved prune
+    CodeParams p = base_params(hash::Kind::kLookup3);
+    p.c = 1;
+    p.n = 48;
+    p.k = 3;
+    p.B = 8;
+    p.d = 2;
+    specs.push_back({p, 10, 302});
+  }
+  std::vector<std::unique_ptr<BscSpinalDecoder>> decs;
+  for (const Spec& bs : specs) {
+    util::Xoshiro256 prng(bs.seed);
+    const BscSpinalEncoder enc(bs.p, prng.random_bits(bs.p.n));
+    auto dec = std::make_unique<BscSpinalDecoder>(bs.p);
+    channel::BscChannel ch(0.08, bs.seed + 100);
+    const PuncturingSchedule sched(bs.p);
+    for (int sp = 0; sp < bs.passes * sched.subpasses_per_pass(); ++sp)
+      for (const SymbolId& id : sched.subpass(sp))
+        dec->add_bit(id, ch.transmit(enc.bit(id)));
+    decs.push_back(std::move(dec));
+  }
+
+  for (const backend::Backend* b : backend::available()) {
+    const ScopedBackend scoped(b->name);
+    std::vector<DecodeResult> want(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      detail::DecodeWorkspace solo;
+      decs[i]->decode_with(solo, want[i]);
+    }
+    detail::DecodeWorkspace shared;
+    for (std::size_t size = 1; size <= specs.size(); ++size) {
+      std::vector<DecodeResult> got(size);
+      std::vector<BscSpinalDecoder::BlockJob> jobs(size);
+      for (std::size_t i = 0; i < size; ++i)
+        jobs[i] = {decs[i].get(), &got[i], 0};
+      BscSpinalDecoder::decode_batch_with(shared, jobs);
+      for (std::size_t i = 0; i < size; ++i) {
+        EXPECT_EQ(got[i].message, want[i].message)
+            << b->name << " size=" << size << " block=" << i;
+        EXPECT_EQ(got[i].path_cost, want[i].path_cost)
+            << b->name << " size=" << size << " block=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchGolden, BatchedDecodeLeavesSoloWorkspaceUsable) {
+  // A workspace that has served batches must still serve plain solo
+  // decode_with calls bit-identically (the runtime mixes both freely on
+  // one pinned workspace).
+  const CodeParams p = base_params(hash::Kind::kOneAtATime);
+  const auto decs = build_awgn_blocks({{p, 3, 400, 0}, {p, 2, 401, 0}});
+  detail::DecodeWorkspace solo0, solo1, shared;
+  DecodeResult want0, want1;
+  decs[0]->decode_with(solo0, want0);
+  decs[1]->decode_with(solo1, want1);
+
+  std::vector<DecodeResult> got(2);
+  const std::vector<SpinalDecoder::BlockJob> jobs = {
+      {decs[0].get(), &got[0], 0}, {decs[1].get(), &got[1], 0}};
+  SpinalDecoder::decode_batch_with(shared, jobs);
+  DecodeResult after;
+  decs[1]->decode_with(shared, after);
+  EXPECT_EQ(got[0].message, want0.message);
+  EXPECT_EQ(got[0].path_cost, want0.path_cost);
+  EXPECT_EQ(after.message, want1.message);
+  EXPECT_EQ(after.path_cost, want1.path_cost);
 }
 
 TEST(Golden, RepeatedDecodeAttemptsAreStable) {

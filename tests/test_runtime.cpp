@@ -8,6 +8,8 @@
 // test_experiment) also run under the ThreadSanitizer CI lane.
 
 #include <future>
+#include <stdexcept>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -142,6 +144,188 @@ TEST(Runtime, DeterministicBitIdenticalToSequential) {
       EXPECT_EQ(got[static_cast<std::size_t>(i)].full_effort_retries, 0);
     }
   }
+}
+
+// ----------------------------------------- cross-session batched decode
+
+/// A same-key fleet (every session shares CodeParams, hence one batch
+/// tag), so dequeue aggregation actually forms multi-session batches.
+SessionSpec same_key_spec(int i) {
+  const CodeParams p = awgn_params();
+  util::Xoshiro256 prng(0xBA7C0000u + static_cast<std::uint64_t>(i));
+  SessionSpec spec;
+  spec.make_session = [p] { return std::make_unique<sim::SpinalSession>(p); };
+  spec.channel.kind = sim::ChannelKind::kAwgn;
+  spec.channel.snr_db = 12.0;
+  spec.channel.seed = 0xBA7C1000u + static_cast<std::uint64_t>(i);
+  spec.message = prng.random_bits(p.n);
+  return spec;
+}
+
+TEST(Runtime, BatchedDeterministicBitIdenticalToSequential) {
+  constexpr int kSessions = 32;
+  std::vector<SessionReport> reference;
+  for (int i = 0; i < kSessions; ++i)
+    reference.push_back(run_sequential(same_key_spec(i)));
+
+  // workers × {batching off, small batches + tiny window, full batches}:
+  // ordered drain and every per-run counter must match the sequential
+  // loop bit-for-bit in all of them.
+  const std::vector<std::tuple<int, int, int>> grid = {
+      {1, 1, 64}, {1, 4, 8}, {1, 16, 64}, {2, 5, 3}, {3, 16, 64}};
+  for (const auto& [workers, max_batch, window] : grid) {
+    RuntimeOptions opt;
+    opt.workers = workers;
+    opt.deterministic = true;
+    opt.batch.max_batch = max_batch;
+    opt.batch.window = window;
+    DecodeService service(opt);
+    for (int i = 0; i < kSessions; ++i) service.submit(same_key_spec(i));
+    const std::vector<SessionReport> got = service.drain();
+
+    ASSERT_EQ(got.size(), reference.size());
+    std::uint64_t attempts = 0;
+    for (int i = 0; i < kSessions; ++i) {
+      const sim::RunResult& a = reference[static_cast<std::size_t>(i)].run;
+      const sim::RunResult& b = got[static_cast<std::size_t>(i)].run;
+      const auto label = [&] {
+        return ::testing::Message() << "workers=" << workers << " max_batch="
+                                    << max_batch << " window=" << window
+                                    << " session=" << i;
+      };
+      EXPECT_EQ(a.success, b.success) << label();
+      EXPECT_EQ(a.symbols, b.symbols) << label();
+      EXPECT_EQ(a.chunks, b.chunks) << label();
+      EXPECT_EQ(a.attempts, b.attempts) << label();
+      EXPECT_GT(got[static_cast<std::size_t>(i)].decode_micros, 0.0) << label();
+      attempts += static_cast<std::uint64_t>(b.attempts);
+    }
+    // Batched attempts keep the per-job telemetry contract: one latency
+    // sample and one attempt count per session job, not per batch.
+    const TelemetrySnapshot snap = service.telemetry();
+    EXPECT_EQ(snap.counters.decode_attempts, attempts);
+    EXPECT_EQ(snap.decode_latency_us.count(), attempts);
+  }
+}
+
+TEST(Runtime, MixedKeyFleetBatchesStayDeterministic) {
+  // Heterogeneous keys (two spinal AWGN layouts + Rayleigh-CSI + BSC):
+  // aggregation must only ever group same-key jobs, and the result must
+  // still match the sequential loop exactly — batch tags are per-params
+  // AND per-channel-flavor (AWGN vs BSC share a workspace layout but
+  // must not share batches).
+  constexpr int kSessions = 24;
+  std::vector<SessionReport> reference;
+  for (int i = 0; i < kSessions; ++i)
+    reference.push_back(run_sequential(make_spec(i)));
+
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.deterministic = true;
+  opt.batch.max_batch = 8;
+  DecodeService service(opt);
+  for (int i = 0; i < kSessions; ++i) service.submit(make_spec(i));
+  const std::vector<SessionReport> got = service.drain();
+  ASSERT_EQ(got.size(), reference.size());
+  for (int i = 0; i < kSessions; ++i) {
+    const sim::RunResult& a = reference[static_cast<std::size_t>(i)].run;
+    const sim::RunResult& b = got[static_cast<std::size_t>(i)].run;
+    EXPECT_EQ(a.success, b.success) << i;
+    EXPECT_EQ(a.symbols, b.symbols) << i;
+    EXPECT_EQ(a.chunks, b.chunks) << i;
+    EXPECT_EQ(a.attempts, b.attempts) << i;
+  }
+}
+
+TEST(Runtime, AdaptiveModeBatchedFleetStillDecodes) {
+  // Batching composes with the load-adaptive policy: a same-key flood
+  // on few workers must still decode every session.
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.adapt.min_effort = 8;
+  opt.adapt.idle_depth = 0;
+  opt.adapt.depth_per_halving = 4;
+  opt.batch.max_batch = 8;
+  DecodeService service(opt);
+  constexpr int kSessions = 48;
+  for (int i = 0; i < kSessions; ++i) {
+    SessionSpec spec = same_key_spec(i);
+    spec.channel.snr_db = 18.0;
+    service.submit(std::move(spec));
+  }
+  const std::vector<SessionReport> got = service.drain();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kSessions));
+  for (int i = 0; i < kSessions; ++i)
+    EXPECT_TRUE(got[static_cast<std::size_t>(i)].run.success) << i;
+}
+
+// --------------------------------------------- error-path regressions
+
+TEST(Runtime, ClosedQueueFailsSessionsInsteadOfLosingThem) {
+  // Regression: push_session_job used to ignore JobQueue::push's false
+  // return, so a queue closed with a session mid-flight lost the
+  // session silently and drain() deadlocked on completed_.
+  DecodeService service(det_opts(1));
+  DecodeServiceTestHook::close_queue(service);
+  service.submit(make_spec(0));
+  EXPECT_THROW(service.drain(), std::runtime_error);
+  const auto got = service.drain();  // error already surfaced above
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_FALSE(got[0].run.success);
+}
+
+TEST(Runtime, TrySubmitThrowDoesNotInflatePeak) {
+  // Regression: peak_in_flight_ counted the reservation of a session
+  // whose construction then threw — the high-water mark must only ever
+  // reflect admitted sessions.
+  DecodeService service(det_opts(1));
+  SessionSpec bad = make_spec(0);
+  bad.engine.attempt_every = 0;  // MessageRun construction throws
+  EXPECT_THROW(service.try_submit(std::move(bad)), std::invalid_argument);
+  EXPECT_EQ(service.peak_in_flight(), 0);
+  ASSERT_TRUE(service.try_submit(make_spec(0)).has_value());
+  EXPECT_EQ(service.drain().size(), 1u);
+  EXPECT_EQ(service.peak_in_flight(), 1);
+}
+
+/// A session whose decode always throws, for the error-path contract.
+class ThrowingSession final : public sim::RatelessSession {
+ public:
+  int message_bits() const override { return 8; }
+  void start(const util::BitVec&) override {}
+  std::vector<std::complex<float>> next_chunk() override {
+    return {std::complex<float>(1.0f, 0.0f)};
+  }
+  void receive_chunk(std::span<const std::complex<float>>,
+                     std::span<const std::complex<float>>) override {}
+  std::optional<util::BitVec> try_decode() override {
+    throw std::runtime_error("decoder blew up");
+  }
+  int max_chunks() const override { return 4; }
+};
+
+TEST(Runtime, ThrowingDecodeMarksReportFailedAndSurfacesError) {
+  // Regression: the step's catch block used to re-derive the report from
+  // the torn MessageRun (finish_session re-reads result() mid-step); the
+  // report must be marked failed explicitly and the error must reach
+  // drain().
+  DecodeService service(det_opts(1));
+  SessionSpec spec;
+  spec.make_session = [] { return std::make_unique<ThrowingSession>(); };
+  spec.channel.kind = sim::ChannelKind::kAwgn;
+  spec.channel.snr_db = 20.0;
+  spec.channel.seed = 1;
+  util::Xoshiro256 prng(2);
+  spec.message = prng.random_bits(8);
+  service.submit(std::move(spec));
+  service.submit(make_spec(0));  // a healthy session still completes
+  EXPECT_THROW(service.drain(), std::runtime_error);
+  const auto got = service.drain();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_FALSE(got[0].run.success);
+  EXPECT_EQ(got[0].message_bits, 8);
+  EXPECT_TRUE(got[1].run.success);
+  EXPECT_GE(service.telemetry().counters.sessions_failed, 1u);
 }
 
 // ------------------------------------------ non-spinal codec families
@@ -429,6 +613,55 @@ TEST(JobQueue, FifoTryPushAndClose) {
   EXPECT_EQ(q.pop(), 2);        // drains pending items after close
   EXPECT_EQ(q.pop(), 3);
   EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(JobQueue, PopBatchAggregatesSameTagOnly) {
+  JobQueue<int> q(16);
+  EXPECT_TRUE(q.try_push(1, 7));
+  EXPECT_TRUE(q.try_push(2, 9));
+  EXPECT_TRUE(q.try_push(3, 7));
+  EXPECT_TRUE(q.try_push(4, 7));
+  std::vector<int> batch;
+  // Claims the head plus the same-tag entries behind it; the other tag
+  // keeps its place at the new head.
+  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
+  EXPECT_EQ(batch, (std::vector<int>{1, 3, 4}));
+  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
+  EXPECT_EQ(batch, (std::vector<int>{2}));
+
+  // Untagged entries never aggregate, even with untagged neighbours.
+  EXPECT_TRUE(q.try_push(5));
+  EXPECT_TRUE(q.try_push(6));
+  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
+  EXPECT_EQ(batch, (std::vector<int>{5}));
+  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
+  EXPECT_EQ(batch, (std::vector<int>{6}));
+}
+
+TEST(JobQueue, PopBatchHonorsMaxBatchAndWindow) {
+  JobQueue<int> q(16);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.try_push(10 + i, 3));
+  std::vector<int> batch;
+  EXPECT_TRUE(q.pop_batch(batch, 3, 16));  // max_batch bounds the claim
+  EXPECT_EQ(batch, (std::vector<int>{10, 11, 12}));
+  EXPECT_TRUE(q.pop_batch(batch, 8, 1));   // window bounds the scan
+  EXPECT_EQ(batch, (std::vector<int>{13, 14}));
+  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
+  EXPECT_EQ(batch, (std::vector<int>{15}));
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(JobQueue, PopBatchDrainsAfterClose) {
+  JobQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1, 2));
+  EXPECT_TRUE(q.try_push(2, 2));
+  q.close();
+  EXPECT_FALSE(q.try_push(3, 2));
+  std::vector<int> batch;
+  EXPECT_TRUE(q.pop_batch(batch, 4, 8));
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(q.pop_batch(batch, 4, 8));
+  EXPECT_TRUE(batch.empty());
 }
 
 // --------------------------------------------------------- SessionMux
