@@ -9,9 +9,15 @@
 // heterogeneous CodeParams, so the workers' CodeParams-keyed workspace
 // pools actually multiplex. Admission control back-pressures the
 // generator; telemetry reports aggregate throughput, decode-latency
-// p50/p95/p99 and the adaptive-beam counters.
+// p50/p95/p99, the adaptive-beam counters and the sharded-queue
+// counters (residual shard depths, steals, cross-shard submits).
 //
-// Run: ./build/examples/example_decode_server [sessions] [workers] [--deterministic]
+// Run: ./build/examples/example_decode_server [sessions] [workers]
+//          [--deterministic] [--pin] [--shards N]
+//   --pin       pin workers to cores (best-effort; the summary reports
+//               how many pins stuck)
+//   --shards N  job-queue shard count (0 = one per worker; deterministic
+//               mode always collapses to a single ordered shard)
 
 #include <chrono>
 #include <cstdio>
@@ -74,10 +80,16 @@ int main(int argc, char** argv) {
   int sessions = 210;
   int workers = 0;  // 0 = all cores
   bool deterministic = false;
+  bool pin = false;
+  int shards = 0;  // 0 = one per worker
   int pos = 0;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--deterministic") == 0) {
       deterministic = true;
+    } else if (std::strcmp(argv[a], "--pin") == 0) {
+      pin = true;
+    } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
+      shards = std::atoi(argv[++a]);
     } else if (pos == 0) {
       sessions = std::atoi(argv[a]);
       ++pos;
@@ -90,6 +102,8 @@ int main(int argc, char** argv) {
   RuntimeOptions opt;
   opt.workers = workers;
   opt.deterministic = deterministic;
+  opt.pin_workers = pin;
+  opt.shards = shards;
   DecodeService service(opt);
   std::printf("decode server: %d sessions over %d mixed links, %d workers, "
               "%s mode, admission cap %d\n",
@@ -144,6 +158,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(snap.counters.full_effort_retries),
               static_cast<unsigned long long>(snap.counters.unpinned_decodes),
               service.peak_in_flight());
+  std::printf("job queue: %zu shard%s (residual depth", snap.queue.shard_depths.size(),
+              snap.queue.shard_depths.size() == 1 ? "" : "s");
+  for (std::size_t d : snap.queue.shard_depths) std::printf(" %zu", d);
+  std::printf("), %llu steals / %llu jobs stolen, %llu cross-shard submits, "
+              "%d/%d workers pinned\n",
+              static_cast<unsigned long long>(snap.queue.steals),
+              static_cast<unsigned long long>(snap.queue.stolen_jobs),
+              static_cast<unsigned long long>(snap.queue.cross_shard_submits),
+              snap.workers_pinned, service.workers());
 
   const std::size_t failed = static_cast<std::size_t>(
       snap.counters.sessions_failed);

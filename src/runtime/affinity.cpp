@@ -1,0 +1,54 @@
+#include "runtime/affinity.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace spinal::runtime {
+
+#if defined(__linux__)
+
+namespace {
+
+/// The process's allowed-CPU mask; empty mask on failure.
+bool allowed_mask(cpu_set_t* out) noexcept {
+  CPU_ZERO(out);
+  return sched_getaffinity(0, sizeof(*out), out) == 0 && CPU_COUNT(out) > 0;
+}
+
+}  // namespace
+
+bool affinity_supported() noexcept {
+  cpu_set_t mask;
+  return allowed_mask(&mask);
+}
+
+bool pin_current_thread(int index) noexcept {
+  cpu_set_t mask;
+  if (!allowed_mask(&mask) || index < 0) return false;
+  const int allowed = CPU_COUNT(&mask);
+  int want = index % allowed;
+  int cpu = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &mask)) continue;
+    if (want-- == 0) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) return false;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(cpu, &one);
+  return pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0;
+}
+
+#else  // non-Linux: no-op shim
+
+bool affinity_supported() noexcept { return false; }
+bool pin_current_thread(int /*index*/) noexcept { return false; }
+
+#endif
+
+}  // namespace spinal::runtime

@@ -1,0 +1,27 @@
+#pragma once
+// Portable thread→core affinity shim for the runtime worker pool.
+//
+// Pinning workers keeps their per-worker pinned workspaces (and the
+// shard of the job queue they own) cache- and NUMA-resident instead of
+// migrating under the kernel scheduler. It is strictly an opt-in
+// performance hint: on platforms without an affinity API — or inside
+// cpusets/containers that refuse the call — both functions degrade to
+// no-ops that report false, and callers must treat pinning as
+// best-effort.
+
+namespace spinal::runtime {
+
+/// True when this build/platform can pin threads at all (Linux with a
+/// readable affinity mask). When false, pin_current_thread() always
+/// returns false without side effects.
+bool affinity_supported() noexcept;
+
+/// Pins the calling thread to one allowed CPU, chosen as the
+/// (index mod allowed-CPU-count)-th set bit of the process's current
+/// affinity mask — so worker i lands on a distinct core where the mask
+/// permits, and restricted cpusets (containers) are respected rather
+/// than blindly targeting absolute CPU ids. Returns true iff the
+/// affinity call succeeded.
+bool pin_current_thread(int index) noexcept;
+
+}  // namespace spinal::runtime

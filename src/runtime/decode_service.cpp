@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/affinity.h"
 #include "sim/trial_runner.h"
 
 namespace spinal::runtime {
@@ -16,6 +17,14 @@ double elapsed_micros(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Monotonic max on an atomic (the peak-in-flight high-water mark).
+void store_max(std::atomic<int>& target, int value) {
+  int cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace
@@ -39,8 +48,9 @@ struct DecodeService::SessionState {
   SessionReport report;
   long symbols_seen = 0;  ///< feed-telemetry watermark
   /// Interned batch_key() tag (kNoTag: never batched). Set once at
-  /// admission, immutable after — jobs carry it into the queue.
-  std::int32_t batch_tag = JobQueue<QueueJob>::kNoTag;
+  /// admission, immutable after — jobs carry it into the queue, which
+  /// also routes on it (same-tag jobs colocate on one shard).
+  std::int32_t batch_tag = ShardedJobQueue<QueueJob>::kNoTag;
 };
 
 DecodeService::DecodeService(const RuntimeOptions& opt)
@@ -56,22 +66,40 @@ DecodeService::DecodeService(const RuntimeOptions& opt)
       // occupancy stays strictly below capacity and the queue's
       // blocking-push path is only ever exercised by misuse, not by the
       // service itself. Backpressure lives at admission instead.
-      queue_(static_cast<std::size_t>(max_in_flight_) + kExtTaskCap + 64) {
+      //
+      // Deterministic mode drains through a single ordered shard: with
+      // one shard the sharded queue degenerates to exactly the
+      // single-queue FIFO + windowed-claim semantics, which the ordered
+      // bit-identity guarantee is stated against.
+      queue_(static_cast<std::size_t>(max_in_flight_) + kExtTaskCap + 64,
+             opt.deterministic
+                 ? 1
+                 : (opt.shards > 0 ? opt.shards
+                                   : (opt.workers > 0 ? opt.workers
+                                                      : sim::bench_threads()))) {
   const int n = opt.workers > 0 ? opt.workers : sim::bench_threads();
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.push_back(std::make_unique<Worker>());
     Worker* w = workers_.back().get();
-    w->thread = std::thread([this, w] { worker_loop(*w); });
+    w->index = i;
+    w->thread = std::thread([this, w] {
+      if (opt_.pin_workers && pin_current_thread(w->index))
+        workers_pinned_.fetch_add(1, std::memory_order_relaxed);
+      worker_loop(*w);
+    });
   }
 }
 
 DecodeService::~DecodeService() {
   {
     std::unique_lock lock(state_m_);
+    ++done_waiters_;
     cv_done_.wait(lock, [&] {
-      return completed_ == sessions_.size() && ext_pending_ == 0;
+      return completed_.load() == submitted_.load() &&
+             ext_pending_.load() == 0;
     });
+    --done_waiters_;
   }
   queue_.close();
   for (auto& w : workers_)
@@ -104,7 +132,7 @@ void DecodeService::worker_loop(Worker& w) {
       opt_.batch.window > 0 ? static_cast<std::size_t>(opt_.batch.window) : 0;
   std::vector<QueueJob> batch;
   std::vector<std::size_t> indices;
-  while (queue_.pop_batch(batch, max_batch, window)) {
+  while (queue_.pop_batch(w.index, batch, max_batch, window)) {
     if (batch.size() == 1) {
       w.telemetry.record_job();
       QueueJob& j = batch.front();
@@ -128,7 +156,7 @@ void DecodeService::worker_loop(Worker& w) {
   }
 }
 
-void DecodeService::push_session_job(std::size_t index) {
+void DecodeService::push_session_job(std::size_t index, int home) {
   SessionState* s;
   {
     std::lock_guard lock(state_m_);
@@ -136,7 +164,7 @@ void DecodeService::push_session_job(std::size_t index) {
   }
   QueueJob job;
   job.session = index;
-  if (queue_.push(std::move(job), s->batch_tag)) return;
+  if (queue_.push(std::move(job), s->batch_tag, home)) return;
   session_job_refused(*s);
 }
 
@@ -160,28 +188,49 @@ void DecodeService::session_job_refused(SessionState& s) {
 }
 
 std::int32_t DecodeService::intern_tag_locked(const sim::WorkspaceKey& key) {
-  if (!key.valid()) return JobQueue<QueueJob>::kNoTag;
+  if (!key.valid()) return ShardedJobQueue<QueueJob>::kNoTag;
   const auto [it, inserted] =
       batch_tags_.try_emplace(key, static_cast<std::int32_t>(batch_tags_.size()));
   return it->second;
 }
 
+int DecodeService::try_reserve_slot() {
+  int cur = in_flight_.load();
+  while (cur < max_in_flight_) {
+    if (in_flight_.compare_exchange_weak(cur, cur + 1)) return cur + 1;
+  }
+  return -1;
+}
+
 std::size_t DecodeService::submit(SessionSpec spec) {
-  // Build the session (encoder, channel, engine validation) outside the
+  // Build the session (encoder, channel, engine validation) outside any
   // lock; MessageRun's constructor throws on invalid EngineOptions.
   auto state = std::make_unique<SessionState>(std::move(spec));
   const sim::WorkspaceKey bkey = opt_.batch.max_batch > 1
                                      ? state->session->batch_key()
                                      : sim::WorkspaceKey{};
+  // Admission: lock-free CAS in the common case; fall back to a condvar
+  // wait only once the cap is actually hit. The waiter registers under
+  // state_m_ before re-probing, and the release side (an atomic
+  // decrement) re-checks admit_waiters_ after decrementing — seq_cst
+  // order makes one of the two sides see the other, so the wakeup
+  // cannot be lost.
+  int reserved = try_reserve_slot();
+  if (reserved < 0) {
+    std::unique_lock lock(state_m_);
+    ++admit_waiters_;
+    cv_admit_.wait(lock,
+                   [&] { return (reserved = try_reserve_slot()) >= 0; });
+    --admit_waiters_;
+  }
+  store_max(peak_in_flight_, reserved);
   std::size_t id;
   {
-    std::unique_lock lock(state_m_);
-    cv_admit_.wait(lock, [&] { return in_flight_ < max_in_flight_; });
+    std::lock_guard lock(state_m_);
     state->batch_tag = intern_tag_locked(bkey);
     id = sessions_.size();
     sessions_.push_back(std::move(state));
-    ++in_flight_;
-    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+    submitted_.fetch_add(1);  // under the lock: tracks sessions_.size()
   }
   push_session_job(id);
   return id;
@@ -193,36 +242,36 @@ std::optional<std::size_t> DecodeService::try_submit(SessionSpec spec) {
   // constructing an encoder + decoder + channel just to throw them away
   // on a refusal would burn exactly the compute the caller is trying to
   // shed.
-  {
-    std::lock_guard lock(state_m_);
-    if (in_flight_ >= max_in_flight_) return std::nullopt;
-    ++in_flight_;
-  }
+  const int reserved = try_reserve_slot();
+  if (reserved < 0) return std::nullopt;
   std::unique_ptr<SessionState> state;
   try {
     state = std::make_unique<SessionState>(std::move(spec));
   } catch (...) {
-    std::lock_guard lock(state_m_);
-    --in_flight_;
-    cv_admit_.notify_one();
+    in_flight_.fetch_sub(1);
+    if (admit_waiters_.load() > 0) {
+      std::lock_guard lock(state_m_);
+      cv_admit_.notify_one();
+    }
     throw;
   }
+  // The high-water mark moves only once the session is actually
+  // admitted: the reservation above is rolled back if construction
+  // throws, and a peak that counted such a phantom would overstate
+  // concurrency the service never ran. (A concurrent submitter's peak
+  // update can still observe another caller's transient reservation;
+  // the mark is a bound on reservations, exact over admissions.)
+  store_max(peak_in_flight_, reserved);
   const sim::WorkspaceKey bkey = opt_.batch.max_batch > 1
                                      ? state->session->batch_key()
                                      : sim::WorkspaceKey{};
   std::size_t id;
   {
     std::lock_guard lock(state_m_);
-    // The high-water mark moves only once the session is actually
-    // admitted: the reservation above is rolled back if construction
-    // throws, and a peak that counted such a phantom would overstate
-    // concurrency the service never ran. (A concurrent submitter's peak
-    // update can still observe another caller's transient reservation;
-    // the mark is a bound on reservations, exact over admissions.)
-    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
     state->batch_tag = intern_tag_locked(bkey);
     id = sessions_.size();
     sessions_.push_back(std::move(state));
+    submitted_.fetch_add(1);
   }
   push_session_job(id);
   return id;
@@ -283,7 +332,10 @@ void DecodeService::session_step(WorkerScope& scope, std::size_t index) {
     fail_session(scope, *s, std::current_exception());
     return;
   }
-  push_session_job(index);
+  // Continuations repost onto the stepping worker's own shard: the
+  // session's state is hot in this core's cache, and a self-repost pays
+  // no cross-shard handoff.
+  push_session_job(index, scope.w_->index);
 }
 
 void DecodeService::session_step_batch(WorkerScope& scope,
@@ -404,9 +456,12 @@ void DecodeService::session_step_batch(WorkerScope& scope,
     repost_jobs.push_back(std::move(job));
   }
   // All sessions in the batch carry the same interned tag (same-tag by
-  // construction of the claim), so one shared tag covers the repost.
+  // construction of the claim), so one shared tag covers the repost —
+  // onto this worker's own shard, where the next claim finds the whole
+  // run contiguous at the head.
   if (!repost_jobs.empty() &&
-      !queue_.push_many(repost_jobs, repost.front()->batch_tag)) {
+      !queue_.push_many(repost_jobs, repost.front()->batch_tag,
+                        scope.w_->index)) {
     // session_job_refused releases each refused session's slot itself.
     for (SessionState* s : repost) session_job_refused(*s);
   }
@@ -456,28 +511,39 @@ void DecodeService::release_session_slot() { release_session_slots(1); }
 
 void DecodeService::release_session_slots(std::size_t n) {
   if (n == 0) return;
-  std::lock_guard lock(state_m_);
-  in_flight_ -= static_cast<int>(n);
-  completed_ += n;
-  // Notify under the lock: drain()/~DecodeService may destroy these
-  // condvars as soon as they can observe the updated counters, which
-  // they cannot do before the mutex is released. cv_done_ only fires
-  // when its predicate can actually hold — waking the drain thread on
-  // every completion just makes it contend this mutex against the
-  // workers, once per session.
-  if (n > 1)
-    cv_admit_.notify_all();
-  else
-    cv_admit_.notify_one();
-  if (completed_ == sessions_.size() && ext_pending_ == 0)
+  in_flight_.fetch_sub(static_cast<int>(n));
+  completed_.fetch_add(n);
+  // Both notify paths are gated on atomic waiter counts, so in steady
+  // state (no submitter blocked, no drain in progress) releasing a
+  // batch of slots is two atomic RMWs and two loads — no lock. When a
+  // waiter does exist, the notify runs under state_m_: a woken thread
+  // may destroy the condvar as soon as it can observe the updated
+  // counters, which it cannot do before this mutex is released. The
+  // waiter side registers its count under state_m_ *before* re-checking
+  // the counters, so whichever of (counter update, waiter registration)
+  // comes first in the seq_cst order, one side sees the other — the
+  // wakeup cannot be lost.
+  if (admit_waiters_.load() > 0) {
+    std::lock_guard lock(state_m_);
+    if (n > 1)
+      cv_admit_.notify_all();
+    else
+      cv_admit_.notify_one();
+  }
+  if (done_waiters_.load() > 0 && completed_.load() == submitted_.load() &&
+      ext_pending_.load() == 0) {
+    std::lock_guard lock(state_m_);
     cv_done_.notify_all();
+  }
 }
 
 std::vector<SessionReport> DecodeService::drain() {
   std::unique_lock lock(state_m_);
+  ++done_waiters_;
   cv_done_.wait(lock, [&] {
-    return completed_ == sessions_.size() && ext_pending_ == 0;
+    return completed_.load() == submitted_.load() && ext_pending_.load() == 0;
   });
+  --done_waiters_;
   if (first_error_) {
     std::exception_ptr e = std::exchange(first_error_, nullptr);
     std::rethrow_exception(e);
@@ -491,20 +557,25 @@ std::vector<SessionReport> DecodeService::drain() {
 TelemetrySnapshot DecodeService::telemetry() const {
   TelemetrySnapshot snap;
   for (const auto& w : workers_) w->telemetry.merge_into(snap);
+  const ShardedQueueStats qs = queue_.stats();
+  snap.queue.steals = qs.steals;
+  snap.queue.stolen_jobs = qs.stolen_jobs;
+  snap.queue.cross_shard_submits = qs.cross_shard_submits;
+  snap.queue.shard_depths.resize(static_cast<std::size_t>(queue_.shards()));
+  for (std::size_t s = 0; s < snap.queue.shard_depths.size(); ++s)
+    snap.queue.shard_depths[s] = queue_.shard_depth(s);
+  snap.workers_pinned = workers_pinned_.load(std::memory_order_relaxed);
   return snap;
 }
 
-int DecodeService::peak_in_flight() const {
-  std::lock_guard lock(state_m_);
-  return peak_in_flight_;
-}
+int DecodeService::peak_in_flight() const { return peak_in_flight_.load(); }
 
 void DecodeService::post(Task task) {
-  post_impl(std::move(task), JobQueue<QueueJob>::kNoTag);
+  post_impl(std::move(task), ShardedJobQueue<QueueJob>::kNoTag);
 }
 
 void DecodeService::post(Task task, const sim::WorkspaceKey& aggregate_hint) {
-  std::int32_t tag = JobQueue<QueueJob>::kNoTag;
+  std::int32_t tag = ShardedJobQueue<QueueJob>::kNoTag;
   if (aggregate_hint.valid() && opt_.batch.max_batch > 1) {
     std::lock_guard lock(state_m_);
     // The "task/" codec prefix keeps hinted tasks in a tag space
@@ -517,10 +588,20 @@ void DecodeService::post(Task task, const sim::WorkspaceKey& aggregate_hint) {
 }
 
 void DecodeService::post_impl(Task task, std::int32_t tag) {
-  {
+  // Same lock-free-reserve / waiter-gated-sleep shape as session
+  // admission, against the external-task cap.
+  auto try_reserve_ext = [&] {
+    std::size_t cur = ext_pending_.load();
+    while (cur < kExtTaskCap) {
+      if (ext_pending_.compare_exchange_weak(cur, cur + 1)) return true;
+    }
+    return false;
+  };
+  if (!try_reserve_ext()) {
     std::unique_lock lock(state_m_);
-    cv_ext_.wait(lock, [&] { return ext_pending_ < kExtTaskCap; });
-    ++ext_pending_;
+    ++ext_waiters_;
+    cv_ext_.wait(lock, [&] { return try_reserve_ext(); });
+    --ext_waiters_;
   }
   QueueJob job;
   job.task = [this, t = std::move(task)](WorkerScope& scope) {
@@ -530,24 +611,37 @@ void DecodeService::post_impl(Task task, std::int32_t tag) {
       std::lock_guard lock(state_m_);
       if (!first_error_) first_error_ = std::current_exception();
     }
-    {
+    ext_pending_.fetch_sub(1);
+    // Waiter-gated notifies under state_m_: see release_session_slots.
+    if (ext_waiters_.load() > 0) {
       std::lock_guard lock(state_m_);
-      --ext_pending_;
-      cv_ext_.notify_one();  // under the lock: see finish_session
-      if (completed_ == sessions_.size() && ext_pending_ == 0)
-        cv_done_.notify_all();
+      cv_ext_.notify_one();
+    }
+    if (done_waiters_.load() > 0 && completed_.load() == submitted_.load() &&
+        ext_pending_.load() == 0) {
+      std::lock_guard lock(state_m_);
+      cv_done_.notify_all();
     }
   };
   if (queue_.push(std::move(job), tag)) return;
   // Closed queue: the task will never run — undo the pending count so
   // drain()/teardown don't wait on it, and surface the loss.
-  std::lock_guard lock(state_m_);
-  --ext_pending_;
-  if (!first_error_)
-    first_error_ = std::make_exception_ptr(std::runtime_error(
-        "DecodeService: job queue closed with task pending"));
-  cv_ext_.notify_one();
-  cv_done_.notify_all();
+  {
+    std::lock_guard lock(state_m_);
+    if (!first_error_)
+      first_error_ = std::make_exception_ptr(std::runtime_error(
+          "DecodeService: job queue closed with task pending"));
+  }
+  ext_pending_.fetch_sub(1);
+  if (ext_waiters_.load() > 0) {
+    std::lock_guard lock(state_m_);
+    cv_ext_.notify_one();
+  }
+  if (done_waiters_.load() > 0 && completed_.load() == submitted_.load() &&
+      ext_pending_.load() == 0) {
+    std::lock_guard lock(state_m_);
+    cv_done_.notify_all();
+  }
 }
 
 sim::CodecWorkspace* DecodeService::WorkerScope::workspace(

@@ -1,13 +1,14 @@
 #pragma once
-// The concurrent decode service: multiplexes thousands of rateless
-// sessions onto a small worker pool.
+// The concurrent decode service: multiplexes thousands (10k+) of
+// rateless sessions onto a small worker pool.
 //
-//   submit(spec) ──► [ MPMC JobQueue ] ──► worker threads
-//                         ▲    │             │ pinned CodecWorkspaces,
-//                         │    └─ depth ──►  │ keyed by WorkspaceKey
-//                 session jobs repost        │ (codec tag + params: hetero-
-//                 themselves until done      │  geneous codecs batch without
-//                                            │  reallocation)
+//   submit(spec) ──► [ ShardedJobQueue ] ──► worker threads
+//                      │ shard per worker,     │ pinned CodecWorkspaces,
+//                      │ key-affine routing,   │ keyed by WorkspaceKey
+//                      │ batch stealing        │ (codec tag + params)
+//                      └─ depth ──► adaptive-effort policy
+//                 session jobs repost themselves (push_many onto the
+//                 worker's own shard) until done
 //
 // Each session runs as a self-contained state machine (sim::MessageRun):
 // one job streams channel symbols until the engine's attempt policy
@@ -15,28 +16,40 @@
 // (sessions without one — today Raptor and Strider — run unpinned,
 // which telemetry counts), and reposts itself until the message decodes
 // or the give-up bound hits. At most one job per session exists at a
-// time, so sessions need no locking of their own; the queue's mutex
-// provides the happens-before edge between the workers that
+// time, so sessions need no locking of their own; the queue's shard
+// mutexes provide the happens-before edge between the workers that
 // successively advance a session.
 //
-// Admission control: at most max_in_flight sessions run concurrently —
-// submit() blocks (backpressure), try_submit() refuses. Load
-// adaptation: when the queue backs up, attempts run with shrunk effort
-// (beam width / BP iterations / turbo iterations, per the session's
-// EffortProfile); when it drains, failed shrunk attempts retry at full
-// effort before spending more channel symbols (adaptive.h).
+// Queue sharding: submissions route by the job's interned batch tag, so
+// same-WorkspaceKey jobs colocate on one shard and a worker's dequeue
+// finds long same-tag runs without widening its scan window; a worker
+// whose shard runs dry steals a whole batch from the deepest sibling
+// shard before sleeping. Optional core pinning (RuntimeOptions::
+// pin_workers, affinity.h) keeps each worker's shard and workspaces
+// cache-resident.
 //
-// Deterministic mode pins every attempt at the configured effort and
-// disables idle retries; each session's outcome then depends only on
-// its own spec (per-session seeded channel), and drain() returns
-// reports in submission order — bit-identical to a sequential
-// run_message loop at any worker count, the same guarantee the
-// Monte-Carlo TrialRunner gives the experiment sweeps.
+// Admission control: at most max_in_flight sessions run concurrently —
+// submit() blocks (backpressure), try_submit() refuses. The in-flight
+// count is an atomic, so admission and slot release stay lock-free
+// unless a submitter is actually blocked. Load adaptation: when the
+// queue backs up, attempts run with shrunk effort (beam width / BP
+// iterations / turbo iterations, per the session's EffortProfile); when
+// it drains, failed shrunk attempts retry at full effort before
+// spending more channel symbols (adaptive.h).
+//
+// Deterministic mode pins every attempt at the configured effort,
+// disables idle retries, and drains through a single ordered shard
+// regardless of the configured shard count; each session's outcome then
+// depends only on its own spec (per-session seeded channel), and
+// drain() returns reports in submission order — bit-identical to a
+// sequential run_message loop at any worker count, the same guarantee
+// the Monte-Carlo TrialRunner gives the experiment sweeps.
 //
 // The service also executes generic decode-plane tasks (post()) — the
 // link-symbol SessionMux (session_mux.h) schedules its per-block decode
 // attempts through the same queue, workers and workspace pools.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -75,6 +88,15 @@ struct RuntimeOptions {
     int max_batch = 16;
     int window = 64;
   } batch;
+  /// Job-queue shards. 0 = one shard per worker. May exceed the worker
+  /// count (extra shards keep key-affine routing meaningful on small
+  /// pools; they are served through the steal path). Deterministic mode
+  /// forces a single ordered shard regardless of this knob.
+  int shards = 0;
+  /// Pin worker i to the i-th allowed CPU (affinity.h). Best-effort:
+  /// ignored where unsupported; telemetry().workers_pinned reports how
+  /// many pins actually took.
+  bool pin_workers = false;
 };
 
 class DecodeService {
@@ -131,6 +153,7 @@ class DecodeService {
 
  private:
   struct Worker {
+    int index = 0;  ///< dense worker id: queue consumer id + pin slot
     std::map<WorkspaceKey, std::unique_ptr<sim::CodecWorkspace>> pinned;
     WorkerTelemetry telemetry;
     std::thread thread;
@@ -163,17 +186,36 @@ class DecodeService {
                     std::exception_ptr err, bool release_slot = true);
   void release_session_slot();
   void release_session_slots(std::size_t n);
-  void push_session_job(std::size_t index);
+  /// @p home: pushing worker's shard (self-repost locality) or kNoShard
+  /// for external submitters.
+  void push_session_job(std::size_t index,
+                        int home = ShardedJobQueue<QueueJob>::kNoShard);
   void session_job_refused(SessionState& s);
   void post_impl(Task task, std::int32_t tag);
-  /// Interns @p key into the dense batch-tag space JobQueue aggregates
-  /// on; kNoTag for invalid keys. Caller holds state_m_.
+  /// CAS-reserves one admission slot against max_in_flight_; lock-free.
+  /// Returns the post-reservation in-flight count, or -1 at capacity.
+  int try_reserve_slot();
+  /// Interns @p key into the dense batch-tag space the queue aggregates
+  /// and routes on; kNoTag for invalid keys. Caller holds state_m_.
   std::int32_t intern_tag_locked(const sim::WorkspaceKey& key);
 
   RuntimeOptions opt_;
   int max_in_flight_;
-  JobQueue<QueueJob> queue_;
+  ShardedJobQueue<QueueJob> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Admission control and completion tracking are atomics: submit /
+  // try_submit / slot release never touch state_m_ unless a waiter is
+  // actually blocked (the *_waiters_ counts gate every notify, and the
+  // notify itself runs under state_m_ so a woken thread can never see
+  // the condvar destroyed — see release_session_slots).
+  std::atomic<int> in_flight_{0};
+  std::atomic<int> peak_in_flight_{0};
+  std::atomic<std::size_t> submitted_{0};  ///< == sessions_.size(), lock-free
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> ext_pending_{0};
+  std::atomic<int> admit_waiters_{0}, done_waiters_{0}, ext_waiters_{0};
+  std::atomic<int> workers_pinned_{0};
 
   mutable std::mutex state_m_;
   std::condition_variable cv_admit_;  ///< in_flight_ dropped below the cap
@@ -181,10 +223,6 @@ class DecodeService {
   std::condition_variable cv_ext_;    ///< ext_pending_ dropped below its cap
   std::vector<std::unique_ptr<SessionState>> sessions_;
   std::map<sim::WorkspaceKey, std::int32_t> batch_tags_;  ///< key interning
-  int in_flight_ = 0;
-  int peak_in_flight_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t ext_pending_ = 0;
   std::exception_ptr first_error_;
 
   static constexpr std::size_t kExtTaskCap = 1024;

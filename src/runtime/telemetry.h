@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "util/stats.h"
 
@@ -31,10 +32,24 @@ struct Counters {
   void merge(const Counters& o) noexcept;
 };
 
+/// Sharded-queue view: where jobs sit and how they moved between
+/// shards. Depths are instantaneous (exact at the moment of the read,
+/// like queue_depth()); the counters are lifetime totals.
+struct QueueTelemetry {
+  std::vector<std::size_t> shard_depths;  ///< per-shard depth at snapshot time
+  std::uint64_t steals = 0;               ///< batches claimed off sibling shards
+  std::uint64_t stolen_jobs = 0;          ///< jobs inside stolen batches
+  std::uint64_t cross_shard_submits = 0;  ///< pushes that crossed off the
+                                          ///< pusher's own shard (all external
+                                          ///< submits + off-home worker pushes)
+};
+
 /// Aggregate view across workers.
 struct TelemetrySnapshot {
   Counters counters;
   util::LatencyHistogram decode_latency_us;  ///< per-attempt decode latency
+  QueueTelemetry queue;                      ///< sharded job-queue state
+  int workers_pinned = 0;  ///< workers whose core-affinity pin succeeded
 };
 
 /// One per worker. The lock is uncontended in steady state (only the

@@ -17,8 +17,8 @@
 #include "ldpc/ldpc_session.h"
 #include "raptor/raptor_session.h"
 #include "runtime/adaptive.h"
+#include "runtime/affinity.h"
 #include "runtime/decode_service.h"
-#include "runtime/job_queue.h"
 #include "runtime/session_mux.h"
 #include "sim/bsc_session.h"
 #include "sim/spinal_session.h"
@@ -598,70 +598,120 @@ TEST(Runtime, TelemetryCountsAndLatencyQuantilesAreConsistent) {
   EXPECT_LE(p95, p99);
 }
 
-// ----------------------------------------------------------- JobQueue
+// ------------------------------------------------ sharded queue modes
+// (The queue-level unit tests live in test_job_queue.cpp; these cover
+// the DecodeService-level contracts across shard counts.)
 
-TEST(JobQueue, FifoTryPushAndClose) {
-  JobQueue<int> q(2);
-  EXPECT_TRUE(q.try_push(1));
-  EXPECT_TRUE(q.try_push(2));
-  EXPECT_FALSE(q.try_push(3));  // full: the backpressure probe refuses
-  EXPECT_EQ(q.depth(), 2u);
-  EXPECT_EQ(q.pop(), 1);
-  EXPECT_TRUE(q.push(3));
-  q.close();
-  EXPECT_FALSE(q.push(4));      // closed
-  EXPECT_EQ(q.pop(), 2);        // drains pending items after close
-  EXPECT_EQ(q.pop(), 3);
-  EXPECT_EQ(q.pop(), std::nullopt);
+TEST(Runtime, ShardedDeterministicBitIdenticalToSequential) {
+  // Deterministic mode forces a single ordered shard no matter what the
+  // shards knob says, so the bit-identity guarantee must hold at every
+  // workers × shards combination.
+  constexpr int kSessions = 16;
+  std::vector<SessionReport> reference;
+  for (int i = 0; i < kSessions; ++i)
+    reference.push_back(run_sequential(make_spec(i)));
+
+  for (int workers : {1, 2, 4, 8}) {
+    for (int shards : {1, 5}) {
+      RuntimeOptions opt;
+      opt.workers = workers;
+      opt.shards = shards;
+      opt.deterministic = true;
+      opt.batch.max_batch = 8;
+      DecodeService service(opt);
+      for (int i = 0; i < kSessions; ++i) service.submit(make_spec(i));
+      const std::vector<SessionReport> got = service.drain();
+
+      ASSERT_EQ(got.size(), reference.size());
+      for (int i = 0; i < kSessions; ++i) {
+        const sim::RunResult& a = reference[static_cast<std::size_t>(i)].run;
+        const sim::RunResult& b = got[static_cast<std::size_t>(i)].run;
+        const auto label = [&] {
+          return ::testing::Message() << "workers=" << workers
+                                      << " shards=" << shards
+                                      << " session=" << i;
+        };
+        EXPECT_EQ(a.success, b.success) << label();
+        EXPECT_EQ(a.symbols, b.symbols) << label();
+        EXPECT_EQ(a.chunks, b.chunks) << label();
+        EXPECT_EQ(a.attempts, b.attempts) << label();
+      }
+      // Deterministic = one shard, regardless of the knob.
+      EXPECT_EQ(service.telemetry().queue.shard_depths.size(), 1u);
+    }
+  }
 }
 
-TEST(JobQueue, PopBatchAggregatesSameTagOnly) {
-  JobQueue<int> q(16);
-  EXPECT_TRUE(q.try_push(1, 7));
-  EXPECT_TRUE(q.try_push(2, 9));
-  EXPECT_TRUE(q.try_push(3, 7));
-  EXPECT_TRUE(q.try_push(4, 7));
-  std::vector<int> batch;
-  // Claims the head plus the same-tag entries behind it; the other tag
-  // keeps its place at the new head.
-  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
-  EXPECT_EQ(batch, (std::vector<int>{1, 3, 4}));
-  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
-  EXPECT_EQ(batch, (std::vector<int>{2}));
+TEST(Runtime, ShardedNonDeterministicWithAdaptOffMatchesSequential) {
+  // With adaptation disabled every attempt runs at configured effort and
+  // sessions are independent seeded state machines — so even the
+  // non-deterministic sharded/stealing service must reproduce the
+  // sequential results exactly. (This is the property the 10k-session
+  // benchmark's cross-mode identity check rests on.)
+  constexpr int kSessions = 24;
+  std::vector<SessionReport> reference;
+  for (int i = 0; i < kSessions; ++i)
+    reference.push_back(run_sequential(make_spec(i)));
 
-  // Untagged entries never aggregate, even with untagged neighbours.
-  EXPECT_TRUE(q.try_push(5));
-  EXPECT_TRUE(q.try_push(6));
-  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
-  EXPECT_EQ(batch, (std::vector<int>{5}));
-  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
-  EXPECT_EQ(batch, (std::vector<int>{6}));
+  RuntimeOptions opt;
+  opt.workers = 3;
+  opt.shards = 5;  // more shards than workers: orphan shards stealable
+  opt.adapt.enabled = false;
+  opt.batch.max_batch = 8;
+  DecodeService service(opt);
+  for (int i = 0; i < kSessions; ++i) service.submit(make_spec(i));
+  const std::vector<SessionReport> got = service.drain();
+  ASSERT_EQ(got.size(), reference.size());
+  for (int i = 0; i < kSessions; ++i) {
+    const sim::RunResult& a = reference[static_cast<std::size_t>(i)].run;
+    const sim::RunResult& b = got[static_cast<std::size_t>(i)].run;
+    EXPECT_EQ(a.success, b.success) << i;
+    EXPECT_EQ(a.symbols, b.symbols) << i;
+    EXPECT_EQ(a.chunks, b.chunks) << i;
+    EXPECT_EQ(a.attempts, b.attempts) << i;
+  }
+  const TelemetrySnapshot snap = service.telemetry();
+  EXPECT_EQ(snap.queue.shard_depths.size(), 5u);
+  for (const std::size_t d : snap.queue.shard_depths) EXPECT_EQ(d, 0u);
+  // Orphan shards (5 shards, 3 workers) are only reachable by stealing,
+  // and external submits land off-home by definition.
+  EXPECT_GT(snap.queue.cross_shard_submits, 0u);
 }
 
-TEST(JobQueue, PopBatchHonorsMaxBatchAndWindow) {
-  JobQueue<int> q(16);
-  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.try_push(10 + i, 3));
-  std::vector<int> batch;
-  EXPECT_TRUE(q.pop_batch(batch, 3, 16));  // max_batch bounds the claim
-  EXPECT_EQ(batch, (std::vector<int>{10, 11, 12}));
-  EXPECT_TRUE(q.pop_batch(batch, 8, 1));   // window bounds the scan
-  EXPECT_EQ(batch, (std::vector<int>{13, 14}));
-  EXPECT_TRUE(q.pop_batch(batch, 8, 16));
-  EXPECT_EQ(batch, (std::vector<int>{15}));
-  EXPECT_EQ(q.depth(), 0u);
+TEST(Runtime, ShardedClosedQueueFailsSessionsInsteadOfLosingThem) {
+  // The PR 8 closed-queue regression re-stated under sharding: a refused
+  // push must fail the session loudly on whichever shard it targeted.
+  RuntimeOptions opt = det_opts(1);
+  opt.deterministic = false;
+  opt.adapt.enabled = false;
+  opt.shards = 4;
+  DecodeService service(opt);
+  DecodeServiceTestHook::close_queue(service);
+  service.submit(make_spec(0));
+  service.submit(make_spec(1));
+  EXPECT_THROW(service.drain(), std::runtime_error);
+  const auto got = service.drain();  // error already surfaced above
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_FALSE(got[0].run.success);
+  EXPECT_FALSE(got[1].run.success);
 }
 
-TEST(JobQueue, PopBatchDrainsAfterClose) {
-  JobQueue<int> q(8);
-  EXPECT_TRUE(q.try_push(1, 2));
-  EXPECT_TRUE(q.try_push(2, 2));
-  q.close();
-  EXPECT_FALSE(q.try_push(3, 2));
-  std::vector<int> batch;
-  EXPECT_TRUE(q.pop_batch(batch, 4, 8));
-  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
-  EXPECT_FALSE(q.pop_batch(batch, 4, 8));
-  EXPECT_TRUE(batch.empty());
+TEST(Runtime, PinWorkersIsBestEffortAndCounted) {
+  RuntimeOptions opt = det_opts(2);
+  opt.pin_workers = true;
+  DecodeService service(opt);
+  service.submit(make_spec(0));
+  service.drain();
+  const int pinned = service.telemetry().workers_pinned;
+  if (affinity_supported())
+    EXPECT_EQ(pinned, 2);
+  else
+    EXPECT_EQ(pinned, 0);
+  // And off by default:
+  DecodeService unpinned(det_opts(1));
+  unpinned.submit(make_spec(0));
+  unpinned.drain();
+  EXPECT_EQ(unpinned.telemetry().workers_pinned, 0);
 }
 
 // --------------------------------------------------------- SessionMux
