@@ -230,10 +230,14 @@ int main(int argc, char** argv) {
   // batching are scheduling changes, not decode changes) while the
   // sharded mode actually exercises multi-shard routing, which
   // deterministic mode would collapse to one ordered shard.
+  // Mode 3 (trace:on) re-runs the sharded configuration with the event
+  // tracer recording every stage — the within-run trace:on / trace:off
+  // ratio is the tracing-overhead gate (the sharded point doubles as
+  // trace:off in the JSON).
   const int small_sessions = std::max(10000, benchutil::trials(1250));
-  constexpr int kSmallModes = 3;  // 0=batch:off 1=batch:on 2=queue:sharded
+  constexpr int kSmallModes = 4;  // 0=batch:off 1=batch:on 2=queue:sharded 3=trace:on
   static const char* const kSmallModeName[kSmallModes] = {
-      "batch:off", "batch:on", "queue:sharded"};
+      "batch:off", "batch:on", "queue:sharded", "trace:on"};
   auto run_small = [&](int mode, std::vector<SessionReport>& reports) {
     RuntimeOptions opt;
     opt.workers = 1;
@@ -241,7 +245,8 @@ int main(int argc, char** argv) {
     opt.adapt.enabled = false;
     opt.batch.max_batch = mode == 0 ? 1 : 128;
     opt.batch.window = 64;  // the runtime default scan budget
-    opt.shards = mode == 2 ? 32 : 1;
+    opt.shards = mode >= 2 ? 32 : 1;
+    opt.trace.enabled = mode == 3;
     opt.pin_workers = pin;
     DecodeService service(opt);
     std::promise<void> release;
@@ -261,7 +266,7 @@ int main(int argc, char** argv) {
   // convention tools/perf_snapshot.py applies across repetitions), and
   // one slow window cannot decide the gate.
   std::vector<double> small_samples[kSmallModes];
-  double small_bps[kSmallModes] = {0.0, 0.0, 0.0};
+  double small_bps[kSmallModes] = {0.0, 0.0, 0.0, 0.0};
   if (!skip_small) {
     std::vector<SessionReport> small_ref;
     for (int rep = 0; rep < 7; ++rep) {
@@ -296,10 +301,12 @@ int main(int argc, char** argv) {
     std::printf(
         "# small-B fleet (32 keys, n={4,8} x B=2, %d sessions, 1 worker): "
         "batch off %.0f, batch on %.0f (%.2fx), sharded %.0f bits/s "
-        "(%.2fx vs batched single queue)\n",
+        "(%.2fx vs batched single queue), tracing %.0f bits/s "
+        "(%.2fx of untraced)\n",
         small_sessions, small_bps[0], small_bps[1],
         small_bps[0] > 0 ? small_bps[1] / small_bps[0] : 0.0, small_bps[2],
-        small_bps[1] > 0 ? small_bps[2] / small_bps[1] : 0.0);
+        small_bps[1] > 0 ? small_bps[2] / small_bps[1] : 0.0, small_bps[3],
+        small_bps[2] > 0 ? small_bps[3] / small_bps[2] : 0.0);
   }
 
   if (json_path) {
@@ -328,9 +335,15 @@ int main(int argc, char** argv) {
         std::fprintf(f,
                      "    {\"name\": \"BM_RuntimeSmallB/%s\", "
                      "\"run_type\": \"iteration\", "
-                     "\"items_per_second\": %.1f}%s\n",
-                     kSmallModeName[mode], small_bps[mode],
-                     mode + 1 < kSmallModes ? "," : "");
+                     "\"items_per_second\": %.1f},\n",
+                     kSmallModeName[mode], small_bps[mode]);
+      // trace:off is the sharded point under the name the tracing-
+      // overhead --expect-ratio gate pairs with trace:on.
+      std::fprintf(f,
+                   "    {\"name\": \"BM_RuntimeSmallB/trace:off\", "
+                   "\"run_type\": \"iteration\", "
+                   "\"items_per_second\": %.1f}\n",
+                   small_bps[2]);
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

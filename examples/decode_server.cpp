@@ -9,30 +9,55 @@
 // heterogeneous CodeParams, so the workers' CodeParams-keyed workspace
 // pools actually multiplex. Admission control back-pressures the
 // generator; telemetry reports aggregate throughput, decode-latency
-// p50/p95/p99, the adaptive-beam counters and the sharded-queue
-// counters (residual shard depths, steals, cross-shard submits).
+// p50/p95/p99, the stage decomposition (queue-wait / batch-assembly /
+// decode-service, overall and per codec), the adaptive-beam counters
+// and the sharded-queue counters.
 //
 // Run: ./build/examples/example_decode_server [sessions] [workers]
-//          [--deterministic] [--pin] [--shards N]
-//   --pin       pin workers to cores (best-effort; the summary reports
-//               how many pins stuck)
-//   --shards N  job-queue shard count (0 = one per worker; deterministic
-//               mode always collapses to a single ordered shard)
+//          [--deterministic] [--pin] [--shards N] [--trace-out FILE]
+//          [--metrics-out FILE] [--metrics-interval MS]
+//   --pin            pin workers to cores (best-effort; the summary
+//                    reports how many pins stuck)
+//   --shards N       job-queue shard count (0 = one per worker;
+//                    deterministic mode always collapses to one)
+//   --trace-out F    enable runtime tracing; write Perfetto /
+//                    chrome://tracing JSON to F at exit
+//   --metrics-out F  write the metrics registry as JSON to F (and the
+//                    Prometheus text exposition to F.prom)
+//   --metrics-interval MS  sample the registry every MS ms into time
+//                    slices (written into the --metrics-out JSON)
+//
+// SIGINT stops the submit loop, drains what's in flight, and still
+// prints the telemetry summary and writes the trace/metrics files — an
+// interrupted run loses traffic, not observability.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "runtime/decode_service.h"
 #include "sim/bsc_session.h"
 #include "sim/spinal_session.h"
+#include "util/metrics.h"
 #include "util/prng.h"
 
 using namespace spinal;
 using namespace spinal::runtime;
 
 namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_sigint(int) {
+  g_interrupted = 1;
+  // A second ^C gets the default disposition: kill the process rather
+  // than wait for the drain.
+  std::signal(SIGINT, SIG_DFL);
+}
 
 struct Profile {
   const char* name;
@@ -74,57 +99,91 @@ SessionSpec make_spec(int i) {
   return spec;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  int sessions = 210;
-  int workers = 0;  // 0 = all cores
-  bool deterministic = false;
-  bool pin = false;
-  int shards = 0;  // 0 = one per worker
-  int pos = 0;
-  for (int a = 1; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--deterministic") == 0) {
-      deterministic = true;
-    } else if (std::strcmp(argv[a], "--pin") == 0) {
-      pin = true;
-    } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
-      shards = std::atoi(argv[++a]);
-    } else if (pos == 0) {
-      sessions = std::atoi(argv[a]);
-      ++pos;
-    } else {
-      workers = std::atoi(argv[a]);
-      ++pos;
-    }
+std::string label_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
   }
+  return out;
+}
 
-  RuntimeOptions opt;
-  opt.workers = workers;
-  opt.deterministic = deterministic;
-  opt.pin_workers = pin;
-  opt.shards = shards;
-  DecodeService service(opt);
-  std::printf("decode server: %d sessions over %d mixed links, %d workers, "
-              "%s mode, admission cap %d\n",
-              sessions, kProfileCount, service.workers(),
-              deterministic ? "deterministic" : "adaptive-B",
-              service.max_in_flight());
+/// Mirrors a live TelemetrySnapshot into the metrics registry — the
+/// refresh hook the PeriodicSampler runs before every slice and the
+/// final export runs once at the end.
+void mirror_telemetry(util::metrics::Registry& reg, const DecodeService& svc) {
+  const TelemetrySnapshot snap = svc.telemetry();
+  const auto set = [&](const char* name, const char* help, std::uint64_t v) {
+    reg.counter(name, help).set(static_cast<double>(v));
+  };
+  set("spinal_jobs_total", "Queue pops executed", snap.counters.jobs);
+  set("spinal_symbols_fed_total", "Channel symbols streamed",
+      snap.counters.symbols_fed);
+  set("spinal_decode_attempts_total", "Decode invocations incl. retries",
+      snap.counters.decode_attempts);
+  set("spinal_reduced_effort_attempts_total", "Attempts shrunk by load",
+      snap.counters.reduced_effort_attempts);
+  set("spinal_full_effort_retries_total", "Idle full-effort retries",
+      snap.counters.full_effort_retries);
+  set("spinal_unpinned_decodes_total", "Attempts without a pinned workspace",
+      snap.counters.unpinned_decodes);
+  set("spinal_sessions_completed_total", "Sessions decoded successfully",
+      snap.counters.sessions_completed);
+  set("spinal_sessions_failed_total", "Sessions that hit the give-up bound",
+      snap.counters.sessions_failed);
+  set("spinal_bits_decoded_total", "Message bits of successful sessions",
+      snap.counters.bits_decoded);
+  set("spinal_queue_steals_total", "Batches claimed off sibling shards",
+      snap.queue.steals);
+  set("spinal_queue_stolen_jobs_total", "Jobs inside stolen batches",
+      snap.queue.stolen_jobs);
+  set("spinal_queue_cross_shard_submits_total",
+      "Pushes landing off the pusher's shard", snap.queue.cross_shard_submits);
 
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < sessions; ++i) service.submit(make_spec(i));  // backpressured
-  const auto reports = service.drain();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  reg.gauge("spinal_queue_depth", "Total queued jobs")
+      .set(static_cast<double>(svc.queue_depth()));
+  reg.gauge("spinal_workers_pinned", "Workers with a successful core pin")
+      .set(snap.workers_pinned);
+  for (std::size_t s = 0; s < snap.queue.shard_depths.size(); ++s)
+    reg.gauge("spinal_shard_depth", "Per-shard queue depth",
+              "shard=\"" + std::to_string(s) + "\"")
+        .set(static_cast<double>(snap.queue.shard_depths[s]));
 
-  // Per-profile outcome table.
+  reg.histogram("spinal_decode_latency_us", "Per-attempt decode latency")
+      .assign(snap.decode_latency_us);
+  reg.histogram("spinal_stage_queue_wait_us", "Stage: enqueue to claim")
+      .assign(snap.stages.queue_wait_us);
+  reg.histogram("spinal_stage_batch_assembly_us",
+                "Stage: claim to decode dispatch")
+      .assign(snap.stages.batch_assembly_us);
+  reg.histogram("spinal_stage_decode_service_us", "Stage: fused decode span")
+      .assign(snap.stages.decode_service_us);
+  for (const TagTelemetry& t : snap.tags) {
+    const std::string label = "tag=\"" + label_escape(t.label) + "\"";
+    reg.counter("spinal_tag_jobs_total", "Jobs claimed under this tag", label)
+        .set(static_cast<double>(t.jobs));
+    reg.counter("spinal_tag_attempts_total", "Attempts under this tag", label)
+        .set(static_cast<double>(t.attempts));
+    reg.histogram("spinal_tag_queue_wait_us", "Per-tag queue wait", label)
+        .assign(t.queue_wait_us);
+    reg.histogram("spinal_tag_decode_service_us", "Per-tag decode service",
+                  label)
+        .assign(t.decode_service_us);
+  }
+}
+
+void print_summary(const DecodeService& service,
+                   const std::vector<SessionReport>& reports, double wall) {
+  // Per-profile outcome table (reports may cover fewer sessions than
+  // requested when the run was interrupted).
   std::printf("\n%-22s %8s %8s %12s %10s\n", "link", "sessions", "decoded",
               "avg symbols", "avg att.");
+  const int n = static_cast<int>(reports.size());
   for (int prof = 0; prof < kProfileCount; ++prof) {
     int count = 0, ok = 0;
     long symbols = 0;
     int attempts = 0;
-    for (int i = prof; i < sessions; i += kProfileCount) {
+    for (int i = prof; i < n; i += kProfileCount) {
       const SessionReport& r = reports[static_cast<std::size_t>(i)];
       ++count;
       ok += r.run.success;
@@ -152,6 +211,21 @@ int main(int argc, char** argv) {
               snap.decode_latency_us.quantile(0.95),
               snap.decode_latency_us.quantile(0.99), snap.decode_latency_us.max(),
               static_cast<unsigned long long>(snap.decode_latency_us.count()));
+  const auto stage = [](const char* name, const util::LatencyHistogram& h) {
+    std::printf("  stage %-16s p50 %8.1f us  p95 %8.1f us  p99 %8.1f us  "
+                "(%llu records)\n",
+                name, h.quantile(0.50), h.quantile(0.95), h.quantile(0.99),
+                static_cast<unsigned long long>(h.count()));
+  };
+  std::printf("stage decomposition:\n");
+  stage("queue-wait", snap.stages.queue_wait_us);
+  stage("batch-assembly", snap.stages.batch_assembly_us);
+  stage("decode-service", snap.stages.decode_service_us);
+  for (const TagTelemetry& t : snap.tags)
+    std::printf("  tag %-32s %8llu jobs %8llu attempts  service p95 %8.1f us\n",
+                t.label.c_str(), static_cast<unsigned long long>(t.jobs),
+                static_cast<unsigned long long>(t.attempts),
+                t.decode_service_us.quantile(0.95));
   std::printf("adaptive effort: %llu reduced attempts, %llu full-effort idle "
               "retries, %llu unpinned decodes, peak in-flight %d\n",
               static_cast<unsigned long long>(snap.counters.reduced_effort_attempts),
@@ -173,5 +247,103 @@ int main(int argc, char** argv) {
   if (failed > 0)
     std::printf("note: %zu sessions hit their give-up bound (expected at the "
                 "harshest profiles under heavy load)\n", failed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int sessions = 210;
+  int workers = 0;  // 0 = all cores
+  bool deterministic = false;
+  bool pin = false;
+  int shards = 0;  // 0 = one per worker
+  std::string trace_out, metrics_out;
+  int metrics_interval_ms = 0;
+  int pos = 0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--deterministic") == 0) {
+      deterministic = true;
+    } else if (std::strcmp(argv[a], "--pin") == 0) {
+      pin = true;
+    } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
+      shards = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--trace-out") == 0 && a + 1 < argc) {
+      trace_out = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics-out") == 0 && a + 1 < argc) {
+      metrics_out = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics-interval") == 0 && a + 1 < argc) {
+      metrics_interval_ms = std::atoi(argv[++a]);
+    } else if (pos == 0) {
+      sessions = std::atoi(argv[a]);
+      ++pos;
+    } else {
+      workers = std::atoi(argv[a]);
+      ++pos;
+    }
+  }
+
+  RuntimeOptions opt;
+  opt.workers = workers;
+  opt.deterministic = deterministic;
+  opt.pin_workers = pin;
+  opt.shards = shards;
+  opt.trace.enabled = !trace_out.empty();
+  DecodeService service(opt);
+  if (!trace_out.empty() && service.tracer() == nullptr)
+    std::fprintf(stderr, "warning: tracing requested but compiled out "
+                         "(SPINAL_RUNTIME_TRACE=0); no trace will be written\n");
+  std::printf("decode server: %d sessions over %d mixed links, %d workers, "
+              "%s mode, admission cap %d%s\n",
+              sessions, kProfileCount, service.workers(),
+              deterministic ? "deterministic" : "adaptive-B",
+              service.max_in_flight(),
+              service.tracer() ? ", tracing on" : "");
+
+  util::metrics::Registry registry;
+  std::unique_ptr<util::metrics::PeriodicSampler> sampler;
+  if (metrics_interval_ms > 0)
+    sampler = std::make_unique<util::metrics::PeriodicSampler>(
+        registry, std::chrono::milliseconds(metrics_interval_ms),
+        [&] { mirror_telemetry(registry, service); });
+
+  std::signal(SIGINT, on_sigint);
+  const auto t0 = std::chrono::steady_clock::now();
+  int submitted = 0;
+  for (; submitted < sessions && !g_interrupted; ++submitted)
+    service.submit(make_spec(submitted));  // backpressured
+  const auto reports = service.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::signal(SIGINT, SIG_DFL);
+  if (g_interrupted)
+    std::printf("\ninterrupted: %d of %d sessions submitted; draining what "
+                "ran and reporting\n", submitted, sessions);
+
+  if (sampler) sampler->stop();  // final slice before the export below
+  print_summary(service, reports, wall);
+
+  if (service.tracer() && !trace_out.empty()) {
+    std::ofstream f(trace_out);
+    if (f) {
+      service.tracer()->export_json(f);
+      std::printf("trace: wrote %s (%llu events dropped)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(service.tracer()->dropped()));
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    mirror_telemetry(registry, service);  // final values, post-drain
+    std::ofstream f(metrics_out);
+    if (f) {
+      f << "{\"metrics\": " << registry.json() << ", \"slices\": "
+        << (sampler ? sampler->slices_json() : "[]") << "}\n";
+      std::printf("metrics: wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+    }
+    std::ofstream prom(metrics_out + ".prom");
+    if (prom) prom << registry.prometheus_text();
+  }
   return 0;
 }

@@ -13,12 +13,6 @@ namespace spinal::runtime {
 
 namespace {
 
-double elapsed_micros(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
 /// Monotonic max on an atomic (the peak-in-flight high-water mark).
 void store_max(std::atomic<int>& target, int value) {
   int cur = target.load(std::memory_order_relaxed);
@@ -53,6 +47,14 @@ struct DecodeService::SessionState {
   std::int32_t batch_tag = ShardedJobQueue<QueueJob>::kNoTag;
 };
 
+std::uint64_t DecodeService::now_ns() const noexcept {
+  if (tracer_) return tracer_->now_ns();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - base_)
+          .count());
+}
+
 DecodeService::DecodeService(const RuntimeOptions& opt)
     : opt_(opt),
       max_in_flight_(opt.max_in_flight > 0
@@ -60,6 +62,10 @@ DecodeService::DecodeService(const RuntimeOptions& opt)
                          : std::max(64, 4 * (opt.workers > 0
                                                  ? opt.workers
                                                  : sim::bench_threads()))),
+      base_(std::chrono::steady_clock::now()),
+      tracer_(kRuntimeTraceCompiled && opt.trace.enabled
+                  ? std::make_unique<Tracer>(opt.trace)
+                  : nullptr),
       // Sized so pushes from inside workers can never block: session
       // jobs in the queue are bounded by the admission cap (one job per
       // session exists at a time) and external tasks by kExtTaskCap, so
@@ -125,6 +131,8 @@ DecodeService::~DecodeService() {
 
 void DecodeService::worker_loop(Worker& w) {
   WorkerScope scope(this, &w);
+  if (tracer_)
+    w.trace = tracer_->register_buffer("worker " + std::to_string(w.index));
   const std::size_t max_batch =
       opt_.batch.max_batch > 1 ? static_cast<std::size_t>(opt_.batch.max_batch)
                                : 1;
@@ -132,27 +140,59 @@ void DecodeService::worker_loop(Worker& w) {
       opt_.batch.window > 0 ? static_cast<std::size_t>(opt_.batch.window) : 0;
   std::vector<QueueJob> batch;
   std::vector<std::size_t> indices;
-  while (queue_.pop_batch(w.index, batch, max_batch, window)) {
+  ShardedClaimInfo cinfo;
+  std::uint64_t idle_since = w.trace ? now_ns() : 0;
+  while (queue_.pop_batch(w.index, batch, max_batch, window, &cinfo)) {
+    // Queue-wait is attributed per claim: the head job's wait stands in
+    // for the whole batch (add_n), so the stage histogram counts jobs
+    // at the cost of one clock read + one record per claim instead of
+    // per job. claim_ns then anchors the batch-assembly stage.
+    const std::uint64_t claim_ns = now_ns();
+    const QueueJob& head = batch.front();
+    const double wait_us =
+        static_cast<double>(claim_ns - head.enqueue_ns) / 1000.0;
+    w.telemetry.record_queue_wait(wait_us, batch.size());
+    tag_stats_.lane(head.tag).record_queue_wait(wait_us, batch.size());
+    if (w.trace) {
+      // The claim span doubles as the worker's idle/occupancy signal:
+      // it covers everything since the last job finished, including the
+      // blocking wait inside pop_batch.
+      w.trace->record(TraceKind::kClaim, idle_since, claim_ns, batch.size(),
+                      cinfo.shard);
+      w.trace->record(TraceKind::kQueueWait, head.enqueue_ns, claim_ns,
+                      batch.size(),
+                      static_cast<std::uint64_t>(
+                          head.tag < 0 ? 0 : static_cast<std::uint32_t>(head.tag)));
+      if (cinfo.stolen)
+        w.trace->instant(TraceKind::kSteal, claim_ns, batch.size(),
+                         cinfo.shard);
+    }
     if (batch.size() == 1) {
       w.telemetry.record_job();
       QueueJob& j = batch.front();
-      if (j.session != QueueJob::kNoSession)
-        session_step(scope, j.session);
-      else
+      if (j.session != QueueJob::kNoSession) {
+        session_step(scope, j.session, claim_ns);
+      } else {
         j.task(scope);
-      continue;
-    }
-    // A multi-entry claim is same-tag by construction, and session tags
-    // never collide with task tags (task hints intern under a "task/"
-    // codec prefix) — so the batch is homogeneous.
-    w.telemetry.record_jobs(batch.size());
-    if (batch.front().session != QueueJob::kNoSession) {
-      indices.clear();
-      for (QueueJob& j : batch) indices.push_back(j.session);
-      session_step_batch(scope, indices);
+        if (w.trace)
+          w.trace->record(TraceKind::kTask, claim_ns, now_ns(), 1);
+      }
     } else {
-      for (QueueJob& j : batch) j.task(scope);
+      // A multi-entry claim is same-tag by construction, and session
+      // tags never collide with task tags (task hints intern under a
+      // "task/" codec prefix) — so the batch is homogeneous.
+      w.telemetry.record_jobs(batch.size());
+      if (batch.front().session != QueueJob::kNoSession) {
+        indices.clear();
+        for (QueueJob& j : batch) indices.push_back(j.session);
+        session_step_batch(scope, indices, claim_ns);
+      } else {
+        for (QueueJob& j : batch) j.task(scope);
+        if (w.trace)
+          w.trace->record(TraceKind::kTask, claim_ns, now_ns(), batch.size());
+      }
     }
+    if (w.trace) idle_since = now_ns();
   }
 }
 
@@ -164,6 +204,19 @@ void DecodeService::push_session_job(std::size_t index, int home) {
   }
   QueueJob job;
   job.session = index;
+  job.tag = s->batch_tag;
+  job.enqueue_ns = now_ns();
+  if (tracer_ && home == ShardedJobQueue<QueueJob>::kNoShard) {
+    // Only external admission pushes come through homeless (worker
+    // continuations always repost to their own shard), so this instant
+    // marks session submission; the shard arg mirrors the queue's
+    // tag-hash routing.
+    tracer_->thread_buffer()->instant(
+        TraceKind::kSubmit, job.enqueue_ns, index,
+        s->batch_tag < 0 ? 0
+                         : static_cast<std::uint32_t>(s->batch_tag) %
+                               static_cast<std::uint32_t>(queue_.shards()));
+  }
   if (queue_.push(std::move(job), s->batch_tag, home)) return;
   session_job_refused(*s);
 }
@@ -191,6 +244,10 @@ std::int32_t DecodeService::intern_tag_locked(const sim::WorkspaceKey& key) {
   if (!key.valid()) return ShardedJobQueue<QueueJob>::kNoTag;
   const auto [it, inserted] =
       batch_tags_.try_emplace(key, static_cast<std::int32_t>(batch_tags_.size()));
+  if (inserted)
+    tag_stats_.register_tag(it->second, key.params.empty()
+                                            ? key.codec
+                                            : key.codec + "/" + key.params);
   return it->second;
 }
 
@@ -206,9 +263,11 @@ std::size_t DecodeService::submit(SessionSpec spec) {
   // Build the session (encoder, channel, engine validation) outside any
   // lock; MessageRun's constructor throws on invalid EngineOptions.
   auto state = std::make_unique<SessionState>(std::move(spec));
-  const sim::WorkspaceKey bkey = opt_.batch.max_batch > 1
-                                     ? state->session->batch_key()
-                                     : sim::WorkspaceKey{};
+  // Tags are interned even when batching is off: routing and the
+  // per-tag stage stats want the per-codec identity either way (with
+  // one shard — deterministic mode, single-worker configs — routing is
+  // unaffected).
+  const sim::WorkspaceKey bkey = state->session->batch_key();
   // Admission: lock-free CAS in the common case; fall back to a condvar
   // wait only once the cap is actually hit. The waiter registers under
   // state_m_ before re-probing, and the release side (an atomic
@@ -262,9 +321,7 @@ std::optional<std::size_t> DecodeService::try_submit(SessionSpec spec) {
   // update can still observe another caller's transient reservation;
   // the mark is a bound on reservations, exact over admissions.)
   store_max(peak_in_flight_, reserved);
-  const sim::WorkspaceKey bkey = opt_.batch.max_batch > 1
-                                     ? state->session->batch_key()
-                                     : sim::WorkspaceKey{};
+  const sim::WorkspaceKey bkey = state->session->batch_key();
   std::size_t id;
   {
     std::lock_guard lock(state_m_);
@@ -277,14 +334,21 @@ std::optional<std::size_t> DecodeService::try_submit(SessionSpec spec) {
   return id;
 }
 
-void DecodeService::session_step(WorkerScope& scope, std::size_t index) {
+void DecodeService::session_step(WorkerScope& scope, std::size_t index,
+                                 std::uint64_t claim_ns) {
   SessionState* s;
   {
     std::lock_guard lock(state_m_);
     s = sessions_[index].get();  // the vector may reallocate under submit()
   }
+  TraceBuffer* const tb = scope.w_->trace;
   try {
     if (!s->run->feed_to_attempt()) {  // budget exhausted -> failed run
+      // The instant must land before finish_session: releasing the slot
+      // can wake drain(), after which the caller may export the trace.
+      if (tb)
+        tb->instant(TraceKind::kComplete, now_ns(), index,
+                    s->run->result().success ? 1 : 0);
       finish_session(scope, *s);
       return;
     }
@@ -301,11 +365,25 @@ void DecodeService::session_step(WorkerScope& scope, std::size_t index) {
     // the attempt allocates internally, which telemetry counts).
     sim::CodecWorkspace* ws = scope.workspace(*s->session);
 
-    auto t0 = std::chrono::steady_clock::now();
+    // The clock read that starts the decode also closes the
+    // batch-assembly stage (claim -> dispatch: feed, effort pick,
+    // workspace resolve) — the decomposition costs no extra read here.
+    const std::uint64_t d0 = now_ns();
+    scope.telemetry().record_batch_assembly(
+        static_cast<double>(d0 - claim_ns) / 1000.0);
+    if (tb)
+      tb->record(TraceKind::kFeed, claim_ns, d0, 1,
+                 static_cast<std::uint64_t>(symbols));
     std::optional<util::BitVec> candidate =
         s->session->try_decode_with(ws, effort);
-    double us = elapsed_micros(t0);
+    const std::uint64_t d1 = now_ns();
+    double us = static_cast<double>(d1 - d0) / 1000.0;
     scope.telemetry().record_attempt(us, reduced, false, ws == nullptr);
+    scope.telemetry().record_decode_service(us);
+    tag_stats_.lane(s->batch_tag).record_attempts(1, us);
+    if (tb)
+      tb->record(TraceKind::kDecode, d0, d1, 1,
+                 static_cast<std::uint64_t>(effort));
     s->report.decode_micros += us;
     if (reduced) ++s->report.reduced_effort_attempts;
     s->run->record_attempt(candidate);
@@ -315,31 +393,48 @@ void DecodeService::session_step(WorkerScope& scope, std::size_t index) {
     // idle, channel symbols never are.
     if (!s->run->finished() && reduced && opt_.adapt.retry_full_when_idle &&
         scope.idle()) {
-      t0 = std::chrono::steady_clock::now();
+      const std::uint64_t r0 = now_ns();
       candidate = s->session->try_decode_with(ws, 0);
-      us = elapsed_micros(t0);
+      const std::uint64_t r1 = now_ns();
+      us = static_cast<double>(r1 - r0) / 1000.0;
       scope.telemetry().record_attempt(us, false, true, ws == nullptr);
+      scope.telemetry().record_decode_service(us);
+      tag_stats_.lane(s->batch_tag).record_attempts(1, us);
+      if (tb) tb->record(TraceKind::kDecode, r0, r1, 1, 0);
       s->report.decode_micros += us;
       ++s->report.full_effort_retries;
       s->run->record_attempt(candidate);
     }
 
     if (s->run->finished()) {
+      // Instant before finish_session — see the feed-exhausted path.
+      if (tb)
+        tb->instant(TraceKind::kComplete, now_ns(), index,
+                    s->run->result().success ? 1 : 0);
       finish_session(scope, *s);
       return;
     }
   } catch (...) {
+    if (tb) tb->instant(TraceKind::kComplete, now_ns(), index, 0);
     fail_session(scope, *s, std::current_exception());
     return;
   }
   // Continuations repost onto the stepping worker's own shard: the
   // session's state is hot in this core's cache, and a self-repost pays
   // no cross-shard handoff.
-  push_session_job(index, scope.w_->index);
+  if (tb) {
+    const std::uint64_t p0 = now_ns();
+    push_session_job(index, scope.w_->index);
+    tb->record(TraceKind::kRepost, p0, now_ns(), 1);
+  } else {
+    push_session_job(index, scope.w_->index);
+  }
 }
 
 void DecodeService::session_step_batch(WorkerScope& scope,
-                                       const std::vector<std::size_t>& indices) {
+                                       const std::vector<std::size_t>& indices,
+                                       std::uint64_t claim_ns) {
+  TraceBuffer* const tb = scope.w_->trace;
   std::vector<SessionState*> states;
   states.reserve(indices.size());
   {
@@ -363,6 +458,9 @@ void DecodeService::session_step_batch(WorkerScope& scope,
     try {
       if (!s->run->feed_to_attempt()) {  // budget exhausted -> failed run
         finish_session(scope, *s, /*release_slot=*/false);
+        if (tb)
+          tb->instant(TraceKind::kComplete, now_ns(), indices[i],
+                      s->report.run.success ? 1 : 0);
         ++released;
         continue;
       }
@@ -373,6 +471,7 @@ void DecodeService::session_step_batch(WorkerScope& scope,
       live_idx.push_back(indices[i]);
     } catch (...) {
       fail_session(scope, *s, std::current_exception(), /*release_slot=*/false);
+      if (tb) tb->instant(TraceKind::kComplete, now_ns(), indices[i], 0);
       ++released;
     }
   }
@@ -398,7 +497,11 @@ void DecodeService::session_step_batch(WorkerScope& scope,
   std::vector<sim::BatchDecodeJob> jobs(live.size());
   for (std::size_t i = 0; i < live.size(); ++i)
     jobs[i] = {live[i]->session.get(), effort, &candidates[i]};
-  const auto t0 = std::chrono::steady_clock::now();
+  // One clock read ends batch-assembly and starts the fused decode.
+  const std::uint64_t d0 = now_ns();
+  scope.telemetry().record_batch_assembly(
+      static_cast<double>(d0 - claim_ns) / 1000.0);
+  if (tb) tb->record(TraceKind::kFeed, claim_ns, d0, live.size());
   try {
     lead->session->try_decode_batch(ws, jobs);
   } catch (...) {
@@ -408,11 +511,25 @@ void DecodeService::session_step_batch(WorkerScope& scope,
     const std::exception_ptr err = std::current_exception();
     for (SessionState* s : live)
       fail_session(scope, *s, err, /*release_slot=*/false);
+    if (tb)
+      for (std::size_t i = 0; i < live.size(); ++i)
+        tb->instant(TraceKind::kComplete, now_ns(), live_idx[i], 0);
     release_session_slots(released + live.size());
     return;
   }
-  const double per = elapsed_micros(t0) / static_cast<double>(live.size());
+  const std::uint64_t d1 = now_ns();
+  const double per = (static_cast<double>(d1 - d0) / 1000.0) /
+                     static_cast<double>(live.size());
   scope.telemetry().record_attempts(live.size(), per, reduced, ws == nullptr);
+  // The stage view keeps the fused span whole (one service event per
+  // claim); the per-attempt split stays in decode_latency_us and the
+  // per-tag lane, whose counts track attempts.
+  scope.telemetry().record_decode_service(static_cast<double>(d1 - d0) /
+                                          1000.0);
+  tag_stats_.lane(lead->batch_tag).record_attempts(live.size(), per);
+  if (tb)
+    tb->record(TraceKind::kDecode, d0, d1, live.size(),
+               static_cast<std::uint64_t>(effort));
 
   // Phase 3 — per-session accounting and continuation, same shape as
   // the solo step (latency attributed evenly across the batch). The
@@ -430,11 +547,15 @@ void DecodeService::session_step_batch(WorkerScope& scope,
 
       if (!s->run->finished() && reduced && opt_.adapt.retry_full_when_idle &&
           scope.idle()) {
-        const auto t1 = std::chrono::steady_clock::now();
+        const std::uint64_t r0 = now_ns();
         const std::optional<util::BitVec> cand =
             s->session->try_decode_with(ws, 0);
-        const double us = elapsed_micros(t1);
+        const std::uint64_t r1 = now_ns();
+        const double us = static_cast<double>(r1 - r0) / 1000.0;
         scope.telemetry().record_attempt(us, false, true, ws == nullptr);
+        scope.telemetry().record_decode_service(us);
+        tag_stats_.lane(s->batch_tag).record_attempts(1, us);
+        if (tb) tb->record(TraceKind::kDecode, r0, r1, 1, 0);
         s->report.decode_micros += us;
         ++s->report.full_effort_retries;
         s->run->record_attempt(cand);
@@ -442,11 +563,15 @@ void DecodeService::session_step_batch(WorkerScope& scope,
 
       if (s->run->finished()) {
         finish_session(scope, *s, /*release_slot=*/false);
+        if (tb)
+          tb->instant(TraceKind::kComplete, now_ns(), live_idx[i],
+                      s->report.run.success ? 1 : 0);
         ++released;
         continue;
       }
     } catch (...) {
       fail_session(scope, *s, std::current_exception(), /*release_slot=*/false);
+      if (tb) tb->instant(TraceKind::kComplete, now_ns(), live_idx[i], 0);
       ++released;
       continue;
     }
@@ -458,12 +583,21 @@ void DecodeService::session_step_batch(WorkerScope& scope,
   // All sessions in the batch carry the same interned tag (same-tag by
   // construction of the claim), so one shared tag covers the repost —
   // onto this worker's own shard, where the next claim finds the whole
-  // run contiguous at the head.
-  if (!repost_jobs.empty() &&
-      !queue_.push_many(repost_jobs, repost.front()->batch_tag,
-                        scope.w_->index)) {
-    // session_job_refused releases each refused session's slot itself.
-    for (SessionState* s : repost) session_job_refused(*s);
+  // run contiguous at the head. One enqueue timestamp covers the lot
+  // (queue-wait is head-attributed at the claim anyway).
+  if (!repost_jobs.empty()) {
+    const std::uint64_t p0 = now_ns();
+    for (QueueJob& job : repost_jobs) {
+      job.tag = repost.front()->batch_tag;
+      job.enqueue_ns = p0;
+    }
+    if (!queue_.push_many(repost_jobs, repost.front()->batch_tag,
+                          scope.w_->index)) {
+      // session_job_refused releases each refused session's slot itself.
+      for (SessionState* s : repost) session_job_refused(*s);
+    } else if (tb) {
+      tb->record(TraceKind::kRepost, p0, now_ns(), repost_jobs.size());
+    }
   }
   release_session_slots(released);
 }
@@ -557,6 +691,7 @@ std::vector<SessionReport> DecodeService::drain() {
 TelemetrySnapshot DecodeService::telemetry() const {
   TelemetrySnapshot snap;
   for (const auto& w : workers_) w->telemetry.merge_into(snap);
+  tag_stats_.snapshot_into(snap.tags);
   const ShardedQueueStats qs = queue_.stats();
   snap.queue.steals = qs.steals;
   snap.queue.stolen_jobs = qs.stolen_jobs;
@@ -604,6 +739,14 @@ void DecodeService::post_impl(Task task, std::int32_t tag) {
     --ext_waiters_;
   }
   QueueJob job;
+  job.tag = tag;
+  job.enqueue_ns = now_ns();
+  if (tracer_)
+    tracer_->thread_buffer()->instant(
+        TraceKind::kCrossShard, job.enqueue_ns, 0,
+        tag < 0 ? 0
+                : static_cast<std::uint32_t>(tag) %
+                      static_cast<std::uint32_t>(queue_.shards()));
   job.task = [this, t = std::move(task)](WorkerScope& scope) {
     try {
       t(scope);

@@ -50,6 +50,7 @@
 // attempts through the same queue, workers and workspace pools.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -65,6 +66,7 @@
 #include "runtime/job_queue.h"
 #include "runtime/runtime.h"
 #include "runtime/telemetry.h"
+#include "runtime/trace.h"
 #include "sim/spinal_workspace.h"
 
 namespace spinal::runtime {
@@ -97,6 +99,11 @@ struct RuntimeOptions {
   /// ignored where unsupported; telemetry().workers_pinned reports how
   /// many pins actually took.
   bool pin_workers = false;
+  /// Runtime event tracing (trace.h): when enabled (and compiled in),
+  /// every stage of every job records into per-worker ring buffers,
+  /// exported via tracer()->export_json. Off by default — the stage
+  /// latency histograms in telemetry() are always on regardless.
+  TraceOptions trace;
 };
 
 class DecodeService {
@@ -130,10 +137,15 @@ class DecodeService {
   /// completion drain. Callable repeatedly; the service stays usable.
   std::vector<SessionReport> drain();
 
-  /// Merged per-worker counters + decode-latency histogram. Callable
-  /// concurrently with running work (per-worker locks, no quiescence
-  /// required).
+  /// Merged per-worker counters, decode-latency histogram, stage
+  /// decomposition and per-tag breakdown. Callable concurrently with
+  /// running work (lock-free recording; relaxed reads, exact once
+  /// quiesced).
   TelemetrySnapshot telemetry() const;
+
+  /// The event tracer, or nullptr when RuntimeOptions::trace.enabled is
+  /// false or tracing is compiled out (SPINAL_RUNTIME_TRACE=0).
+  Tracer* tracer() const noexcept { return tracer_.get(); }
 
   std::size_t queue_depth() const { return queue_.depth(); }
   /// High-water mark of concurrently admitted sessions (observes the
@@ -156,6 +168,7 @@ class DecodeService {
     int index = 0;  ///< dense worker id: queue consumer id + pin slot
     std::map<WorkspaceKey, std::unique_ptr<sim::CodecWorkspace>> pinned;
     WorkerTelemetry telemetry;
+    TraceBuffer* trace = nullptr;  ///< the worker's trace timeline (or null)
     std::thread thread;
   };
   struct SessionState;
@@ -163,16 +176,24 @@ class DecodeService {
   /// One queue entry: a session step (session != kNoSession; the Task is
   /// empty) or an external task. Session steps travel as bare indices so
   /// a batched dequeue can regroup them into one session_step_batch.
+  /// Jobs carry their interned tag and enqueue timestamp so the claim
+  /// can attribute queue-wait per tag without a state lookup.
   struct QueueJob {
     static constexpr std::size_t kNoSession = static_cast<std::size_t>(-1);
     Task task;
     std::size_t session = kNoSession;
+    std::int32_t tag = -1;          ///< == ShardedJobQueue kNoTag
+    std::uint64_t enqueue_ns = 0;   ///< now_ns() at push
   };
 
   void worker_loop(Worker& w);
-  void session_step(WorkerScope& scope, std::size_t index);
+  /// @p claim_ns: now_ns() when the serving claim landed (start of the
+  /// batch-assembly stage).
+  void session_step(WorkerScope& scope, std::size_t index,
+                    std::uint64_t claim_ns);
   void session_step_batch(WorkerScope& scope,
-                          const std::vector<std::size_t>& indices);
+                          const std::vector<std::size_t>& indices,
+                          std::uint64_t claim_ns);
   /// @p release_slot false defers the admission-slot release to a bulk
   /// release_session_slots() call at the end of a batch step (one lock
   /// for the whole batch instead of one per finishing session).
@@ -196,11 +217,18 @@ class DecodeService {
   /// Returns the post-reservation in-flight count, or -1 at capacity.
   int try_reserve_slot();
   /// Interns @p key into the dense batch-tag space the queue aggregates
-  /// and routes on; kNoTag for invalid keys. Caller holds state_m_.
+  /// and routes on (and registers its TagStats lane); kNoTag for invalid
+  /// keys. Caller holds state_m_.
   std::int32_t intern_tag_locked(const sim::WorkspaceKey& key);
+  /// Monotonic ns on the trace timebase (the tracer's clock when
+  /// tracing, the service's own construction-epoch clock otherwise).
+  std::uint64_t now_ns() const noexcept;
 
   RuntimeOptions opt_;
   int max_in_flight_;
+  std::chrono::steady_clock::time_point base_;  ///< now_ns() epoch (no tracer)
+  std::unique_ptr<Tracer> tracer_;              ///< null unless tracing is on
+  TagStatsRegistry tag_stats_;
   ShardedJobQueue<QueueJob> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
 

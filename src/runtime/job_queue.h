@@ -183,6 +183,14 @@ struct ShardedQueueStats {
   std::uint64_t cross_shard_submits = 0;
 };
 
+/// Where a ShardedJobQueue claim came from — filled in by pop_batch for
+/// callers that trace steal activity (the claim already knows; plumbing
+/// it out costs nothing on the hot path).
+struct ShardedClaimInfo {
+  std::size_t shard = 0;  ///< shard the batch was claimed from
+  bool stolen = false;    ///< true when that was a sibling's shard
+};
+
 /// Sharded bounded MPMC job queue: see the header comment. Consumers are
 /// identified by a small integer (the worker index); consumer w owns
 /// shard w % shards() and always serves it first, so a worker's
@@ -250,21 +258,22 @@ class ShardedJobQueue {
   /// oldest entry plus same-tag entries within a scan window of @p
   /// window, batch capped at @p max_batch). Returns false (out left
   /// empty) once closed *and* drained — pending items in any shard are
-  /// still handed out after close().
+  /// still handed out after close(). @p info, when given, reports which
+  /// shard served the claim and whether it was a steal.
   bool pop_batch(int worker, std::vector<T>& out, std::size_t max_batch,
-                 std::size_t window) {
+                 std::size_t window, ShardedClaimInfo* info = nullptr) {
     out.clear();
     const std::size_t own =
         worker >= 0 ? static_cast<std::size_t>(worker) % shards_ : 0;
     for (;;) {
-      if (claim(own, out, max_batch, window)) return true;
+      if (claim(own, out, max_batch, window, info)) return true;
       // Register as a sleeper, then scan once more: a pusher that read
       // sleepers_ == 0 (and so skipped its notify) enqueued before our
       // registration, which makes its item visible to this re-scan.
       std::unique_lock lock(sleep_m_);
       sleepers_.fetch_add(1);
       lock.unlock();
-      const bool found = claim(own, out, max_batch, window);
+      const bool found = claim(own, out, max_batch, window, info);
       lock.lock();
       if (found) {
         sleepers_.fetch_sub(1);
@@ -392,8 +401,11 @@ class ShardedJobQueue {
   /// One claim attempt: own shard first, then the deepest sibling (a
   /// steal). Returns false only when every shard looked empty.
   bool claim(std::size_t own, std::vector<T>& out, std::size_t max_batch,
-             std::size_t window) {
-    if (claim_from(own, out, max_batch, window)) return true;
+             std::size_t window, ShardedClaimInfo* info = nullptr) {
+    if (claim_from(own, out, max_batch, window)) {
+      if (info) *info = {own, false};
+      return true;
+    }
     while (shards_ > 1) {
       std::size_t best = own, best_depth = 0;
       for (std::size_t s = 0; s < shards_; ++s) {
@@ -408,6 +420,7 @@ class ShardedJobQueue {
       if (claim_from(best, out, max_batch, window)) {
         steals_.fetch_add(1, std::memory_order_relaxed);
         stolen_jobs_.fetch_add(out.size(), std::memory_order_relaxed);
+        if (info) *info = {best, true};
         return true;
       }
       // Lost the victim to a racing thief; re-pick from fresh depths.

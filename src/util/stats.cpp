@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace spinal::util {
 
@@ -109,6 +110,22 @@ void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
   for (int i = 0; i < kBins; ++i) bins_[i] += other.bins_[i];
 }
 
+LatencyHistogram LatencyHistogram::from_bins(const std::uint64_t* bins,
+                                             double sum, double min,
+                                             double max) noexcept {
+  LatencyHistogram h;
+  for (int i = 0; i < kBins; ++i) {
+    h.bins_[static_cast<std::size_t>(i)] = bins[i];
+    h.count_ += bins[i];
+  }
+  if (h.count_ > 0) {
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
+}
+
 double LatencyHistogram::mean() const noexcept {
   return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
@@ -135,6 +152,64 @@ double LatencyHistogram::quantile(double q) const noexcept {
     return std::clamp(v, min_, max_);
   }
   return max_;  // unreachable when counts are consistent
+}
+
+// ---------------------------------------------- AtomicLatencyHistogram
+
+namespace {
+
+std::uint64_t double_bits(double x) noexcept {
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(x));
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+double bits_double(std::uint64_t b) noexcept {
+  double x;
+  std::memcpy(&x, &b, sizeof(x));
+  return x;
+}
+
+/// Monotonic fetch-min/-max on bit patterns (relaxed CAS loop).
+void store_min(std::atomic<std::uint64_t>& t, std::uint64_t v) noexcept {
+  std::uint64_t cur = t.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !t.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void store_max(std::atomic<std::uint64_t>& t, std::uint64_t v) noexcept {
+  std::uint64_t cur = t.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !t.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void AtomicLatencyHistogram::add_n(double x, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  if (!(x >= 0.0)) x = 0.0;  // negative / NaN: clamp into the underflow bin
+  const int bin = LatencyHistogram::bin_index(x);
+  bins_[static_cast<std::size_t>(bin)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(x * static_cast<double>(n), std::memory_order_relaxed);
+  const std::uint64_t b = double_bits(x);
+  store_min(min_bits_, b);
+  store_max(max_bits_, b);
+}
+
+LatencyHistogram AtomicLatencyHistogram::snapshot() const noexcept {
+  std::array<std::uint64_t, LatencyHistogram::bin_count()> bins;
+  for (int i = 0; i < LatencyHistogram::bin_count(); ++i)
+    bins[static_cast<std::size_t>(i)] =
+        bins_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  const std::uint64_t min_b = min_bits_.load(std::memory_order_relaxed);
+  const std::uint64_t max_b = max_bits_.load(std::memory_order_relaxed);
+  return LatencyHistogram::from_bins(
+      bins.data(), sum_.load(std::memory_order_relaxed),
+      min_b == kEmptyMin ? 0.0 : bits_double(min_b), bits_double(max_b));
 }
 
 }  // namespace spinal::util

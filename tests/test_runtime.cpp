@@ -8,6 +8,7 @@
 // test_experiment) also run under the ThreadSanitizer CI lane.
 
 #include <future>
+#include <sstream>
 #include <stdexcept>
 #include <tuple>
 
@@ -597,6 +598,99 @@ TEST(Runtime, TelemetryCountsAndLatencyQuantilesAreConsistent) {
   EXPECT_LE(p50, p95);
   EXPECT_LE(p95, p99);
 }
+
+TEST(Runtime, StageTelemetryDecomposesLatency) {
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.adapt.enabled = false;
+  opt.batch.max_batch = 8;
+  DecodeService service(opt);
+  for (int i = 0; i < 24; ++i) service.submit(make_spec(i));
+  service.drain();
+
+  const TelemetrySnapshot snap = service.telemetry();
+  // Queue-wait is head-attributed per claimed batch (add_n across the
+  // batch), so its count is exactly the jobs executed.
+  EXPECT_EQ(snap.stages.queue_wait_us.count(), snap.counters.jobs);
+  // One batch-assembly record per claim that reached a decode; at least
+  // one decode-service span follows each of those.
+  EXPECT_GT(snap.stages.batch_assembly_us.count(), 0u);
+  EXPECT_LE(snap.stages.batch_assembly_us.count(), snap.counters.jobs);
+  EXPECT_GE(snap.stages.decode_service_us.count(),
+            snap.stages.batch_assembly_us.count());
+  // The per-attempt view keeps its original contract alongside.
+  EXPECT_EQ(snap.decode_latency_us.count(), snap.counters.decode_attempts);
+  for (const util::LatencyHistogram* h :
+       {&snap.stages.queue_wait_us, &snap.stages.batch_assembly_us,
+        &snap.stages.decode_service_us}) {
+    EXPECT_LE(h->quantile(0.5), h->quantile(0.95));
+    EXPECT_LE(h->quantile(0.95), h->quantile(0.99));
+  }
+}
+
+TEST(Runtime, PerTagTelemetryBreaksDownByCodec) {
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.adapt.enabled = false;
+  opt.batch.max_batch = 8;
+  DecodeService service(opt);
+  for (int i = 0; i < 24; ++i) service.submit(make_spec(i));
+  service.drain();
+
+  const TelemetrySnapshot snap = service.telemetry();
+  // The mixed fleet spans several batch keys (two spinal parameter
+  // sets, a Rayleigh variant, BSC) — each gets its own lane, and the
+  // lanes partition the totals exactly.
+  EXPECT_GE(snap.tags.size(), 2u);
+  std::uint64_t jobs = 0, attempts = 0;
+  bool saw_bsc = false;
+  for (const TagTelemetry& tag : snap.tags) {
+    EXPECT_FALSE(tag.label.empty());
+    EXPECT_EQ(tag.queue_wait_us.count(), tag.jobs);
+    EXPECT_EQ(tag.decode_service_us.count(), tag.attempts);
+    jobs += tag.jobs;
+    attempts += tag.attempts;
+    if (tag.label.find("bsc") != std::string::npos) saw_bsc = true;
+  }
+  EXPECT_TRUE(saw_bsc);
+  EXPECT_EQ(jobs, snap.counters.jobs);
+  EXPECT_EQ(attempts, snap.counters.decode_attempts);
+}
+
+TEST(Runtime, TracerIsOffByDefault) {
+  DecodeService service(basic_opts(1));
+  EXPECT_EQ(service.tracer(), nullptr);
+}
+
+#if SPINAL_RUNTIME_TRACE
+TEST(Runtime, TraceExportCapturesPipelineEvents) {
+  constexpr int kSessions = 12;
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.batch.max_batch = 8;
+  opt.trace.enabled = true;
+  DecodeService service(opt);
+  ASSERT_NE(service.tracer(), nullptr);
+  for (int i = 0; i < kSessions; ++i) service.submit(make_spec(i));
+  service.drain();
+
+  std::ostringstream os;
+  service.tracer()->export_json(os);
+  const std::string json = os.str();
+  for (const char* name :
+       {"submit", "queue_wait", "claim", "feed", "decode", "complete"})
+    EXPECT_NE(json.find("\"" + std::string(name) + "\""), std::string::npos)
+        << name;
+  // Exactly one completion instant per drained session (the default
+  // 32k-event ring cannot have wrapped on a fleet this small).
+  EXPECT_EQ(service.tracer()->dropped(), 0u);
+  std::size_t completes = 0;
+  for (std::size_t p = json.find("\"complete\""); p != std::string::npos;
+       p = json.find("\"complete\"", p + 1))
+    ++completes;
+  EXPECT_EQ(completes, static_cast<std::size_t>(kSessions));
+}
+#endif  // SPINAL_RUNTIME_TRACE
 
 // ------------------------------------------------ sharded queue modes
 // (The queue-level unit tests live in test_job_queue.cpp; these cover
